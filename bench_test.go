@@ -1,0 +1,272 @@
+// Benchmarks regenerating the performance side of every experiment in
+// DESIGN.md §4. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark maps to one figure/claim: F1 BenchmarkOrchestrationCycle,
+// F2 BenchmarkSliceInstallation, D1 BenchmarkAdmissionControl (+ the
+// knapsack solver), D2 BenchmarkGainTracking, D3 BenchmarkForecasters,
+// D4 BenchmarkOverbookingSweep, D5 BenchmarkDomainUtilization,
+// D6 BenchmarkEmbedding.
+package overbook
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/forecast"
+	"repro/internal/monitor"
+	"repro/internal/scenario"
+	"repro/internal/slice"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+	"repro/internal/transport"
+)
+
+// benchReq builds a small admissible request.
+func benchReq(i int) slice.Request {
+	return slice.Request{
+		Tenant: fmt.Sprintf("bench-%d", i),
+		SLA: slice.SLA{
+			ThroughputMbps: 20,
+			MaxLatencyMs:   50,
+			Duration:       time.Hour,
+			PriceEUR:       50,
+			PenaltyEUR:     1,
+		},
+	}
+}
+
+// BenchmarkOrchestrationCycle (F1) measures one pass of the Fig.-1 closed
+// loop — collect, monitor, forecast, optimize, reconfigure — on systems
+// loaded with an increasing number of active slices.
+func BenchmarkOrchestrationCycle(b *testing.B) {
+	for _, n := range []int{2, 6, 12, 24} {
+		b.Run(fmt.Sprintf("slices=%d", n), func(b *testing.B) {
+			r, err := scenario.LoadedRunner(1, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.Orch.Stop() // drive epochs manually
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Orch.RunEpoch()
+			}
+		})
+	}
+}
+
+// BenchmarkSliceInstallation (F2) measures the full multi-domain install +
+// teardown of a slice: admission, PLMN, PRBs, paths, Heat stack, vEPC.
+func BenchmarkSliceInstallation(b *testing.B) {
+	sys, err := NewSimulated(Options{Seed: 1, Overbook: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sl, err := sys.Orchestrator.Submit(benchReq(i), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sl.State() == slice.StateRejected {
+			b.Fatalf("bench request rejected: %s", sl.Reason())
+		}
+		sys.Sim.RunFor(15 * time.Second) // install stages
+		if err := sys.Orchestrator.Delete(sl.ID()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdmissionControl (D1) measures the admission decision itself on
+// a loaded system, including the multi-domain feasibility checks.
+func BenchmarkAdmissionControl(b *testing.B) {
+	r, err := scenario.LoadedRunner(1, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// An unmeetable latency forces the full check path then rejection, so
+	// state does not grow across iterations.
+	req := benchReq(0)
+	req.SLA.MaxLatencyMs = 0.01
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Orch.Submit(req, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdmissionKnapsack (D1) measures the offline revenue-maximization
+// solver at increasing batch sizes.
+func BenchmarkAdmissionKnapsack(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{8, 32, 128} {
+		reqs := make([]core.KnapsackRequest, n)
+		for i := range reqs {
+			mbps := 5 + rng.Float64()*55
+			reqs[i] = core.KnapsackRequest{
+				Req: slice.Request{
+					Tenant: "k",
+					SLA: slice.SLA{
+						ThroughputMbps: mbps, MaxLatencyMs: 50,
+						Duration: time.Hour, PriceEUR: rng.Float64() * 200,
+					},
+				},
+				LoadMbps: mbps,
+			}
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MaxRevenueSubset(reqs, 500)
+			}
+		})
+	}
+}
+
+// BenchmarkGainTracking (D2) measures producing the gains-vs-penalties
+// dashboard report on a loaded system.
+func BenchmarkGainTracking(b *testing.B) {
+	r, err := scenario.LoadedRunner(1, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := r.Orch.Gain()
+		if g.CapacityMbps <= 0 {
+			b.Fatal("bad report")
+		}
+	}
+}
+
+// BenchmarkForecasters (D3) measures one observe+forecast step of each
+// forecaster in the zoo.
+func BenchmarkForecasters(b *testing.B) {
+	mk := map[string]func() forecast.Forecaster{
+		"naive":        func() forecast.Forecaster { return forecast.NewNaive() },
+		"ma8":          func() forecast.Forecaster { return forecast.NewMovingAverage(8) },
+		"ewma":         func() forecast.Forecaster { return forecast.NewEWMA(0.3) },
+		"holt":         func() forecast.Forecaster { return forecast.NewHolt(0.4, 0.1) },
+		"holt-winters": func() forecast.Forecaster { return forecast.NewHoltWinters(0.3, 0.05, 0.3, 96) },
+	}
+	rng := rand.New(rand.NewSource(1))
+	series := make([]float64, 4096)
+	for i := range series {
+		series[i] = 100 + 40*rng.Float64()
+	}
+	for name, ctor := range mk {
+		b.Run(name, func(b *testing.B) {
+			f := ctor()
+			for i := 0; i < b.N; i++ {
+				f.Observe(series[i%len(series)])
+				_ = f.Forecast()
+			}
+		})
+	}
+}
+
+// BenchmarkOverbookingSweep (D4) measures a complete (short) scenario run
+// per risk level — the cost of regenerating one point of the trade-off
+// curve.
+func BenchmarkOverbookingSweep(b *testing.B) {
+	for _, risk := range []float64{1.0, 0.95, 0.7} {
+		b.Run(fmt.Sprintf("risk=%.2f", risk), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				scenario.MustRun(scenario.Options{
+					Seed:             1,
+					Duration:         2 * time.Hour,
+					MeanInterarrival: 15 * time.Minute,
+					Orchestrator: core.Config{
+						Overbook: risk < 0.9995, Risk: risk, PLMNLimit: 32,
+					},
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkDomainUtilization (D5) measures one full telemetry push across
+// the three domain controllers.
+func BenchmarkDomainUtilization(b *testing.B) {
+	r, err := scenario.LoadedRunner(1, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := monitor.NewStore(1024)
+	now := r.Sim.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TB.Ctrl.PushTelemetry(store, now)
+	}
+}
+
+// BenchmarkEmbedding (D6) measures the path-computation core of the
+// multi-domain embedding: delay-constrained shortest path and the
+// k-shortest alternative search on the testbed topology.
+func BenchmarkEmbedding(b *testing.B) {
+	tb, err := testbed.New(testbed.Config{ENBs: 8}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := transport.PathRequest{From: testbed.ENBName(0), To: testbed.CoreDC, MinMbps: 20, MaxDelayMs: 50}
+	b.Run("shortest-path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tb.Transport.ShortestPath(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("k-shortest-3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tb.Transport.KShortestPaths(req, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkScheduler measures one RAN scheduling epoch (the per-epoch inner
+// loop of the monitoring stage) with shared-PRB multiplexing on and off.
+func BenchmarkScheduler(b *testing.B) {
+	r, err := scenario.LoadedRunner(1, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	demand := map[slice.PLMN]float64{}
+	for _, sn := range r.Orch.List() {
+		if sn.State == "active" {
+			demand[sn.Allocation.PLMN] = sn.SLA.ThroughputMbps * 0.5
+		}
+	}
+	for _, share := range []bool{false, true} {
+		b.Run(fmt.Sprintf("share=%v", share), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.TB.Ctrl.RAN.ScheduleEpoch(demand, share)
+			}
+		})
+	}
+}
+
+// BenchmarkDemandSampling measures the traffic generators feeding the
+// monitoring pipeline.
+func BenchmarkDemandSampling(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	at := time.Date(2018, 8, 20, 12, 0, 0, 0, time.UTC)
+	gens := map[string]traffic.Demand{
+		"constant": traffic.NewConstant(20, 1, rng),
+		"diurnal":  traffic.NewDiurnal(50, 20, 20, 3, rng),
+		"bursty":   traffic.NewBursty(5, 50, 0.1, 0.3, 1, rng),
+	}
+	for name, g := range gens {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.Sample(at)
+			}
+		})
+	}
+}

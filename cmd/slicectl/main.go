@@ -1,0 +1,223 @@
+// Command slicectl is the CLI client for the orchestrator's REST API — the
+// scriptable counterpart of the demo dashboard.
+//
+// Usage:
+//
+//	slicectl [-server http://localhost:8080] <command> [args]
+//
+// Commands:
+//
+//	request -tenant NAME -mbps N -latency MS -duration D -price EUR [-penalty EUR] [-class CLASS] [-edge]
+//	list
+//	get <slice-id>
+//	delete <slice-id>
+//	demand <slice-id> <mbps>
+//	gain
+//	topology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/restapi"
+	"repro/internal/slice"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "orchestrator base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := restapi.NewClient(*server)
+	var err error
+	switch args[0] {
+	case "request":
+		err = cmdRequest(c, args[1:])
+	case "list":
+		err = cmdList(c)
+	case "get":
+		err = withID(args[1:], func(id slice.ID) error { return cmdGet(c, id) })
+	case "delete":
+		err = withID(args[1:], func(id slice.ID) error { return c.DeleteSlice(id) })
+	case "demand":
+		err = cmdDemand(c, args[1:])
+	case "gain":
+		err = cmdGain(c)
+	case "topology":
+		err = cmdTopology(c)
+	case "link":
+		err = cmdLink(c, args[1:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slicectl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: slicectl [-server URL] <request|list|get|delete|demand|gain|topology|link> [args]
+  link fail <from> <to>            take a transport link down (slices re-route or drop)
+  link restore <from> <to>         bring it back up
+  link degrade <from> <to> <mbps>  rain-fade the link to the given capacity`)
+}
+
+func cmdLink(c *restapi.Client, args []string) error {
+	if len(args) < 3 {
+		return fmt.Errorf("usage: link <fail|restore|degrade> <from> <to> [mbps]")
+	}
+	op, from, to := args[0], args[1], args[2]
+	switch op {
+	case "fail":
+		rep, err := c.FailLink(from, to)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("link %s failed: restored %v, dropped %v\n", rep.Link, rep.Restored, rep.Dropped)
+		return nil
+	case "restore":
+		if err := c.RestoreLink(from, to); err != nil {
+			return err
+		}
+		fmt.Printf("link %s->%s restored\n", from, to)
+		return nil
+	case "degrade":
+		if len(args) < 4 {
+			return fmt.Errorf("usage: link degrade <from> <to> <mbps>")
+		}
+		var mbps float64
+		if _, err := fmt.Sscanf(args[3], "%f", &mbps); err != nil {
+			return fmt.Errorf("bad capacity %q", args[3])
+		}
+		rep, err := c.DegradeLink(from, to, mbps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("link %s degraded to %.0f Mbps: restored %v, dropped %v\n", rep.Link, mbps, rep.Restored, rep.Dropped)
+		return nil
+	default:
+		return fmt.Errorf("unknown link op %q", op)
+	}
+}
+
+func withID(args []string, fn func(slice.ID) error) error {
+	if len(args) < 1 {
+		return fmt.Errorf("slice ID required")
+	}
+	return fn(slice.ID(args[0]))
+}
+
+func cmdRequest(c *restapi.Client, args []string) error {
+	fs := flag.NewFlagSet("request", flag.ExitOnError)
+	var (
+		tenant   = fs.String("tenant", "", "tenant name")
+		mbps     = fs.Float64("mbps", 20, "expected throughput (Mbps)")
+		latency  = fs.Float64("latency", 50, "maximum latency (ms)")
+		duration = fs.Duration("duration", time.Hour, "slice duration")
+		price    = fs.Float64("price", 100, "price willing to pay (EUR)")
+		penalty  = fs.Float64("penalty", 2, "penalty per SLA-violation epoch (EUR)")
+		class    = fs.String("class", "eMBB", "service class: eMBB|automotive|e-health|mMTC")
+		edge     = fs.Bool("edge", false, "require mobile-edge compute")
+	)
+	fs.Parse(args)
+	snap, err := c.SubmitSlice(restapi.SliceRequestBody{
+		Tenant:          *tenant,
+		ThroughputMbps:  *mbps,
+		MaxLatencyMs:    *latency,
+		DurationSeconds: duration.Seconds(),
+		PriceEUR:        *price,
+		PenaltyEUR:      *penalty,
+		Class:           *class,
+		EdgeCompute:     *edge,
+	})
+	if err != nil {
+		return err
+	}
+	if snap.State == "rejected" {
+		fmt.Printf("REJECTED %s: %s\n", snap.ID, snap.Reason)
+		return nil
+	}
+	fmt.Printf("accepted %s: state=%s plmn=%s dc=%s\n",
+		snap.ID, snap.State, snap.Allocation.PLMN, snap.Allocation.DataCenter)
+	return nil
+}
+
+func cmdList(c *restapi.Client) error {
+	ls, err := c.ListSlices()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ID\tTENANT\tCLASS\tSTATE\tCONTRACT\tALLOCATED\tNET€\tREASON")
+	for _, s := range ls {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.0f\t%.1f\t%.2f\t%s\n",
+			s.ID, s.Tenant, s.Class, s.State,
+			s.SLA.ThroughputMbps, s.Allocation.AllocatedMbps, s.Accounting.NetEUR, s.Reason)
+	}
+	return w.Flush()
+}
+
+func cmdGet(c *restapi.Client, id slice.ID) error {
+	s, err := c.GetSlice(id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("slice %s (%s, %s)\n", s.ID, s.Tenant, s.Class)
+	fmt.Printf("  state      %s %s\n", s.State, s.Reason)
+	fmt.Printf("  contract   %.1f Mbps, <=%.1f ms, until %s\n", s.SLA.ThroughputMbps, s.SLA.MaxLatencyMs, s.Expires.Format(time.RFC3339))
+	fmt.Printf("  allocated  %.1f Mbps (PLMN %s, DC %s, path %.2f ms)\n",
+		s.Allocation.AllocatedMbps, s.Allocation.PLMN, s.Allocation.DataCenter, s.Allocation.PathLatencyMs)
+	fmt.Printf("  accounting %+.2f EUR net (%d/%d violation epochs)\n",
+		s.Accounting.NetEUR, s.Accounting.ViolationEpochs, s.Accounting.ServedEpochs)
+	return nil
+}
+
+func cmdDemand(c *restapi.Client, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: demand <slice-id> <mbps>")
+	}
+	var mbps float64
+	if _, err := fmt.Sscanf(args[1], "%f", &mbps); err != nil {
+		return fmt.Errorf("bad mbps %q", args[1])
+	}
+	return c.RecordDemand(slice.ID(args[0]), mbps)
+}
+
+func cmdGain(c *restapi.Client) error {
+	g, err := c.Gain()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("multiplexing gain   %.2fx\n", g.MultiplexingGain)
+	fmt.Printf("overbooking ratio   %.2fx (contracted %.1f / capacity %.1f Mbps)\n",
+		g.OverbookingRatio, g.ContractedMbps, g.CapacityMbps)
+	fmt.Printf("slices              %d active, %d admitted, %d rejected\n", g.Active, g.Admitted, g.Rejected)
+	fmt.Printf("revenue             %.2f EUR  penalties %.2f EUR  net %.2f EUR\n",
+		g.RevenueTotalEUR, g.PenaltyTotalEUR, g.NetRevenueEUR)
+	fmt.Printf("violations          %d epochs, %d reconfigurations, %d control epochs\n",
+		g.ViolationEpochs, g.Reconfigurations, g.Epochs)
+	return nil
+}
+
+func cmdTopology(c *restapi.Client) error {
+	links, err := c.Topology()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "FROM\tTO\tTYPE\tCAPACITY\tRESERVED\tDELAY\tUP")
+	for _, l := range links {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.0f\t%.1f\t%.2fms\t%v\n",
+			l.From, l.To, l.Type, l.CapacityMbps, l.ReservedMbps, l.DelayMs, l.Up)
+	}
+	return w.Flush()
+}

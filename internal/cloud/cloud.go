@@ -1,0 +1,456 @@
+// Package cloud models the demo's two OpenStack deployments — a mobile-edge
+// and a core data center — together with a Heat-style stack orchestrator.
+// The demo performs "dynamic configurations of computational resources ...
+// through Heat"; per admitted slice, a stack template describing the vEPC
+// VMs is instantiated in the data center chosen by the embedding logic.
+//
+// The model covers what the orchestration control loop actually exercises:
+// host capacity accounting (vCPU/RAM/disk), flavors, VM placement policies,
+// atomic stack create/delete, and utilization telemetry. It does not speak
+// the OpenStack wire protocol (non-goal, see DESIGN.md).
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Flavor is a VM size, mirroring Nova flavors.
+type Flavor struct {
+	Name   string  `json:"name"`
+	VCPUs  float64 `json:"vcpus"`
+	RAMMB  int     `json:"ram_mb"`
+	DiskGB int     `json:"disk_gb"`
+}
+
+// Validate reports the first problem with the flavor.
+func (f Flavor) Validate() error {
+	switch {
+	case f.Name == "":
+		return errors.New("cloud: flavor needs a name")
+	case f.VCPUs <= 0:
+		return fmt.Errorf("cloud: flavor %s vcpus %.1f must be positive", f.Name, f.VCPUs)
+	case f.RAMMB <= 0:
+		return fmt.Errorf("cloud: flavor %s ram %d must be positive", f.Name, f.RAMMB)
+	case f.DiskGB < 0:
+		return fmt.Errorf("cloud: flavor %s disk %d must be non-negative", f.Name, f.DiskGB)
+	}
+	return nil
+}
+
+// Standard flavors used by the vEPC templates.
+var (
+	FlavorSmall  = Flavor{Name: "m1.small", VCPUs: 1, RAMMB: 2048, DiskGB: 20}
+	FlavorMedium = Flavor{Name: "m1.medium", VCPUs: 2, RAMMB: 4096, DiskGB: 40}
+	FlavorLarge  = Flavor{Name: "m1.large", VCPUs: 4, RAMMB: 8192, DiskGB: 80}
+)
+
+// Host is one compute node.
+type Host struct {
+	Name   string
+	VCPUs  float64
+	RAMMB  int
+	DiskGB int
+
+	usedVCPUs  float64
+	usedRAMMB  int
+	usedDiskGB int
+	vms        map[string]*VM
+}
+
+// fits reports whether the flavor fits in the host's free capacity.
+func (h *Host) fits(f Flavor) bool {
+	return h.VCPUs-h.usedVCPUs >= f.VCPUs-1e-9 &&
+		h.RAMMB-h.usedRAMMB >= f.RAMMB &&
+		h.DiskGB-h.usedDiskGB >= f.DiskGB
+}
+
+func (h *Host) place(vm *VM) {
+	h.usedVCPUs += vm.Flavor.VCPUs
+	h.usedRAMMB += vm.Flavor.RAMMB
+	h.usedDiskGB += vm.Flavor.DiskGB
+	h.vms[vm.ID] = vm
+}
+
+func (h *Host) evict(vm *VM) {
+	if _, ok := h.vms[vm.ID]; !ok {
+		return
+	}
+	h.usedVCPUs -= vm.Flavor.VCPUs
+	h.usedRAMMB -= vm.Flavor.RAMMB
+	h.usedDiskGB -= vm.Flavor.DiskGB
+	delete(h.vms, vm.ID)
+}
+
+// cpuUtil returns the host's vCPU utilization in [0,1].
+func (h *Host) cpuUtil() float64 {
+	if h.VCPUs <= 0 {
+		return 0
+	}
+	return h.usedVCPUs / h.VCPUs
+}
+
+// VM is one placed instance.
+type VM struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Flavor Flavor `json:"flavor"`
+	Host   string `json:"host"`
+	Stack  string `json:"stack"`
+}
+
+// PlacementPolicy selects a host for a flavor.
+type PlacementPolicy int
+
+// Placement policies for the embedding ablation.
+const (
+	// FirstFit scans hosts in name order and takes the first that fits —
+	// fast, fragments capacity.
+	FirstFit PlacementPolicy = iota
+	// BestFit picks the fitting host with the least free vCPU, packing
+	// tightly (default; matches Nova's ram-weigher behaviour closely
+	// enough for control-plane purposes).
+	BestFit
+	// WorstFit picks the fitting host with the most free vCPU, spreading
+	// load.
+	WorstFit
+)
+
+// String returns the policy name.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	case WorstFit:
+		return "worst-fit"
+	default:
+		return fmt.Sprintf("PlacementPolicy(%d)", int(p))
+	}
+}
+
+// Errors surfaced as admission-rejection reasons.
+var (
+	ErrNoCapacity     = errors.New("cloud: no host fits the flavor")
+	ErrUnknownStack   = errors.New("cloud: unknown stack")
+	ErrDuplicateStack = errors.New("cloud: stack already exists")
+)
+
+// DataCenter is one OpenStack deployment.
+type DataCenter struct {
+	name   string
+	kind   string // "edge" or "core", informational
+	policy PlacementPolicy
+
+	mu     sync.Mutex
+	hosts  map[string]*Host
+	stacks map[string]*Stack
+	vmSeq  int
+}
+
+// NewDataCenter returns a data center with the given placement policy.
+func NewDataCenter(name, kind string, policy PlacementPolicy) *DataCenter {
+	return &DataCenter{
+		name:   name,
+		kind:   kind,
+		policy: policy,
+		hosts:  make(map[string]*Host),
+		stacks: make(map[string]*Stack),
+	}
+}
+
+// Name returns the data-center name (matches its transport gateway node).
+func (dc *DataCenter) Name() string { return dc.name }
+
+// Kind returns "edge" or "core".
+func (dc *DataCenter) Kind() string { return dc.kind }
+
+// AddHost registers a compute node.
+func (dc *DataCenter) AddHost(name string, vcpus float64, ramMB, diskGB int) error {
+	if name == "" || vcpus <= 0 || ramMB <= 0 || diskGB < 0 {
+		return fmt.Errorf("cloud: invalid host %q (%.1f vCPU, %d MB, %d GB)", name, vcpus, ramMB, diskGB)
+	}
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if _, ok := dc.hosts[name]; ok {
+		return fmt.Errorf("cloud: duplicate host %q in %s", name, dc.name)
+	}
+	dc.hosts[name] = &Host{Name: name, VCPUs: vcpus, RAMMB: ramMB, DiskGB: diskGB, vms: map[string]*VM{}}
+	return nil
+}
+
+// hostOrder returns host names in scheduling order for the policy.
+func (dc *DataCenter) hostOrder(f Flavor) []*Host {
+	names := make([]string, 0, len(dc.hosts))
+	for n := range dc.hosts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	hosts := make([]*Host, 0, len(names))
+	for _, n := range names {
+		hosts = append(hosts, dc.hosts[n])
+	}
+	switch dc.policy {
+	case BestFit:
+		sort.SliceStable(hosts, func(i, j int) bool {
+			return hosts[i].VCPUs-hosts[i].usedVCPUs < hosts[j].VCPUs-hosts[j].usedVCPUs
+		})
+	case WorstFit:
+		sort.SliceStable(hosts, func(i, j int) bool {
+			return hosts[i].VCPUs-hosts[i].usedVCPUs > hosts[j].VCPUs-hosts[j].usedVCPUs
+		})
+	}
+	_ = f
+	return hosts
+}
+
+// TemplateResource is one VM in a stack template.
+type TemplateResource struct {
+	Name   string `json:"name"`
+	Flavor Flavor `json:"flavor"`
+}
+
+// Template is a Heat-style stack template: the set of VMs a slice's vEPC
+// needs.
+type Template struct {
+	Resources []TemplateResource `json:"resources"`
+}
+
+// Validate reports the first problem with the template.
+func (t Template) Validate() error {
+	if len(t.Resources) == 0 {
+		return errors.New("cloud: template has no resources")
+	}
+	seen := map[string]bool{}
+	for _, r := range t.Resources {
+		if r.Name == "" {
+			return errors.New("cloud: template resource needs a name")
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("cloud: duplicate resource %q", r.Name)
+		}
+		seen[r.Name] = true
+		if err := r.Flavor.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalVCPUs sums the template's vCPU demand, the quantity admission
+// control checks against DC capacity.
+func (t Template) TotalVCPUs() float64 {
+	s := 0.0
+	for _, r := range t.Resources {
+		s += r.Flavor.VCPUs
+	}
+	return s
+}
+
+// Stack is an instantiated template.
+type Stack struct {
+	ID  string `json:"id"`
+	VMs []*VM  `json:"vms"`
+}
+
+// CreateStack atomically places every VM of the template or none of them
+// (Heat's create-rollback semantics).
+func (dc *DataCenter) CreateStack(id string, tmpl Template) (*Stack, error) {
+	if err := tmpl.Validate(); err != nil {
+		return nil, err
+	}
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if _, ok := dc.stacks[id]; ok {
+		return nil, fmt.Errorf("%w: %s in %s", ErrDuplicateStack, id, dc.name)
+	}
+	stack := &Stack{ID: id}
+	placed := make([]*VM, 0, len(tmpl.Resources))
+	rollback := func() {
+		for _, vm := range placed {
+			dc.hosts[vm.Host].evict(vm)
+		}
+	}
+	for _, res := range tmpl.Resources {
+		var target *Host
+		for _, h := range dc.hostOrder(res.Flavor) {
+			if h.fits(res.Flavor) {
+				target = h
+				break
+			}
+		}
+		if target == nil {
+			rollback()
+			return nil, fmt.Errorf("%w: %s (%.1f vCPU) in %s", ErrNoCapacity, res.Flavor.Name, res.Flavor.VCPUs, dc.name)
+		}
+		dc.vmSeq++
+		vm := &VM{
+			ID:     fmt.Sprintf("%s/vm-%d", dc.name, dc.vmSeq),
+			Name:   res.Name,
+			Flavor: res.Flavor,
+			Host:   target.Name,
+			Stack:  id,
+		}
+		target.place(vm)
+		placed = append(placed, vm)
+		stack.VMs = append(stack.VMs, vm)
+	}
+	dc.stacks[id] = stack
+	return stack, nil
+}
+
+// DeleteStack removes the stack and frees its VMs. Unknown IDs are a no-op.
+func (dc *DataCenter) DeleteStack(id string) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	stack, ok := dc.stacks[id]
+	if !ok {
+		return
+	}
+	for _, vm := range stack.VMs {
+		if h, ok := dc.hosts[vm.Host]; ok {
+			h.evict(vm)
+		}
+	}
+	delete(dc.stacks, id)
+}
+
+// Stack returns the named stack.
+func (dc *DataCenter) Stack(id string) (*Stack, bool) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	s, ok := dc.stacks[id]
+	return s, ok
+}
+
+// CanFit reports whether the template could be placed right now (a dry-run
+// used by admission control before committing).
+func (dc *DataCenter) CanFit(tmpl Template) bool {
+	if tmpl.Validate() != nil {
+		return false
+	}
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	// Dry-run against copies of the free capacities.
+	type free struct {
+		vcpus float64
+		ram   int
+		disk  int
+	}
+	frees := map[string]*free{}
+	names := make([]string, 0, len(dc.hosts))
+	for n, h := range dc.hosts {
+		frees[n] = &free{vcpus: h.VCPUs - h.usedVCPUs, ram: h.RAMMB - h.usedRAMMB, disk: h.DiskGB - h.usedDiskGB}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, res := range tmpl.Resources {
+		placed := false
+		for _, n := range names {
+			f := frees[n]
+			if f.vcpus >= res.Flavor.VCPUs-1e-9 && f.ram >= res.Flavor.RAMMB && f.disk >= res.Flavor.DiskGB {
+				f.vcpus -= res.Flavor.VCPUs
+				f.ram -= res.Flavor.RAMMB
+				f.disk -= res.Flavor.DiskGB
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return false
+		}
+	}
+	return true
+}
+
+// Capacity summarises total and used resources.
+type Capacity struct {
+	TotalVCPUs float64 `json:"total_vcpus"`
+	UsedVCPUs  float64 `json:"used_vcpus"`
+	TotalRAMMB int     `json:"total_ram_mb"`
+	UsedRAMMB  int     `json:"used_ram_mb"`
+	Hosts      int     `json:"hosts"`
+	VMs        int     `json:"vms"`
+	Stacks     int     `json:"stacks"`
+}
+
+// Capacity returns the data-center capacity summary.
+func (dc *DataCenter) Capacity() Capacity {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	var c Capacity
+	c.Hosts = len(dc.hosts)
+	c.Stacks = len(dc.stacks)
+	for _, h := range dc.hosts {
+		c.TotalVCPUs += h.VCPUs
+		c.UsedVCPUs += h.usedVCPUs
+		c.TotalRAMMB += h.RAMMB
+		c.UsedRAMMB += h.usedRAMMB
+		c.VMs += len(h.vms)
+	}
+	return c
+}
+
+// Utilization returns used/total vCPUs in [0,1].
+func (dc *DataCenter) Utilization() float64 {
+	c := dc.Capacity()
+	if c.TotalVCPUs <= 0 {
+		return 0
+	}
+	return c.UsedVCPUs / c.TotalVCPUs
+}
+
+// Region is the set of data centers available to the orchestrator.
+type Region struct {
+	mu  sync.Mutex
+	dcs map[string]*DataCenter
+}
+
+// NewRegion returns an empty region.
+func NewRegion() *Region { return &Region{dcs: make(map[string]*DataCenter)} }
+
+// Add registers a data center; duplicates error.
+func (r *Region) Add(dc *DataCenter) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.dcs[dc.Name()]; ok {
+		return fmt.Errorf("cloud: duplicate data center %q", dc.Name())
+	}
+	r.dcs[dc.Name()] = dc
+	return nil
+}
+
+// Get returns the named data center.
+func (r *Region) Get(name string) (*DataCenter, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dc, ok := r.dcs[name]
+	return dc, ok
+}
+
+// Names lists data centers sorted.
+func (r *Region) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.dcs))
+	for n := range r.dcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns data centers sorted by name.
+func (r *Region) All() []*DataCenter {
+	names := r.Names()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*DataCenter, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.dcs[n])
+	}
+	return out
+}

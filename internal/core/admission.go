@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/epc"
+	"repro/internal/slice"
+	"repro/internal/testbed"
+)
+
+// admitLocked runs the admission checks of Section 3: "our end-to-end
+// orchestration algorithm checks the infrastructure resources availability
+// in each domain and performs traffic forecasting, considering past and
+// current network slices information". It returns "" to admit or a
+// rejection reason.
+//
+// The radio check is the overbooking-aware one: the sum of *estimated*
+// loads (current provisioned allocations of running slices + a load-factor
+// estimate for the newcomer) must fit under the capacity cap. Without
+// overbooking the estimates are the full contracts, which degenerates to
+// classic peak-provisioning admission.
+func (o *Orchestrator) admitLocked(req slice.Request) string {
+	sla := req.SLA
+
+	// Revenue policy: EUR per Mbps·hour must clear the configured bar.
+	if o.cfg.MinRevenueDensity > 0 {
+		density := sla.PriceEUR / (sla.ThroughputMbps * sla.Duration.Hours())
+		if density < o.cfg.MinRevenueDensity {
+			return fmt.Sprintf("revenue density %.3f EUR/(Mbps·h) below policy %.3f", density, o.cfg.MinRevenueDensity)
+		}
+	}
+
+	// Penalty-aware revenue check: when overbooking at risk r, each epoch
+	// independently exceeds the provisioned quantile with probability
+	// ~(1-r), costing PenaltyEUR. A slice whose expected penalties eat the
+	// price is a losing trade and is rejected up front.
+	if o.cfg.PenaltyAware {
+		if expected := o.expectedPenaltyEUR(sla); expected >= sla.PriceEUR {
+			return fmt.Sprintf("revenue: expected penalty %.2f EUR >= price %.2f EUR at risk %.2f",
+				expected, sla.PriceEUR, o.cfg.effectiveRisk())
+		}
+	}
+
+	// PLMN slot (MOCN broadcast list).
+	if o.plmns.Available() == 0 {
+		return "PLMN broadcast list full"
+	}
+
+	// Radio capacity (overbooking-aware estimate).
+	capacity := o.tb.RadioCapacityMbps() * o.cfg.UtilizationCap
+	load := o.estimatedRadioLoadLocked()
+	newLoad := o.admissionEstimate(sla)
+	if load+newLoad > capacity {
+		return fmt.Sprintf("radio capacity: estimated load %.1f+%.1f Mbps exceeds %.1f", load, newLoad, capacity)
+	}
+
+	// Cloud + transport: at least one data center must satisfy both the
+	// latency budget and the compute demand.
+	if _, _, reason := o.chooseDataCenterLocked(sla); reason != "" {
+		return reason
+	}
+	return ""
+}
+
+// expectedPenaltyEUR estimates the SLA penalties the operator will owe the
+// slice over its lifetime when provisioning at the configured risk.
+func (o *Orchestrator) expectedPenaltyEUR(sla slice.SLA) float64 {
+	risk := o.cfg.effectiveRisk()
+	if risk >= 0.9995 {
+		return 0 // peak provisioning never violates
+	}
+	epochs := float64(sla.Duration / o.cfg.Epoch)
+	return (1 - risk) * epochs * sla.PenaltyEUR
+}
+
+// admissionEstimate is the radio load the newcomer is expected to add.
+func (o *Orchestrator) admissionEstimate(sla slice.SLA) float64 {
+	if o.cfg.effectiveRisk() >= 0.9995 {
+		return sla.ThroughputMbps
+	}
+	return sla.ThroughputMbps * o.cfg.AdmissionLoadFactor
+}
+
+// estimatedRadioLoadLocked sums the forecast loads of live slices: the
+// current provisioning target for slices with demand history (already
+// forecast-shrunk when overbooking), the a-priori load-factor estimate for
+// slices not yet observed. This is the "considering past and current
+// network slices information" input of the admission algorithm.
+func (o *Orchestrator) estimatedRadioLoadLocked() float64 {
+	sum := 0.0
+	for _, m := range o.orderedSlicesLocked() {
+		switch m.s.State() {
+		case slice.StateActive, slice.StateReconfiguring, slice.StateInstalling, slice.StateAdmitted:
+			if m.prov != nil && m.prov.Observed() {
+				sum += m.prov.Provision(m.s.SLA().ThroughputMbps)
+			} else {
+				sum += o.admissionEstimate(m.s.SLA())
+			}
+		}
+	}
+	return sum
+}
+
+// chooseDataCenterLocked picks the data center for the slice: the one with
+// the fewest spare resources that still meets the latency budget (keeping
+// the scarce edge free for slices that need it), honouring EdgeCompute.
+// It returns the DC name and the worst-case transport delay, or a reason.
+func (o *Orchestrator) chooseDataCenterLocked(sla slice.SLA) (string, float64, string) {
+	type cand struct {
+		name  string
+		delay float64
+	}
+	procMs := 0.5 // vEPC user-plane processing, counted against the budget
+	var cands []cand
+	names := []string{testbed.CoreDC, testbed.EdgeDC} // prefer core when both fit
+	if sla.EdgeCompute {
+		names = []string{testbed.EdgeDC}
+	}
+	lastReason := ""
+	for _, dc := range names {
+		delay, err := o.tb.Ctrl.Transport.FeasibleDelay(dc, o.admissionEstimate(sla))
+		if err != nil {
+			lastReason = fmt.Sprintf("transport to %s: %v", dc, err)
+			continue
+		}
+		if delay+procMs > sla.MaxLatencyMs {
+			lastReason = fmt.Sprintf("latency: best path to %s is %.2f ms + %.2f ms EPC > budget %.2f ms", dc, delay, procMs, sla.MaxLatencyMs)
+			continue
+		}
+		if !o.tb.Ctrl.Cloud.CanFit(dc, sla.ThroughputMbps) {
+			lastReason = fmt.Sprintf("cloud compute: %s cannot fit a %.0f-vCPU vEPC", dc, epc.VCPUDemand(sla.ThroughputMbps))
+			continue
+		}
+		cands = append(cands, cand{dc, delay})
+	}
+	if len(cands) == 0 {
+		if lastReason == "" {
+			lastReason = "no data center available"
+		}
+		return "", 0, lastReason
+	}
+	return cands[0].name, cands[0].delay, ""
+}
+
+// KnapsackRequest pairs a request with its estimated radio load for the
+// offline revenue-maximization solver.
+type KnapsackRequest struct {
+	Req slice.Request
+	// LoadMbps is the radio load charged against capacity (contract for
+	// peak provisioning, load-factor estimate when overbooking).
+	LoadMbps float64
+}
+
+// MaxRevenueSubset solves the admission knapsack exactly: choose the subset
+// of requests maximizing total price under a radio capacity budget. It is
+// the offline optimum the online policy is compared against in experiment
+// D1 (the slice-broker revenue maximization of reference [3]).
+//
+// Capacity is discretized to 1 Mbps. Returns the chosen indices (ascending)
+// and the optimal revenue.
+func MaxRevenueSubset(reqs []KnapsackRequest, capacityMbps float64) ([]int, float64) {
+	cap := int(math.Floor(capacityMbps))
+	if cap <= 0 || len(reqs) == 0 {
+		return nil, 0
+	}
+	weights := make([]int, len(reqs))
+	for i, r := range reqs {
+		w := int(math.Ceil(r.LoadMbps))
+		if w < 1 {
+			w = 1
+		}
+		weights[i] = w
+	}
+	// dp[c] = best revenue using capacity c; choice bitmap for recovery.
+	dp := make([]float64, cap+1)
+	take := make([][]bool, len(reqs))
+	for i := range take {
+		take[i] = make([]bool, cap+1)
+	}
+	for i, r := range reqs {
+		w := weights[i]
+		for c := cap; c >= w; c-- {
+			if v := dp[c-w] + r.Req.SLA.PriceEUR; v > dp[c] {
+				dp[c] = v
+				take[i][c] = true
+			}
+		}
+	}
+	// Recover the chosen set.
+	best := cap
+	var chosen []int
+	for i := len(reqs) - 1; i >= 0; i-- {
+		if take[i][best] {
+			chosen = append(chosen, i)
+			best -= weights[i]
+		}
+	}
+	// Reverse to ascending.
+	for l, r := 0, len(chosen)-1; l < r; l, r = l+1, r-1 {
+		chosen[l], chosen[r] = chosen[r], chosen[l]
+	}
+	return chosen, dp[cap]
+}
+
+// GreedyRevenueSubset is the online baseline: scan requests in arrival
+// order and admit whatever fits. Returns chosen indices and revenue.
+func GreedyRevenueSubset(reqs []KnapsackRequest, capacityMbps float64) ([]int, float64) {
+	var chosen []int
+	rev := 0.0
+	used := 0.0
+	for i, r := range reqs {
+		if used+r.LoadMbps <= capacityMbps {
+			used += r.LoadMbps
+			rev += r.Req.SLA.PriceEUR
+			chosen = append(chosen, i)
+		}
+	}
+	return chosen, rev
+}
+
+// DensityOrderedSubset admits in descending revenue-density order — the
+// practical online revenue-maximization heuristic of [3] when a batch of
+// requests is pending.
+func DensityOrderedSubset(reqs []KnapsackRequest, capacityMbps float64) ([]int, float64) {
+	idx := make([]int, len(reqs))
+	for i := range idx {
+		idx[i] = i
+	}
+	density := func(i int) float64 {
+		if reqs[i].LoadMbps <= 0 {
+			return math.Inf(1)
+		}
+		return reqs[i].Req.SLA.PriceEUR / reqs[i].LoadMbps
+	}
+	// Stable sort keeps arrival order among equal densities.
+	sortStableBy(idx, func(a, b int) bool { return density(a) > density(b) })
+	var chosen []int
+	rev, used := 0.0, 0.0
+	for _, i := range idx {
+		if used+reqs[i].LoadMbps <= capacityMbps {
+			used += reqs[i].LoadMbps
+			rev += reqs[i].Req.SLA.PriceEUR
+			chosen = append(chosen, i)
+		}
+	}
+	sortStableBy(chosen, func(a, b int) bool { return a < b })
+	return chosen, rev
+}
+
+func sortStableBy(xs []int, less func(a, b int) bool) {
+	// Insertion sort: the slices here are small (pending request batches).
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && less(xs[j], xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/slice"
+)
+
+func kreq(mbps, price float64) KnapsackRequest {
+	return KnapsackRequest{
+		Req: slice.Request{
+			Tenant: "t",
+			SLA: slice.SLA{
+				ThroughputMbps: mbps, MaxLatencyMs: 50,
+				Duration: time.Hour, PriceEUR: price,
+			},
+		},
+		LoadMbps: mbps,
+	}
+}
+
+func TestKnapsackPicksOptimal(t *testing.T) {
+	reqs := []KnapsackRequest{
+		kreq(60, 60), // density 1.0
+		kreq(50, 80), // density 1.6
+		kreq(50, 75), // density 1.5
+		kreq(10, 30), // density 3.0
+	}
+	// Capacity 110: optimal = {50/80, 50/75, 10/30} = 185.
+	chosen, rev := MaxRevenueSubset(reqs, 110)
+	if rev != 185 {
+		t.Fatalf("optimal revenue %.1f, want 185 (chosen %v)", rev, chosen)
+	}
+	if len(chosen) != 3 {
+		t.Fatalf("chosen %v", chosen)
+	}
+	// Greedy by arrival admits 60/60 then 50/80 = 140 and is stuck.
+	_, greedy := GreedyRevenueSubset(reqs, 110)
+	if greedy != 140 {
+		t.Fatalf("greedy revenue %.1f, want 140", greedy)
+	}
+	// Density-ordered gets 30+80+75 = 185 here.
+	_, dens := DensityOrderedSubset(reqs, 110)
+	if dens != 185 {
+		t.Fatalf("density revenue %.1f", dens)
+	}
+}
+
+func TestKnapsackEdgeCases(t *testing.T) {
+	if c, r := MaxRevenueSubset(nil, 100); c != nil || r != 0 {
+		t.Fatal("empty request set")
+	}
+	if c, r := MaxRevenueSubset([]KnapsackRequest{kreq(10, 5)}, 0); c != nil || r != 0 {
+		t.Fatal("zero capacity")
+	}
+	// Single request exactly at capacity.
+	c, r := MaxRevenueSubset([]KnapsackRequest{kreq(100, 7)}, 100)
+	if len(c) != 1 || r != 7 {
+		t.Fatalf("exact fit: %v %.1f", c, r)
+	}
+	// Request bigger than capacity.
+	c, r = MaxRevenueSubset([]KnapsackRequest{kreq(200, 7)}, 100)
+	if len(c) != 0 || r != 0 {
+		t.Fatalf("oversize: %v %.1f", c, r)
+	}
+}
+
+func TestChosenIndicesAscendingAndFeasible(t *testing.T) {
+	reqs := []KnapsackRequest{kreq(30, 10), kreq(30, 20), kreq(30, 30), kreq(30, 40)}
+	chosen, _ := MaxRevenueSubset(reqs, 90)
+	if len(chosen) != 3 {
+		t.Fatalf("chosen %v", chosen)
+	}
+	load := 0.0
+	for i := 1; i < len(chosen); i++ {
+		if chosen[i] <= chosen[i-1] {
+			t.Fatalf("indices not ascending: %v", chosen)
+		}
+	}
+	for _, i := range chosen {
+		load += reqs[i].LoadMbps
+	}
+	if load > 90 {
+		t.Fatalf("infeasible load %.1f", load)
+	}
+}
+
+// bruteForce enumerates all subsets (for small n) to verify optimality.
+func bruteForce(reqs []KnapsackRequest, capacity float64) float64 {
+	best := 0.0
+	n := len(reqs)
+	for mask := 0; mask < 1<<n; mask++ {
+		load, rev := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				load += math.Ceil(reqs[i].LoadMbps)
+				rev += reqs[i].Req.SLA.PriceEUR
+			}
+		}
+		if load <= capacity && rev > best {
+			best = rev
+		}
+	}
+	return best
+}
+
+// Property: the DP matches brute force, and greedy/density never beat it.
+func TestPropertyKnapsackOptimality(t *testing.T) {
+	f := func(sizes [6]uint8, prices [6]uint8, capRaw uint8) bool {
+		capacity := float64(capRaw%120) + 1
+		var reqs []KnapsackRequest
+		for i := 0; i < 6; i++ {
+			mbps := float64(sizes[i]%40) + 1
+			price := float64(prices[i] % 100)
+			reqs = append(reqs, kreq(mbps, price))
+		}
+		_, opt := MaxRevenueSubset(reqs, capacity)
+		want := bruteForce(reqs, math.Floor(capacity))
+		if math.Abs(opt-want) > 1e-9 {
+			return false
+		}
+		_, g := GreedyRevenueSubset(reqs, capacity)
+		_, d := DensityOrderedSubset(reqs, capacity)
+		return g <= opt+1e-9 && d <= opt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReasonClass(t *testing.T) {
+	cases := map[string]string{
+		"PLMN broadcast list full":         "plmn-exhausted",
+		"radio capacity: estimated load":   "radio-capacity",
+		"latency: best path":               "latency-unmeetable",
+		"cloud compute: edge cannot fit":   "cloud-capacity",
+		"transport to core: no path":       "transport-capacity",
+		"revenue density 0.1 below policy": "revenue-policy",
+		"mystery":                          "other",
+	}
+	for reason, want := range cases {
+		if got := reasonClass(reason); got != want {
+			t.Fatalf("reasonClass(%q) = %q, want %q", reason, got, want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/slice"
+	"repro/internal/traffic"
+)
+
+// Batch admission: when several slice requests are pending at once (the
+// broker setting of reference [3]), admitting them first-come-first-served
+// can strand capacity on low-value slices. SubmitBatch decides the whole
+// batch jointly under the configured policy before installing winners in
+// arrival order.
+
+// BatchPolicy selects how a pending batch is decided.
+type BatchPolicy int
+
+// Batch admission policies.
+const (
+	// BatchFCFS admits in arrival order while estimates fit — what the
+	// online Submit path does implicitly.
+	BatchFCFS BatchPolicy = iota
+	// BatchDensity admits in descending revenue-per-Mbps order.
+	BatchDensity
+	// BatchOptimal solves the 0/1 knapsack exactly (revenue maximization
+	// over the batch, the [3] broker objective).
+	BatchOptimal
+)
+
+// String returns the policy name.
+func (p BatchPolicy) String() string {
+	switch p {
+	case BatchFCFS:
+		return "fcfs"
+	case BatchDensity:
+		return "density"
+	case BatchOptimal:
+		return "knapsack-optimal"
+	default:
+		return fmt.Sprintf("BatchPolicy(%d)", int(p))
+	}
+}
+
+// BatchItem pairs a request with its (optional) simulated demand process.
+type BatchItem struct {
+	Request slice.Request
+	Demand  traffic.Demand
+}
+
+// SubmitBatch decides the batch jointly under the policy and submits the
+// chosen requests through the normal installation path; the others are
+// registered as rejected with a batch-policy reason. Returned slices are
+// positionally aligned with items.
+func (o *Orchestrator) SubmitBatch(items []BatchItem, policy BatchPolicy) ([]*slice.Slice, error) {
+	// Budget: remaining estimated radio capacity.
+	o.mu.Lock()
+	budget := o.tb.RadioCapacityMbps()*o.cfg.UtilizationCap - o.estimatedRadioLoadLocked()
+	o.mu.Unlock()
+	if budget < 0 {
+		budget = 0
+	}
+
+	reqs := make([]KnapsackRequest, len(items))
+	for i, it := range items {
+		if err := it.Request.Validate(); err != nil {
+			return nil, fmt.Errorf("core: batch item %d: %w", i, err)
+		}
+		reqs[i] = KnapsackRequest{Req: it.Request, LoadMbps: o.admissionEstimate(it.Request.SLA)}
+	}
+
+	var chosen []int
+	switch policy {
+	case BatchDensity:
+		chosen, _ = DensityOrderedSubset(reqs, budget)
+	case BatchOptimal:
+		chosen, _ = MaxRevenueSubset(reqs, budget)
+	default:
+		chosen, _ = GreedyRevenueSubset(reqs, budget)
+	}
+	take := make(map[int]bool, len(chosen))
+	for _, i := range chosen {
+		take[i] = true
+	}
+
+	out := make([]*slice.Slice, len(items))
+	for i, it := range items {
+		if take[i] {
+			sl, err := o.Submit(it.Request, it.Demand)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = sl
+			continue
+		}
+		// Register the loser as a rejected slice so the dashboard shows it.
+		o.mu.Lock()
+		o.seq++
+		id := slice.ID(fmt.Sprintf("s-%d", o.seq))
+		sl, err := slice.New(id, it.Request)
+		if err == nil {
+			sl.Reject(fmt.Sprintf("revenue policy: not selected by %s batch admission", policy))
+			o.rejected++
+			o.rejectReasons["revenue-policy"]++
+			o.slices[id] = &managedSlice{s: sl}
+			o.pruneHistoryLocked()
+		}
+		o.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sl
+	}
+	return out, nil
+}

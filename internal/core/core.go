@@ -1,0 +1,427 @@
+// Package core implements the paper's primary contribution: the end-to-end
+// network slicing orchestrator that (i) admits heterogeneous slice requests
+// under a revenue-maximization strategy, (ii) allocates resources across the
+// radio, transport and cloud domains, and (iii) monitors, forecasts and
+// dynamically reconfigures — overbooks — running slices to maximize
+// statistical multiplexing (Sections 1–3 of the paper).
+//
+// The orchestrator is clock-driven (see internal/sim): Submit performs
+// admission and reserves resources synchronously, then installation
+// latencies (radio config, path setup, Heat stack, vEPC boot) elapse on the
+// clock before the slice turns Active. A periodic control epoch measures
+// demand, feeds the forecasters, charges SLA violations and resizes
+// reservations.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/forecast"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/slice"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+// Config tunes the orchestrator. Zero values select the defaults noted on
+// each field.
+type Config struct {
+	// Epoch is the monitoring/reconfiguration period (default 1m).
+	Epoch time.Duration
+	// Overbook enables forecast-based provisioning. When false every
+	// slice keeps its full contracted reservation (peak provisioning).
+	Overbook bool
+	// Risk is the one-sided confidence that an overbooked slice's
+	// provisioned capacity covers its demand (default 0.95). Values
+	// >= 0.9995 behave like peak provisioning.
+	Risk float64
+	// AdmissionLoadFactor estimates mean/peak demand of a not-yet-observed
+	// slice for the admission capacity check when overbooking (default 0.6).
+	AdmissionLoadFactor float64
+	// UtilizationCap bounds the estimated radio load admission may reach,
+	// as a fraction of capacity (default 0.95).
+	UtilizationCap float64
+	// MinRevenueDensity rejects requests paying less than this many EUR
+	// per Mbps·hour (default 0 — everything that fits is admitted).
+	MinRevenueDensity float64
+	// PenaltyAware rejects slices whose expected SLA penalties at the
+	// configured risk exceed their price — the penalty-conscious variant
+	// of the revenue-maximization policy (ablation A4).
+	PenaltyAware bool
+	// FloorMbps is the minimum per-slice reservation (default 1).
+	FloorMbps float64
+	// ReconfigThreshold is the hysteresis: reservations are resized only
+	// when the target differs from the current allocation by more than
+	// this fraction of the contract (default 0.05).
+	ReconfigThreshold float64
+	// ShareUnusedPRBs lets the cell scheduler lend idle reserved PRBs to
+	// saturated slices within an epoch (default false: violations then
+	// reflect provisioning decisions alone; ablation A1 quantifies what
+	// work-conserving sharing adds on top).
+	ShareUnusedPRBs bool
+	// NewForecaster builds the per-slice demand forecaster
+	// (default EWMA(0.3)).
+	NewForecaster func() forecast.Forecaster
+	// Installation latencies (defaults: radio 500ms, paths 200ms,
+	// stack 2s; vEPC boot time comes from epc.BootDelayFor).
+	RadioConfigDelay time.Duration
+	PathSetupDelay   time.Duration
+	StackCreateDelay time.Duration
+	// PLMNLimit bounds simultaneously installed slices (default 6, the
+	// MOCN SIB1 limit). Experiments that stress admission raise it.
+	PLMNLimit int
+	// HistoryLimit bounds how many finished (terminated/rejected) slices
+	// are retained for the dashboard; the oldest beyond the limit are
+	// pruned so a long-running daemon stays flat (default 512).
+	HistoryLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epoch <= 0 {
+		c.Epoch = time.Minute
+	}
+	if c.Risk <= 0 {
+		c.Risk = 0.95
+	}
+	if c.AdmissionLoadFactor <= 0 {
+		c.AdmissionLoadFactor = 0.6
+	}
+	if c.UtilizationCap <= 0 {
+		c.UtilizationCap = 0.95
+	}
+	if c.FloorMbps <= 0 {
+		c.FloorMbps = 1
+	}
+	if c.ReconfigThreshold <= 0 {
+		c.ReconfigThreshold = 0.05
+	}
+	if c.NewForecaster == nil {
+		c.NewForecaster = func() forecast.Forecaster { return forecast.NewEWMA(0.3) }
+	}
+	if c.RadioConfigDelay <= 0 {
+		c.RadioConfigDelay = 500 * time.Millisecond
+	}
+	if c.PathSetupDelay <= 0 {
+		c.PathSetupDelay = 200 * time.Millisecond
+	}
+	if c.StackCreateDelay <= 0 {
+		c.StackCreateDelay = 2 * time.Second
+	}
+	if c.PLMNLimit <= 0 {
+		c.PLMNLimit = slice.DefaultPLMNLimit
+	}
+	if c.HistoryLimit <= 0 {
+		c.HistoryLimit = 512
+	}
+	return c
+}
+
+// effectiveRisk returns the provisioning risk honouring the master switch.
+func (c Config) effectiveRisk() float64 {
+	if !c.Overbook {
+		return 1.0
+	}
+	return c.Risk
+}
+
+// managedSlice is the orchestrator's bookkeeping for one slice.
+type managedSlice struct {
+	s    *slice.Slice
+	prov *forecast.Provisioner
+	// demand is the simulated offered-load process (nil in live mode,
+	// where demand arrives via RecordDemand).
+	demand traffic.Demand
+	// lastDemand is the most recent demand sample in Mbps.
+	lastDemand float64
+	haveDemand bool
+
+	expiry *sim.Event
+	timers []*sim.Event // pending installation stage events
+}
+
+// Orchestrator is the end-to-end slice orchestrator.
+type Orchestrator struct {
+	cfg   Config
+	clock sim.Scheduler
+	tb    *testbed.Testbed
+	store *monitor.Store
+	plmns *slice.PLMNAllocator
+
+	mu     sync.Mutex
+	slices map[slice.ID]*managedSlice
+	seq    int
+	loop   *sim.Event
+
+	// Cumulative counters for the demonstration dashboard.
+	admitted, rejected int
+	rejectReasons      map[string]int
+	violationsTotal    int
+	penaltyTotalEUR    float64
+	revenueTotalEUR    float64
+	reconfigurations   int
+	epochs             int
+	timelines          map[slice.ID]*InstallTimeline
+}
+
+// New returns an orchestrator over the testbed using the given clock.
+func New(cfg Config, tb *testbed.Testbed, clock sim.Scheduler, store *monitor.Store) *Orchestrator {
+	cfg = cfg.withDefaults()
+	if store == nil {
+		store = monitor.NewStore(4096)
+	}
+	return &Orchestrator{
+		cfg:           cfg,
+		clock:         clock,
+		tb:            tb,
+		store:         store,
+		plmns:         slice.NewPLMNAllocator("001", cfg.PLMNLimit),
+		slices:        make(map[slice.ID]*managedSlice),
+		rejectReasons: make(map[string]int),
+		timelines:     make(map[slice.ID]*InstallTimeline),
+	}
+}
+
+// Config returns the effective configuration.
+func (o *Orchestrator) Config() Config { return o.cfg }
+
+// Store returns the monitoring store (read by the REST API and dashboard).
+func (o *Orchestrator) Store() *monitor.Store { return o.store }
+
+// Testbed returns the managed testbed.
+func (o *Orchestrator) Testbed() *testbed.Testbed { return o.tb }
+
+// Start schedules the periodic control loop on the clock.
+func (o *Orchestrator) Start() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.loop != nil {
+		return
+	}
+	o.loop = o.clock.Every(o.cfg.Epoch, "orchestrator/epoch", o.RunEpoch)
+}
+
+// Stop cancels the control loop.
+func (o *Orchestrator) Stop() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.loop != nil {
+		o.loop.Cancel()
+		o.loop = nil
+	}
+}
+
+// InstallTimeline records the per-stage installation instants of one slice
+// — the Fig. 2 workflow (PRB reserve → path setup → Heat stack → vEPC boot
+// → UEs may attach).
+type InstallTimeline struct {
+	Submitted time.Time `json:"submitted"`
+	RadioDone time.Time `json:"radio_done"`
+	PathsDone time.Time `json:"paths_done"`
+	StackDone time.Time `json:"stack_done"`
+	Active    time.Time `json:"active"`
+}
+
+// Total returns submission-to-active duration.
+func (tl InstallTimeline) Total() time.Duration { return tl.Active.Sub(tl.Submitted) }
+
+// Timeline returns the installation timeline of a slice, if recorded.
+func (o *Orchestrator) Timeline(id slice.ID) (InstallTimeline, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	tl, ok := o.timelines[id]
+	if !ok {
+		return InstallTimeline{}, false
+	}
+	return *tl, true
+}
+
+// errReject carries an admission rejection reason (not an error to callers:
+// rejection is a normal outcome shown on the dashboard).
+type errReject struct{ reason string }
+
+func (e errReject) Error() string { return e.reason }
+
+// Submit runs admission control and, when accepted, reserves resources in
+// all three domains and schedules the installation stages. The returned
+// slice is in StateInstalling or StateRejected; rejection is not an error.
+// The optional demand process makes the simulation feed the slice's
+// offered load every epoch (live deployments call RecordDemand instead).
+func (o *Orchestrator) Submit(req slice.Request, demand traffic.Demand) (*slice.Slice, error) {
+	if req.Arrival.IsZero() {
+		req.Arrival = o.clock.Now()
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	o.seq++
+	id := slice.ID(fmt.Sprintf("s-%d", o.seq))
+	s, err := slice.New(id, req)
+	if err != nil {
+		return nil, err
+	}
+
+	if reason := o.admitLocked(req); reason != "" {
+		s.Reject(reason)
+		o.rejected++
+		o.rejectReasons[reasonClass(reason)]++
+		o.slices[id] = &managedSlice{s: s}
+		o.pruneHistoryLocked()
+		return s, nil
+	}
+
+	if err := o.installLocked(s, demand); err != nil {
+		var rej errReject
+		if errors.As(err, &rej) {
+			s.Reject(rej.reason)
+			o.rejected++
+			o.rejectReasons[reasonClass(rej.reason)]++
+			o.slices[id] = &managedSlice{s: s}
+			o.pruneHistoryLocked()
+			return s, nil
+		}
+		return nil, err
+	}
+	o.admitted++
+	o.revenueTotalEUR += req.SLA.PriceEUR
+	return s, nil
+}
+
+// reasonClass maps a detailed rejection reason onto the histogram bucket
+// shown in experiment D6.
+func reasonClass(reason string) string {
+	switch {
+	case strings.Contains(reason, "PLMN"):
+		return "plmn-exhausted"
+	case strings.Contains(reason, "radio"):
+		return "radio-capacity"
+	case strings.Contains(reason, "latency"), strings.Contains(reason, "delay"):
+		return "latency-unmeetable"
+	case strings.Contains(reason, "compute"), strings.Contains(reason, "cloud"), strings.Contains(reason, "stack"):
+		return "cloud-capacity"
+	case strings.Contains(reason, "transport"), strings.Contains(reason, "path"):
+		return "transport-capacity"
+	case strings.Contains(reason, "revenue"):
+		return "revenue-policy"
+	default:
+		return "other"
+	}
+}
+
+// Delete tears the slice down ahead of its expiry.
+func (o *Orchestrator) Delete(id slice.ID) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m, ok := o.slices[id]
+	if !ok {
+		return fmt.Errorf("core: unknown slice %s", id)
+	}
+	switch m.s.State() {
+	case slice.StateRejected, slice.StateTerminated:
+		return fmt.Errorf("core: slice %s already %s", id, m.s.State())
+	}
+	o.teardownLocked(m, "deleted by tenant")
+	return nil
+}
+
+// Get returns the slice by ID.
+func (o *Orchestrator) Get(id slice.ID) (*slice.Slice, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m, ok := o.slices[id]
+	if !ok {
+		return nil, false
+	}
+	return m.s, true
+}
+
+// List returns snapshots of every slice, sorted by ID sequence.
+func (o *Orchestrator) List() []slice.Snapshot {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ids := make([]slice.ID, 0, len(o.slices))
+	for id := range o.slices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return seqOf(ids[i]) < seqOf(ids[j]) })
+	out := make([]slice.Snapshot, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, o.slices[id].s.Snapshot())
+	}
+	return out
+}
+
+// pruneHistoryLocked drops the oldest finished slices beyond HistoryLimit
+// so the registry (and every sorted iteration over it) stays bounded in a
+// long-running daemon. Live slices are never pruned.
+func (o *Orchestrator) pruneHistoryLocked() {
+	var finished []slice.ID
+	for id, m := range o.slices {
+		switch m.s.State() {
+		case slice.StateTerminated, slice.StateRejected:
+			finished = append(finished, id)
+		}
+	}
+	excess := len(finished) - o.cfg.HistoryLimit
+	if excess <= 0 {
+		return
+	}
+	sort.Slice(finished, func(i, j int) bool { return seqOf(finished[i]) < seqOf(finished[j]) })
+	for _, id := range finished[:excess] {
+		delete(o.slices, id)
+		delete(o.timelines, id)
+	}
+}
+
+// orderedSlicesLocked returns all managed slices sorted by submission
+// sequence. Every loop that samples randomness, resizes reservations or
+// sums floating-point loads must use this order so that runs are
+// bit-reproducible under a fixed seed (map iteration order is not).
+func (o *Orchestrator) orderedSlicesLocked() []*managedSlice {
+	out := make([]*managedSlice, 0, len(o.slices))
+	for _, m := range o.slices {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return seqOf(out[i].s.ID()) < seqOf(out[j].s.ID()) })
+	return out
+}
+
+func seqOf(id slice.ID) int {
+	n := 0
+	for i := 2; i < len(id); i++ {
+		n = n*10 + int(id[i]-'0')
+	}
+	return n
+}
+
+// RecordDemand feeds a live demand measurement for the slice (Mbps). In
+// simulations the attached traffic.Demand process supersedes it.
+func (o *Orchestrator) RecordDemand(id slice.ID, mbps float64) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m, ok := o.slices[id]
+	if !ok {
+		return fmt.Errorf("core: unknown slice %s", id)
+	}
+	m.lastDemand = mbps
+	m.haveDemand = true
+	return nil
+}
+
+// ActiveCount returns the number of active (traffic-carrying) slices.
+func (o *Orchestrator) ActiveCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for _, m := range o.slices {
+		if m.s.State() == slice.StateActive {
+			n++
+		}
+	}
+	return n
+}

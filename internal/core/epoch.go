@@ -1,0 +1,153 @@
+package core
+
+import (
+	"repro/internal/monitor"
+	"repro/internal/slice"
+)
+
+// RunEpoch executes one pass of the Fig. 1 closed loop:
+//
+//  1. collect information about network utilization — sample every active
+//     slice's offered load;
+//  2. real-time monitoring — run the cell schedulers, measure delivered
+//     throughput, charge SLA violations;
+//  3. data analysis and feature extraction — feed the per-slice
+//     forecasters with the new demand sample;
+//  4. resource allocation optimization — compute each slice's new
+//     provisioning target (forecast + risk margin, capped by contract);
+//  5. automatic configuration of network elements — resize radio and
+//     transport reservations where the target moved beyond hysteresis.
+//
+// It also pushes all telemetry and the gain/penalty dashboard series.
+func (o *Orchestrator) RunEpoch() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	now := o.clock.Now()
+	o.epochs++
+
+	// Stage 1: demand collection, in submission order (the sampling draws
+	// from the shared RNG, so order is part of determinism).
+	demands := make(map[slice.PLMN]float64)
+	var active []*managedSlice
+	for _, m := range o.orderedSlicesLocked() {
+		if m.s.State() != slice.StateActive {
+			continue
+		}
+		if m.demand != nil {
+			m.lastDemand = m.demand.Sample(now)
+			m.haveDemand = true
+		}
+		if !m.haveDemand {
+			continue
+		}
+		demands[m.s.Allocation().PLMN] = m.lastDemand
+		active = append(active, m)
+	}
+
+	// Stage 2: schedule the epoch and account violations.
+	served, ranUtil := o.tb.Ctrl.RAN.ScheduleEpoch(demands, o.cfg.ShareUnusedPRBs)
+	for _, m := range active {
+		plmn := m.s.Allocation().PLMN
+		got := served[plmn]
+		if m.s.RecordEpoch(m.lastDemand, got) {
+			o.violationsTotal++
+			o.penaltyTotalEUR += m.s.SLA().PenaltyEUR
+		}
+		id := string(m.s.ID())
+		o.store.Record(monitor.SliceMetric(id, "demand_mbps"), now, m.lastDemand)
+		o.store.Record(monitor.SliceMetric(id, "served_mbps"), now, got)
+	}
+
+	// Stages 3–5: forecast, optimize, reconfigure.
+	for _, m := range active {
+		m.prov.Observe(m.lastDemand)
+		target := m.prov.Provision(m.s.SLA().ThroughputMbps)
+		o.resizeLocked(m, target)
+		o.store.Record(monitor.SliceMetric(string(m.s.ID()), "allocated_mbps"), now, m.s.Allocation().AllocatedMbps)
+	}
+
+	// Telemetry.
+	o.tb.Ctrl.PushTelemetry(o.store, now)
+	o.store.Record("orchestrator/ran_epoch_utilization", now, ranUtil)
+	g := o.gainLocked()
+	o.store.Record("orchestrator/overbooking_ratio", now, g.OverbookingRatio)
+	o.store.Record("orchestrator/multiplexing_gain", now, g.MultiplexingGain)
+	o.store.Record("orchestrator/penalties_eur", now, g.PenaltyTotalEUR)
+	o.store.Record("orchestrator/net_revenue_eur", now, g.NetRevenueEUR)
+	o.store.Record("orchestrator/active_slices", now, float64(len(active)))
+}
+
+// GainReport is the dashboard's "current gains vs. penalties" panel plus
+// the admission counters.
+type GainReport struct {
+	// CapacityMbps is the physical radio capacity at mean CQI.
+	CapacityMbps float64 `json:"capacity_mbps"`
+	// ContractedMbps sums the SLAs of live (installing or active) slices.
+	ContractedMbps float64 `json:"contracted_mbps"`
+	// AllocatedMbps sums the current (possibly shrunk) reservations.
+	AllocatedMbps float64 `json:"allocated_mbps"`
+	// OverbookingRatio is ContractedMbps / CapacityMbps: above 1 the
+	// operator has sold more than it physically owns.
+	OverbookingRatio float64 `json:"overbooking_ratio"`
+	// MultiplexingGain is ContractedMbps / AllocatedMbps: how much SLA
+	// each reserved Mbps carries (1.0 without overbooking).
+	MultiplexingGain float64 `json:"multiplexing_gain"`
+	// Admission counters.
+	Admitted int `json:"admitted"`
+	Rejected int `json:"rejected"`
+	Active   int `json:"active"`
+	// RejectReasons histograms rejection causes (experiment D6).
+	RejectReasons map[string]int `json:"reject_reasons"`
+	// Money (the gains-vs-penalties trade-off of Section 3).
+	RevenueTotalEUR float64 `json:"revenue_total_eur"`
+	PenaltyTotalEUR float64 `json:"penalty_total_eur"`
+	NetRevenueEUR   float64 `json:"net_revenue_eur"`
+	// ViolationEpochs counts SLA-violation epochs across all slices.
+	ViolationEpochs int `json:"violation_epochs"`
+	// Reconfigurations counts overbooking resizes applied.
+	Reconfigurations int `json:"reconfigurations"`
+	// Epochs counts control-loop passes.
+	Epochs int `json:"epochs"`
+}
+
+// Gain returns the current gain/penalty report.
+func (o *Orchestrator) Gain() GainReport {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.gainLocked()
+}
+
+func (o *Orchestrator) gainLocked() GainReport {
+	g := GainReport{
+		CapacityMbps:     o.tb.RadioCapacityMbps(),
+		Admitted:         o.admitted,
+		Rejected:         o.rejected,
+		RevenueTotalEUR:  o.revenueTotalEUR,
+		PenaltyTotalEUR:  o.penaltyTotalEUR,
+		ViolationEpochs:  o.violationsTotal,
+		Reconfigurations: o.reconfigurations,
+		Epochs:           o.epochs,
+		RejectReasons:    make(map[string]int, len(o.rejectReasons)),
+	}
+	for k, v := range o.rejectReasons {
+		g.RejectReasons[k] = v
+	}
+	for _, m := range o.orderedSlicesLocked() {
+		switch m.s.State() {
+		case slice.StateActive, slice.StateReconfiguring:
+			g.Active++
+			fallthrough
+		case slice.StateAdmitted, slice.StateInstalling:
+			g.ContractedMbps += m.s.SLA().ThroughputMbps
+			g.AllocatedMbps += m.s.Allocation().AllocatedMbps
+		}
+	}
+	if g.CapacityMbps > 0 {
+		g.OverbookingRatio = g.ContractedMbps / g.CapacityMbps
+	}
+	if g.AllocatedMbps > 0 {
+		g.MultiplexingGain = g.ContractedMbps / g.AllocatedMbps
+	}
+	g.NetRevenueEUR = g.RevenueTotalEUR - g.PenaltyTotalEUR
+	return g
+}

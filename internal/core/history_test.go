@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/slice"
+)
+
+func TestHistoryPruningBoundsRegistry(t *testing.T) {
+	s, o := env(t, Config{HistoryLimit: 5})
+	// Churn 20 slices through submit+delete.
+	for i := 0; i < 20; i++ {
+		sl, err := o.Submit(req("churn", 10, 50, time.Hour, 10), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.RunFor(12 * time.Second)
+		if err := o.Delete(sl.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ls := o.List()
+	if len(ls) > 5 {
+		t.Fatalf("registry holds %d finished slices, limit 5", len(ls))
+	}
+	// The retained ones must be the newest.
+	for _, sn := range ls {
+		if seqOf(sn.ID) <= 15 {
+			t.Fatalf("old slice %s survived pruning", sn.ID)
+		}
+	}
+	// Cumulative counters survive pruning.
+	if g := o.Gain(); g.Admitted != 20 {
+		t.Fatalf("admitted counter %d after pruning", g.Admitted)
+	}
+}
+
+func TestHistoryPruningNeverDropsLiveSlices(t *testing.T) {
+	s, o := env(t, Config{HistoryLimit: 1, Overbook: true, AdmissionLoadFactor: 0.1, PLMNLimit: 6})
+	var live []*slice.Slice
+	for i := 0; i < 4; i++ {
+		sl, _ := o.Submit(req("live", 5, 50, 3*time.Hour, 10), nil)
+		if sl.State() != slice.StateRejected {
+			live = append(live, sl)
+		}
+	}
+	s.RunFor(15 * time.Second)
+	// Churn finished ones past the limit.
+	for i := 0; i < 5; i++ {
+		sl, _ := o.Submit(req("churn", 5, 50, time.Hour, 10), nil)
+		if sl.State() != slice.StateRejected {
+			s.RunFor(12 * time.Second)
+			o.Delete(sl.ID())
+		}
+	}
+	for _, sl := range live {
+		if _, ok := o.Get(sl.ID()); !ok {
+			t.Fatalf("live slice %s pruned", sl.ID())
+		}
+		if sl.State() != slice.StateActive {
+			t.Fatalf("live slice %s state %v", sl.ID(), sl.State())
+		}
+	}
+}
+
+func TestTimelinesPrunedWithSlices(t *testing.T) {
+	s, o := env(t, Config{HistoryLimit: 2})
+	var first slice.ID
+	for i := 0; i < 6; i++ {
+		sl, _ := o.Submit(req("t", 10, 50, time.Hour, 10), nil)
+		if i == 0 {
+			first = sl.ID()
+		}
+		s.RunFor(12 * time.Second)
+		o.Delete(sl.ID())
+	}
+	if _, ok := o.Timeline(first); ok {
+		t.Fatal("timeline of pruned slice retained")
+	}
+}

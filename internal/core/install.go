@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/forecast"
+	"repro/internal/slice"
+	"repro/internal/traffic"
+)
+
+// installLocked reserves resources in all three domains for an admitted
+// request and schedules the installation stages on the clock. Any domain
+// failure rolls everything back and converts to a rejection.
+//
+// When the radio domain cannot fit the newcomer's contract at face value
+// but overbooking is on, running slices are first squeezed down to their
+// forecast-provisioned sizes — "allocated network slices might be
+// dynamically re-configured (overbooked) to accommodate new slice requests"
+// (Section 3).
+func (o *Orchestrator) installLocked(s *slice.Slice, demand traffic.Demand) error {
+	sla := s.SLA()
+	now := o.clock.Now()
+
+	dcName, _, reason := o.chooseDataCenterLocked(sla)
+	if reason != "" {
+		return errReject{reason}
+	}
+
+	// 1. PLMN.
+	plmn, err := o.plmns.Allocate(s.ID())
+	if err != nil {
+		return errReject{err.Error()}
+	}
+
+	rollbackPLMN := func() { o.plmns.Release(plmn) }
+
+	// 2. Radio PRBs at full contract; squeeze running slices if needed.
+	radio, err := o.tb.Ctrl.RAN.ReserveSlice(plmn, sla.ThroughputMbps)
+	if err != nil && o.cfg.effectiveRisk() < 0.9995 {
+		o.squeezeLocked()
+		radio, err = o.tb.Ctrl.RAN.ReserveSlice(plmn, sla.ThroughputMbps)
+		if err != nil {
+			// Last resort: install at the admission estimate; the epoch
+			// loop will grow it when capacity frees up.
+			radio, err = o.tb.Ctrl.RAN.ReserveSlice(plmn, o.admissionEstimate(sla))
+		}
+	}
+	if err != nil {
+		rollbackPLMN()
+		return errReject{fmt.Sprintf("radio: %v", err)}
+	}
+	rollbackRadio := func() { o.tb.Ctrl.RAN.ReleaseSlice(plmn); rollbackPLMN() }
+
+	// 3. Transport paths to the chosen DC, sized like the radio grant.
+	budget := sla.MaxLatencyMs - 0.5 // vEPC processing share
+	paths, err := o.tb.Ctrl.Transport.SetupPaths(s.ID(), dcName, radio.TotalMbps, budget)
+	if err != nil {
+		rollbackRadio()
+		return errReject{fmt.Sprintf("transport: %v", err)}
+	}
+	rollbackPaths := func() { o.tb.Ctrl.Transport.ReleasePaths(s.ID()); rollbackRadio() }
+
+	// 4. Heat stack + vEPC.
+	dep, err := o.tb.Ctrl.Cloud.DeployEPC(s.ID(), dcName, plmn, sla.ThroughputMbps, sla.Class)
+	if err != nil {
+		rollbackPaths()
+		return errReject{fmt.Sprintf("cloud: %v", err)}
+	}
+
+	if err := s.Admit(); err != nil {
+		o.tb.Ctrl.Cloud.Teardown(dep.DataCenter, dep.StackID, dep.EPCID)
+		rollbackPaths()
+		return err
+	}
+	s.SetAllocation(slice.Allocation{
+		AllocatedMbps: radio.TotalMbps,
+		PRBs:          radio.PRBs,
+		PathIDs:       paths.PathIDs,
+		PathLatencyMs: paths.WorstDelayMs,
+		DataCenter:    dep.DataCenter,
+		StackID:       dep.StackID,
+		EPCID:         dep.EPCID,
+		PLMN:          plmn,
+	})
+
+	m := &managedSlice{
+		s:      s,
+		demand: demand,
+		prov:   forecast.NewProvisioner(o.cfg.NewForecaster(), o.cfg.effectiveRisk(), o.cfg.FloorMbps),
+	}
+	o.slices[s.ID()] = m
+
+	// Installation stage timeline (Fig. 2 workflow). Resources are already
+	// committed; the stages model configuration latency.
+	tl := &InstallTimeline{Submitted: now}
+	o.timelines[s.ID()] = tl
+	radioAt := now.Add(o.cfg.RadioConfigDelay)
+	pathsAt := radioAt.Add(o.cfg.PathSetupDelay)
+	stackAt := pathsAt.Add(o.cfg.StackCreateDelay)
+	activeAt := stackAt.Add(dep.BootDelay)
+
+	if err := s.BeginInstall(); err != nil {
+		return err
+	}
+	stamp := func(set func(*InstallTimeline)) func() {
+		return func() {
+			o.mu.Lock()
+			defer o.mu.Unlock()
+			set(tl)
+		}
+	}
+	m.timers = append(m.timers,
+		o.clock.At(radioAt, string(s.ID())+"/radio", stamp(func(t *InstallTimeline) { t.RadioDone = o.clock.Now() })),
+		o.clock.At(pathsAt, string(s.ID())+"/paths", stamp(func(t *InstallTimeline) { t.PathsDone = o.clock.Now() })),
+		o.clock.At(stackAt, string(s.ID())+"/stack", stamp(func(t *InstallTimeline) { t.StackDone = o.clock.Now() })),
+		o.clock.At(activeAt, string(s.ID())+"/activate", func() { o.activate(s.ID()) }),
+	)
+	return nil
+}
+
+// activate fires when the vEPC boot delay elapses: the EPC starts serving
+// attaches and the slice turns Active until its contracted expiry.
+func (o *Orchestrator) activate(id slice.ID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m, ok := o.slices[id]
+	if !ok || m.s.State() != slice.StateInstalling {
+		return
+	}
+	alloc := m.s.Allocation()
+	now := o.clock.Now()
+	if err := o.tb.Ctrl.Cloud.MarkEPCRunning(alloc.EPCID, now); err != nil {
+		o.teardownLocked(m, fmt.Sprintf("EPC failed to boot: %v", err))
+		return
+	}
+	if err := m.s.Activate(now); err != nil {
+		return
+	}
+	if tl, ok := o.timelines[id]; ok {
+		tl.Active = now
+	}
+	m.expiry = o.clock.At(m.s.Expiry(), string(id)+"/expiry", func() {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		if mm, ok := o.slices[id]; ok {
+			o.teardownLocked(mm, "expired")
+		}
+	})
+}
+
+// teardownLocked releases every domain's resources and terminates the
+// slice. Safe to call from any live state; idempotent per domain.
+func (o *Orchestrator) teardownLocked(m *managedSlice, reason string) {
+	for _, t := range m.timers {
+		t.Cancel()
+	}
+	m.timers = nil
+	if m.expiry != nil {
+		m.expiry.Cancel()
+		m.expiry = nil
+	}
+	alloc := m.s.Allocation()
+	if alloc.EPCID != "" {
+		o.tb.Ctrl.Cloud.Teardown(alloc.DataCenter, alloc.StackID, alloc.EPCID)
+	}
+	o.tb.Ctrl.Transport.ReleasePaths(m.s.ID())
+	if !alloc.PLMN.IsZero() {
+		o.tb.Ctrl.RAN.ReleaseSlice(alloc.PLMN)
+		o.plmns.Release(alloc.PLMN)
+	}
+	m.s.Terminate(reason)
+	o.pruneHistoryLocked()
+}
+
+// squeezeLocked shrinks every live slice's radio+transport reservation to
+// its forecast-provisioned target (or the a-priori estimate for slices
+// without history), freeing capacity for a newcomer.
+func (o *Orchestrator) squeezeLocked() {
+	for _, m := range o.orderedSlicesLocked() {
+		switch m.s.State() {
+		case slice.StateAdmitted, slice.StateInstalling, slice.StateActive:
+		default:
+			continue
+		}
+		target := o.admissionEstimate(m.s.SLA())
+		if m.prov != nil && m.prov.Observed() {
+			target = m.prov.Provision(m.s.SLA().ThroughputMbps)
+		}
+		o.resizeLocked(m, target)
+	}
+}
+
+// resizeLocked applies a new radio+transport allocation to the slice if it
+// differs enough from the current one (hysteresis). Returns whether a
+// reconfiguration happened.
+func (o *Orchestrator) resizeLocked(m *managedSlice, targetMbps float64) bool {
+	sla := m.s.SLA()
+	alloc := m.s.Allocation()
+	if targetMbps < o.cfg.FloorMbps {
+		targetMbps = o.cfg.FloorMbps
+	}
+	if targetMbps > sla.ThroughputMbps {
+		targetMbps = sla.ThroughputMbps
+	}
+	if diff := targetMbps - alloc.AllocatedMbps; diff > -sla.ThroughputMbps*o.cfg.ReconfigThreshold &&
+		diff < sla.ThroughputMbps*o.cfg.ReconfigThreshold {
+		return false
+	}
+	// Active slices go through the Reconfiguring state; slices still being
+	// installed are resized in place (their data plane is not live yet).
+	if m.s.State() == slice.StateActive {
+		if err := m.s.BeginReconfigure(); err != nil {
+			return false
+		}
+		defer m.s.EndReconfigure()
+	}
+
+	radio, err := o.tb.Ctrl.RAN.ResizeSlice(alloc.PLMN, targetMbps)
+	if err != nil {
+		return false
+	}
+	if err := o.tb.Ctrl.Transport.ResizePaths(m.s.ID(), radio.TotalMbps); err != nil {
+		// Radio grew but transport refused: restore the radio side.
+		o.tb.Ctrl.RAN.ResizeSlice(alloc.PLMN, alloc.AllocatedMbps)
+		return false
+	}
+	alloc.AllocatedMbps = radio.TotalMbps
+	alloc.PRBs = radio.PRBs
+	m.s.SetAllocation(alloc)
+	o.reconfigurations++
+	return true
+}

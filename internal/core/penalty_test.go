@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPenaltyAwareRejectsLosingTrades(t *testing.T) {
+	// Epoch 1m, risk 0.8 -> expected violations = 0.2/epoch. A 2-hour
+	// slice has 120 epochs: expected penalty = 24 * PenaltyEUR.
+	_, o := env(t, Config{Overbook: true, Risk: 0.8, PenaltyAware: true, Epoch: time.Minute})
+
+	// Price 100, penalty 10 -> expected 240 >= 100: rejected.
+	bad := req("loser", 20, 50, 2*time.Hour, 100)
+	bad.SLA.PenaltyEUR = 10
+	sl, _ := o.Submit(bad, nil)
+	if sl.State().String() != "rejected" || !strings.Contains(sl.Reason(), "expected penalty") {
+		t.Fatalf("state %v reason %q", sl.State(), sl.Reason())
+	}
+
+	// Price 300, penalty 1 -> expected 24 < 300: admitted.
+	good := req("winner", 20, 50, 2*time.Hour, 300)
+	good.SLA.PenaltyEUR = 1
+	sl2, _ := o.Submit(good, nil)
+	if sl2.State().String() == "rejected" {
+		t.Fatalf("profitable slice rejected: %s", sl2.Reason())
+	}
+}
+
+func TestPenaltyAwareNoopWithoutOverbooking(t *testing.T) {
+	_, o := env(t, Config{PenaltyAware: true, Epoch: time.Minute}) // peak provisioning
+	bad := req("t", 20, 50, 2*time.Hour, 1)
+	bad.SLA.PenaltyEUR = 50
+	sl, _ := o.Submit(bad, nil)
+	if sl.State().String() == "rejected" {
+		t.Fatalf("peak provisioning cannot violate, yet rejected: %s", sl.Reason())
+	}
+}
+
+func TestPenaltyAwareDisabledByDefault(t *testing.T) {
+	_, o := env(t, Config{Overbook: true, Risk: 0.8, Epoch: time.Minute})
+	bad := req("t", 20, 50, 2*time.Hour, 1)
+	bad.SLA.PenaltyEUR = 50
+	sl, _ := o.Submit(bad, nil)
+	if sl.State().String() == "rejected" && strings.Contains(sl.Reason(), "expected penalty") {
+		t.Fatal("penalty-aware check ran while disabled")
+	}
+}
+
+func TestExpectedPenaltyComputation(t *testing.T) {
+	_, o := env(t, Config{Overbook: true, Risk: 0.9, Epoch: time.Minute})
+	sla := req("t", 20, 50, time.Hour, 100).SLA
+	sla.PenaltyEUR = 2
+	// 60 epochs * 0.1 * 2 = 12.
+	if got := o.expectedPenaltyEUR(sla); got < 11.99 || got > 12.01 {
+		t.Fatalf("expected penalty %.2f, want 12", got)
+	}
+	// Peak provisioning: zero.
+	o.cfg.Overbook = false
+	if got := o.expectedPenaltyEUR(sla); got != 0 {
+		t.Fatalf("peak expected penalty %.2f", got)
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/slice"
+)
+
+// This file implements transport restoration — the reaction half of the
+// demo's "dynamic configuration" pillar. The testbed's wireless transport
+// (mmWave rain fade, µWave interference) and the programmable switch's
+// topology reconfigurations can take links down at runtime; the
+// orchestrator must then re-route the slices whose dedicated paths crossed
+// the failed link or, when no feasible alternative exists, tear them down
+// and surface the SLA failure.
+
+// RestorationReport summarises one link-failure handling pass.
+type RestorationReport struct {
+	// Link is the failed directed link ("from->to").
+	Link string `json:"link"`
+	// Restored lists slices whose paths were successfully re-routed.
+	Restored []slice.ID `json:"restored"`
+	// Dropped lists slices terminated because no feasible path remained.
+	Dropped []slice.ID `json:"dropped"`
+}
+
+// HandleLinkFailure marks the directed link down and re-routes every live
+// slice whose reserved paths crossed it. Re-routing keeps the slice's data
+// center and current bandwidth; the latency budget is re-validated. Slices
+// with no feasible alternative are terminated (the tenant's SLA failed
+// outright — shown on the dashboard).
+func (o *Orchestrator) HandleLinkFailure(from, to string) (RestorationReport, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	rep := RestorationReport{Link: from + "->" + to}
+	victims := o.tb.Transport.PathsOverLink(from, to)
+	if err := o.tb.Transport.SetLinkUp(from, to, false); err != nil {
+		return rep, err
+	}
+	if len(victims) == 0 {
+		return rep, nil
+	}
+
+	// Path IDs are "<sliceID>/<enb>-><dc>"; recover the victim slices.
+	seen := map[slice.ID]bool{}
+	var ids []slice.ID
+	for _, pid := range victims {
+		idx := strings.IndexByte(pid, '/')
+		if idx < 0 {
+			continue
+		}
+		id := slice.ID(pid[:idx])
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return seqOf(ids[i]) < seqOf(ids[j]) })
+
+	for _, id := range ids {
+		m, ok := o.slices[id]
+		if !ok {
+			continue
+		}
+		switch m.s.State() {
+		case slice.StateRejected, slice.StateTerminated:
+			continue
+		}
+		if o.rerouteLocked(m, m.s.Allocation().AllocatedMbps) {
+			rep.Restored = append(rep.Restored, id)
+		} else {
+			o.teardownLocked(m, fmt.Sprintf("transport link %s failed, no feasible restoration path", rep.Link))
+			rep.Dropped = append(rep.Dropped, id)
+		}
+	}
+	return rep, nil
+}
+
+// RestoreLink marks the directed link up again. Existing paths are not
+// moved back (make-before-break is a non-goal); new computations will use
+// it.
+func (o *Orchestrator) RestoreLink(from, to string) error {
+	return o.tb.Transport.SetLinkUp(from, to, true)
+}
+
+// HandleLinkDegradation rescales the directed link's capacity (rain fade on
+// the mmWave hop, interference on µWave) and resolves any resulting
+// oversubscription: each victim slice is first re-routed at its current
+// bandwidth; if no alternative exists, its reservation is shrunk to the
+// link's fair share (demand keeps flowing, SLA violations become the
+// monitoring loop's problem); a slice that cannot even keep the floor is
+// dropped.
+func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps float64) (RestorationReport, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	rep := RestorationReport{Link: from + "->" + to}
+	if err := o.tb.Transport.SetLinkCapacity(from, to, newCapacityMbps); err != nil {
+		return rep, err
+	}
+	over := o.tb.Transport.OversubscribedPaths()
+	if len(over) == 0 {
+		return rep, nil
+	}
+
+	seen := map[slice.ID]bool{}
+	var ids []slice.ID
+	for _, pid := range over {
+		if idx := strings.IndexByte(pid, '/'); idx > 0 {
+			id := slice.ID(pid[:idx])
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return seqOf(ids[i]) < seqOf(ids[j]) })
+
+	// Fair share per victim on the degraded link.
+	share := newCapacityMbps / float64(len(ids))
+	for _, id := range ids {
+		m, ok := o.slices[id]
+		if !ok {
+			continue
+		}
+		switch m.s.State() {
+		case slice.StateRejected, slice.StateTerminated:
+			continue
+		}
+		// First try to keep the full allocation on an alternative route;
+		// failing that, re-establish paths at the fair share of the
+		// degraded link and shrink the radio side to match.
+		if o.rerouteLocked(m, m.s.Allocation().AllocatedMbps) {
+			rep.Restored = append(rep.Restored, id)
+			continue
+		}
+		target := share
+		if target < o.cfg.FloorMbps || !o.rerouteLocked(m, target) {
+			o.teardownLocked(m, fmt.Sprintf("transport link %s degraded below slice floor", rep.Link))
+			rep.Dropped = append(rep.Dropped, id)
+			continue
+		}
+		alloc := m.s.Allocation()
+		if radio, err := o.tb.Ctrl.RAN.ResizeSlice(alloc.PLMN, target); err == nil {
+			alloc.AllocatedMbps = radio.TotalMbps
+			alloc.PRBs = radio.PRBs
+		} else {
+			alloc.AllocatedMbps = target
+		}
+		m.s.SetAllocation(alloc)
+		rep.Restored = append(rep.Restored, id)
+	}
+	return rep, nil
+}
+
+// rerouteLocked rebuilds the slice's transport paths around the current
+// topology at the given bandwidth, keeping its DC. Old reservations are
+// released first (their bandwidth is stranded on the broken/degraded hop
+// anyway, and the replacement may share the surviving hops); ReleasePaths
+// is idempotent, so staged fallbacks may call this repeatedly with shrinking
+// targets. Returns success.
+func (o *Orchestrator) rerouteLocked(m *managedSlice, mbps float64) bool {
+	alloc := m.s.Allocation()
+	sla := m.s.SLA()
+	o.tb.Ctrl.Transport.ReleasePaths(m.s.ID())
+	budget := sla.MaxLatencyMs - 0.5
+	setup, err := o.tb.Ctrl.Transport.SetupPaths(m.s.ID(), alloc.DataCenter, mbps, budget)
+	if err != nil {
+		return false
+	}
+	alloc.PathIDs = setup.PathIDs
+	alloc.PathLatencyMs = setup.WorstDelayMs
+	m.s.SetAllocation(alloc)
+	o.reconfigurations++
+	return true
+}

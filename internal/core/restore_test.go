@@ -1,0 +1,252 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/slice"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+// redundantEnv builds an environment with the backup switch enabled.
+func redundantEnv(t *testing.T, redundant bool) (*sim.Simulator, *Orchestrator) {
+	t.Helper()
+	s := sim.NewSimulator(1)
+	cfg := testbed.Default()
+	cfg.RedundantTransport = redundant
+	tb, err := testbed.New(cfg, s.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(Config{Overbook: true, Risk: 0.9}, tb, s, monitor.NewStore(256))
+	return s, o
+}
+
+func TestLinkFailureRestoresViaBackup(t *testing.T) {
+	s, o := redundantEnv(t, true)
+	o.Start()
+	sl, _ := o.Submit(req("t", 30, 50, 2*time.Hour, 100), traffic.NewConstant(10, 0, nil))
+	s.RunFor(15 * time.Second)
+	if sl.State().String() != "active" {
+		t.Fatalf("state %v: %s", sl.State(), sl.Reason())
+	}
+	primaryLatency := sl.Allocation().PathLatencyMs
+
+	// Fail the primary mmWave hop of enb-1.
+	rep, err := o.HandleLinkFailure(testbed.ENBName(0), testbed.Switch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Restored) != 1 || rep.Restored[0] != sl.ID() {
+		t.Fatalf("restored %v dropped %v", rep.Restored, rep.Dropped)
+	}
+	if sl.State().String() != "active" {
+		t.Fatalf("slice no longer active: %v", sl.State())
+	}
+	alloc := sl.Allocation()
+	if alloc.PathLatencyMs <= primaryLatency {
+		t.Fatalf("restored path latency %.2f not above primary %.2f", alloc.PathLatencyMs, primaryLatency)
+	}
+	// New paths must avoid the failed link.
+	for _, pid := range alloc.PathIDs {
+		r, ok := o.tb.Transport.Reservation(pid)
+		if !ok {
+			t.Fatalf("reservation %s missing", pid)
+		}
+		for i := 0; i+1 < len(r.Hops); i++ {
+			if r.Hops[i] == testbed.ENBName(0) && r.Hops[i+1] == testbed.Switch {
+				t.Fatalf("restored path still uses failed link: %v", r.Hops)
+			}
+		}
+	}
+	// The slice must keep serving traffic after restoration.
+	s.RunFor(10 * time.Minute)
+	if got := sl.Accounting().ServedEpochs; got == 0 {
+		t.Fatal("no epochs served after restoration")
+	}
+}
+
+func TestLinkFailureWithoutBackupDropsSlice(t *testing.T) {
+	s, o := redundantEnv(t, false)
+	o.Start()
+	sl, _ := o.Submit(req("t", 30, 50, 2*time.Hour, 100), traffic.NewConstant(10, 0, nil))
+	s.RunFor(15 * time.Second)
+
+	rep, err := o.HandleLinkFailure(testbed.ENBName(0), testbed.Switch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Dropped) != 1 || rep.Dropped[0] != sl.ID() {
+		t.Fatalf("restored %v dropped %v", rep.Restored, rep.Dropped)
+	}
+	if sl.State().String() != "terminated" || !strings.Contains(sl.Reason(), "no feasible restoration") {
+		t.Fatalf("state %v reason %q", sl.State(), sl.Reason())
+	}
+	// All domain resources must be freed.
+	if o.tb.Ctrl.RAN.Utilization() != 0 || o.tb.Ctrl.Cloud.Utilization() != 0 {
+		t.Fatal("dropped slice leaked resources")
+	}
+	mean, _ := o.tb.Transport.Utilization()
+	if mean != 0 {
+		t.Fatalf("transport still reserved: %.4f", mean)
+	}
+}
+
+func TestLinkFailureUnknownLink(t *testing.T) {
+	_, o := redundantEnv(t, true)
+	if _, err := o.HandleLinkFailure("ghost", "sw1"); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+}
+
+func TestLinkFailureNoVictimsIsNoop(t *testing.T) {
+	s, o := redundantEnv(t, true)
+	o.Start()
+	// Slice to the edge: fails only if edge links break. Failing the core
+	// link must not touch it.
+	r := req("t", 20, 4, time.Hour, 50)
+	sl, _ := o.Submit(r, nil)
+	s.RunFor(15 * time.Second)
+	rep, err := o.HandleLinkFailure(testbed.Switch, testbed.CoreDC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Restored)+len(rep.Dropped) != 0 {
+		t.Fatalf("unexpected victims: %+v", rep)
+	}
+	if sl.State().String() != "active" {
+		t.Fatalf("bystander slice %v", sl.State())
+	}
+}
+
+func TestRestoreLinkReenablesRouting(t *testing.T) {
+	s, o := redundantEnv(t, false)
+	o.Start()
+	o.HandleLinkFailure(testbed.ENBName(0), testbed.Switch)
+	// New submissions are now infeasible (enb-1 unreachable).
+	sl, _ := o.Submit(req("t2", 20, 50, time.Hour, 50), nil)
+	if sl.State().String() != "rejected" {
+		t.Fatalf("submit over broken topology: %v", sl.State())
+	}
+	if err := o.RestoreLink(testbed.ENBName(0), testbed.Switch); err != nil {
+		t.Fatal(err)
+	}
+	sl2, _ := o.Submit(req("t3", 20, 50, time.Hour, 50), nil)
+	s.RunFor(15 * time.Second)
+	if sl2.State().String() != "active" {
+		t.Fatalf("submit after restore: %v (%s)", sl2.State(), sl2.Reason())
+	}
+}
+
+func TestLinkDegradationShrinksInPlaceWithoutBackup(t *testing.T) {
+	s, o := redundantEnv(t, false)
+	o.Start()
+	// Two slices sharing the enb-1 mmWave hop (each path carries half the
+	// slice's throughput).
+	a, _ := o.Submit(req("a", 40, 50, 2*time.Hour, 100), traffic.NewConstant(10, 0, nil))
+	b, _ := o.Submit(req("b", 40, 50, 2*time.Hour, 100), traffic.NewConstant(10, 0, nil))
+	s.RunFor(15 * time.Second)
+
+	// Rain fade: the mmWave hop collapses from 1000 to 30 Mbps. Each
+	// slice's enb-1 path reserved 20; 40 reserved > 30 available.
+	rep, err := o.HandleLinkDegradation(testbed.ENBName(0), testbed.Switch, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Restored) != 2 || len(rep.Dropped) != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	// The first victim shrinks to its fair share; the freed bandwidth may
+	// let later victims keep their full allocation. Both stay active and
+	// the link must no longer be oversubscribed.
+	shrunk := 0
+	for _, sl := range []*slice.Slice{a, b} {
+		if got := sl.State().String(); got != "active" {
+			t.Fatalf("slice %s state %s", sl.ID(), got)
+		}
+		if sl.Allocation().AllocatedMbps < 39 {
+			shrunk++
+		}
+	}
+	if shrunk == 0 {
+		t.Fatal("no slice shrunk after fade")
+	}
+	if len(o.tb.Transport.OversubscribedPaths()) != 0 {
+		t.Fatal("link still oversubscribed after handling")
+	}
+	l, _ := o.tb.Transport.Link(testbed.ENBName(0), testbed.Switch)
+	if l.ReservedMbps() > 30+1e-9 {
+		t.Fatalf("link carries %.1f > capacity 30", l.ReservedMbps())
+	}
+}
+
+func TestLinkDegradationReroutesWithBackup(t *testing.T) {
+	s, o := redundantEnv(t, true)
+	o.Start()
+	sl, _ := o.Submit(req("a", 40, 50, 2*time.Hour, 100), traffic.NewConstant(10, 0, nil))
+	s.RunFor(15 * time.Second)
+	rep, err := o.HandleLinkDegradation(testbed.ENBName(0), testbed.Switch, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Restored) != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	// With the backup switch the slice keeps its full allocation.
+	if got := sl.Allocation().AllocatedMbps; got < 40 {
+		t.Fatalf("allocation %.1f shrunk despite backup path", got)
+	}
+}
+
+func TestLinkDegradationBelowFloorDrops(t *testing.T) {
+	s, o := redundantEnv(t, false)
+	o.Start()
+	sl, _ := o.Submit(req("a", 40, 50, 2*time.Hour, 100), traffic.NewConstant(10, 0, nil))
+	s.RunFor(15 * time.Second)
+	// Degrade below the 1 Mbps floor (per victim share 0.5).
+	rep, err := o.HandleLinkDegradation(testbed.ENBName(0), testbed.Switch, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Dropped) != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	if sl.State().String() != "terminated" {
+		t.Fatalf("state %v", sl.State())
+	}
+	if o.tb.Ctrl.RAN.Utilization() != 0 {
+		t.Fatal("drop leaked radio resources")
+	}
+}
+
+func TestLinkDegradationNoVictims(t *testing.T) {
+	_, o := redundantEnv(t, false)
+	rep, err := o.HandleLinkDegradation(testbed.ENBName(0), testbed.Switch, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Restored)+len(rep.Dropped) != 0 {
+		t.Fatalf("victims on idle network: %+v", rep)
+	}
+	if _, err := o.HandleLinkDegradation("ghost", "x", 10); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+}
+
+func TestBackupTopologyDoesNotChangePrimaryPaths(t *testing.T) {
+	_, oPlain := redundantEnv(t, false)
+	_, oRed := redundantEnv(t, true)
+	for _, o := range []*Orchestrator{oPlain, oRed} {
+		d, err := o.tb.Ctrl.Transport.FeasibleDelay(testbed.CoreDC, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 7.2 { // 1.2 µWave + 6.0 core wired
+			t.Fatalf("primary delay %.2f changed by backup topology", d)
+		}
+	}
+}

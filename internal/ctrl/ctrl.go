@@ -1,0 +1,440 @@
+// Package ctrl implements the hierarchical domain controllers of the demo:
+// "Our end-to-end orchestration solution is hierarchically placed on top of
+// three controllers separately managing the radio, transport and core
+// network domains. The controllers dynamically issue resource assignments
+// as well as implement monitoring activities on the respective resources
+// utilization."
+//
+// Each controller wraps its substrate, exposes the reserve/resize/release
+// primitives the orchestrator drives, and pushes utilization telemetry into
+// a monitor.Store — the "gathered monitoring information promptly fed to
+// the end-to-end orchestrator".
+package ctrl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/epc"
+	"repro/internal/monitor"
+	"repro/internal/ran"
+	"repro/internal/slice"
+	"repro/internal/transport"
+)
+
+// Controller is the common surface of the three domain controllers.
+type Controller interface {
+	// Domain names the managed domain: "ran", "transport" or "cloud".
+	Domain() string
+	// Utilization reports the domain's primary-resource utilization [0,1].
+	Utilization() float64
+	// PushTelemetry records domain metrics into the store at time now.
+	PushTelemetry(store *monitor.Store, now time.Time)
+}
+
+// RANController manages the radio domain: PLMN-keyed PRB reservations
+// spread across all eNBs (the slice's UEs camp on both testbed cells).
+type RANController struct {
+	net *ran.Network
+}
+
+// NewRANController wraps the RAN.
+func NewRANController(net *ran.Network) *RANController { return &RANController{net: net} }
+
+// Domain implements Controller.
+func (c *RANController) Domain() string { return "ran" }
+
+// Network exposes the underlying RAN (read-mostly; used by telemetry and
+// experiments).
+func (c *RANController) Network() *ran.Network { return c.net }
+
+// RadioReservation reports the result of a slice's radio installation.
+type RadioReservation struct {
+	// PRBs per eNB name.
+	PRBs map[string]int
+	// TotalMbps is the throughput the reserved PRBs sustain at mean CQI.
+	TotalMbps float64
+}
+
+// ReserveSlice reserves PRBs for mbps of aggregate throughput, split evenly
+// across eNBs. On any per-eNB failure everything is rolled back, so the
+// radio domain never holds a partial slice.
+func (c *RANController) ReserveSlice(p slice.PLMN, mbps float64) (RadioReservation, error) {
+	enbs := c.net.All()
+	if len(enbs) == 0 {
+		return RadioReservation{}, errors.New("ctrl: RAN has no eNBs")
+	}
+	share := mbps / float64(len(enbs))
+	res := RadioReservation{PRBs: make(map[string]int, len(enbs))}
+	done := make([]*ran.ENB, 0, len(enbs))
+	for _, e := range enbs {
+		prbs := e.PRBsForThroughput(share)
+		if prbs == 0 {
+			prbs = 1 // every cell keeps the slice schedulable
+		}
+		if err := e.Reserve(p, prbs); err != nil {
+			for _, d := range done {
+				d.Release(p)
+			}
+			return RadioReservation{}, fmt.Errorf("ctrl: radio reserve on %s: %w", e.Name(), err)
+		}
+		done = append(done, e)
+		res.PRBs[e.Name()] = prbs
+		res.TotalMbps += e.ThroughputForPRBs(prbs)
+	}
+	return res, nil
+}
+
+// ResizeSlice adjusts the PLMN's reservations for a new aggregate
+// throughput. Failures on one eNB restore the previous sizes everywhere.
+func (c *RANController) ResizeSlice(p slice.PLMN, mbps float64) (RadioReservation, error) {
+	enbs := c.net.All()
+	if len(enbs) == 0 {
+		return RadioReservation{}, errors.New("ctrl: RAN has no eNBs")
+	}
+	share := mbps / float64(len(enbs))
+	prev := make(map[string]int, len(enbs))
+	for _, e := range enbs {
+		n, ok := e.Reservation(p)
+		if !ok {
+			return RadioReservation{}, fmt.Errorf("ctrl: resize: %s has no reservation for %s", e.Name(), p)
+		}
+		prev[e.Name()] = n
+	}
+	res := RadioReservation{PRBs: make(map[string]int, len(enbs))}
+	for i, e := range enbs {
+		prbs := e.PRBsForThroughput(share)
+		if prbs == 0 {
+			prbs = 1
+		}
+		if err := e.Resize(p, prbs); err != nil {
+			for j := 0; j < i; j++ {
+				enbs[j].Resize(p, prev[enbs[j].Name()])
+			}
+			return RadioReservation{}, fmt.Errorf("ctrl: radio resize on %s: %w", e.Name(), err)
+		}
+		res.PRBs[e.Name()] = prbs
+		res.TotalMbps += e.ThroughputForPRBs(prbs)
+	}
+	return res, nil
+}
+
+// ReleaseSlice drops the PLMN from every eNB. Idempotent.
+func (c *RANController) ReleaseSlice(p slice.PLMN) {
+	for _, e := range c.net.All() {
+		e.Release(p)
+	}
+}
+
+// ScheduleEpoch distributes per-slice demand evenly over the eNBs, runs
+// each cell's scheduler and returns the summed served throughput per PLMN
+// plus the mean cell utilization.
+func (c *RANController) ScheduleEpoch(demand map[slice.PLMN]float64, shareUnused bool) (map[slice.PLMN]float64, float64) {
+	enbs := c.net.All()
+	served := make(map[slice.PLMN]float64, len(demand))
+	if len(enbs) == 0 {
+		return served, 0
+	}
+	utilSum := 0.0
+	for _, e := range enbs {
+		local := make(ran.DemandMbps, len(demand))
+		for p, d := range demand {
+			local[p] = d / float64(len(enbs))
+		}
+		s, u := e.ScheduleEpoch(local, shareUnused)
+		for p, v := range s {
+			served[p] += v
+		}
+		utilSum += u
+	}
+	return served, utilSum / float64(len(enbs))
+}
+
+// Utilization implements Controller (mean reserved-PRB fraction).
+func (c *RANController) Utilization() float64 {
+	enbs := c.net.All()
+	if len(enbs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range enbs {
+		sum += e.Utilization()
+	}
+	return sum / float64(len(enbs))
+}
+
+// PushTelemetry implements Controller.
+func (c *RANController) PushTelemetry(store *monitor.Store, now time.Time) {
+	store.Record(monitor.DomainMetric("ran", "utilization"), now, c.Utilization())
+	for _, e := range c.net.All() {
+		store.Record(monitor.DomainMetric("ran", e.Name()+"/free_prbs"), now, float64(e.FreePRBs()))
+	}
+}
+
+// TransportController manages path setup between the eNBs and the data
+// centers through the programmable switches.
+type TransportController struct {
+	net *transport.Network
+
+	mu      sync.Mutex
+	bySlice map[slice.ID][]string // path IDs per slice
+}
+
+// NewTransportController wraps the transport network.
+func NewTransportController(net *transport.Network) *TransportController {
+	return &TransportController{net: net, bySlice: make(map[slice.ID][]string)}
+}
+
+// Domain implements Controller.
+func (c *TransportController) Domain() string { return "transport" }
+
+// Network exposes the underlying topology.
+func (c *TransportController) Network() *transport.Network { return c.net }
+
+// PathSetup reports the result of a slice's transport installation.
+type PathSetup struct {
+	PathIDs []string
+	// WorstDelayMs is the largest per-path delay — the number checked
+	// against the slice latency budget.
+	WorstDelayMs float64
+}
+
+// SetupPaths reserves one path from every eNB transport port to the chosen
+// data-center gateway, each sized to the eNB's share of the slice
+// throughput. All-or-nothing.
+func (c *TransportController) SetupPaths(id slice.ID, dc string, mbps, maxDelayMs float64) (PathSetup, error) {
+	enbs := c.net.NodesOfKind(transport.KindENB)
+	if len(enbs) == 0 {
+		return PathSetup{}, errors.New("ctrl: transport has no eNB nodes")
+	}
+	share := mbps / float64(len(enbs))
+	var setup PathSetup
+	rollback := func() {
+		for _, pid := range setup.PathIDs {
+			c.net.Release(pid)
+		}
+	}
+	for _, enb := range enbs {
+		pid := fmt.Sprintf("%s/%s->%s", id, enb, dc)
+		r, err := c.net.ReservePath(pid, transport.PathRequest{
+			From: enb, To: dc, MinMbps: share, MaxDelayMs: maxDelayMs,
+		})
+		if err != nil {
+			rollback()
+			return PathSetup{}, fmt.Errorf("ctrl: path %s->%s: %w", enb, dc, err)
+		}
+		setup.PathIDs = append(setup.PathIDs, pid)
+		if r.DelayMs > setup.WorstDelayMs {
+			setup.WorstDelayMs = r.DelayMs
+		}
+	}
+	c.mu.Lock()
+	c.bySlice[id] = append([]string(nil), setup.PathIDs...)
+	c.mu.Unlock()
+	return setup, nil
+}
+
+// ResizePaths changes every path of the slice to the new aggregate
+// bandwidth. On failure, previously resized paths are restored.
+func (c *TransportController) ResizePaths(id slice.ID, mbps float64) error {
+	c.mu.Lock()
+	pids := append([]string(nil), c.bySlice[id]...)
+	c.mu.Unlock()
+	if len(pids) == 0 {
+		return fmt.Errorf("ctrl: slice %s has no transport paths", id)
+	}
+	share := mbps / float64(len(pids))
+	prev := make([]float64, len(pids))
+	for i, pid := range pids {
+		r, ok := c.net.Reservation(pid)
+		if !ok {
+			return fmt.Errorf("ctrl: reservation %s vanished", pid)
+		}
+		prev[i] = r.Mbps
+	}
+	for i, pid := range pids {
+		if err := c.net.Resize(pid, share); err != nil {
+			for j := 0; j < i; j++ {
+				c.net.Resize(pids[j], prev[j])
+			}
+			return fmt.Errorf("ctrl: transport resize %s: %w", pid, err)
+		}
+	}
+	return nil
+}
+
+// ReleasePaths frees every path of the slice. Idempotent.
+func (c *TransportController) ReleasePaths(id slice.ID) {
+	c.mu.Lock()
+	pids := c.bySlice[id]
+	delete(c.bySlice, id)
+	c.mu.Unlock()
+	for _, pid := range pids {
+		c.net.Release(pid)
+	}
+}
+
+// FeasibleDelay returns the minimum worst-case eNB→DC delay achievable for
+// the bandwidth, without reserving — admission control's transport check.
+func (c *TransportController) FeasibleDelay(dc string, mbps float64) (float64, error) {
+	enbs := c.net.NodesOfKind(transport.KindENB)
+	if len(enbs) == 0 {
+		return 0, errors.New("ctrl: transport has no eNB nodes")
+	}
+	share := mbps / float64(len(enbs))
+	worst := 0.0
+	for _, enb := range enbs {
+		p, err := c.net.ShortestPath(transport.PathRequest{From: enb, To: dc, MinMbps: share})
+		if err != nil {
+			return 0, err
+		}
+		if p.DelayMs > worst {
+			worst = p.DelayMs
+		}
+	}
+	return worst, nil
+}
+
+// Utilization implements Controller (mean up-link utilization).
+func (c *TransportController) Utilization() float64 {
+	mean, _ := c.net.Utilization()
+	return mean
+}
+
+// PushTelemetry implements Controller.
+func (c *TransportController) PushTelemetry(store *monitor.Store, now time.Time) {
+	mean, max := c.net.Utilization()
+	store.Record(monitor.DomainMetric("transport", "utilization"), now, mean)
+	store.Record(monitor.DomainMetric("transport", "max_link_utilization"), now, max)
+}
+
+// CloudController manages the two data centers and the vEPC instances
+// running in them.
+type CloudController struct {
+	region *cloud.Region
+	epcs   *epc.Registry
+}
+
+// NewCloudController wraps the region with a fresh EPC registry.
+func NewCloudController(region *cloud.Region) *CloudController {
+	return &CloudController{region: region, epcs: epc.NewRegistry()}
+}
+
+// Domain implements Controller.
+func (c *CloudController) Domain() string { return "cloud" }
+
+// Region exposes the underlying data centers.
+func (c *CloudController) Region() *cloud.Region { return c.region }
+
+// EPCs exposes the vEPC registry (UE attach entry point).
+func (c *CloudController) EPCs() *epc.Registry { return c.epcs }
+
+// Deployment reports the result of a slice's cloud installation.
+type Deployment struct {
+	DataCenter string
+	StackID    string
+	EPCID      string
+	// BootDelay is how long until the vEPC serves attaches.
+	BootDelay time.Duration
+}
+
+// CanFit reports whether the named DC can host a vEPC for the throughput.
+func (c *CloudController) CanFit(dc string, throughputMbps float64) bool {
+	d, ok := c.region.Get(dc)
+	if !ok {
+		return false
+	}
+	return d.CanFit(epc.Template(throughputMbps))
+}
+
+// DeployEPC creates the Heat stack and registers the vEPC (in Deploying
+// state) in the named data center.
+func (c *CloudController) DeployEPC(id slice.ID, dcName string, p slice.PLMN, throughputMbps float64, class slice.ServiceClass) (Deployment, error) {
+	dc, ok := c.region.Get(dcName)
+	if !ok {
+		return Deployment{}, fmt.Errorf("ctrl: unknown data center %q", dcName)
+	}
+	stackID := fmt.Sprintf("%s/vepc", id)
+	if _, err := dc.CreateStack(stackID, epc.Template(throughputMbps)); err != nil {
+		return Deployment{}, fmt.Errorf("ctrl: heat stack for %s: %w", id, err)
+	}
+	epcID := fmt.Sprintf("%s/epc", id)
+	inst := epc.NewInstance(epcID, p, dcName, stackID, class)
+	if err := c.epcs.Add(inst); err != nil {
+		dc.DeleteStack(stackID)
+		return Deployment{}, err
+	}
+	return Deployment{
+		DataCenter: dcName,
+		StackID:    stackID,
+		EPCID:      epcID,
+		BootDelay:  epc.BootDelayFor(throughputMbps),
+	}, nil
+}
+
+// MarkEPCRunning flips the instance to Running (called when the boot timer
+// fires).
+func (c *CloudController) MarkEPCRunning(epcID string, now time.Time) error {
+	in, ok := c.epcs.Get(epcID)
+	if !ok {
+		return fmt.Errorf("ctrl: unknown EPC %q", epcID)
+	}
+	return in.MarkRunning(now)
+}
+
+// Teardown removes the vEPC and its stack. Idempotent.
+func (c *CloudController) Teardown(dcName, stackID, epcID string) {
+	c.epcs.Remove(epcID)
+	if dc, ok := c.region.Get(dcName); ok {
+		dc.DeleteStack(stackID)
+	}
+}
+
+// Utilization implements Controller (mean DC vCPU utilization).
+func (c *CloudController) Utilization() float64 {
+	dcs := c.region.All()
+	if len(dcs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, dc := range dcs {
+		sum += dc.Utilization()
+	}
+	return sum / float64(len(dcs))
+}
+
+// PushTelemetry implements Controller.
+func (c *CloudController) PushTelemetry(store *monitor.Store, now time.Time) {
+	store.Record(monitor.DomainMetric("cloud", "utilization"), now, c.Utilization())
+	for _, dc := range c.region.All() {
+		cap := dc.Capacity()
+		store.Record(monitor.DomainMetric("cloud", dc.Name()+"/used_vcpus"), now, cap.UsedVCPUs)
+		store.Record(monitor.DomainMetric("cloud", dc.Name()+"/stacks"), now, float64(cap.Stacks))
+	}
+}
+
+// Set bundles the three controllers, in the fixed order the orchestrator
+// iterates them.
+type Set struct {
+	RAN       *RANController
+	Transport *TransportController
+	Cloud     *CloudController
+}
+
+// All returns the controllers as the generic interface, sorted by domain.
+func (s Set) All() []Controller {
+	out := []Controller{s.Cloud, s.RAN, s.Transport}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain() < out[j].Domain() })
+	return out
+}
+
+// PushTelemetry pushes all three domains' metrics.
+func (s Set) PushTelemetry(store *monitor.Store, now time.Time) {
+	for _, c := range s.All() {
+		c.PushTelemetry(store, now)
+	}
+}

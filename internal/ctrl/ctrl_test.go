@@ -1,0 +1,391 @@
+package ctrl_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/ctrl"
+	"repro/internal/epc"
+	"repro/internal/monitor"
+	"repro/internal/slice"
+	"repro/internal/testbed"
+	"repro/internal/transport"
+)
+
+var (
+	plmnA = slice.PLMN{MCC: "001", MNC: "01"}
+	plmnB = slice.PLMN{MCC: "001", MNC: "02"}
+	t0    = time.Date(2018, 8, 20, 9, 0, 0, 0, time.UTC)
+)
+
+func newTB(t *testing.T) *testbed.Testbed {
+	t.Helper()
+	tb, err := testbed.New(testbed.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestRANReserveSpreadsAcrossENBs(t *testing.T) {
+	tb := newTB(t)
+	c := tb.Ctrl.RAN
+	res, err := c.ReserveSlice(plmnA, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PRBs) != 2 {
+		t.Fatalf("PRBs on %d eNBs", len(res.PRBs))
+	}
+	if res.TotalMbps < 40 {
+		t.Fatalf("reserved %.1f Mbps < asked 40", res.TotalMbps)
+	}
+	for name, prbs := range res.PRBs {
+		e, _ := tb.RAN.Get(name)
+		got, ok := e.Reservation(plmnA)
+		if !ok || got != prbs {
+			t.Fatalf("eNB %s reservation %d vs reported %d", name, got, prbs)
+		}
+	}
+}
+
+func TestRANReserveRollsBackOnPartialFailure(t *testing.T) {
+	tb := newTB(t)
+	// Saturate the second eNB so reservation succeeds on enb-1 only.
+	e2, _ := tb.RAN.Get(testbed.ENBName(1))
+	if err := e2.Reserve(plmnB, e2.TotalPRBs()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tb.Ctrl.RAN.ReserveSlice(plmnA, 40)
+	if err == nil {
+		t.Fatal("reserve should fail when one eNB is full")
+	}
+	e1, _ := tb.RAN.Get(testbed.ENBName(0))
+	if _, ok := e1.Reservation(plmnA); ok {
+		t.Fatal("partial reservation leaked on enb-1")
+	}
+}
+
+func TestRANResizeRestoresOnFailure(t *testing.T) {
+	tb := newTB(t)
+	c := tb.Ctrl.RAN
+	if _, err := c.ReserveSlice(plmnA, 20); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the rest of both cells with another tenant, then attempt to
+	// grow A beyond free space.
+	e1, _ := tb.RAN.Get(testbed.ENBName(0))
+	e2, _ := tb.RAN.Get(testbed.ENBName(1))
+	e1.Reserve(plmnB, e1.FreePRBs())
+	e2.Reserve(plmnB, e2.FreePRBs())
+	before1, _ := e1.Reservation(plmnA)
+	before2, _ := e2.Reservation(plmnA)
+	if _, err := c.ResizeSlice(plmnA, 500); err == nil {
+		t.Fatal("oversize resize succeeded")
+	}
+	after1, _ := e1.Reservation(plmnA)
+	after2, _ := e2.Reservation(plmnA)
+	if after1 != before1 || after2 != before2 {
+		t.Fatalf("failed resize mutated reservations: %d/%d -> %d/%d", before1, before2, after1, after2)
+	}
+}
+
+func TestRANResizeUnknownPLMN(t *testing.T) {
+	tb := newTB(t)
+	if _, err := tb.Ctrl.RAN.ResizeSlice(plmnA, 10); err == nil {
+		t.Fatal("resize of unknown PLMN succeeded")
+	}
+}
+
+func TestRANScheduleEpochAggregates(t *testing.T) {
+	tb := newTB(t)
+	c := tb.Ctrl.RAN
+	res, err := c.ReserveSlice(plmnA, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, util := c.ScheduleEpoch(map[slice.PLMN]float64{plmnA: 30}, false)
+	if served[plmnA] < 29.999 || served[plmnA] > 30.001 {
+		t.Fatalf("served %.3f, want 30 (reserved %.1f)", served[plmnA], res.TotalMbps)
+	}
+	if util <= 0 || util > 1 {
+		t.Fatalf("util %.3f", util)
+	}
+	// Demand above reservation: capped near the reservation.
+	served, _ = c.ScheduleEpoch(map[slice.PLMN]float64{plmnA: 500}, false)
+	if served[plmnA] > res.TotalMbps+0.001 {
+		t.Fatalf("served %.3f above reservation %.3f", served[plmnA], res.TotalMbps)
+	}
+}
+
+func TestRANReleaseIdempotent(t *testing.T) {
+	tb := newTB(t)
+	tb.Ctrl.RAN.ReserveSlice(plmnA, 20)
+	tb.Ctrl.RAN.ReleaseSlice(plmnA)
+	tb.Ctrl.RAN.ReleaseSlice(plmnA)
+	if tb.Ctrl.RAN.Utilization() != 0 {
+		t.Fatal("release left PRBs reserved")
+	}
+}
+
+func TestTransportSetupPathsBothENBs(t *testing.T) {
+	tb := newTB(t)
+	c := tb.Ctrl.Transport
+	setup, err := c.SetupPaths("s1", testbed.EdgeDC, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(setup.PathIDs) != 2 {
+		t.Fatalf("paths %v", setup.PathIDs)
+	}
+	if setup.WorstDelayMs <= 0 || setup.WorstDelayMs > 5 {
+		t.Fatalf("worst delay %.2f", setup.WorstDelayMs)
+	}
+	// Flow entries installed in the switch.
+	if got := len(tb.Transport.FlowTable(testbed.Switch)); got != 2 {
+		t.Fatalf("switch flow entries %d", got)
+	}
+}
+
+func TestTransportSetupRollsBack(t *testing.T) {
+	tb := newTB(t)
+	// Saturate the µWave link (enb-2 side) so the second path fails.
+	if _, err := tb.Transport.Reserve("filler", []string{testbed.ENBName(1), testbed.Switch}, tb.Config.MicroWaveMbps); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tb.Ctrl.Transport.SetupPaths("s1", testbed.CoreDC, 300, 0)
+	if err == nil {
+		t.Fatal("setup should fail with saturated µWave hop")
+	}
+	l, _ := tb.Transport.Link(testbed.ENBName(0), testbed.Switch)
+	if l.ReservedMbps() != 0 {
+		t.Fatalf("mmWave hop leaked %.1f Mbps", l.ReservedMbps())
+	}
+}
+
+func TestTransportDelayBudgetForcesEdge(t *testing.T) {
+	tb := newTB(t)
+	// Core is CoreDelayMs (6) + hop away: a 3 ms budget must fail to core
+	// and pass to edge.
+	if _, err := tb.Ctrl.Transport.SetupPaths("s1", testbed.CoreDC, 10, 3); err == nil {
+		t.Fatal("core within 3ms should be infeasible")
+	}
+	if _, err := tb.Ctrl.Transport.SetupPaths("s2", testbed.EdgeDC, 10, 3); err != nil {
+		t.Fatalf("edge within 3ms failed: %v", err)
+	}
+}
+
+func TestTransportResizeAndRelease(t *testing.T) {
+	tb := newTB(t)
+	c := tb.Ctrl.Transport
+	setup, err := c.SetupPaths("s1", testbed.EdgeDC, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ResizePaths("s1", 300); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := tb.Transport.Reservation(setup.PathIDs[0])
+	if r.Mbps != 150 {
+		t.Fatalf("per-path after resize %.1f, want 150", r.Mbps)
+	}
+	c.ReleasePaths("s1")
+	if _, ok := tb.Transport.Reservation(setup.PathIDs[0]); ok {
+		t.Fatal("path survived release")
+	}
+	if err := c.ResizePaths("s1", 100); err == nil {
+		t.Fatal("resize after release succeeded")
+	}
+	c.ReleasePaths("s1") // idempotent
+}
+
+func TestTransportResizeRestoresOnFailure(t *testing.T) {
+	tb := newTB(t)
+	c := tb.Ctrl.Transport
+	if _, err := c.SetupPaths("s1", testbed.CoreDC, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Saturate µWave so growing s1 fails on the enb-2 path.
+	free := tb.Config.MicroWaveMbps - 50
+	if _, err := tb.Transport.Reserve("filler", []string{testbed.ENBName(1), testbed.Switch}, free); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ResizePaths("s1", 700); err == nil {
+		t.Fatal("oversize resize succeeded")
+	}
+	r, _ := tb.Transport.Reservation("s1/" + testbed.ENBName(0) + "->" + testbed.CoreDC)
+	if r.Mbps != 50 {
+		t.Fatalf("path size after failed resize %.1f, want 50", r.Mbps)
+	}
+}
+
+func TestTransportFeasibleDelay(t *testing.T) {
+	tb := newTB(t)
+	edge, err := tb.Ctrl.Transport.FeasibleDelay(testbed.EdgeDC, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := tb.Ctrl.Transport.FeasibleDelay(testbed.CoreDC, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge >= core {
+		t.Fatalf("edge delay %.2f not below core %.2f", edge, core)
+	}
+	if _, err := tb.Ctrl.Transport.FeasibleDelay(testbed.CoreDC, 1e6); err == nil {
+		t.Fatal("absurd bandwidth feasible")
+	}
+}
+
+func TestCloudDeployAndTeardown(t *testing.T) {
+	tb := newTB(t)
+	c := tb.Ctrl.Cloud
+	if !c.CanFit(testbed.EdgeDC, 30) {
+		t.Fatal("edge cannot fit a small vEPC")
+	}
+	dep, err := c.DeployEPC("s1", testbed.EdgeDC, plmnA, 30, slice.ClassAutomotive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.DataCenter != testbed.EdgeDC || !strings.Contains(dep.StackID, "s1") {
+		t.Fatalf("deployment %+v", dep)
+	}
+	if dep.BootDelay < 2*time.Second {
+		t.Fatalf("boot delay %v", dep.BootDelay)
+	}
+	in, ok := c.EPCs().Get(dep.EPCID)
+	if !ok || in.State() != epc.StateDeploying {
+		t.Fatal("EPC not registered as deploying")
+	}
+	if err := c.MarkEPCRunning(dep.EPCID, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EPCs().Attach(epc.UE{IMSI: "i1", PLMN: plmnA}, t0); err != nil {
+		t.Fatalf("attach after running: %v", err)
+	}
+	c.Teardown(dep.DataCenter, dep.StackID, dep.EPCID)
+	dc, _ := tb.Region.Get(testbed.EdgeDC)
+	if got := dc.Capacity().UsedVCPUs; got != 0 {
+		t.Fatalf("teardown leaked %.1f vCPUs", got)
+	}
+	c.Teardown(dep.DataCenter, dep.StackID, dep.EPCID) // idempotent
+}
+
+func TestCloudDeployUnknownDC(t *testing.T) {
+	tb := newTB(t)
+	if _, err := tb.Ctrl.Cloud.DeployEPC("s1", "nowhere", plmnA, 30, slice.ClassEMBB); err == nil {
+		t.Fatal("unknown DC accepted")
+	}
+	if tb.Ctrl.Cloud.CanFit("nowhere", 30) {
+		t.Fatal("unknown DC fits")
+	}
+}
+
+func TestCloudDeployNoCapacity(t *testing.T) {
+	tb := testbed.MustNew(testbed.Config{EdgeHosts: 1, EdgeHostVCPUs: 2}, nil)
+	// A small vEPC needs 4+ vCPUs; the edge has 2.
+	if tb.Ctrl.Cloud.CanFit(testbed.EdgeDC, 10) {
+		t.Fatal("tiny edge fits vEPC")
+	}
+	if _, err := tb.Ctrl.Cloud.DeployEPC("s1", testbed.EdgeDC, plmnA, 10, slice.ClassEMBB); err == nil {
+		t.Fatal("deploy into tiny edge succeeded")
+	}
+}
+
+func TestCloudMarkRunningUnknown(t *testing.T) {
+	tb := newTB(t)
+	if err := tb.Ctrl.Cloud.MarkEPCRunning("ghost", t0); err == nil {
+		t.Fatal("unknown EPC marked running")
+	}
+}
+
+func TestSetTelemetryPushesAllDomains(t *testing.T) {
+	tb := newTB(t)
+	store := monitor.NewStore(32)
+	tb.Ctrl.RAN.ReserveSlice(plmnA, 40)
+	tb.Ctrl.Transport.SetupPaths("s1", testbed.EdgeDC, 100, 0)
+	tb.Ctrl.Cloud.DeployEPC("s1", testbed.EdgeDC, plmnA, 30, slice.ClassEMBB)
+	tb.Ctrl.PushTelemetry(store, t0)
+	snap := store.Snapshot()
+	for _, key := range []string{
+		monitor.DomainMetric("ran", "utilization"),
+		monitor.DomainMetric("transport", "utilization"),
+		monitor.DomainMetric("cloud", "utilization"),
+	} {
+		v, ok := snap[key]
+		if !ok {
+			t.Fatalf("metric %s missing: %v", key, snap)
+		}
+		if v <= 0 {
+			t.Fatalf("metric %s = %v, want > 0", key, v)
+		}
+	}
+}
+
+func TestSetAllOrdered(t *testing.T) {
+	tb := newTB(t)
+	all := tb.Ctrl.All()
+	if len(all) != 3 {
+		t.Fatalf("%d controllers", len(all))
+	}
+	if all[0].Domain() != "cloud" || all[1].Domain() != "ran" || all[2].Domain() != "transport" {
+		t.Fatalf("order %s %s %s", all[0].Domain(), all[1].Domain(), all[2].Domain())
+	}
+}
+
+func TestControllerInterfaceCompliance(t *testing.T) {
+	var _ ctrl.Controller = (*ctrl.RANController)(nil)
+	var _ ctrl.Controller = (*ctrl.TransportController)(nil)
+	var _ ctrl.Controller = (*ctrl.CloudController)(nil)
+}
+
+func TestTestbedShape(t *testing.T) {
+	tb := newTB(t)
+	if got := len(tb.RAN.Names()); got != 2 {
+		t.Fatalf("eNBs %d", got)
+	}
+	if got := tb.Transport.NodesOfKind(transport.KindDC); len(got) != 2 {
+		t.Fatalf("DCs %v", got)
+	}
+	if tb.RadioCapacityMbps() <= 0 {
+		t.Fatal("no radio capacity")
+	}
+	if _, ok := tb.Region.Get(testbed.CoreDC); !ok {
+		t.Fatal("core DC missing")
+	}
+	// Edge must be cheaper in delay than core from every eNB.
+	for i := 0; i < 2; i++ {
+		pe, err := tb.Transport.ShortestPath(transport.PathRequest{From: testbed.ENBName(i), To: testbed.EdgeDC, MinMbps: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := tb.Transport.ShortestPath(transport.PathRequest{From: testbed.ENBName(i), To: testbed.CoreDC, MinMbps: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pe.DelayMs >= pc.DelayMs {
+			t.Fatalf("edge %0.2f >= core %0.2f from %s", pe.DelayMs, pc.DelayMs, testbed.ENBName(i))
+		}
+	}
+}
+
+func TestTestbedScalesENBs(t *testing.T) {
+	tb := testbed.MustNew(testbed.Config{ENBs: 4}, nil)
+	if got := len(tb.RAN.Names()); got != 4 {
+		t.Fatalf("eNBs %d", got)
+	}
+	if got := len(tb.Transport.NodesOfKind(transport.KindENB)); got != 4 {
+		t.Fatalf("transport eNB nodes %d", got)
+	}
+}
+
+func TestCanFitHonoursPolicy(t *testing.T) {
+	for _, pol := range []cloud.PlacementPolicy{cloud.FirstFit, cloud.BestFit, cloud.WorstFit} {
+		tb := testbed.MustNew(testbed.Config{Placement: pol}, nil)
+		if !tb.Ctrl.Cloud.CanFit(testbed.CoreDC, 120) {
+			t.Fatalf("policy %v: core cannot fit a large vEPC", pol)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package forecast
+
+import "fmt"
+
+// SeasonalNaive predicts the value observed exactly one season ago — the
+// standard seasonal baseline: any seasonal model that cannot beat it is not
+// learning the season. Before a full period of history it behaves like the
+// plain naive forecaster.
+type SeasonalNaive struct {
+	period int
+	buf    []float64
+	idx    int
+	n      int
+	last   float64
+}
+
+// NewSeasonalNaive returns a seasonal-naive forecaster with the given
+// period (in observation epochs, >= 2).
+func NewSeasonalNaive(period int) *SeasonalNaive {
+	if period < 2 {
+		panic(fmt.Sprintf("forecast: seasonal-naive period %d must be >= 2", period))
+	}
+	return &SeasonalNaive{period: period, buf: make([]float64, period)}
+}
+
+// Observe implements Forecaster.
+func (sn *SeasonalNaive) Observe(v float64) {
+	sn.buf[sn.idx] = v
+	sn.idx = (sn.idx + 1) % sn.period
+	sn.n++
+	sn.last = v
+}
+
+// Forecast implements Forecaster. The next epoch's seasonal slot is the
+// current write index once a full period has been seen.
+func (sn *SeasonalNaive) Forecast() float64 {
+	if sn.n == 0 {
+		return 0
+	}
+	if sn.n < sn.period {
+		return sn.last
+	}
+	return sn.buf[sn.idx]
+}
+
+// Name implements Forecaster.
+func (sn *SeasonalNaive) Name() string { return fmt.Sprintf("seasonal-naive(p=%d)", sn.period) }
+
+// Reset implements Forecaster.
+func (sn *SeasonalNaive) Reset() { *sn = *NewSeasonalNaive(sn.period) }

@@ -1,0 +1,77 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSeasonalNaivePredictsOnePeriodBack(t *testing.T) {
+	sn := NewSeasonalNaive(4)
+	series := []float64{10, 20, 30, 40, 11, 21, 31, 41}
+	for i, v := range series {
+		if i >= 4 {
+			// Forecast before observing slot i must be series[i-4].
+			if got := sn.Forecast(); got != series[i-4] {
+				t.Fatalf("at %d forecast %v, want %v", i, got, series[i-4])
+			}
+		}
+		sn.Observe(v)
+	}
+}
+
+func TestSeasonalNaiveWarmupFallsBackToNaive(t *testing.T) {
+	sn := NewSeasonalNaive(8)
+	if sn.Forecast() != 0 {
+		t.Fatal("empty forecast")
+	}
+	sn.Observe(5)
+	sn.Observe(7)
+	if got := sn.Forecast(); got != 7 {
+		t.Fatalf("warm-up forecast %v, want last value 7", got)
+	}
+}
+
+func TestSeasonalNaivePanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("period 1 accepted")
+		}
+	}()
+	NewSeasonalNaive(1)
+}
+
+func TestSeasonalNaiveReset(t *testing.T) {
+	sn := NewSeasonalNaive(3)
+	for _, v := range []float64{1, 2, 3, 4} {
+		sn.Observe(v)
+	}
+	sn.Reset()
+	if sn.Forecast() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestHoltWintersBeatsSeasonalNaiveWithNoise(t *testing.T) {
+	const period = 24
+	rng := rand.New(rand.NewSource(9))
+	series := make([]float64, 40*period)
+	for i := range series {
+		series[i] = 100 + 40*math.Sin(2*math.Pi*float64(i%period)/period) + rng.NormFloat64()*5
+	}
+	res := Evaluate(series, 5*period,
+		NewHoltWinters(0.2, 0.02, 0.2, period),
+		NewSeasonalNaive(period),
+		NewNaive(),
+	)
+	hw, snv, naive := res[0].Accuracy, res[1].Accuracy, res[2].Accuracy
+	// Seasonal-naive must beat plain naive on seasonal data.
+	if snv.RMSE() >= naive.RMSE() {
+		t.Fatalf("seasonal-naive %.2f not better than naive %.2f", snv.RMSE(), naive.RMSE())
+	}
+	// Holt-Winters averages out noise, so it must beat seasonal-naive
+	// (whose error is ~sqrt(2)·σ on pure season+noise).
+	if hw.RMSE() >= snv.RMSE() {
+		t.Fatalf("holt-winters %.2f not better than seasonal-naive %.2f", hw.RMSE(), snv.RMSE())
+	}
+}

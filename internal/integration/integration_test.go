@@ -1,0 +1,303 @@
+// Package integration_test exercises the whole stack — orchestrator,
+// controllers, substrates, REST API — together, checking the cross-module
+// invariants no unit test can see: resource conservation across arbitrary
+// lifecycles, agreement between the API view and substrate state, and
+// long-horizon stability of the control loop.
+package integration_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/epc"
+	"repro/internal/monitor"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/slice"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+// assertClean fails if any domain still holds resources.
+func assertClean(t *testing.T, tb *testbed.Testbed) {
+	t.Helper()
+	if u := tb.Ctrl.RAN.Utilization(); u != 0 {
+		t.Fatalf("RAN leaked: utilization %.4f", u)
+	}
+	mean, max := tb.Transport.Utilization()
+	if mean != 0 || max != 0 {
+		t.Fatalf("transport leaked: mean %.4f max %.4f", mean, max)
+	}
+	if u := tb.Ctrl.Cloud.Utilization(); u != 0 {
+		t.Fatalf("cloud leaked: utilization %.4f", u)
+	}
+	if n := len(tb.Ctrl.Cloud.EPCs().All()); n != 0 {
+		t.Fatalf("%d EPC instances leaked", n)
+	}
+}
+
+// TestFullLifecycleLeavesNoResidue drives many slices through their whole
+// lifecycle (admission, install, traffic, expiry/delete) and verifies every
+// domain returns to zero.
+func TestFullLifecycleLeavesNoResidue(t *testing.T) {
+	s := sim.NewSimulator(5)
+	tb := testbed.MustNew(testbed.Default(), s.Rand())
+	o := core.New(core.Config{Overbook: true, Risk: 0.9, PLMNLimit: 32}, tb, s, monitor.NewStore(1024))
+	o.Start()
+
+	gen := traffic.NewRequestGenerator(nil, 0, s.Rand())
+	var live []*slice.Slice
+	for i := 0; i < 12; i++ {
+		g := gen.Next(s.Now())
+		g.Request.SLA.Duration = time.Duration(30+10*i) * time.Minute
+		sl, err := o.Submit(g.Request, g.Demand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sl.State() != slice.StateRejected {
+			live = append(live, sl)
+		}
+		s.RunFor(7 * time.Minute)
+	}
+	if len(live) < 4 {
+		t.Fatalf("only %d slices admitted", len(live))
+	}
+	// Delete a couple early, let the rest expire.
+	for i, sl := range live {
+		if i%3 == 0 && sl.State() == slice.StateActive {
+			if err := o.Delete(sl.ID()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.RunFor(6 * time.Hour) // beyond the longest duration
+	for _, sl := range live {
+		if got := sl.State(); got != slice.StateTerminated {
+			t.Fatalf("slice %s still %v", sl.ID(), got)
+		}
+	}
+	assertClean(t, tb)
+}
+
+// TestPropertyRandomLifecycleConservation drives random submit/delete/run
+// interleavings and checks conservation at every step plus cleanliness at
+// the end.
+func TestPropertyRandomLifecycleConservation(t *testing.T) {
+	f := func(ops []uint8, seed int64) bool {
+		s := sim.NewSimulator(seed)
+		tb := testbed.MustNew(testbed.Default(), s.Rand())
+		o := core.New(core.Config{Overbook: true, Risk: 0.85, PLMNLimit: 16}, tb, s, monitor.NewStore(256))
+		o.Start()
+		gen := traffic.NewRequestGenerator(nil, 0, s.Rand())
+		var ids []slice.ID
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // submit
+				g := gen.Next(s.Now())
+				sl, err := o.Submit(g.Request, g.Demand)
+				if err != nil {
+					return false
+				}
+				if sl.State() != slice.StateRejected {
+					ids = append(ids, sl.ID())
+				}
+			case 1: // delete oldest live
+				if len(ids) > 0 {
+					o.Delete(ids[0]) // may fail if already expired: fine
+					ids = ids[1:]
+				}
+			case 2: // advance time
+				s.RunFor(time.Duration(op) * time.Minute)
+			}
+			// Invariant: RAN utilization within [0,1]; gain report sane.
+			if u := tb.Ctrl.RAN.Utilization(); u < 0 || u > 1+1e-9 {
+				return false
+			}
+			g := o.Gain()
+			if g.AllocatedMbps < -1e-9 {
+				return false
+			}
+			// Allocations may exceed contracts only by PRB rounding
+			// (one block per eNB per slice, ~0.52 Mbps each).
+			roundingSlack := float64(2*16) * 0.6
+			if g.AllocatedMbps > g.ContractedMbps+roundingSlack {
+				return false
+			}
+		}
+		// Drain everything.
+		for _, id := range ids {
+			o.Delete(id)
+		}
+		s.RunFor(48 * time.Hour)
+		return tb.Ctrl.RAN.Utilization() == 0 && tb.Ctrl.Cloud.Utilization() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAPIViewMatchesSubstrateState cross-checks the slice snapshot against
+// the actual substrate objects.
+func TestAPIViewMatchesSubstrateState(t *testing.T) {
+	s := sim.NewSimulator(3)
+	tb := testbed.MustNew(testbed.Default(), s.Rand())
+	o := core.New(core.Config{}, tb, s, monitor.NewStore(128))
+	o.Start()
+	sl, err := o.Submit(slice.Request{
+		Tenant: "xcheck",
+		SLA: slice.SLA{ThroughputMbps: 25, MaxLatencyMs: 20,
+			Duration: time.Hour, PriceEUR: 80, PenaltyEUR: 2},
+	}, traffic.NewConstant(10, 0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(15 * time.Second)
+	snap := sl.Snapshot()
+
+	// RAN: per-eNB reservations match the snapshot.
+	for name, prbs := range snap.Allocation.PRBs {
+		e, ok := tb.RAN.Get(name)
+		if !ok {
+			t.Fatalf("snapshot names unknown eNB %s", name)
+		}
+		got, ok := e.Reservation(snap.Allocation.PLMN)
+		if !ok || got != prbs {
+			t.Fatalf("eNB %s: snapshot %d PRBs, substrate %d", name, prbs, got)
+		}
+		bl := e.BroadcastList()
+		found := false
+		for _, p := range bl {
+			if p == snap.Allocation.PLMN {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("PLMN %s not broadcast by %s", snap.Allocation.PLMN, name)
+		}
+	}
+	// Transport: every path reservation exists and terminates at the DC.
+	for _, pid := range snap.Allocation.PathIDs {
+		r, ok := tb.Transport.Reservation(pid)
+		if !ok {
+			t.Fatalf("path %s missing", pid)
+		}
+		if r.Hops[len(r.Hops)-1] != snap.Allocation.DataCenter {
+			t.Fatalf("path %s ends at %s, not %s", pid, r.Hops[len(r.Hops)-1], snap.Allocation.DataCenter)
+		}
+		if r.DelayMs > snap.SLA.MaxLatencyMs {
+			t.Fatalf("path delay %.2f exceeds SLA %.2f", r.DelayMs, snap.SLA.MaxLatencyMs)
+		}
+	}
+	// Cloud: the stack exists in the named DC with 4 vEPC components.
+	dc, _ := tb.Region.Get(snap.Allocation.DataCenter)
+	stack, ok := dc.Stack(snap.Allocation.StackID)
+	if !ok {
+		t.Fatalf("stack %s missing", snap.Allocation.StackID)
+	}
+	if len(stack.VMs) != 4 {
+		t.Fatalf("vEPC has %d VMs", len(stack.VMs))
+	}
+	// EPC: running instance serves the slice PLMN, UEs can attach.
+	inst, ok := tb.Ctrl.Cloud.EPCs().ByPLMN(snap.Allocation.PLMN)
+	if !ok || inst.ID() != snap.Allocation.EPCID {
+		t.Fatalf("EPC registry mismatch: %v", ok)
+	}
+	if _, err := tb.Ctrl.Cloud.EPCs().Attach(epc.UE{IMSI: "001010000099999", PLMN: snap.Allocation.PLMN}, s.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLongHorizonStability runs three simulated days of churn and checks
+// the system neither leaks memory-visible state (slices map grows only
+// with offered requests) nor deadlocks, and the gain stays in sane bounds.
+func TestLongHorizonStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long horizon")
+	}
+	r, err := scenario.NewRunner(scenario.Options{
+		Seed:             9,
+		MeanInterarrival: 10 * time.Minute,
+		Orchestrator:     core.Config{Overbook: true, Risk: 0.9, PLMNLimit: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.StartArrivals()
+	if err := r.Sim.RunFor(72 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	res := r.Collect()
+	if res.Offered < 300 {
+		t.Fatalf("only %d requests over 3 days", res.Offered)
+	}
+	if res.Gain.Epochs < 4000 {
+		t.Fatalf("control loop ran %d epochs", res.Gain.Epochs)
+	}
+	if res.MeanMultiplexingGain < 1.0 || res.MeanMultiplexingGain > 10 {
+		t.Fatalf("gain %.2f out of sane bounds", res.MeanMultiplexingGain)
+	}
+	if res.ViolationRate > 0.5 {
+		t.Fatalf("violation rate %.2f — control loop unstable", res.ViolationRate)
+	}
+	// Terminated slices outnumber active by far after 3 days; none stuck
+	// in transient states.
+	stuck := 0
+	for _, sn := range res.Slices {
+		switch sn.State {
+		case "admitted", "installing", "reconfiguring":
+			stuck++
+		}
+	}
+	if stuck > 2 { // at most the freshly arrived ones
+		t.Fatalf("%d slices stuck in transient states", stuck)
+	}
+}
+
+// TestConcurrentAPIAccess hammers a live-clock orchestrator from multiple
+// goroutines (the race detector is the real assertion here).
+func TestConcurrentAPIAccess(t *testing.T) {
+	clock := sim.NewRealtimeClock()
+	defer clock.CancelAll()
+	tb := testbed.MustNew(testbed.Default(), nil)
+	o := core.New(core.Config{Overbook: true, Epoch: 5 * time.Millisecond, PLMNLimit: 32}, tb, clock, monitor.NewStore(128))
+	o.Start()
+	defer o.Stop()
+
+	done := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			var err error
+			for i := 0; i < 20 && err == nil; i++ {
+				var sl *slice.Slice
+				sl, err = o.Submit(slice.Request{
+					Tenant: fmt.Sprintf("g%d-%d", g, i),
+					SLA: slice.SLA{ThroughputMbps: 5, MaxLatencyMs: 50,
+						Duration: time.Second, PriceEUR: 1},
+				}, nil)
+				if err == nil && sl.State() != slice.StateRejected {
+					o.RecordDemand(sl.ID(), 2)
+					o.Delete(sl.ID())
+				}
+			}
+			done <- err
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				o.Gain()
+				o.List()
+				time.Sleep(time.Millisecond)
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package monitor implements the real-time monitoring pillar of the
+// orchestrator (Fig. 1: "Collect information about network utilization" /
+// "Real time monitoring"). Domain controllers push samples into named time
+// series; the orchestrator and dashboard read windows, aggregates and
+// percentiles back out.
+//
+// Series are fixed-capacity rings: the orchestrator only ever needs a
+// bounded history (forecast warm-up plus dashboard window), and rings keep
+// the memory of a long-running daemon flat.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sample is one timestamped measurement.
+type Sample struct {
+	At    time.Time `json:"at"`
+	Value float64   `json:"value"`
+}
+
+// Series is a fixed-capacity ring buffer of samples. Safe for concurrent use.
+type Series struct {
+	mu   sync.RWMutex
+	name string
+	buf  []Sample
+	head int // next write position
+	n    int // valid samples
+}
+
+// NewSeries returns an empty series with the given capacity (minimum 1).
+func NewSeries(name string, capacity int) *Series {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Series{name: name, buf: make([]Sample, capacity)}
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Add appends a sample, evicting the oldest when full.
+func (s *Series) Add(at time.Time, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf[s.head] = Sample{At: at, Value: v}
+	s.head = (s.head + 1) % len(s.buf)
+	if s.n < len(s.buf) {
+		s.n++
+	}
+}
+
+// Len returns the number of stored samples.
+func (s *Series) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// Capacity returns the ring size.
+func (s *Series) Capacity() int { return len(s.buf) }
+
+// Last returns the most recent sample, if any.
+func (s *Series) Last() (Sample, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.n == 0 {
+		return Sample{}, false
+	}
+	idx := (s.head - 1 + len(s.buf)) % len(s.buf)
+	return s.buf[idx], true
+}
+
+// Window returns up to n most recent samples in chronological order.
+// n <= 0 returns everything stored.
+func (s *Series) Window(n int) []Sample {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if n <= 0 || n > s.n {
+		n = s.n
+	}
+	out := make([]Sample, n)
+	start := (s.head - n + len(s.buf)) % len(s.buf)
+	for i := 0; i < n; i++ {
+		out[i] = s.buf[(start+i)%len(s.buf)]
+	}
+	return out
+}
+
+// Values returns just the values of Window(n).
+func (s *Series) Values(n int) []float64 {
+	w := s.Window(n)
+	out := make([]float64, len(w))
+	for i, smp := range w {
+		out[i] = smp.Value
+	}
+	return out
+}
+
+// Since returns all stored samples at or after t, chronological.
+func (s *Series) Since(t time.Time) []Sample {
+	all := s.Window(0)
+	i := sort.Search(len(all), func(i int) bool { return !all[i].At.Before(t) })
+	return all[i:]
+}
+
+// Stats summarises a window of samples.
+type Stats struct {
+	N             int     `json:"n"`
+	Mean          float64 `json:"mean"`
+	Min           float64 `json:"min"`
+	Max           float64 `json:"max"`
+	StdDev        float64 `json:"stddev"`
+	P50, P95, P99 float64
+}
+
+// WindowStats computes aggregates over the n most recent samples
+// (n <= 0: all).
+func (s *Series) WindowStats(n int) Stats {
+	vals := s.Values(n)
+	return Compute(vals)
+}
+
+// Compute returns summary statistics for vals.
+func Compute(vals []float64) Stats {
+	st := Stats{N: len(vals)}
+	if len(vals) == 0 {
+		return st
+	}
+	st.Min, st.Max = math.Inf(1), math.Inf(-1)
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean = sum / float64(len(vals))
+	ss := 0.0
+	for _, v := range vals {
+		d := v - st.Mean
+		ss += d * d
+	}
+	if len(vals) > 1 {
+		st.StdDev = math.Sqrt(ss / float64(len(vals)-1))
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	st.P50 = Percentile(sorted, 0.50)
+	st.P95 = Percentile(sorted, 0.95)
+	st.P99 = Percentile(sorted, 0.99)
+	return st
+}
+
+// Percentile returns the p-quantile (0..1) of an ascending-sorted slice
+// using linear interpolation between closest ranks.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	rank := p * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Store is a concurrent registry of named series — the monitoring database
+// the REST API and dashboard read from.
+type Store struct {
+	mu       sync.RWMutex
+	series   map[string]*Series
+	capacity int
+}
+
+// NewStore returns a store whose auto-created series hold capacity samples.
+func NewStore(capacity int) *Store {
+	if capacity < 1 {
+		capacity = 1024
+	}
+	return &Store{series: make(map[string]*Series), capacity: capacity}
+}
+
+// Series returns the named series, creating it on first use.
+func (st *Store) Series(name string) *Series {
+	st.mu.RLock()
+	s, ok := st.series[name]
+	st.mu.RUnlock()
+	if ok {
+		return s
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s, ok = st.series[name]; ok {
+		return s
+	}
+	s = NewSeries(name, st.capacity)
+	st.series[name] = s
+	return s
+}
+
+// Record appends to the named series, creating it if needed.
+func (st *Store) Record(name string, at time.Time, v float64) {
+	st.Series(name).Add(at, v)
+}
+
+// Names returns all series names, sorted.
+func (st *Store) Names() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, 0, len(st.series))
+	for n := range st.series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns the latest value of every series — the payload the
+// domain controllers feed to the orchestrator over REST.
+func (st *Store) Snapshot() map[string]float64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make(map[string]float64, len(st.series))
+	for n, s := range st.series {
+		if last, ok := s.Last(); ok {
+			out[n] = last.Value
+		}
+	}
+	return out
+}
+
+// SliceMetric builds the conventional per-slice series name,
+// e.g. SliceMetric("s-3", "demand_mbps") = "slice/s-3/demand_mbps".
+func SliceMetric(sliceID, metric string) string {
+	return fmt.Sprintf("slice/%s/%s", sliceID, metric)
+}
+
+// DomainMetric builds the conventional per-domain series name,
+// e.g. DomainMetric("ran", "utilization") = "domain/ran/utilization".
+func DomainMetric(domain, metric string) string {
+	return fmt.Sprintf("domain/%s/%s", domain, metric)
+}

@@ -1,0 +1,519 @@
+// Package ran models the radio access network of the testbed: LTE eNBs
+// supporting the Multi Operator Core Network (MOCN) RAN-sharing model, where
+// each network slice is mapped onto a dedicated PLMN with a reserved share
+// of Physical Resource Blocks (PRBs).
+//
+// The demo used two NEC MB4420 small cells. The orchestrator's RAN
+// controller never touches symbols or HARQ; it reserves PRB budgets per
+// PLMN, resizes them when the overbooking engine reconfigures, and reads
+// back utilization. This package therefore models exactly that control
+// surface plus a per-TTI-abstracted scheduler that converts PRB budgets and
+// a CQI distribution into served throughput.
+package ran
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/slice"
+)
+
+// Bandwidth is an LTE channel bandwidth.
+type Bandwidth int
+
+// Standard E-UTRA channel bandwidths. The zero value is invalid so that an
+// unset configuration cannot silently select the smallest grid.
+const (
+	bwInvalid Bandwidth = iota
+	BW1_4MHz
+	BW3MHz
+	BW5MHz
+	BW10MHz
+	BW15MHz
+	BW20MHz
+)
+
+// PRBs returns the number of physical resource blocks for the bandwidth
+// (3GPP TS 36.101 Table 5.6-1).
+func (b Bandwidth) PRBs() int {
+	switch b {
+	case BW1_4MHz:
+		return 6
+	case BW3MHz:
+		return 15
+	case BW5MHz:
+		return 25
+	case BW10MHz:
+		return 50
+	case BW15MHz:
+		return 75
+	case BW20MHz:
+		return 100
+	default:
+		return 0
+	}
+}
+
+// String returns the bandwidth label.
+func (b Bandwidth) String() string {
+	switch b {
+	case BW1_4MHz:
+		return "1.4MHz"
+	case BW3MHz:
+		return "3MHz"
+	case BW5MHz:
+		return "5MHz"
+	case BW10MHz:
+		return "10MHz"
+	case BW15MHz:
+		return "15MHz"
+	case BW20MHz:
+		return "20MHz"
+	default:
+		return fmt.Sprintf("Bandwidth(%d)", int(b))
+	}
+}
+
+// cqiEfficiency maps CQI 1..15 to spectral efficiency in bits/symbol
+// (3GPP TS 36.213 Table 7.2.3-1). Index 0 is out-of-range (no service).
+var cqiEfficiency = [16]float64{
+	0,      // CQI 0: out of range
+	0.1523, // QPSK 78/1024
+	0.2344,
+	0.3770,
+	0.6016,
+	0.8770,
+	1.1758,
+	1.4766, // 16QAM starts
+	1.9141,
+	2.4063,
+	2.7305, // 64QAM starts
+	3.3223,
+	3.9023,
+	4.5234,
+	5.1152,
+	5.5547,
+}
+
+// Efficiency returns the spectral efficiency (bits/symbol) for a CQI in
+// 0..15; out-of-range CQIs clamp.
+func Efficiency(cqi int) float64 {
+	if cqi < 0 {
+		cqi = 0
+	}
+	if cqi > 15 {
+		cqi = 15
+	}
+	return cqiEfficiency[cqi]
+}
+
+// PRBThroughputMbps returns the downlink throughput of one PRB sustained
+// over a second at the given CQI. A PRB is 12 subcarriers; with a normal
+// cyclic prefix there are 14 OFDM symbols per 1 ms subframe, of which ~11
+// carry data after control/reference overhead (3 symbols PDCCH+CRS).
+func PRBThroughputMbps(cqi int) float64 {
+	const (
+		subcarriers      = 12
+		dataSymbolsPerMs = 11
+	)
+	bitsPerMs := Efficiency(cqi) * subcarriers * dataSymbolsPerMs
+	return bitsPerMs / 1000 // kbit/ms == Mbit/s
+}
+
+// Errors returned by the eNB reservation API. The orchestrator surfaces
+// them as admission-rejection reasons.
+var (
+	ErrInsufficientPRBs = errors.New("ran: insufficient free PRBs")
+	ErrUnknownPLMN      = errors.New("ran: PLMN has no reservation")
+	ErrPLMNListFull     = errors.New("ran: MOCN broadcast list full")
+	ErrAlreadyReserved  = errors.New("ran: PLMN already has a reservation")
+)
+
+// Config describes one eNB.
+type Config struct {
+	// Name identifies the eNB ("enb-1", "enb-2" in the testbed).
+	Name string
+	// Bandwidth sets the PRB grid size.
+	Bandwidth Bandwidth
+	// MaxPLMNs bounds the MOCN broadcast list (SIB1 allows 6).
+	MaxPLMNs int
+	// MeanCQI is the average channel quality of the attached UE
+	// population; per-slice CQI draws centre here.
+	MeanCQI float64
+	// CQIStdDev spreads the per-epoch CQI draws (0 = deterministic).
+	CQIStdDev float64
+	// ControlPRBs are always kept aside for common channels and cannot
+	// be reserved by slices.
+	ControlPRBs int
+}
+
+// ENB is one MOCN-sharing eNode-B. All methods are safe for concurrent use.
+type ENB struct {
+	cfg Config
+	rng *rand.Rand
+
+	mu       sync.Mutex
+	reserved map[slice.PLMN]int // PRBs per PLMN
+	order    []slice.PLMN       // reservation order, for deterministic iteration
+}
+
+// NewENB validates cfg and returns the eNB. rng may be nil for a
+// deterministic (mean-CQI) channel.
+func NewENB(cfg Config, rng *rand.Rand) (*ENB, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("ran: eNB needs a name")
+	}
+	if cfg.Bandwidth.PRBs() == 0 {
+		return nil, fmt.Errorf("ran: invalid bandwidth %v", cfg.Bandwidth)
+	}
+	if cfg.MaxPLMNs <= 0 {
+		cfg.MaxPLMNs = slice.DefaultPLMNLimit
+	}
+	if cfg.MeanCQI <= 0 {
+		cfg.MeanCQI = 12
+	}
+	if cfg.ControlPRBs < 0 || cfg.ControlPRBs >= cfg.Bandwidth.PRBs() {
+		return nil, fmt.Errorf("ran: control PRBs %d out of range for %v", cfg.ControlPRBs, cfg.Bandwidth)
+	}
+	return &ENB{cfg: cfg, rng: rng, reserved: make(map[slice.PLMN]int)}, nil
+}
+
+// Name returns the eNB name.
+func (e *ENB) Name() string { return e.cfg.Name }
+
+// TotalPRBs returns the schedulable PRBs (grid minus control overhead).
+func (e *ENB) TotalPRBs() int { return e.cfg.Bandwidth.PRBs() - e.cfg.ControlPRBs }
+
+// FreePRBs returns unreserved schedulable PRBs.
+func (e *ENB) FreePRBs() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.freeLocked()
+}
+
+func (e *ENB) freeLocked() int {
+	used := 0
+	for _, n := range e.reserved {
+		used += n
+	}
+	return e.TotalPRBs() - used
+}
+
+// MeanCQI returns the configured average channel quality.
+func (e *ENB) MeanCQI() float64 { return e.cfg.MeanCQI }
+
+// CapacityMbps returns the cell capacity at the mean CQI.
+func (e *ENB) CapacityMbps() float64 {
+	return float64(e.TotalPRBs()) * PRBThroughputMbps(int(math.Round(e.cfg.MeanCQI)))
+}
+
+// PRBsForThroughput converts a required throughput into a PRB budget at the
+// eNB's mean CQI, rounding up. It is the sizing function the RAN controller
+// uses when translating an orchestrator reservation into radio resources.
+func (e *ENB) PRBsForThroughput(mbps float64) int {
+	if mbps <= 0 {
+		return 0
+	}
+	per := PRBThroughputMbps(int(math.Round(e.cfg.MeanCQI)))
+	return int(math.Ceil(mbps / per))
+}
+
+// ThroughputForPRBs is the inverse sizing function at mean CQI.
+func (e *ENB) ThroughputForPRBs(prbs int) float64 {
+	return float64(prbs) * PRBThroughputMbps(int(math.Round(e.cfg.MeanCQI)))
+}
+
+// Reserve dedicates prbs to the PLMN, adding it to the MOCN broadcast list.
+func (e *ENB) Reserve(p slice.PLMN, prbs int) error {
+	if prbs <= 0 {
+		return fmt.Errorf("ran: reservation of %d PRBs on %s must be positive", prbs, e.cfg.Name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.reserved[p]; ok {
+		return fmt.Errorf("%w: %s on %s", ErrAlreadyReserved, p, e.cfg.Name)
+	}
+	if len(e.reserved) >= e.cfg.MaxPLMNs {
+		return fmt.Errorf("%w: %d PLMNs on %s", ErrPLMNListFull, len(e.reserved), e.cfg.Name)
+	}
+	if prbs > e.freeLocked() {
+		return fmt.Errorf("%w: want %d, free %d on %s", ErrInsufficientPRBs, prbs, e.freeLocked(), e.cfg.Name)
+	}
+	e.reserved[p] = prbs
+	e.order = append(e.order, p)
+	return nil
+}
+
+// Resize changes the PLMN's reservation to prbs (the overbooking
+// reconfiguration primitive). Growing fails if free PRBs do not cover the
+// increase.
+func (e *ENB) Resize(p slice.PLMN, prbs int) error {
+	if prbs <= 0 {
+		return fmt.Errorf("ran: resize to %d PRBs must be positive (release instead)", prbs)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur, ok := e.reserved[p]
+	if !ok {
+		return fmt.Errorf("%w: %s on %s", ErrUnknownPLMN, p, e.cfg.Name)
+	}
+	delta := prbs - cur
+	if delta > e.freeLocked() {
+		return fmt.Errorf("%w: grow by %d, free %d on %s", ErrInsufficientPRBs, delta, e.freeLocked(), e.cfg.Name)
+	}
+	e.reserved[p] = prbs
+	return nil
+}
+
+// Release removes the PLMN's reservation and broadcast entry. Unknown PLMNs
+// are a no-op so teardown is idempotent.
+func (e *ENB) Release(p slice.PLMN) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.reserved[p]; !ok {
+		return
+	}
+	delete(e.reserved, p)
+	for i, q := range e.order {
+		if q == p {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Reservation returns the PRBs currently dedicated to the PLMN.
+func (e *ENB) Reservation(p slice.PLMN) (int, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n, ok := e.reserved[p]
+	return n, ok
+}
+
+// BroadcastList returns the PLMNs in the MOCN SIB1 list, in reservation
+// order.
+func (e *ENB) BroadcastList() []slice.PLMN {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]slice.PLMN(nil), e.order...)
+}
+
+// drawCQI samples the epoch CQI for one slice's UE population.
+func (e *ENB) drawCQI() int {
+	cqi := e.cfg.MeanCQI
+	if e.rng != nil && e.cfg.CQIStdDev > 0 {
+		cqi += e.rng.NormFloat64() * e.cfg.CQIStdDev
+	}
+	v := int(math.Round(cqi))
+	if v < 1 {
+		v = 1
+	}
+	if v > 15 {
+		v = 15
+	}
+	return v
+}
+
+// DemandMbps is the per-PLMN offered load for one scheduling epoch.
+type DemandMbps map[slice.PLMN]float64
+
+// ServedMbps is the per-PLMN throughput delivered in one epoch.
+type ServedMbps map[slice.PLMN]float64
+
+// ScheduleEpoch runs the MOCN scheduler for one monitoring epoch: each PLMN
+// is served up to its reserved PRB budget at the epoch's CQI; if
+// shareUnused is true, PRBs left idle by under-demanding slices are
+// redistributed to saturated ones (work-conserving proportional reuse, the
+// in-scheduler statistical multiplexing of [1]).
+//
+// It returns the delivered throughput per PLMN and the overall PRB
+// utilization in [0,1].
+func (e *ENB) ScheduleEpoch(demand DemandMbps, shareUnused bool) (ServedMbps, float64) {
+	e.mu.Lock()
+	order := append([]slice.PLMN(nil), e.order...)
+	res := make(map[slice.PLMN]int, len(e.reserved))
+	for p, n := range e.reserved {
+		res[p] = n
+	}
+	e.mu.Unlock()
+
+	served := make(ServedMbps, len(order))
+	perPRB := PRBThroughputMbps(e.drawCQI())
+	if perPRB <= 0 {
+		for _, p := range order {
+			served[p] = 0
+		}
+		return served, 0
+	}
+
+	type state struct {
+		plmn    slice.PLMN
+		want    float64 // PRBs needed to satisfy demand (fractional)
+		granted float64
+	}
+	states := make([]state, 0, len(order))
+	idle := 0.0
+	usedPRBs := 0.0
+	for _, p := range order {
+		d := demand[p]
+		budget := float64(res[p])
+		want := d / perPRB
+		granted := math.Min(want, budget)
+		if granted < 0 {
+			granted = 0
+		}
+		idle += budget - granted
+		usedPRBs += granted
+		states = append(states, state{plmn: p, want: want, granted: granted})
+	}
+
+	if shareUnused && idle > 1e-9 {
+		// Redistribute idle PRBs to saturated slices proportionally to
+		// their unmet demand, iterating because a grant can satiate.
+		for iter := 0; iter < 4 && idle > 1e-9; iter++ {
+			totalUnmet := 0.0
+			for _, s := range states {
+				if s.want > s.granted {
+					totalUnmet += s.want - s.granted
+				}
+			}
+			if totalUnmet <= 1e-9 {
+				break
+			}
+			share := math.Min(idle, totalUnmet)
+			for i := range states {
+				s := &states[i]
+				if s.want <= s.granted {
+					continue
+				}
+				extra := share * (s.want - s.granted) / totalUnmet
+				if s.granted+extra > s.want {
+					extra = s.want - s.granted
+				}
+				s.granted += extra
+				idle -= extra
+				usedPRBs += extra
+			}
+		}
+	}
+
+	for _, s := range states {
+		served[s.plmn] = s.granted * perPRB
+	}
+	util := 0.0
+	if t := float64(e.TotalPRBs()); t > 0 {
+		util = usedPRBs / t
+	}
+	return served, util
+}
+
+// Utilization returns the fraction of schedulable PRBs currently reserved.
+func (e *ENB) Utilization() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := float64(e.TotalPRBs())
+	if t == 0 {
+		return 0
+	}
+	return float64(e.TotalPRBs()-e.freeLocked()) / t
+}
+
+// Snapshot summarises the eNB state for telemetry.
+type Snapshot struct {
+	Name        string            `json:"name"`
+	Bandwidth   string            `json:"bandwidth"`
+	TotalPRBs   int               `json:"total_prbs"`
+	FreePRBs    int               `json:"free_prbs"`
+	Utilization float64           `json:"utilization"`
+	PLMNs       []PLMNReservation `json:"plmns"`
+}
+
+// PLMNReservation is one entry of the snapshot.
+type PLMNReservation struct {
+	PLMN slice.PLMN `json:"plmn"`
+	PRBs int        `json:"prbs"`
+}
+
+// Snapshot captures the eNB state.
+func (e *ENB) Snapshot() Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := Snapshot{
+		Name:      e.cfg.Name,
+		Bandwidth: e.cfg.Bandwidth.String(),
+		TotalPRBs: e.TotalPRBs(),
+		FreePRBs:  e.freeLocked(),
+	}
+	if s.TotalPRBs > 0 {
+		s.Utilization = float64(s.TotalPRBs-s.FreePRBs) / float64(s.TotalPRBs)
+	}
+	for _, p := range e.order {
+		s.PLMNs = append(s.PLMNs, PLMNReservation{PLMN: p, PRBs: e.reserved[p]})
+	}
+	return s
+}
+
+// Network is the RAN domain: the set of eNBs the RAN controller manages.
+type Network struct {
+	mu   sync.Mutex
+	enbs map[string]*ENB
+}
+
+// NewNetwork returns an empty RAN domain.
+func NewNetwork() *Network { return &Network{enbs: make(map[string]*ENB)} }
+
+// Add registers an eNB; duplicate names error.
+func (n *Network) Add(e *ENB) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.enbs[e.Name()]; ok {
+		return fmt.Errorf("ran: duplicate eNB %q", e.Name())
+	}
+	n.enbs[e.Name()] = e
+	return nil
+}
+
+// Get returns the named eNB.
+func (n *Network) Get(name string) (*ENB, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.enbs[name]
+	return e, ok
+}
+
+// Names lists eNB names sorted.
+func (n *Network) Names() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.enbs))
+	for name := range n.enbs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the eNBs sorted by name.
+func (n *Network) All() []*ENB {
+	names := n.Names()
+	out := make([]*ENB, 0, len(names))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, name := range names {
+		out = append(out, n.enbs[name])
+	}
+	return out
+}
+
+// TotalCapacityMbps sums the mean-CQI capacity of all cells.
+func (n *Network) TotalCapacityMbps() float64 {
+	sum := 0.0
+	for _, e := range n.All() {
+		sum += e.CapacityMbps()
+	}
+	return sum
+}

@@ -1,0 +1,324 @@
+package ran
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/slice"
+)
+
+func plmn(mnc string) slice.PLMN { return slice.PLMN{MCC: "001", MNC: mnc} }
+
+func newTestENB(t *testing.T) *ENB {
+	t.Helper()
+	e, err := NewENB(Config{Name: "enb-1", Bandwidth: BW20MHz, MeanCQI: 12}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBandwidthPRBTable(t *testing.T) {
+	cases := map[Bandwidth]int{
+		BW1_4MHz: 6, BW3MHz: 15, BW5MHz: 25, BW10MHz: 50, BW15MHz: 75, BW20MHz: 100,
+	}
+	for bw, want := range cases {
+		if got := bw.PRBs(); got != want {
+			t.Fatalf("%v PRBs = %d, want %d", bw, got, want)
+		}
+	}
+	if Bandwidth(99).PRBs() != 0 {
+		t.Fatal("invalid bandwidth has PRBs")
+	}
+}
+
+func TestEfficiencyMonotone(t *testing.T) {
+	prev := -1.0
+	for cqi := 0; cqi <= 15; cqi++ {
+		e := Efficiency(cqi)
+		if e < prev {
+			t.Fatalf("efficiency not monotone at CQI %d", cqi)
+		}
+		prev = e
+	}
+	if Efficiency(-5) != 0 || Efficiency(40) != Efficiency(15) {
+		t.Fatal("CQI clamping broken")
+	}
+}
+
+func TestPRBThroughputScale(t *testing.T) {
+	// CQI 15: 5.5547 bits/sym * 12 * 11 / 1000 ≈ 0.733 Mbps per PRB;
+	// a 20 MHz cell at top CQI is then ~73 Mbps per carrier, the right
+	// order for a single-stream LTE small cell.
+	got := PRBThroughputMbps(15)
+	if math.Abs(got-0.7332) > 0.01 {
+		t.Fatalf("PRB throughput at CQI15 = %v", got)
+	}
+	if PRBThroughputMbps(0) != 0 {
+		t.Fatal("CQI0 should carry nothing")
+	}
+}
+
+func TestNewENBValidation(t *testing.T) {
+	if _, err := NewENB(Config{Bandwidth: BW10MHz}, nil); err == nil {
+		t.Fatal("nameless eNB accepted")
+	}
+	if _, err := NewENB(Config{Name: "x", Bandwidth: Bandwidth(99)}, nil); err == nil {
+		t.Fatal("invalid bandwidth accepted")
+	}
+	if _, err := NewENB(Config{Name: "x", Bandwidth: BW1_4MHz, ControlPRBs: 6}, nil); err == nil {
+		t.Fatal("all-control grid accepted")
+	}
+}
+
+func TestReserveResizeRelease(t *testing.T) {
+	e := newTestENB(t)
+	p := plmn("01")
+	if err := e.Reserve(p, 40); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := e.Reservation(p); got != 40 {
+		t.Fatalf("reservation %d", got)
+	}
+	if e.FreePRBs() != 60 {
+		t.Fatalf("free %d", e.FreePRBs())
+	}
+	if err := e.Resize(p, 70); err != nil {
+		t.Fatal(err)
+	}
+	if e.FreePRBs() != 30 {
+		t.Fatalf("free after grow %d", e.FreePRBs())
+	}
+	if err := e.Resize(p, 10); err != nil {
+		t.Fatal(err)
+	}
+	if e.FreePRBs() != 90 {
+		t.Fatalf("free after shrink %d", e.FreePRBs())
+	}
+	e.Release(p)
+	if e.FreePRBs() != 100 {
+		t.Fatalf("free after release %d", e.FreePRBs())
+	}
+	if _, ok := e.Reservation(p); ok {
+		t.Fatal("released PLMN still reserved")
+	}
+}
+
+func TestReserveErrors(t *testing.T) {
+	e := newTestENB(t)
+	p := plmn("01")
+	if err := e.Reserve(p, 0); err == nil {
+		t.Fatal("zero reservation accepted")
+	}
+	if err := e.Reserve(p, 101); !errors.Is(err, ErrInsufficientPRBs) {
+		t.Fatalf("oversize reserve: %v", err)
+	}
+	if err := e.Reserve(p, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reserve(p, 10); !errors.Is(err, ErrAlreadyReserved) {
+		t.Fatalf("duplicate reserve: %v", err)
+	}
+	if err := e.Resize(plmn("09"), 10); !errors.Is(err, ErrUnknownPLMN) {
+		t.Fatalf("resize unknown: %v", err)
+	}
+	if err := e.Resize(p, 200); !errors.Is(err, ErrInsufficientPRBs) {
+		t.Fatalf("oversize resize: %v", err)
+	}
+	if got, _ := e.Reservation(p); got != 50 {
+		t.Fatalf("failed resize mutated reservation to %d", got)
+	}
+}
+
+func TestMOCNListLimit(t *testing.T) {
+	e, _ := NewENB(Config{Name: "e", Bandwidth: BW20MHz, MaxPLMNs: 2, MeanCQI: 12}, nil)
+	e.Reserve(plmn("01"), 10)
+	e.Reserve(plmn("02"), 10)
+	if err := e.Reserve(plmn("03"), 10); !errors.Is(err, ErrPLMNListFull) {
+		t.Fatalf("3rd PLMN on limit-2 list: %v", err)
+	}
+	bl := e.BroadcastList()
+	if len(bl) != 2 || bl[0] != plmn("01") || bl[1] != plmn("02") {
+		t.Fatalf("broadcast list %v", bl)
+	}
+}
+
+func TestControlPRBsExcluded(t *testing.T) {
+	e, _ := NewENB(Config{Name: "e", Bandwidth: BW10MHz, ControlPRBs: 10, MeanCQI: 12}, nil)
+	if e.TotalPRBs() != 40 {
+		t.Fatalf("schedulable %d", e.TotalPRBs())
+	}
+	if err := e.Reserve(plmn("01"), 41); !errors.Is(err, ErrInsufficientPRBs) {
+		t.Fatal("reservation ate control PRBs")
+	}
+}
+
+func TestSizingRoundTrip(t *testing.T) {
+	e := newTestENB(t) // CQI 12 → 3.9023*12*11/1000 = 0.515 Mbps/PRB
+	prbs := e.PRBsForThroughput(30)
+	if got := e.ThroughputForPRBs(prbs); got < 30 {
+		t.Fatalf("PRB sizing under-provisions: %d PRBs -> %.2f Mbps", prbs, got)
+	}
+	if got := e.ThroughputForPRBs(prbs - 1); got >= 30 {
+		t.Fatalf("PRB sizing wastes a block: %d PRBs already give %.2f", prbs-1, got)
+	}
+	if e.PRBsForThroughput(0) != 0 || e.PRBsForThroughput(-5) != 0 {
+		t.Fatal("non-positive demand sized to PRBs")
+	}
+}
+
+func TestScheduleEpochDedicated(t *testing.T) {
+	e := newTestENB(t)
+	p1, p2 := plmn("01"), plmn("02")
+	e.Reserve(p1, 50)
+	e.Reserve(p2, 50)
+	per := PRBThroughputMbps(12)
+
+	served, util := e.ScheduleEpoch(DemandMbps{p1: 10 * per, p2: 100 * per}, false)
+	if math.Abs(served[p1]-10*per) > 1e-9 {
+		t.Fatalf("p1 served %.3f, want %.3f", served[p1], 10*per)
+	}
+	// p2 demands 100 PRBs worth but owns only 50: capped without sharing.
+	if math.Abs(served[p2]-50*per) > 1e-9 {
+		t.Fatalf("p2 served %.3f, want %.3f", served[p2], 50*per)
+	}
+	if math.Abs(util-0.60) > 1e-9 {
+		t.Fatalf("util %.3f, want 0.60", util)
+	}
+}
+
+func TestScheduleEpochSharedUnused(t *testing.T) {
+	e := newTestENB(t)
+	p1, p2 := plmn("01"), plmn("02")
+	e.Reserve(p1, 50)
+	e.Reserve(p2, 50)
+	per := PRBThroughputMbps(12)
+
+	served, util := e.ScheduleEpoch(DemandMbps{p1: 10 * per, p2: 100 * per}, true)
+	// p2 can now borrow p1's 40 idle PRBs: 50 own + 40 borrowed = 90.
+	if math.Abs(served[p2]-90*per) > 1e-6 {
+		t.Fatalf("p2 served %.3f, want %.3f", served[p2], 90*per)
+	}
+	if math.Abs(served[p1]-10*per) > 1e-9 {
+		t.Fatalf("p1 served %.3f", served[p1])
+	}
+	if math.Abs(util-1.0) > 1e-6 {
+		t.Fatalf("util %.3f, want 1.0", util)
+	}
+}
+
+func TestScheduleEpochZeroDemand(t *testing.T) {
+	e := newTestENB(t)
+	e.Reserve(plmn("01"), 30)
+	served, util := e.ScheduleEpoch(DemandMbps{}, true)
+	if served[plmn("01")] != 0 || util != 0 {
+		t.Fatalf("served %v util %v with no demand", served, util)
+	}
+}
+
+func TestUtilizationTracksReservations(t *testing.T) {
+	e := newTestENB(t)
+	if e.Utilization() != 0 {
+		t.Fatal("fresh eNB utilised")
+	}
+	e.Reserve(plmn("01"), 25)
+	if got := e.Utilization(); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("utilization %v", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	e := newTestENB(t)
+	e.Reserve(plmn("01"), 20)
+	s := e.Snapshot()
+	if s.Name != "enb-1" || s.TotalPRBs != 100 || s.FreePRBs != 80 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if len(s.PLMNs) != 1 || s.PLMNs[0].PRBs != 20 {
+		t.Fatalf("snapshot plmns %+v", s.PLMNs)
+	}
+}
+
+func TestNetworkRegistry(t *testing.T) {
+	n := NewNetwork()
+	e1, _ := NewENB(Config{Name: "enb-1", Bandwidth: BW10MHz, MeanCQI: 12}, nil)
+	e2, _ := NewENB(Config{Name: "enb-2", Bandwidth: BW20MHz, MeanCQI: 12}, nil)
+	if err := n.Add(e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Add(e2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Add(e1); err == nil {
+		t.Fatal("duplicate eNB accepted")
+	}
+	if got := n.Names(); len(got) != 2 || got[0] != "enb-1" {
+		t.Fatalf("names %v", got)
+	}
+	if _, ok := n.Get("enb-2"); !ok {
+		t.Fatal("Get missed enb-2")
+	}
+	want := e1.CapacityMbps() + e2.CapacityMbps()
+	if got := n.TotalCapacityMbps(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("total capacity %v, want %v", got, want)
+	}
+}
+
+func TestCQIDrawBounded(t *testing.T) {
+	e, _ := NewENB(Config{Name: "e", Bandwidth: BW10MHz, MeanCQI: 2, CQIStdDev: 6}, rand.New(rand.NewSource(4)))
+	for i := 0; i < 500; i++ {
+		cqi := e.drawCQI()
+		if cqi < 1 || cqi > 15 {
+			t.Fatalf("CQI draw %d out of range", cqi)
+		}
+	}
+}
+
+// Property: scheduling never serves a PLMN more than its demand, never
+// serves more PRBs than the grid holds, and without sharing never exceeds
+// each PLMN's own reservation.
+func TestPropertySchedulerConservation(t *testing.T) {
+	per := PRBThroughputMbps(12)
+	f := func(resRaw [3]uint8, demRaw [3]uint16, share bool) bool {
+		e, _ := NewENB(Config{Name: "p", Bandwidth: BW20MHz, MeanCQI: 12}, nil)
+		plmns := []slice.PLMN{plmn("01"), plmn("02"), plmn("03")}
+		res := map[slice.PLMN]int{}
+		free := 100
+		for i, p := range plmns {
+			r := int(resRaw[i])%50 + 1
+			if r > free {
+				r = free
+			}
+			if r == 0 {
+				continue
+			}
+			if err := e.Reserve(p, r); err != nil {
+				return false
+			}
+			res[p] = r
+			free -= r
+		}
+		demand := DemandMbps{}
+		for i, p := range plmns {
+			demand[p] = float64(demRaw[i]%200) * per / 4
+		}
+		served, util := e.ScheduleEpoch(demand, share)
+		totalPRBs := 0.0
+		for p, s := range served {
+			if s > demand[p]+1e-6 {
+				return false // served more than asked
+			}
+			if !share && s > float64(res[p])*per+1e-6 {
+				return false // exceeded dedicated budget
+			}
+			totalPRBs += s / per
+		}
+		return totalPRBs <= 100+1e-6 && util >= 0 && util <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

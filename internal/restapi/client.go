@@ -1,0 +1,175 @@
+package restapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/internal/core"
+	"repro/internal/slice"
+	"repro/internal/transport"
+)
+
+// Client is the typed HTTP client for Server, used by cmd/slicectl and any
+// external tooling.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes the server's error envelope.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("restapi: server returned %d: %s", e.Status, e.Msg)
+}
+
+// do performs a request and decodes the JSON response into out (unless nil).
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("restapi: encode request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			eb.Error = resp.Status
+		}
+		return &apiError{Status: resp.StatusCode, Msg: eb.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks /healthz.
+func (c *Client) Health() error {
+	return c.do(http.MethodGet, "/healthz", nil, nil)
+}
+
+// SubmitSlice posts a slice request and returns the resulting snapshot
+// (state "installing" or "rejected" with the reason filled in).
+func (c *Client) SubmitSlice(body SliceRequestBody) (slice.Snapshot, error) {
+	var snap slice.Snapshot
+	err := c.do(http.MethodPost, "/api/v1/slices", body, &snap)
+	return snap, err
+}
+
+// ListSlices returns all slice snapshots.
+func (c *Client) ListSlices() ([]slice.Snapshot, error) {
+	var out []slice.Snapshot
+	err := c.do(http.MethodGet, "/api/v1/slices", nil, &out)
+	return out, err
+}
+
+// GetSlice fetches one slice.
+func (c *Client) GetSlice(id slice.ID) (slice.Snapshot, error) {
+	var snap slice.Snapshot
+	err := c.do(http.MethodGet, "/api/v1/slices/"+url.PathEscape(string(id)), nil, &snap)
+	return snap, err
+}
+
+// DeleteSlice tears a slice down.
+func (c *Client) DeleteSlice(id slice.ID) error {
+	return c.do(http.MethodDelete, "/api/v1/slices/"+url.PathEscape(string(id)), nil, nil)
+}
+
+// RecordDemand feeds a live demand sample for a slice.
+func (c *Client) RecordDemand(id slice.ID, mbps float64) error {
+	return c.do(http.MethodPost, "/api/v1/slices/"+url.PathEscape(string(id))+"/demand", DemandBody{Mbps: mbps}, nil)
+}
+
+// Gain fetches the gains-vs-penalties report.
+func (c *Client) Gain() (core.GainReport, error) {
+	var g core.GainReport
+	err := c.do(http.MethodGet, "/api/v1/gain", nil, &g)
+	return g, err
+}
+
+// Metrics fetches the latest value of every series.
+func (c *Client) Metrics() (map[string]float64, error) {
+	var out map[string]float64
+	err := c.do(http.MethodGet, "/api/v1/metrics", nil, &out)
+	return out, err
+}
+
+// MetricSeries fetches one series (window = number of most recent samples,
+// 0 for all stored).
+func (c *Client) MetricSeries(name string, window int) (SeriesResponse, error) {
+	path := "/api/v1/metrics/" + name
+	if window > 0 {
+		path += fmt.Sprintf("?window=%d", window)
+	}
+	var out SeriesResponse
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Topology fetches the transport link table.
+func (c *Client) Topology() ([]transport.LinkSnapshot, error) {
+	var out []transport.LinkSnapshot
+	err := c.do(http.MethodGet, "/api/v1/topology", nil, &out)
+	return out, err
+}
+
+func linkPath(from, to, op string) string {
+	return "/api/v1/links/" + url.PathEscape(from) + "/" + url.PathEscape(to) + "/" + op
+}
+
+// FailLink takes the directed link down; the orchestrator re-routes or
+// drops the affected slices and reports the outcome.
+func (c *Client) FailLink(from, to string) (core.RestorationReport, error) {
+	var rep core.RestorationReport
+	err := c.do(http.MethodPost, linkPath(from, to, "fail"), struct{}{}, &rep)
+	return rep, err
+}
+
+// RestoreLink brings the directed link back up.
+func (c *Client) RestoreLink(from, to string) error {
+	return c.do(http.MethodPost, linkPath(from, to, "restore"), struct{}{}, nil)
+}
+
+// DegradeLink rescales the directed link's capacity (rain-fade injection);
+// oversubscribed slices are re-routed or shrunk.
+func (c *Client) DegradeLink(from, to string, capacityMbps float64) (core.RestorationReport, error) {
+	var rep core.RestorationReport
+	err := c.do(http.MethodPost, linkPath(from, to, "degrade"), LinkOpBody{CapacityMbps: capacityMbps}, &rep)
+	return rep, err
+}

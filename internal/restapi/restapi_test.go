@@ -1,0 +1,282 @@
+package restapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// apiEnv spins up a server over a simulator-driven orchestrator; returns the
+// client and the simulator so tests can advance virtual time.
+func apiEnv(t *testing.T) (*Client, *sim.Simulator) {
+	t.Helper()
+	s := sim.NewSimulator(1)
+	tb, err := testbed.New(testbed.Default(), s.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orch := core.New(core.Config{Overbook: true, Risk: 0.9}, tb, s, monitor.NewStore(256))
+	orch.Start()
+	srv := httptest.NewServer(NewServer(orch))
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL), s
+}
+
+func validBody() SliceRequestBody {
+	return SliceRequestBody{
+		Tenant:          "acme",
+		DurationSeconds: 3600,
+		MaxLatencyMs:    20,
+		ThroughputMbps:  30,
+		PriceEUR:        100,
+		PenaltyEUR:      2,
+		Class:           "e-health",
+	}
+}
+
+func TestHealth(t *testing.T) {
+	c, _ := apiEnv(t)
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubmitAndGetSlice(t *testing.T) {
+	c, s := apiEnv(t)
+	snap, err := c.SubmitSlice(validBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != "installing" {
+		t.Fatalf("state %q reason %q", snap.State, snap.Reason)
+	}
+	if snap.Class != "e-health" || snap.Tenant != "acme" {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	s.RunFor(15 * time.Second)
+	got, err := c.GetSlice(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != "active" {
+		t.Fatalf("state after install %q", got.State)
+	}
+	if got.Allocation.DataCenter == "" || got.Allocation.PLMN.IsZero() {
+		t.Fatalf("allocation %+v", got.Allocation)
+	}
+}
+
+func TestSubmitRejectedReportedInBand(t *testing.T) {
+	c, _ := apiEnv(t)
+	body := validBody()
+	body.MaxLatencyMs = 0.01 // unmeetable
+	snap, err := c.SubmitSlice(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != "rejected" || !strings.Contains(snap.Reason, "latency") {
+		t.Fatalf("state %q reason %q", snap.State, snap.Reason)
+	}
+}
+
+func TestSubmitValidationErrors(t *testing.T) {
+	c, _ := apiEnv(t)
+	body := validBody()
+	body.ThroughputMbps = -1
+	if _, err := c.SubmitSlice(body); err == nil {
+		t.Fatal("invalid throughput accepted")
+	}
+	body = validBody()
+	body.Class = "quantum"
+	if _, err := c.SubmitSlice(body); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestListSlices(t *testing.T) {
+	c, _ := apiEnv(t)
+	c.SubmitSlice(validBody())
+	c.SubmitSlice(validBody())
+	ls, err := c.ListSlices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 2 {
+		t.Fatalf("%d slices", len(ls))
+	}
+}
+
+func TestDeleteSlice(t *testing.T) {
+	c, s := apiEnv(t)
+	snap, _ := c.SubmitSlice(validBody())
+	s.RunFor(15 * time.Second)
+	if err := c.DeleteSlice(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.GetSlice(snap.ID)
+	if got.State != "terminated" {
+		t.Fatalf("state %q", got.State)
+	}
+	if err := c.DeleteSlice(snap.ID); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if err := c.DeleteSlice("ghost"); err == nil {
+		t.Fatal("ghost delete accepted")
+	}
+}
+
+func TestGetUnknownSlice404(t *testing.T) {
+	c, _ := apiEnv(t)
+	_, err := c.GetSlice("nope")
+	if err == nil {
+		t.Fatal("expected 404")
+	}
+	ae, ok := err.(*apiError)
+	if !ok || ae.Status != http.StatusNotFound {
+		t.Fatalf("error %v", err)
+	}
+}
+
+func TestDemandFeed(t *testing.T) {
+	c, s := apiEnv(t)
+	snap, _ := c.SubmitSlice(validBody())
+	s.RunFor(15 * time.Second)
+	if err := c.RecordDemand(snap.ID, 12.5); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(2 * time.Minute) // one control epoch
+	got, _ := c.GetSlice(snap.ID)
+	if got.Accounting.DemandMbps != 12.5 {
+		t.Fatalf("demand %v", got.Accounting.DemandMbps)
+	}
+	if err := c.RecordDemand("ghost", 1); err == nil {
+		t.Fatal("ghost demand accepted")
+	}
+}
+
+func TestGainEndpoint(t *testing.T) {
+	c, s := apiEnv(t)
+	c.SubmitSlice(validBody())
+	s.RunFor(15 * time.Second)
+	g, err := c.Gain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Admitted != 1 || g.CapacityMbps <= 0 {
+		t.Fatalf("gain %+v", g)
+	}
+}
+
+func TestMetricsEndpoints(t *testing.T) {
+	c, s := apiEnv(t)
+	snap, _ := c.SubmitSlice(validBody())
+	s.RunFor(15 * time.Second)
+	c.RecordDemand(snap.ID, 10)
+	s.RunFor(5 * time.Minute)
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["orchestrator/multiplexing_gain"]; !ok {
+		t.Fatalf("metrics %v", m)
+	}
+	series, err := c.MetricSeries("orchestrator/multiplexing_gain", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Samples) == 0 || len(series.Samples) > 3 {
+		t.Fatalf("series window %d", len(series.Samples))
+	}
+	if series.Stats.N != len(series.Samples) {
+		t.Fatalf("stats %+v", series.Stats)
+	}
+}
+
+func TestMetricSeriesBadWindow(t *testing.T) {
+	c, _ := apiEnv(t)
+	resp, err := http.Get(c.BaseURL + "/api/v1/metrics/foo?window=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestTopologyEndpoint(t *testing.T) {
+	c, _ := apiEnv(t)
+	links, err := c.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) == 0 {
+		t.Fatal("no links")
+	}
+	seenTypes := map[string]bool{}
+	for _, l := range links {
+		seenTypes[l.Type] = true
+	}
+	if !seenTypes["mmWave"] || !seenTypes["µWave"] || !seenTypes["wired"] {
+		t.Fatalf("link types %v", seenTypes)
+	}
+}
+
+func TestInfrastructureEndpoints(t *testing.T) {
+	c, s := apiEnv(t)
+	c.SubmitSlice(validBody())
+	s.RunFor(15 * time.Second)
+	for _, path := range []string{"/api/v1/enbs", "/api/v1/datacenters", "/api/v1/epcs"} {
+		resp, err := http.Get(c.BaseURL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s -> %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	c, _ := apiEnv(t)
+	req, _ := http.NewRequest(http.MethodPut, c.BaseURL+"/api/v1/slices", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestBadJSONRejected(t *testing.T) {
+	c, _ := apiEnv(t)
+	resp, err := http.Post(c.BaseURL+"/api/v1/slices", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestClassParsing(t *testing.T) {
+	for _, s := range []string{"", "eMBB", "automotive", "e-health", "ehealth", "mMTC"} {
+		if _, err := classFromString(s); err != nil {
+			t.Fatalf("class %q rejected: %v", s, err)
+		}
+	}
+	if _, err := classFromString("warp"); err == nil {
+		t.Fatal("bad class accepted")
+	}
+}

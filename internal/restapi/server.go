@@ -1,0 +1,326 @@
+// Package restapi exposes the orchestrator over HTTP/JSON — the demo's
+// "gathered monitoring information is promptly fed to the end-to-end
+// orchestrator through REST APIs" plus the dashboard's request surface:
+// submit a slice with duration, maximum latency, expected throughput, price
+// and penalty; watch its state; read the gains-vs-penalties report.
+//
+// Server wraps an *core.Orchestrator; Client is the typed counterpart used
+// by cmd/slicectl and the examples.
+package restapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/slice"
+)
+
+// SliceRequestBody is the JSON payload of POST /api/v1/slices — exactly the
+// dashboard's form fields (Section 3).
+type SliceRequestBody struct {
+	Tenant string `json:"tenant"`
+	// DurationSeconds is the slice lifetime.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// MaxLatencyMs is the maximum end-to-end latency allowed.
+	MaxLatencyMs float64 `json:"max_latency_ms"`
+	// ThroughputMbps is the expected throughput.
+	ThroughputMbps float64 `json:"throughput_mbps"`
+	// PriceEUR is the price the tenant is willing to pay.
+	PriceEUR float64 `json:"price_eur"`
+	// PenaltyEUR is the penalty expected per SLA-violation epoch.
+	PenaltyEUR float64 `json:"penalty_eur"`
+	// Class is one of "eMBB", "automotive", "e-health", "mMTC".
+	Class string `json:"class,omitempty"`
+	// EdgeCompute forces mobile-edge placement.
+	EdgeCompute bool `json:"edge_compute,omitempty"`
+}
+
+// classFromString parses the service-class name (default eMBB).
+func classFromString(s string) (slice.ServiceClass, error) {
+	switch strings.ToLower(s) {
+	case "", "embb":
+		return slice.ClassEMBB, nil
+	case "automotive":
+		return slice.ClassAutomotive, nil
+	case "e-health", "ehealth":
+		return slice.ClassEHealth, nil
+	case "mmtc":
+		return slice.ClassMMTC, nil
+	default:
+		return 0, fmt.Errorf("unknown service class %q", s)
+	}
+}
+
+// Request converts the body into the internal request type.
+func (b SliceRequestBody) Request() (slice.Request, error) {
+	class, err := classFromString(b.Class)
+	if err != nil {
+		return slice.Request{}, err
+	}
+	return slice.Request{
+		Tenant: b.Tenant,
+		SLA: slice.SLA{
+			ThroughputMbps: b.ThroughputMbps,
+			MaxLatencyMs:   b.MaxLatencyMs,
+			Duration:       time.Duration(b.DurationSeconds * float64(time.Second)),
+			PriceEUR:       b.PriceEUR,
+			PenaltyEUR:     b.PenaltyEUR,
+			Class:          class,
+			EdgeCompute:    b.EdgeCompute,
+		},
+	}, nil
+}
+
+// DemandBody is the JSON payload of POST /api/v1/slices/{id}/demand, the
+// live-mode monitoring feed.
+type DemandBody struct {
+	Mbps float64 `json:"mbps"`
+}
+
+// SeriesResponse is the payload of GET /api/v1/metrics/{name}.
+type SeriesResponse struct {
+	Name    string           `json:"name"`
+	Samples []monitor.Sample `json:"samples"`
+	Stats   monitor.Stats    `json:"stats"`
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server is the HTTP front of one orchestrator.
+type Server struct {
+	orch *core.Orchestrator
+	mux  *http.ServeMux
+}
+
+// NewServer builds the API server.
+func NewServer(orch *core.Orchestrator) *Server {
+	s := &Server{orch: orch, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/api/v1/slices", s.handleSlices)
+	s.mux.HandleFunc("/api/v1/slices/", s.handleSliceByID)
+	s.mux.HandleFunc("/api/v1/gain", s.handleGain)
+	s.mux.HandleFunc("/api/v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/api/v1/metrics/", s.handleMetricSeries)
+	s.mux.HandleFunc("/api/v1/topology", s.handleTopology)
+	s.mux.HandleFunc("/api/v1/links/", s.handleLinkOps)
+	s.mux.HandleFunc("/api/v1/enbs", s.handleENBs)
+	s.mux.HandleFunc("/api/v1/datacenters", s.handleDCs)
+	s.mux.HandleFunc("/api/v1/epcs", s.handleEPCs)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleSlices(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.orch.List())
+	case http.MethodPost:
+		var body SliceRequestBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad JSON: %w", err))
+			return
+		}
+		req, err := body.Request()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		sl, err := s.orch.Submit(req, nil)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		status := http.StatusAccepted
+		if sl.State() == slice.StateRejected {
+			// Rejection is a valid business outcome, reported in-band.
+			status = http.StatusOK
+		}
+		writeJSON(w, status, sl.Snapshot())
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("restapi: use GET or POST"))
+	}
+}
+
+// handleSliceByID serves /api/v1/slices/{id} and /api/v1/slices/{id}/demand.
+func (s *Server) handleSliceByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/slices/")
+	parts := strings.SplitN(rest, "/", 2)
+	id := slice.ID(parts[0])
+	if len(parts) == 2 && parts[1] == "demand" {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("restapi: use POST"))
+			return
+		}
+		var body DemandBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad JSON: %w", err))
+			return
+		}
+		if err := s.orch.RecordDemand(id, body.Mbps); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		sl, ok := s.orch.Get(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("restapi: slice %s not found", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, sl.Snapshot())
+	case http.MethodDelete:
+		if err := s.orch.Delete(id); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "terminated"})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("restapi: use GET or DELETE"))
+	}
+}
+
+func (s *Server) handleGain(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.orch.Gain())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.orch.Store().Snapshot())
+}
+
+func (s *Server) handleMetricSeries(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/api/v1/metrics/")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("restapi: metric name required"))
+		return
+	}
+	window := 0
+	if q := r.URL.Query().Get("window"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad window %q", q))
+			return
+		}
+		window = n
+	}
+	series := s.orch.Store().Series(name)
+	writeJSON(w, http.StatusOK, SeriesResponse{
+		Name:    name,
+		Samples: series.Window(window),
+		Stats:   series.WindowStats(window),
+	})
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.orch.Testbed().Transport.Snapshot())
+}
+
+// LinkOpBody is the JSON payload of POST /api/v1/links/{from}/{to}/degrade.
+type LinkOpBody struct {
+	CapacityMbps float64 `json:"capacity_mbps"`
+}
+
+// handleLinkOps serves POST /api/v1/links/{from}/{to}/{fail|restore|degrade}
+// — the operational hooks for the demo's "different transport network
+// topology configurations" and failure injection.
+func (s *Server) handleLinkOps(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("restapi: use POST"))
+		return
+	}
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/api/v1/links/"), "/")
+	if len(parts) != 3 {
+		writeErr(w, http.StatusBadRequest, errors.New("restapi: want /api/v1/links/{from}/{to}/{fail|restore|degrade}"))
+		return
+	}
+	from, to, op := parts[0], parts[1], parts[2]
+	switch op {
+	case "fail":
+		rep, err := s.orch.HandleLinkFailure(from, to)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	case "restore":
+		if err := s.orch.RestoreLink(from, to); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "restored"})
+	case "degrade":
+		var body LinkOpBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad JSON: %w", err))
+			return
+		}
+		rep, err := s.orch.HandleLinkDegradation(from, to, body.CapacityMbps)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: unknown link op %q", op))
+	}
+}
+
+func (s *Server) handleENBs(w http.ResponseWriter, r *http.Request) {
+	tb := s.orch.Testbed()
+	out := make([]any, 0, 2)
+	for _, e := range tb.RAN.All() {
+		out = append(out, e.Snapshot())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDCs(w http.ResponseWriter, r *http.Request) {
+	tb := s.orch.Testbed()
+	type dcView struct {
+		Name     string  `json:"name"`
+		Kind     string  `json:"kind"`
+		Capacity any     `json:"capacity"`
+		Util     float64 `json:"utilization"`
+	}
+	var out []dcView
+	for _, dc := range tb.Region.All() {
+		out = append(out, dcView{Name: dc.Name(), Kind: dc.Kind(), Capacity: dc.Capacity(), Util: dc.Utilization()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleEPCs(w http.ResponseWriter, r *http.Request) {
+	var out []any
+	for _, in := range s.orch.Testbed().Ctrl.Cloud.EPCs().All() {
+		out = append(out, in.Snapshot())
+	}
+	writeJSON(w, http.StatusOK, out)
+}

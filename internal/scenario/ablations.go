@@ -1,0 +1,232 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/forecast"
+	"repro/internal/slice"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+// Ablations for the design decisions DESIGN.md §5 calls out: the in-
+// scheduler PRB sharing, the forecaster powering the overbooking engine,
+// the reconfiguration hysteresis, batch admission policies, and transport
+// restoration.
+
+// AblationRow is a generic (variant, metrics) row.
+type AblationRow struct {
+	Variant          string
+	Admitted         int
+	MultiplexingGain float64
+	ViolationRate    float64
+	Reconfigurations int
+	NetEUR           float64
+}
+
+func ablationRun(seed int64, variant string, cfg core.Config) (AblationRow, error) {
+	cfg.PLMNLimit = 64
+	res, err := Run(Options{
+		Seed:             seed,
+		Duration:         12 * time.Hour,
+		MeanInterarrival: 10 * time.Minute,
+		Orchestrator:     cfg,
+	})
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{
+		Variant:          variant,
+		Admitted:         res.Gain.Admitted,
+		MultiplexingGain: res.MeanMultiplexingGain,
+		ViolationRate:    res.ViolationRate,
+		Reconfigurations: res.Gain.Reconfigurations,
+		NetEUR:           res.NetRevenueEUR,
+	}, nil
+}
+
+// SchedulerSharingAblation (A1): does lending idle reserved PRBs to
+// saturated slices within an epoch reduce SLA violations?
+func SchedulerSharingAblation(seed int64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, share := range []bool{false, true} {
+		r, err := ablationRun(seed, fmt.Sprintf("share-unused=%v", share), core.Config{
+			Overbook: true, Risk: 0.9, ShareUnusedPRBs: share,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// ForecasterAblation (A2): swap the forecaster inside the overbooking
+// engine and measure the violation/gain outcome under identical load.
+func ForecasterAblation(seed int64) ([]AblationRow, error) {
+	variants := []struct {
+		name string
+		mk   func() forecast.Forecaster
+	}{
+		{"naive", func() forecast.Forecaster { return forecast.NewNaive() }},
+		{"ma(8)", func() forecast.Forecaster { return forecast.NewMovingAverage(8) }},
+		{"ewma(0.3)", func() forecast.Forecaster { return forecast.NewEWMA(0.3) }},
+		{"holt(0.4,0.1)", func() forecast.Forecaster { return forecast.NewHolt(0.4, 0.1) }},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		r, err := ablationRun(seed, v.name, core.Config{
+			Overbook: true, Risk: 0.9, NewForecaster: v.mk,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// HysteresisAblation (A3): the reconfiguration threshold trades control
+// churn (reconfigurations) against allocation freshness (violations).
+func HysteresisAblation(seed int64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, th := range []float64{0.01, 0.05, 0.15, 0.40} {
+		r, err := ablationRun(seed, fmt.Sprintf("threshold=%.2f", th), core.Config{
+			Overbook: true, Risk: 0.9, ReconfigThreshold: th,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// PenaltyAwareAblation (A4): at aggressive risk, plain admission accepts
+// penalty-heavy slices that lose money; the penalty-aware policy rejects
+// them up front and should keep net revenue from collapsing.
+func PenaltyAwareAblation(seed int64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, pa := range []bool{false, true} {
+		for _, risk := range []float64{0.95, 0.75} {
+			r, err := ablationRun(seed, fmt.Sprintf("penalty-aware=%v risk=%.2f", pa, risk), core.Config{
+				Overbook: true, Risk: risk, PenaltyAware: pa,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// BatchRow is one row of the batch-admission comparison.
+type BatchRow struct {
+	Policy     string
+	Admitted   int
+	RevenueEUR float64
+}
+
+// BatchPolicyComparison (D1b): a pending batch decided by FCFS, density
+// order, and the exact knapsack — the [3] broker objective. Same batch,
+// same capacity.
+func BatchPolicyComparison(seed int64) ([]BatchRow, error) {
+	mk := func(mbps, price float64) core.BatchItem {
+		return core.BatchItem{Request: slice.Request{
+			Tenant: "batch",
+			SLA: slice.SLA{
+				ThroughputMbps: mbps, MaxLatencyMs: 50,
+				Duration: time.Hour, PriceEUR: price, PenaltyEUR: 1,
+			},
+		}}
+	}
+	batch := func() []core.BatchItem {
+		return []core.BatchItem{
+			mk(60, 60), mk(40, 90), mk(40, 85), mk(10, 40), mk(20, 55),
+		}
+	}
+	var rows []BatchRow
+	for _, pol := range []core.BatchPolicy{core.BatchFCFS, core.BatchDensity, core.BatchOptimal} {
+		r, err := NewRunner(Options{
+			Seed:         seed,
+			Orchestrator: core.Config{Overbook: true, AdmissionLoadFactor: 1.0, PLMNLimit: 16},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.Orch.SubmitBatch(batch(), pol); err != nil {
+			return nil, err
+		}
+		g := r.Orch.Gain()
+		rows = append(rows, BatchRow{Policy: pol.String(), Admitted: g.Admitted, RevenueEUR: g.RevenueTotalEUR})
+	}
+	return rows, nil
+}
+
+// RestorationRow is one row of the link-failure experiment.
+type RestorationRow struct {
+	Topology string
+	Restored int
+	Dropped  int
+	// ActiveAfter counts slices still active after the failure handling.
+	ActiveAfter int
+}
+
+// RestorationExperiment (R1): fail the primary mmWave hop under both
+// topologies; with the backup switch slices re-route, without it they are
+// dropped.
+func RestorationExperiment(seed int64) ([]RestorationRow, error) {
+	run := func(redundant bool) (RestorationRow, error) {
+		tbCfg := testbed.Default()
+		tbCfg.RedundantTransport = redundant
+		r, err := NewRunner(Options{
+			Seed:         seed,
+			Orchestrator: core.Config{Overbook: true, Risk: 0.9, PLMNLimit: 16},
+			Testbed:      tbCfg,
+		})
+		if err != nil {
+			return RestorationRow{}, err
+		}
+		r.Orch.Start()
+		for i := 0; i < 4; i++ {
+			if _, err := r.Orch.Submit(slice.Request{
+				Tenant: fmt.Sprintf("victim-%d", i),
+				SLA: slice.SLA{
+					ThroughputMbps: 15, MaxLatencyMs: 50,
+					Duration: 4 * time.Hour, PriceEUR: 50, PenaltyEUR: 1,
+				},
+			}, traffic.NewConstant(8, 0, nil)); err != nil {
+				return RestorationRow{}, err
+			}
+		}
+		if err := r.Sim.RunFor(20 * time.Minute); err != nil {
+			return RestorationRow{}, err
+		}
+		rep, err := r.Orch.HandleLinkFailure(testbed.ENBName(0), testbed.Switch)
+		if err != nil {
+			return RestorationRow{}, err
+		}
+		name := "hub (demo Fig. 2)"
+		if redundant {
+			name = "hub + backup switch"
+		}
+		return RestorationRow{
+			Topology:    name,
+			Restored:    len(rep.Restored),
+			Dropped:     len(rep.Dropped),
+			ActiveAfter: r.Orch.ActiveCount(),
+		}, nil
+	}
+	var rows []RestorationRow
+	for _, redundant := range []bool{false, true} {
+		row, err := run(redundant)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,263 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/testbed"
+)
+
+func TestRunBasicScenario(t *testing.T) {
+	res, err := Run(Options{
+		Seed:             1,
+		Duration:         4 * time.Hour,
+		MeanInterarrival: 20 * time.Minute,
+		Orchestrator:     core.Config{Overbook: true, Risk: 0.9, PLMNLimit: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 {
+		t.Fatal("no requests generated")
+	}
+	if res.Gain.Admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if res.AdmissionRate <= 0 || res.AdmissionRate > 1 {
+		t.Fatalf("admission rate %v", res.AdmissionRate)
+	}
+	if res.ServedEpochs == 0 {
+		t.Fatal("no epochs served")
+	}
+	if res.Gain.Epochs == 0 {
+		t.Fatal("control loop never ran")
+	}
+}
+
+func TestRunDeterministicAcrossSeeds(t *testing.T) {
+	opts := Options{
+		Seed:             7,
+		Duration:         3 * time.Hour,
+		MeanInterarrival: 15 * time.Minute,
+		Orchestrator:     core.Config{Overbook: true, PLMNLimit: 32},
+	}
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Offered != b.Offered || a.Gain.Admitted != b.Gain.Admitted ||
+		a.NetRevenueEUR != b.NetRevenueEUR || a.ViolationEpochs != b.ViolationEpochs {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c, err := Run(Options{Seed: 8, Duration: 3 * time.Hour, MeanInterarrival: 15 * time.Minute,
+		Orchestrator: core.Config{Overbook: true, PLMNLimit: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Offered == a.Offered && c.NetRevenueEUR == a.NetRevenueEUR {
+		t.Log("warning: different seeds produced identical aggregate (unlikely but possible)")
+	}
+}
+
+func TestOverbookingBeatsPeakOnAdmissions(t *testing.T) {
+	run := func(overbook bool) Result {
+		res, err := Run(Options{
+			Seed:             3,
+			Duration:         8 * time.Hour,
+			MeanInterarrival: 8 * time.Minute, // heavy load
+			Orchestrator:     core.Config{Overbook: overbook, Risk: 0.9, PLMNLimit: 64},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	peak := run(false)
+	over := run(true)
+	if over.Gain.Admitted <= peak.Gain.Admitted {
+		t.Fatalf("overbooking admitted %d <= peak %d", over.Gain.Admitted, peak.Gain.Admitted)
+	}
+	if over.MeanMultiplexingGain <= 1.0 {
+		t.Fatalf("mean multiplexing gain %.3f", over.MeanMultiplexingGain)
+	}
+	if peak.MeanMultiplexingGain > 1.01 {
+		t.Fatalf("peak provisioning shows gain %.3f", peak.MeanMultiplexingGain)
+	}
+	if over.Gain.RevenueTotalEUR <= peak.Gain.RevenueTotalEUR {
+		t.Fatalf("overbooking revenue %.0f <= peak %.0f", over.Gain.RevenueTotalEUR, peak.Gain.RevenueTotalEUR)
+	}
+}
+
+func TestInstallTimelineRowsOrdered(t *testing.T) {
+	rows, err := InstallTimelineRows(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d stages", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].At <= rows[i-1].At {
+			t.Fatalf("stages out of order: %+v", rows)
+		}
+	}
+	total := rows[len(rows)-1].At
+	if total < 5*time.Second || total > 15*time.Second {
+		t.Fatalf("install total %v outside the demo's few-seconds window", total)
+	}
+}
+
+func TestAdmissionSweepMonotoneLoad(t *testing.T) {
+	ias := []time.Duration{30 * time.Minute, 10 * time.Minute, 4 * time.Minute}
+	rows, err := AdmissionSweep(1, ias, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Offered load must grow as interarrival shrinks.
+	if !(rows[0].Offered < rows[1].Offered && rows[1].Offered < rows[2].Offered) {
+		t.Fatalf("offered not increasing: %+v", rows)
+	}
+	// Admission rate must not increase under heavier load.
+	if rows[2].AdmissionRate > rows[0].AdmissionRate+0.05 {
+		t.Fatalf("admission rate grew under load: %+v", rows)
+	}
+}
+
+func TestGainSeriesMonotonePenalties(t *testing.T) {
+	pts, err := GainSeries(1, 6*time.Hour, 15*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 10 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PenaltiesEUR < pts[i-1].PenaltiesEUR {
+			t.Fatalf("penalties decreased at %d", i)
+		}
+		if pts[i].At <= pts[i-1].At {
+			t.Fatal("time not increasing")
+		}
+	}
+}
+
+func TestForecastTableHoltWintersWins(t *testing.T) {
+	rows := ForecastTable(1)
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Forecaster[:12] != "holt-winters" {
+		t.Fatalf("winner %s, want holt-winters (table: %+v)", rows[0].Forecaster, rows)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RMSE < rows[i-1].RMSE {
+			t.Fatal("table not ranked by RMSE")
+		}
+	}
+}
+
+func TestRiskSweepTradeoffShape(t *testing.T) {
+	rows, err := RiskSweep(1, []float64{1.0, 0.95, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noOB, mid, aggressive := rows[0], rows[1], rows[2]
+	if noOB.ViolationRate > 0.001 {
+		t.Fatalf("no-overbooking violation rate %.4f", noOB.ViolationRate)
+	}
+	if noOB.MultiplexingGain > 1.01 {
+		t.Fatalf("no-overbooking gain %.3f", noOB.MultiplexingGain)
+	}
+	if mid.MultiplexingGain <= 1.0 {
+		t.Fatalf("overbooked gain %.3f", mid.MultiplexingGain)
+	}
+	if aggressive.ViolationRate < mid.ViolationRate {
+		t.Fatalf("aggressive risk has fewer violations (%.4f < %.4f)", aggressive.ViolationRate, mid.ViolationRate)
+	}
+	if mid.Admitted <= noOB.Admitted {
+		t.Fatalf("overbooking admitted %d <= peak %d", mid.Admitted, noOB.Admitted)
+	}
+}
+
+func TestPlacementSplitLatencyDriven(t *testing.T) {
+	rows, err := PlacementSplit(1, []float64{100, 20, 4, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].DataCenter != testbed.CoreDC {
+		t.Fatalf("100ms placed in %q", rows[0].DataCenter)
+	}
+	if rows[2].DataCenter != testbed.EdgeDC {
+		t.Fatalf("4ms placed in %q (reason %q)", rows[2].DataCenter, rows[2].Reason)
+	}
+	if rows[3].DataCenter != "" || rows[3].Reason == "" {
+		t.Fatalf("0.5ms should be rejected: %+v", rows[3])
+	}
+}
+
+func TestRejectionHistogramNonEmptyUnderOverload(t *testing.T) {
+	hist, err := RejectionHistogram(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("overloaded scenario produced no rejections")
+	}
+}
+
+func TestDomainUtilizationOverbookingLowersReservedRAN(t *testing.T) {
+	rows, _, err := DomainUtilization(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var ranRow UtilizationRow
+	for _, r := range rows {
+		if r.Domain == "ran" {
+			ranRow = r
+		}
+		if r.PeakMeanUtil < 0 || r.PeakMeanUtil > 1 || r.OverbookUtil < 0 || r.OverbookUtil > 1 {
+			t.Fatalf("utilization out of range: %+v", r)
+		}
+	}
+	if ranRow.Domain == "" {
+		t.Fatal("no RAN row")
+	}
+}
+
+func TestLoadedRunnerHasActiveSlices(t *testing.T) {
+	r, err := LoadedRunner(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Orch.ActiveCount(); got < 4 {
+		t.Fatalf("loaded runner has %d active slices", got)
+	}
+	// One more epoch must run cleanly.
+	r.Orch.RunEpoch()
+}
+
+func TestScaleTestbedFor(t *testing.T) {
+	small := scaleTestbedFor(2)
+	if small.ENBs != 2 {
+		t.Fatalf("small testbed %d eNBs", small.ENBs)
+	}
+	big := scaleTestbedFor(16)
+	if big.ENBs <= 2 {
+		t.Fatalf("big testbed %d eNBs", big.ENBs)
+	}
+}

@@ -1,0 +1,304 @@
+// Package sim provides the discrete-event simulation kernel that drives
+// every substrate in the testbed reproduction.
+//
+// The original demo ran on a wall-clock hardware testbed. Reproducing it as
+// a library requires experiments to be fast and deterministic, so all
+// components take their notion of time from a Clock. Two implementations are
+// provided: Simulator (a classic event-heap discrete-event engine with a
+// virtual clock) and RealtimeClock (a thin wrapper over time.Now used by the
+// live dashboard daemon). Orchestrator code is identical under both.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock is the minimal time source every component depends on.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+}
+
+// Scheduler is implemented by clocks that can run callbacks in the future.
+type Scheduler interface {
+	Clock
+	// At schedules fn to run at time t. Scheduling in the past (or exactly
+	// now) runs fn at the current time, never before it.
+	At(t time.Time, name string, fn func()) *Event
+	// After schedules fn to run d after the current time.
+	After(d time.Duration, name string, fn func()) *Event
+	// Every schedules fn to run every d, starting d from now, until the
+	// returned Event is cancelled.
+	Every(d time.Duration, name string, fn func()) *Event
+}
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel pending work (e.g. a slice expiry timer when the slice
+// is deleted early).
+type Event struct {
+	when     time.Time
+	seq      uint64 // tie-break so equal-time events run in schedule order
+	name     string
+	fn       func()
+	period   time.Duration // >0 for periodic events
+	canceled atomic.Bool
+	index    int // heap index, -1 when not queued
+}
+
+// When returns the time the event is due to fire next.
+func (e *Event) When() time.Time { return e.when }
+
+// Name returns the diagnostic label the event was scheduled with.
+func (e *Event) Name() string { return e.name }
+
+// Cancel prevents the event from firing again. Cancelling an already-fired
+// one-shot event is a no-op. Cancel is safe to call from inside the event's
+// own callback (this is how periodic tasks stop themselves).
+func (e *Event) Cancel() { e.canceled.Store(true) }
+
+// eventQueue is a min-heap ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when.Equal(q[j].when) {
+		return q[i].seq < q[j].seq
+	}
+	return q[i].when.Before(q[j].when)
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is a deterministic discrete-event engine. It is not safe for
+// concurrent use; the whole point is that a single goroutine advances virtual
+// time, which removes every race from the experiments.
+type Simulator struct {
+	now   time.Time
+	queue eventQueue
+	seq   uint64
+	rng   *rand.Rand
+
+	// Stats.
+	fired uint64
+}
+
+// Epoch is the default simulation start time. A fixed epoch (rather than
+// time.Now) keeps runs bit-for-bit reproducible.
+var Epoch = time.Date(2018, time.August, 20, 0, 0, 0, 0, time.UTC)
+
+// NewSimulator returns a Simulator starting at Epoch with a seeded RNG.
+func NewSimulator(seed int64) *Simulator {
+	return &Simulator{
+		now: Epoch,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now implements Clock.
+func (s *Simulator) Now() time.Time { return s.now }
+
+// Rand exposes the simulator's deterministic random source. All stochastic
+// models (traffic noise, CQI draws, arrival processes) must draw from this,
+// never from the global rand, so a seed fully determines a run.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// EventsFired reports how many callbacks have executed.
+func (s *Simulator) EventsFired() uint64 { return s.fired }
+
+// Pending reports how many events are queued.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At implements Scheduler.
+func (s *Simulator) At(t time.Time, name string, fn func()) *Event {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	e := &Event{when: t, seq: s.seq, name: name, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After implements Scheduler.
+func (s *Simulator) After(d time.Duration, name string, fn func()) *Event {
+	return s.At(s.now.Add(d), name, fn)
+}
+
+// Every implements Scheduler.
+func (s *Simulator) Every(d time.Duration, name string, fn func()) *Event {
+	if d <= 0 {
+		panic(fmt.Sprintf("sim: Every(%v) requires a positive period", d))
+	}
+	e := s.At(s.now.Add(d), name, fn)
+	e.period = d
+	return e
+}
+
+// ErrDeadlock is returned by RunUntil when the queue drains before the
+// target time is reached and no progress can be made.
+var ErrDeadlock = errors.New("sim: event queue empty before target time")
+
+// Step executes the single earliest event, advancing the clock to its due
+// time. It reports whether an event was executed.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled.Load() {
+			continue
+		}
+		s.now = e.when
+		s.fired++
+		e.fn()
+		if e.period > 0 && !e.canceled.Load() {
+			e.when = e.when.Add(e.period)
+			e.seq = s.seq
+			s.seq++
+			heap.Push(&s.queue, e)
+		}
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the virtual clock reaches t.
+// Events due exactly at t are executed. The clock always ends at t even when
+// the queue drains early, so periodic samplers restarted afterwards line up.
+func (s *Simulator) RunUntil(t time.Time) error {
+	for {
+		next, ok := s.peek()
+		if !ok {
+			s.now = t
+			return nil
+		}
+		if next.After(t) {
+			s.now = t
+			return nil
+		}
+		s.Step()
+	}
+}
+
+// RunFor advances the clock by d, executing everything due in the window.
+func (s *Simulator) RunFor(d time.Duration) error {
+	return s.RunUntil(s.now.Add(d))
+}
+
+// Drain runs until the queue is empty or maxEvents callbacks have fired.
+// It returns the number of events executed. maxEvents <= 0 means unbounded —
+// only safe when no periodic events are registered.
+func (s *Simulator) Drain(maxEvents int) int {
+	n := 0
+	for s.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}
+
+func (s *Simulator) peek() (time.Time, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].canceled.Load() {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].when, true
+	}
+	return time.Time{}, false
+}
+
+// RealtimeClock adapts wall-clock time to the Scheduler interface so the
+// live daemon (cmd/orchestrator) can run the exact same orchestration code
+// as the deterministic experiments.
+type RealtimeClock struct {
+	mu     sync.Mutex
+	timers map[*Event]*time.Timer
+}
+
+// NewRealtimeClock returns a Scheduler backed by the runtime timers.
+func NewRealtimeClock() *RealtimeClock {
+	return &RealtimeClock{timers: make(map[*Event]*time.Timer)}
+}
+
+// Now implements Clock.
+func (c *RealtimeClock) Now() time.Time { return time.Now() }
+
+// At implements Scheduler.
+func (c *RealtimeClock) At(t time.Time, name string, fn func()) *Event {
+	d := time.Until(t)
+	if d < 0 {
+		d = 0
+	}
+	return c.schedule(d, 0, name, fn)
+}
+
+// After implements Scheduler.
+func (c *RealtimeClock) After(d time.Duration, name string, fn func()) *Event {
+	return c.schedule(d, 0, name, fn)
+}
+
+// Every implements Scheduler.
+func (c *RealtimeClock) Every(d time.Duration, name string, fn func()) *Event {
+	return c.schedule(d, d, name, fn)
+}
+
+func (c *RealtimeClock) schedule(d, period time.Duration, name string, fn func()) *Event {
+	e := &Event{when: time.Now().Add(d), name: name, fn: fn, period: period, index: -1}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var run func()
+	run = func() {
+		c.mu.Lock()
+		canceled := e.canceled.Load()
+		c.mu.Unlock()
+		if canceled {
+			return
+		}
+		fn()
+		if period > 0 {
+			c.mu.Lock()
+			if !e.canceled.Load() {
+				e.when = time.Now().Add(period)
+				c.timers[e] = time.AfterFunc(period, run)
+			}
+			c.mu.Unlock()
+		}
+	}
+	c.timers[e] = time.AfterFunc(d, run)
+	return e
+}
+
+// CancelAll stops every outstanding timer. Used at daemon shutdown.
+func (c *RealtimeClock) CancelAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for e, t := range c.timers {
+		e.canceled.Store(true)
+		t.Stop()
+		delete(c.timers, e)
+	}
+}

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSimulatorStartsAtEpoch(t *testing.T) {
+	s := NewSimulator(1)
+	if !s.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", s.Now(), Epoch)
+	}
+}
+
+func TestAtRunsInOrder(t *testing.T) {
+	s := NewSimulator(1)
+	var got []int
+	s.After(3*time.Second, "c", func() { got = append(got, 3) })
+	s.After(1*time.Second, "a", func() { got = append(got, 1) })
+	s.After(2*time.Second, "b", func() { got = append(got, 2) })
+	if err := s.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEqualTimeEventsRunInScheduleOrder(t *testing.T) {
+	s := NewSimulator(1)
+	var got []int
+	at := s.Now().Add(time.Second)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(at, "e", func() { got = append(got, i) })
+	}
+	s.RunFor(2 * time.Second)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v", got)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	s := NewSimulator(1)
+	var at time.Time
+	s.After(42*time.Millisecond, "tick", func() { at = s.Now() })
+	s.RunFor(time.Second)
+	if want := Epoch.Add(42 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("event saw clock %v, want %v", at, want)
+	}
+	if want := Epoch.Add(time.Second); !s.Now().Equal(want) {
+		t.Fatalf("clock ended at %v, want %v", s.Now(), want)
+	}
+}
+
+func TestPastSchedulingClampsToNow(t *testing.T) {
+	s := NewSimulator(1)
+	s.RunFor(10 * time.Second)
+	fired := false
+	e := s.At(Epoch, "past", func() { fired = true })
+	if e.When().Before(s.Now()) {
+		t.Fatalf("past event scheduled at %v before now %v", e.When(), s.Now())
+	}
+	s.RunFor(time.Millisecond)
+	if !fired {
+		t.Fatal("past-scheduled event never fired")
+	}
+}
+
+func TestEveryFiresPeriodically(t *testing.T) {
+	s := NewSimulator(1)
+	n := 0
+	s.Every(time.Second, "tick", func() { n++ })
+	s.RunFor(10500 * time.Millisecond)
+	if n != 10 {
+		t.Fatalf("periodic fired %d times, want 10", n)
+	}
+}
+
+func TestCancelStopsOneShot(t *testing.T) {
+	s := NewSimulator(1)
+	fired := false
+	e := s.After(time.Second, "x", func() { fired = true })
+	e.Cancel()
+	s.RunFor(2 * time.Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelFromInsideStopsPeriodic(t *testing.T) {
+	s := NewSimulator(1)
+	n := 0
+	var e *Event
+	e = s.Every(time.Second, "tick", func() {
+		n++
+		if n == 3 {
+			e.Cancel()
+		}
+	})
+	s.RunFor(time.Minute)
+	if n != 3 {
+		t.Fatalf("self-cancelled periodic fired %d times, want 3", n)
+	}
+}
+
+func TestEveryZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	NewSimulator(1).Every(0, "bad", func() {})
+}
+
+func TestDrainBounded(t *testing.T) {
+	s := NewSimulator(1)
+	s.Every(time.Second, "forever", func() {})
+	if n := s.Drain(25); n != 25 {
+		t.Fatalf("Drain(25) executed %d", n)
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	s := NewSimulator(1)
+	if s.Step() {
+		t.Fatal("Step on empty queue reported work")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		s := NewSimulator(7)
+		var vals []int64
+		s.Every(time.Second, "draw", func() { vals = append(vals, s.Rand().Int63n(1000)) })
+		s.RunFor(20 * time.Second)
+		return vals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 20 {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	s := NewSimulator(1)
+	target := Epoch.Add(time.Hour)
+	if err := s.RunUntil(target); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Now().Equal(target) {
+		t.Fatalf("clock %v, want %v", s.Now(), target)
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in nondecreasing
+// time order and the clock never moves backwards.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		s := NewSimulator(3)
+		var seen []time.Time
+		for _, d := range delaysMs {
+			s.After(time.Duration(d)*time.Millisecond, "e", func() {
+				seen = append(seen, s.Now())
+			})
+		}
+		s.RunFor(time.Duration(1<<16) * time.Millisecond)
+		for i := 1; i < len(seen); i++ {
+			if seen[i].Before(seen[i-1]) {
+				return false
+			}
+		}
+		return len(seen) == len(delaysMs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealtimeClockFiresCallbacks(t *testing.T) {
+	c := NewRealtimeClock()
+	defer c.CancelAll()
+	done := make(chan struct{})
+	c.After(5*time.Millisecond, "rt", func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("realtime event never fired")
+	}
+}
+
+func TestRealtimeCancel(t *testing.T) {
+	c := NewRealtimeClock()
+	defer c.CancelAll()
+	fired := make(chan struct{}, 1)
+	e := c.After(30*time.Millisecond, "rt", func() { fired <- struct{}{} })
+	e.Cancel()
+	select {
+	case <-fired:
+		t.Fatal("cancelled realtime event fired")
+	case <-time.After(80 * time.Millisecond):
+	}
+}
+
+func TestRealtimePeriodic(t *testing.T) {
+	c := NewRealtimeClock()
+	defer c.CancelAll()
+	ch := make(chan struct{}, 16)
+	e := c.Every(10*time.Millisecond, "tick", func() { ch <- struct{}{} })
+	n := 0
+	timeout := time.After(2 * time.Second)
+	for n < 3 {
+		select {
+		case <-ch:
+			n++
+		case <-timeout:
+			t.Fatalf("periodic realtime fired only %d times", n)
+		}
+	}
+	e.Cancel()
+}

@@ -1,0 +1,123 @@
+package slice
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PLMN is a Public Land Mobile Network identifier (MCC+MNC). The demo maps
+// each network slice onto a dedicated PLMN dynamically installed in the
+// MOCN-sharing eNBs, because no commercial slicing equipment existed.
+type PLMN struct {
+	// MCC is the 3-digit mobile country code, e.g. "001" (test range).
+	MCC string `json:"mcc"`
+	// MNC is the 2-digit mobile network code.
+	MNC string `json:"mnc"`
+}
+
+// String renders the PLMN as MCC-MNC, e.g. "001-01".
+func (p PLMN) String() string { return p.MCC + "-" + p.MNC }
+
+// IsZero reports whether the PLMN is unset.
+func (p PLMN) IsZero() bool { return p.MCC == "" && p.MNC == "" }
+
+// PLMNAllocator hands out dedicated PLMN IDs from the test MCC range and
+// recycles those of terminated slices. An eNB can only broadcast a bounded
+// number of PLMNs under MOCN (six per 3GPP TS 36.331 SIB1), so exhaustion is
+// a real admission-rejection cause the orchestrator must surface.
+type PLMNAllocator struct {
+	mu    sync.Mutex
+	mcc   string
+	limit int
+	inUse map[PLMN]ID
+	free  []PLMN
+	next  int
+}
+
+// DefaultPLMNLimit matches the SIB1 limit of 6 PLMN identities per cell
+// broadcast; the demo's two eNBs broadcast a shared MOCN list.
+const DefaultPLMNLimit = 6
+
+// NewPLMNAllocator returns an allocator over mcc with at most limit
+// simultaneously assigned PLMNs. limit <= 0 selects DefaultPLMNLimit.
+func NewPLMNAllocator(mcc string, limit int) *PLMNAllocator {
+	if mcc == "" {
+		mcc = "001"
+	}
+	if limit <= 0 {
+		limit = DefaultPLMNLimit
+	}
+	return &PLMNAllocator{
+		mcc:   mcc,
+		limit: limit,
+		inUse: make(map[PLMN]ID),
+	}
+}
+
+// ErrPLMNExhausted is returned when all broadcastable PLMN slots are taken.
+var ErrPLMNExhausted = fmt.Errorf("slice: PLMN broadcast list full (MOCN limit)")
+
+// Allocate assigns a free PLMN to the slice.
+func (a *PLMNAllocator) Allocate(owner ID) (PLMN, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.inUse) >= a.limit {
+		return PLMN{}, fmt.Errorf("%w: %d in use", ErrPLMNExhausted, len(a.inUse))
+	}
+	var p PLMN
+	if n := len(a.free); n > 0 {
+		p = a.free[n-1]
+		a.free = a.free[:n-1]
+	} else {
+		a.next++
+		p = PLMN{MCC: a.mcc, MNC: fmt.Sprintf("%02d", a.next)}
+	}
+	a.inUse[p] = owner
+	return p, nil
+}
+
+// Release returns the slice's PLMN to the pool. Releasing an unknown PLMN is
+// a no-op so teardown paths stay idempotent.
+func (a *PLMNAllocator) Release(p PLMN) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.inUse[p]; !ok {
+		return
+	}
+	delete(a.inUse, p)
+	a.free = append(a.free, p)
+}
+
+// Owner reports which slice currently holds the PLMN.
+func (a *PLMNAllocator) Owner(p PLMN) (ID, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	id, ok := a.inUse[p]
+	return id, ok
+}
+
+// InUse returns the currently broadcast PLMNs in deterministic order —
+// exactly the MOCN list the eNBs would advertise in SIB1.
+func (a *PLMNAllocator) InUse() []PLMN {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]PLMN, 0, len(a.inUse))
+	for p := range a.inUse {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MCC != out[j].MCC {
+			return out[i].MCC < out[j].MCC
+		}
+		return out[i].MNC < out[j].MNC
+	})
+	return out
+}
+
+// Available reports how many more PLMNs can be assigned.
+func (a *PLMNAllocator) Available() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limit - len(a.inUse)
+}

@@ -1,0 +1,428 @@
+// Package slice defines the network-slice data model shared by every layer
+// of the orchestrator: the tenant-facing request (duration, maximum latency,
+// expected throughput, price, SLA-violation penalty — exactly the dashboard
+// knobs listed in Section 3 of the paper), the slice lifecycle state machine,
+// the PLMN allocator that maps slices onto dedicated PLMN IDs (the trick the
+// demo uses in place of commercial slicing equipment), and revenue/penalty
+// accounting.
+package slice
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ID uniquely identifies a slice within one orchestrator.
+type ID string
+
+// ServiceClass coarsely describes the vertical the slice serves. It drives
+// the default traffic shape and the latitude the overbooking engine has.
+type ServiceClass int
+
+// Service classes named after the verticals in the paper's introduction.
+const (
+	// ClassEMBB is throughput-oriented mobile broadband.
+	ClassEMBB ServiceClass = iota
+	// ClassAutomotive is a latency-critical (URLLC-like) vertical slice.
+	ClassAutomotive
+	// ClassEHealth is an e-health vertical: moderate throughput, strict
+	// reliability, diurnal demand.
+	ClassEHealth
+	// ClassMMTC is massive machine-type: many devices, low per-device rate.
+	ClassMMTC
+)
+
+var classNames = map[ServiceClass]string{
+	ClassEMBB:       "eMBB",
+	ClassAutomotive: "automotive",
+	ClassEHealth:    "e-health",
+	ClassMMTC:       "mMTC",
+}
+
+// String returns the class name.
+func (c ServiceClass) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("ServiceClass(%d)", int(c))
+}
+
+// SLA is the service-level agreement of one slice: the request fields the
+// demo dashboard exposes plus the service class.
+type SLA struct {
+	// ThroughputMbps is the expected (peak) downlink throughput the tenant
+	// contracts for. Peak provisioning reserves exactly this much; the
+	// overbooking engine may reserve less when forecasts allow.
+	ThroughputMbps float64
+	// MaxLatencyMs is the maximum end-to-end latency allowed, radio
+	// excluded: it constrains the transport path plus data-center choice.
+	MaxLatencyMs float64
+	// Duration is the requested slice lifetime.
+	Duration time.Duration
+	// PriceEUR is the price the tenant is willing to pay for the whole
+	// slice duration.
+	PriceEUR float64
+	// PenaltyEUR is the penalty the operator owes for each SLA-violation
+	// epoch (a monitoring interval in which delivered < demanded and
+	// demanded <= contracted throughput).
+	PenaltyEUR float64
+	// Class selects the vertical profile.
+	Class ServiceClass
+	// EdgeCompute indicates the tenant requires mobile-edge (not core
+	// cloud) compute regardless of the latency budget.
+	EdgeCompute bool
+}
+
+// Validate reports the first problem with the SLA, or nil.
+func (s SLA) Validate() error {
+	switch {
+	case s.ThroughputMbps <= 0:
+		return fmt.Errorf("slice: throughput %.2f Mbps must be positive", s.ThroughputMbps)
+	case s.MaxLatencyMs <= 0:
+		return fmt.Errorf("slice: max latency %.2f ms must be positive", s.MaxLatencyMs)
+	case s.Duration <= 0:
+		return fmt.Errorf("slice: duration %v must be positive", s.Duration)
+	case s.PriceEUR < 0:
+		return fmt.Errorf("slice: price %.2f must be non-negative", s.PriceEUR)
+	case s.PenaltyEUR < 0:
+		return fmt.Errorf("slice: penalty %.2f must be non-negative", s.PenaltyEUR)
+	}
+	return nil
+}
+
+// Request is a tenant's ask for a slice, as submitted through the dashboard
+// or the REST API.
+type Request struct {
+	// Tenant names the requesting business player (vertical industry).
+	Tenant string
+	// SLA carries the contractual parameters.
+	SLA SLA
+	// Arrival is when the request reached the orchestrator.
+	Arrival time.Time
+}
+
+// Validate reports the first problem with the request, or nil.
+func (r Request) Validate() error {
+	if r.Tenant == "" {
+		return errors.New("slice: request missing tenant")
+	}
+	return r.SLA.Validate()
+}
+
+// State is a stage of the slice lifecycle.
+type State int
+
+// Lifecycle states. Transitions are enforced by Slice.transition; see
+// validTransitions.
+const (
+	// StatePending is a submitted request awaiting admission control.
+	StatePending State = iota
+	// StateRejected means admission control turned the request down.
+	StateRejected
+	// StateAdmitted means resources were granted but installation across
+	// the three domains has not finished.
+	StateAdmitted
+	// StateInstalling covers PRB reservation, path setup, stack deployment
+	// and EPC bring-up.
+	StateInstalling
+	// StateActive means UEs can attach and traffic flows.
+	StateActive
+	// StateReconfiguring marks an overbooking-driven resize in progress.
+	StateReconfiguring
+	// StateTerminated is the terminal state after expiry or deletion.
+	StateTerminated
+)
+
+var stateNames = map[State]string{
+	StatePending:       "pending",
+	StateRejected:      "rejected",
+	StateAdmitted:      "admitted",
+	StateInstalling:    "installing",
+	StateActive:        "active",
+	StateReconfiguring: "reconfiguring",
+	StateTerminated:    "terminated",
+}
+
+// String returns the lowercase state name used in the API and dashboard.
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+var validTransitions = map[State][]State{
+	StatePending:       {StateRejected, StateAdmitted},
+	StateAdmitted:      {StateInstalling, StateTerminated},
+	StateInstalling:    {StateActive, StateTerminated},
+	StateActive:        {StateReconfiguring, StateTerminated},
+	StateReconfiguring: {StateActive, StateTerminated},
+}
+
+// ErrBadTransition is wrapped by transition errors.
+var ErrBadTransition = errors.New("slice: invalid state transition")
+
+// Allocation records what the orchestrator currently reserves for the slice
+// in each domain. AllocatedMbps may be below SLA.ThroughputMbps when the
+// slice is overbooked.
+type Allocation struct {
+	// AllocatedMbps is the radio-domain throughput reservation.
+	AllocatedMbps float64
+	// PRBs is the number of physical resource blocks reserved per eNB.
+	PRBs map[string]int
+	// PathIDs names the transport reservations (one per eNB-to-DC path).
+	PathIDs []string
+	// PathLatencyMs is the worst transport latency over the chosen paths.
+	PathLatencyMs float64
+	// DataCenter is where the slice's EPC stack runs ("edge" or "core" DC name).
+	DataCenter string
+	// StackID is the Heat-style stack holding the vEPC VMs.
+	StackID string
+	// EPCID is the deployed vEPC instance.
+	EPCID string
+	// PLMN is the dedicated PLMN the slice is broadcast under.
+	PLMN PLMN
+}
+
+// Clone returns a deep copy (the PRB map is copied).
+func (a Allocation) Clone() Allocation {
+	b := a
+	if a.PRBs != nil {
+		b.PRBs = make(map[string]int, len(a.PRBs))
+		for k, v := range a.PRBs {
+			b.PRBs[k] = v
+		}
+	}
+	b.PathIDs = append([]string(nil), a.PathIDs...)
+	return b
+}
+
+// Slice is one admitted (or pending/rejected) network slice with its full
+// bookkeeping. All methods are safe for concurrent use.
+type Slice struct {
+	mu sync.Mutex
+
+	id      ID
+	req     Request
+	state   State
+	reason  string // rejection or termination reason
+	created time.Time
+	starts  time.Time
+	expires time.Time
+
+	alloc Allocation
+
+	// Accounting (Section 3: "gains vs. penalties").
+	violationEpochs int
+	servedEpochs    int
+	penaltyEUR      float64
+	demandMbps      float64 // last measured demand
+	servedMbps      float64 // last delivered throughput
+}
+
+// New creates a pending slice for the request. The caller (admission engine)
+// assigns the ID.
+func New(id ID, req Request) (*Slice, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &Slice{
+		id:      id,
+		req:     req,
+		state:   StatePending,
+		created: req.Arrival,
+	}, nil
+}
+
+// ID returns the slice identifier.
+func (s *Slice) ID() ID { return s.id }
+
+// Request returns the originating request.
+func (s *Slice) Request() Request { return s.req }
+
+// SLA returns the contract.
+func (s *Slice) SLA() SLA { return s.req.SLA }
+
+// Tenant returns the owning tenant.
+func (s *Slice) Tenant() string { return s.req.Tenant }
+
+// State returns the current lifecycle state.
+func (s *Slice) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Reason returns the rejection/termination reason if any.
+func (s *Slice) Reason() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reason
+}
+
+// Expiry returns when the slice's contracted duration ends (zero until
+// activation).
+func (s *Slice) Expiry() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expires
+}
+
+// Allocation returns a copy of the current multi-domain allocation.
+func (s *Slice) Allocation() Allocation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alloc.Clone()
+}
+
+// SetAllocation replaces the recorded allocation.
+func (s *Slice) SetAllocation(a Allocation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.alloc = a.Clone()
+}
+
+// UpdateAllocatedMbps resizes only the radio throughput reservation record
+// (used by the overbooking reconfiguration loop).
+func (s *Slice) UpdateAllocatedMbps(mbps float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.alloc.AllocatedMbps = mbps
+}
+
+func (s *Slice) transition(to State, reason string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ok := range validTransitions[s.state] {
+		if ok == to {
+			s.state = to
+			if reason != "" {
+				s.reason = reason
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s -> %s (slice %s)", ErrBadTransition, s.state, to, s.id)
+}
+
+// Reject moves Pending -> Rejected with a reason shown on the dashboard.
+func (s *Slice) Reject(reason string) error { return s.transition(StateRejected, reason) }
+
+// Admit moves Pending -> Admitted.
+func (s *Slice) Admit() error { return s.transition(StateAdmitted, "") }
+
+// BeginInstall moves Admitted -> Installing.
+func (s *Slice) BeginInstall() error { return s.transition(StateInstalling, "") }
+
+// Activate moves Installing -> Active and stamps the activity window.
+func (s *Slice) Activate(now time.Time) error {
+	if err := s.transition(StateActive, ""); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.starts = now
+	s.expires = now.Add(s.req.SLA.Duration)
+	s.mu.Unlock()
+	return nil
+}
+
+// BeginReconfigure moves Active -> Reconfiguring.
+func (s *Slice) BeginReconfigure() error { return s.transition(StateReconfiguring, "") }
+
+// EndReconfigure moves Reconfiguring -> Active.
+func (s *Slice) EndReconfigure() error { return s.transition(StateActive, "") }
+
+// Terminate moves any live state to Terminated.
+func (s *Slice) Terminate(reason string) error { return s.transition(StateTerminated, reason) }
+
+// RecordEpoch accounts one monitoring epoch: the measured demand and the
+// throughput actually delivered. A violation is charged when the slice
+// demanded no more than its contract yet received measurably less than it
+// demanded — i.e. the operator squeezed an overbooked slice too hard.
+// It reports whether the epoch was a violation.
+func (s *Slice) RecordEpoch(demandMbps, servedMbps float64) bool {
+	const tolerance = 1e-6
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.servedEpochs++
+	s.demandMbps = demandMbps
+	s.servedMbps = servedMbps
+	contract := s.req.SLA.ThroughputMbps
+	entitled := demandMbps
+	if entitled > contract {
+		entitled = contract
+	}
+	if servedMbps+tolerance < entitled {
+		s.violationEpochs++
+		s.penaltyEUR += s.req.SLA.PenaltyEUR
+		return true
+	}
+	return false
+}
+
+// Accounting summarises the money side of the slice.
+type Accounting struct {
+	PriceEUR        float64
+	PenaltyEUR      float64
+	NetEUR          float64
+	ServedEpochs    int
+	ViolationEpochs int
+	ViolationRate   float64
+	DemandMbps      float64
+	ServedMbps      float64
+}
+
+// Accounting returns the current revenue/penalty tally. Price counts only
+// for slices that got past admission.
+func (s *Slice) Accounting() Accounting {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := Accounting{
+		PenaltyEUR:      s.penaltyEUR,
+		ServedEpochs:    s.servedEpochs,
+		ViolationEpochs: s.violationEpochs,
+		DemandMbps:      s.demandMbps,
+		ServedMbps:      s.servedMbps,
+	}
+	if s.state != StatePending && s.state != StateRejected {
+		a.PriceEUR = s.req.SLA.PriceEUR
+	}
+	a.NetEUR = a.PriceEUR - a.PenaltyEUR
+	if s.servedEpochs > 0 {
+		a.ViolationRate = float64(s.violationEpochs) / float64(s.servedEpochs)
+	}
+	return a
+}
+
+// Snapshot is an immutable view of a slice for APIs and the dashboard.
+type Snapshot struct {
+	ID         ID         `json:"id"`
+	Tenant     string     `json:"tenant"`
+	Class      string     `json:"class"`
+	State      string     `json:"state"`
+	Reason     string     `json:"reason,omitempty"`
+	SLA        SLA        `json:"sla"`
+	Allocation Allocation `json:"allocation"`
+	Accounting Accounting `json:"accounting"`
+	Expires    time.Time  `json:"expires"`
+}
+
+// Snapshot captures the slice state atomically.
+func (s *Slice) Snapshot() Snapshot {
+	acct := s.Accounting()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Snapshot{
+		ID:         s.id,
+		Tenant:     s.req.Tenant,
+		Class:      s.req.SLA.Class.String(),
+		State:      s.state.String(),
+		Reason:     s.reason,
+		SLA:        s.req.SLA,
+		Allocation: s.alloc.Clone(),
+		Accounting: acct,
+		Expires:    s.expires,
+	}
+}

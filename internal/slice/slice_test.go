@@ -1,0 +1,236 @@
+package slice
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func validReq() Request {
+	return Request{
+		Tenant: "acme-automotive",
+		SLA: SLA{
+			ThroughputMbps: 50,
+			MaxLatencyMs:   10,
+			Duration:       time.Hour,
+			PriceEUR:       100,
+			PenaltyEUR:     2,
+			Class:          ClassAutomotive,
+		},
+	}
+}
+
+func TestSLAValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*SLA)
+		ok     bool
+	}{
+		{"valid", func(s *SLA) {}, true},
+		{"zero throughput", func(s *SLA) { s.ThroughputMbps = 0 }, false},
+		{"negative throughput", func(s *SLA) { s.ThroughputMbps = -1 }, false},
+		{"zero latency", func(s *SLA) { s.MaxLatencyMs = 0 }, false},
+		{"zero duration", func(s *SLA) { s.Duration = 0 }, false},
+		{"negative price", func(s *SLA) { s.PriceEUR = -1 }, false},
+		{"negative penalty", func(s *SLA) { s.PenaltyEUR = -0.5 }, false},
+		{"zero price ok", func(s *SLA) { s.PriceEUR = 0 }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sla := validReq().SLA
+			tc.mutate(&sla)
+			err := sla.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestRequestValidateRequiresTenant(t *testing.T) {
+	r := validReq()
+	r.Tenant = ""
+	if err := r.Validate(); err == nil {
+		t.Fatal("empty tenant accepted")
+	}
+}
+
+func TestNewRejectsInvalidRequest(t *testing.T) {
+	r := validReq()
+	r.SLA.Duration = -time.Second
+	if _, err := New("s1", r); err == nil {
+		t.Fatal("New accepted invalid request")
+	}
+}
+
+func TestLifecycleHappyPath(t *testing.T) {
+	s, err := New("s1", validReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		name string
+		fn   func() error
+		want State
+	}{
+		{"admit", s.Admit, StateAdmitted},
+		{"install", s.BeginInstall, StateInstalling},
+		{"activate", func() error { return s.Activate(time.Unix(1000, 0)) }, StateActive},
+		{"reconf", s.BeginReconfigure, StateReconfiguring},
+		{"reconf-done", s.EndReconfigure, StateActive},
+		{"terminate", func() error { return s.Terminate("expired") }, StateTerminated},
+	}
+	for _, st := range steps {
+		if err := st.fn(); err != nil {
+			t.Fatalf("%s: %v", st.name, err)
+		}
+		if got := s.State(); got != st.want {
+			t.Fatalf("%s: state %v, want %v", st.name, got, st.want)
+		}
+	}
+	if got := s.Reason(); got != "expired" {
+		t.Fatalf("reason %q", got)
+	}
+}
+
+func TestActivateSetsExpiry(t *testing.T) {
+	s, _ := New("s1", validReq())
+	s.Admit()
+	s.BeginInstall()
+	now := time.Unix(5000, 0)
+	s.Activate(now)
+	if want := now.Add(time.Hour); !s.Expiry().Equal(want) {
+		t.Fatalf("expiry %v, want %v", s.Expiry(), want)
+	}
+}
+
+func TestInvalidTransitions(t *testing.T) {
+	s, _ := New("s1", validReq())
+	if err := s.Activate(time.Now()); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("pending->active error = %v", err)
+	}
+	s.Reject("no capacity")
+	if err := s.Admit(); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("rejected->admitted error = %v", err)
+	}
+	if got := s.State(); got != StateRejected {
+		t.Fatalf("state mutated on failed transition: %v", got)
+	}
+}
+
+func TestTerminatedIsTerminal(t *testing.T) {
+	s, _ := New("s1", validReq())
+	s.Admit()
+	s.Terminate("op")
+	for _, fn := range []func() error{s.Admit, s.BeginInstall, s.BeginReconfigure} {
+		if err := fn(); !errors.Is(err, ErrBadTransition) {
+			t.Fatalf("transition out of terminated allowed: %v", err)
+		}
+	}
+}
+
+func TestRecordEpochViolationAccounting(t *testing.T) {
+	s, _ := New("s1", validReq()) // contract 50 Mbps, penalty 2
+	s.Admit()
+
+	// Demand below contract, fully served: no violation.
+	if s.RecordEpoch(30, 30) {
+		t.Fatal("fully served epoch counted as violation")
+	}
+	// Demand below contract, under-served: violation.
+	if !s.RecordEpoch(30, 20) {
+		t.Fatal("under-served epoch not counted")
+	}
+	// Demand above contract, served at contract: tenant exceeded SLA, no violation.
+	if s.RecordEpoch(80, 50) {
+		t.Fatal("over-demand epoch wrongly penalised")
+	}
+	// Demand above contract, served below contract: violation (entitled = contract).
+	if !s.RecordEpoch(80, 40) {
+		t.Fatal("under-contract service not penalised")
+	}
+
+	a := s.Accounting()
+	if a.ViolationEpochs != 2 || a.ServedEpochs != 4 {
+		t.Fatalf("epochs = %+v", a)
+	}
+	if a.PenaltyEUR != 4 {
+		t.Fatalf("penalty %.2f, want 4", a.PenaltyEUR)
+	}
+	if a.PriceEUR != 100 || a.NetEUR != 96 {
+		t.Fatalf("price %.2f net %.2f", a.PriceEUR, a.NetEUR)
+	}
+	if a.ViolationRate != 0.5 {
+		t.Fatalf("violation rate %.2f", a.ViolationRate)
+	}
+}
+
+func TestRejectedSliceEarnsNothing(t *testing.T) {
+	s, _ := New("s1", validReq())
+	s.Reject("full")
+	if a := s.Accounting(); a.PriceEUR != 0 || a.NetEUR != 0 {
+		t.Fatalf("rejected slice has revenue: %+v", a)
+	}
+}
+
+func TestAllocationCloneIsDeep(t *testing.T) {
+	s, _ := New("s1", validReq())
+	s.SetAllocation(Allocation{
+		AllocatedMbps: 40,
+		PRBs:          map[string]int{"enb1": 10},
+		PathIDs:       []string{"p1"},
+	})
+	a := s.Allocation()
+	a.PRBs["enb1"] = 99
+	a.PathIDs[0] = "mutated"
+	b := s.Allocation()
+	if b.PRBs["enb1"] != 10 || b.PathIDs[0] != "p1" {
+		t.Fatalf("allocation aliased: %+v", b)
+	}
+}
+
+func TestSnapshotReflectsState(t *testing.T) {
+	s, _ := New("s9", validReq())
+	s.Admit()
+	s.UpdateAllocatedMbps(33)
+	snap := s.Snapshot()
+	if snap.ID != "s9" || snap.State != "admitted" || snap.Class != "automotive" {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if snap.Allocation.AllocatedMbps != 33 {
+		t.Fatalf("snapshot alloc %v", snap.Allocation.AllocatedMbps)
+	}
+}
+
+func TestServiceClassString(t *testing.T) {
+	if ClassEHealth.String() != "e-health" || ClassEMBB.String() != "eMBB" {
+		t.Fatal("class names wrong")
+	}
+	if ServiceClass(99).String() != "ServiceClass(99)" {
+		t.Fatal("unknown class formatting")
+	}
+}
+
+// Property: penalties are monotonically non-decreasing and equal
+// violationEpochs * penaltyEUR.
+func TestPropertyPenaltyAccounting(t *testing.T) {
+	f := func(epochs []struct{ D, S uint8 }) bool {
+		s, _ := New("p", validReq())
+		s.Admit()
+		violations := 0
+		for _, e := range epochs {
+			d, srv := float64(e.D), float64(e.S)
+			if s.RecordEpoch(d, srv) {
+				violations++
+			}
+		}
+		a := s.Accounting()
+		return a.ViolationEpochs == violations &&
+			a.PenaltyEUR == float64(violations)*2 &&
+			a.ServedEpochs == len(epochs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

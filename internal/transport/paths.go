@@ -1,0 +1,263 @@
+package transport
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// PathRequest describes the constraints of a path computation: minimum
+// residual bandwidth on every hop and a maximum end-to-end delay. This is
+// the CSPF query the demo's transport controller answers when a slice is
+// installed ("dedicated paths are selected to guarantee the required delay
+// and capacity in the transport network").
+type PathRequest struct {
+	From, To string
+	// MinMbps is the bandwidth the path must be able to reserve.
+	MinMbps float64
+	// MaxDelayMs caps the path delay; <= 0 means unconstrained.
+	MaxDelayMs float64
+}
+
+// Path is a computed (not yet reserved) route.
+type Path struct {
+	Hops    []string
+	DelayMs float64
+	// BottleneckMbps is the smallest residual capacity along the path.
+	BottleneckMbps float64
+}
+
+// item for the Dijkstra priority queue.
+type pqItem struct {
+	node  string
+	delay float64
+	index int
+}
+
+type pq []*pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].delay < q[j].delay }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *pq) Push(x any)        { it := x.(*pqItem); it.index = len(*q); *q = append(*q, it) }
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath computes the minimum-delay path satisfying the request's
+// bandwidth constraint (links with insufficient residual are pruned), then
+// verifies the delay budget. It returns ErrNoPath when the pruned graph is
+// disconnected and ErrDelayBudget when a path exists but misses the budget.
+func (n *Network) ShortestPath(req PathRequest) (Path, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.shortestPathLocked(req, nil, nil)
+}
+
+// shortestPathLocked runs Dijkstra by delay. skipLinks/skipNodes support
+// Yen's algorithm. Neighbours are scanned in insertion order; ties resolve
+// deterministically via the (delay, insertion seq) queue ordering.
+func (n *Network) shortestPathLocked(req PathRequest, skipLinks map[string]bool, skipNodes map[string]bool) (Path, error) {
+	if _, ok := n.nodes[req.From]; !ok {
+		return Path{}, fmt.Errorf("%w: %q", ErrUnknownNode, req.From)
+	}
+	if _, ok := n.nodes[req.To]; !ok {
+		return Path{}, fmt.Errorf("%w: %q", ErrUnknownNode, req.To)
+	}
+
+	dist := map[string]float64{req.From: 0}
+	prev := map[string]string{}
+	visited := map[string]bool{}
+	q := &pq{}
+	heap.Push(q, &pqItem{node: req.From, delay: 0})
+
+	for q.Len() > 0 {
+		it := heap.Pop(q).(*pqItem)
+		if visited[it.node] {
+			continue
+		}
+		visited[it.node] = true
+		if it.node == req.To {
+			break
+		}
+		for _, l := range n.adj[it.node] {
+			if !l.Up || skipLinks[l.key()] || skipNodes[l.To] {
+				continue
+			}
+			if l.ResidualMbps() < req.MinMbps-1e-9 {
+				continue
+			}
+			nd := it.delay + l.DelayMs
+			if cur, ok := dist[l.To]; !ok || nd < cur {
+				dist[l.To] = nd
+				prev[l.To] = it.node
+				heap.Push(q, &pqItem{node: l.To, delay: nd})
+			}
+		}
+	}
+
+	d, ok := dist[req.To]
+	if !ok {
+		return Path{}, fmt.Errorf("%w: %s -> %s at %.1f Mbps", ErrNoPath, req.From, req.To, req.MinMbps)
+	}
+	if req.MaxDelayMs > 0 && d > req.MaxDelayMs+1e-9 {
+		return Path{}, fmt.Errorf("%w: best %.2f ms > budget %.2f ms", ErrDelayBudget, d, req.MaxDelayMs)
+	}
+
+	// Rebuild hop list.
+	var hops []string
+	for at := req.To; ; at = prev[at] {
+		hops = append([]string{at}, hops...)
+		if at == req.From {
+			break
+		}
+	}
+	bott := math.Inf(1)
+	for i := 0; i+1 < len(hops); i++ {
+		l := n.links[hops[i]+"->"+hops[i+1]]
+		if r := l.ResidualMbps(); r < bott {
+			bott = r
+		}
+	}
+	return Path{Hops: hops, DelayMs: d, BottleneckMbps: bott}, nil
+}
+
+// KShortestPaths returns up to k loop-free minimum-delay paths satisfying
+// the bandwidth constraint (Yen's algorithm). Paths that violate the delay
+// budget are excluded. Used for restoration after link failures and for the
+// embedding ablation.
+func (n *Network) KShortestPaths(req PathRequest, k int) ([]Path, error) {
+	if k < 1 {
+		k = 1
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	unconstrained := req
+	unconstrained.MaxDelayMs = 0 // apply the budget as a filter at the end
+	first, err := n.shortestPathLocked(unconstrained, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	paths := []Path{first}
+	var candidates []Path
+
+	for len(paths) < k {
+		base := paths[len(paths)-1]
+		for i := 0; i+1 < len(base.Hops); i++ {
+			spurNode := base.Hops[i]
+			rootPath := base.Hops[:i+1]
+
+			skipLinks := map[string]bool{}
+			for _, p := range paths {
+				if len(p.Hops) > i && equalHops(p.Hops[:i+1], rootPath) {
+					skipLinks[p.Hops[i]+"->"+p.Hops[i+1]] = true
+				}
+			}
+			skipNodes := map[string]bool{}
+			for _, h := range rootPath[:len(rootPath)-1] {
+				skipNodes[h] = true
+			}
+
+			spurReq := unconstrained
+			spurReq.From = spurNode
+			spur, err := n.shortestPathLocked(spurReq, skipLinks, skipNodes)
+			if err != nil {
+				continue
+			}
+			total := append(append([]string(nil), rootPath[:len(rootPath)-1]...), spur.Hops...)
+			cand := n.assessLocked(total)
+			if cand == nil {
+				continue
+			}
+			if !containsPath(paths, cand.Hops) && !containsPath(candidates, cand.Hops) {
+				candidates = append(candidates, *cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Pop the lowest-delay candidate.
+		best := 0
+		for i := range candidates {
+			if candidates[i].DelayMs < candidates[best].DelayMs {
+				best = i
+			}
+		}
+		paths = append(paths, candidates[best])
+		candidates = append(candidates[:best], candidates[best+1:]...)
+	}
+
+	// Apply the delay budget filter.
+	out := paths[:0]
+	for _, p := range paths {
+		if req.MaxDelayMs <= 0 || p.DelayMs <= req.MaxDelayMs+1e-9 {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: %d paths found, none within %.2f ms", ErrDelayBudget, len(paths), req.MaxDelayMs)
+	}
+	return out, nil
+}
+
+// assessLocked computes delay/bottleneck for a hop list, returning nil when
+// any link is missing, down, or the list has a loop.
+func (n *Network) assessLocked(hops []string) *Path {
+	seen := map[string]bool{}
+	for _, h := range hops {
+		if seen[h] {
+			return nil
+		}
+		seen[h] = true
+	}
+	delay := 0.0
+	bott := math.Inf(1)
+	for i := 0; i+1 < len(hops); i++ {
+		l, ok := n.links[hops[i]+"->"+hops[i+1]]
+		if !ok || !l.Up {
+			return nil
+		}
+		delay += l.DelayMs
+		if r := l.ResidualMbps(); r < bott {
+			bott = r
+		}
+	}
+	return &Path{Hops: append([]string(nil), hops...), DelayMs: delay, BottleneckMbps: bott}
+}
+
+func equalHops(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(ps []Path, hops []string) bool {
+	for _, p := range ps {
+		if equalHops(p.Hops, hops) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReservePath computes the best path for req and reserves req.MinMbps on it
+// under pathID in one step — the common fast path for slice installation.
+func (n *Network) ReservePath(pathID string, req PathRequest) (*Reservation, error) {
+	p, err := n.ShortestPath(req)
+	if err != nil {
+		return nil, err
+	}
+	return n.Reserve(pathID, p.Hops, req.MinMbps)
+}

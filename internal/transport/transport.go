@@ -1,0 +1,519 @@
+// Package transport models the demo's transport network: mmWave and µWave
+// wireless links plus wired segments interconnected through an OpenFlow
+// programmable switch (NEC ProgrammableFlow PF5240 in the testbed), giving
+// the orchestrator different topology configurations with predefined
+// capacity and delay characteristics.
+//
+// The transport controller's job in the demo is to select dedicated paths
+// that guarantee the delay and capacity each slice requires, installing
+// flow entries in the switches. This package provides the graph, per-link
+// bandwidth accounting, flow tables, and the delay-constrained path
+// computation the controller runs.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeKind classifies topology nodes.
+type NodeKind int
+
+// Node kinds in the testbed topology.
+const (
+	// KindSwitch is a programmable (OpenFlow) switch.
+	KindSwitch NodeKind = iota
+	// KindENB is a radio access point's transport port.
+	KindENB
+	// KindDC is a data-center gateway.
+	KindDC
+)
+
+// String returns the kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case KindSwitch:
+		return "switch"
+	case KindENB:
+		return "enb"
+	case KindDC:
+		return "dc"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// LinkType distinguishes the three transport technologies in the testbed.
+type LinkType int
+
+// Link technologies.
+const (
+	// Wired is fibre/copper: high capacity, lowest delay variance.
+	Wired LinkType = iota
+	// MmWave is the millimetre-wave hop: very high capacity, short reach.
+	MmWave
+	// MicroWave is the µWave hop: moderate capacity, longer reach.
+	MicroWave
+)
+
+// String returns the link-type name.
+func (lt LinkType) String() string {
+	switch lt {
+	case Wired:
+		return "wired"
+	case MmWave:
+		return "mmWave"
+	case MicroWave:
+		return "µWave"
+	default:
+		return fmt.Sprintf("LinkType(%d)", int(lt))
+	}
+}
+
+// Link is a directed edge with capacity/delay characteristics.
+type Link struct {
+	From, To     string
+	Type         LinkType
+	CapacityMbps float64
+	DelayMs      float64
+	// Up is false when the link has failed or been administratively
+	// disabled (topology reconfiguration).
+	Up bool
+
+	reservedMbps float64
+	byPath       map[string]float64
+}
+
+// key identifies the directed link.
+func (l *Link) key() string { return l.From + "->" + l.To }
+
+// ResidualMbps returns unreserved capacity.
+func (l *Link) ResidualMbps() float64 { return l.CapacityMbps - l.reservedMbps }
+
+// ReservedMbps returns currently reserved bandwidth.
+func (l *Link) ReservedMbps() float64 { return l.reservedMbps }
+
+// Utilization returns reserved/capacity in [0,1].
+func (l *Link) Utilization() float64 {
+	if l.CapacityMbps <= 0 {
+		return 0
+	}
+	return l.reservedMbps / l.CapacityMbps
+}
+
+// Errors surfaced to the orchestrator as rejection reasons.
+var (
+	ErrNoPath         = errors.New("transport: no feasible path")
+	ErrInsufficientBW = errors.New("transport: insufficient residual bandwidth")
+	ErrUnknownNode    = errors.New("transport: unknown node")
+	ErrUnknownPath    = errors.New("transport: unknown path reservation")
+	ErrDuplicatePath  = errors.New("transport: path ID already reserved")
+	ErrLinkExists     = errors.New("transport: link already exists")
+	ErrDelayBudget    = errors.New("transport: delay budget unmeetable")
+)
+
+// FlowEntry is one OpenFlow-style rule installed in a switch: traffic of
+// a path arriving from prev is forwarded to next.
+type FlowEntry struct {
+	PathID  string `json:"path_id"`
+	InPort  string `json:"in_port"`  // previous hop node (ingress for "")
+	OutPort string `json:"out_port"` // next hop node
+}
+
+// Network is the transport topology with per-link reservations and per-node
+// flow tables. All methods are safe for concurrent use.
+type Network struct {
+	mu    sync.Mutex
+	nodes map[string]NodeKind
+	links map[string]*Link        // key: "a->b"
+	adj   map[string][]*Link      // outgoing links per node
+	paths map[string]*Reservation // by path ID
+	flows map[string][]FlowEntry  // per-switch flow table
+}
+
+// Reservation records one reserved path.
+type Reservation struct {
+	ID      string   `json:"id"`
+	Hops    []string `json:"hops"` // node sequence, src..dst
+	Mbps    float64  `json:"mbps"`
+	DelayMs float64  `json:"delay_ms"`
+}
+
+// NewNetwork returns an empty topology.
+func NewNetwork() *Network {
+	return &Network{
+		nodes: make(map[string]NodeKind),
+		links: make(map[string]*Link),
+		adj:   make(map[string][]*Link),
+		paths: make(map[string]*Reservation),
+		flows: make(map[string][]FlowEntry),
+	}
+}
+
+// AddNode registers a node; re-adding with the same kind is a no-op.
+func (n *Network) AddNode(name string, kind NodeKind) error {
+	if name == "" {
+		return errors.New("transport: empty node name")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if k, ok := n.nodes[name]; ok && k != kind {
+		return fmt.Errorf("transport: node %q already exists with kind %v", name, k)
+	}
+	n.nodes[name] = kind
+	return nil
+}
+
+// AddLink installs a directed link.
+func (n *Network) AddLink(from, to string, lt LinkType, capacityMbps, delayMs float64) error {
+	if capacityMbps <= 0 || delayMs < 0 {
+		return fmt.Errorf("transport: link %s->%s capacity %.1f / delay %.2f invalid", from, to, capacityMbps, delayMs)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[from]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, from)
+	}
+	if _, ok := n.nodes[to]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	l := &Link{From: from, To: to, Type: lt, CapacityMbps: capacityMbps, DelayMs: delayMs, Up: true, byPath: map[string]float64{}}
+	if _, ok := n.links[l.key()]; ok {
+		return fmt.Errorf("%w: %s", ErrLinkExists, l.key())
+	}
+	n.links[l.key()] = l
+	n.adj[from] = append(n.adj[from], l)
+	return nil
+}
+
+// AddBiLink installs the link in both directions with identical
+// characteristics (each direction has its own capacity, as on real
+// full-duplex links).
+func (n *Network) AddBiLink(a, b string, lt LinkType, capacityMbps, delayMs float64) error {
+	if err := n.AddLink(a, b, lt, capacityMbps, delayMs); err != nil {
+		return err
+	}
+	return n.AddLink(b, a, lt, capacityMbps, delayMs)
+}
+
+// SetLinkUp marks a directed link up/down (failure injection and the demo's
+// "different transport network topology configurations").
+func (n *Network) SetLinkUp(from, to string, up bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.links[from+"->"+to]
+	if !ok {
+		return fmt.Errorf("transport: no link %s->%s", from, to)
+	}
+	l.Up = up
+	return nil
+}
+
+// SetLinkCapacity rescales a directed link's capacity — the rain-fade /
+// interference model for the wireless hops (mmWave links lose most of
+// their budget in heavy rain; µWave degrades more gently). Existing
+// reservations are kept even if they now exceed the shrunk capacity: the
+// link is oversubscribed until the orchestrator reacts (residual goes
+// negative, so no new reservation or growth passes the checks).
+// OversubscribedPaths lists the affected reservations.
+func (n *Network) SetLinkCapacity(from, to string, capacityMbps float64) error {
+	if capacityMbps <= 0 {
+		return fmt.Errorf("transport: capacity %.2f must be positive (use SetLinkUp to fail the link)", capacityMbps)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.links[from+"->"+to]
+	if !ok {
+		return fmt.Errorf("transport: no link %s->%s", from, to)
+	}
+	l.CapacityMbps = capacityMbps
+	return nil
+}
+
+// OversubscribedPaths returns the path IDs reserved over links whose
+// reserved bandwidth now exceeds capacity (after a degradation), sorted.
+func (n *Network) OversubscribedPaths() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, l := range n.links {
+		if !l.Up || l.reservedMbps <= l.CapacityMbps+1e-9 {
+			continue
+		}
+		for id := range l.byPath {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Link returns a copy of the directed link's current state.
+func (n *Network) Link(from, to string) (Link, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.links[from+"->"+to]
+	if !ok {
+		return Link{}, false
+	}
+	cp := *l
+	cp.byPath = nil
+	return cp, true
+}
+
+// Nodes returns node names sorted.
+func (n *Network) Nodes() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodesOfKind returns the sorted names of nodes with the given kind.
+func (n *Network) NodesOfKind(kind NodeKind) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []string
+	for name, k := range n.nodes {
+		if k == kind {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pathLinksLocked resolves a hop sequence into links, validating adjacency.
+func (n *Network) pathLinksLocked(hops []string) ([]*Link, error) {
+	if len(hops) < 2 {
+		return nil, fmt.Errorf("transport: path needs >= 2 hops, got %d", len(hops))
+	}
+	links := make([]*Link, 0, len(hops)-1)
+	for i := 0; i+1 < len(hops); i++ {
+		l, ok := n.links[hops[i]+"->"+hops[i+1]]
+		if !ok {
+			return nil, fmt.Errorf("transport: no link %s->%s in path", hops[i], hops[i+1])
+		}
+		links = append(links, l)
+	}
+	return links, nil
+}
+
+// Reserve atomically reserves mbps along hops under pathID, installing flow
+// entries in every intermediate switch. Either all links are reserved or
+// none.
+func (n *Network) Reserve(pathID string, hops []string, mbps float64) (*Reservation, error) {
+	if mbps <= 0 {
+		return nil, fmt.Errorf("transport: reservation of %.2f Mbps must be positive", mbps)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.paths[pathID]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicatePath, pathID)
+	}
+	links, err := n.pathLinksLocked(hops)
+	if err != nil {
+		return nil, err
+	}
+	delay := 0.0
+	for _, l := range links {
+		if !l.Up {
+			return nil, fmt.Errorf("transport: link %s down", l.key())
+		}
+		if l.ResidualMbps() < mbps-1e-9 {
+			return nil, fmt.Errorf("%w: %s residual %.2f < %.2f", ErrInsufficientBW, l.key(), l.ResidualMbps(), mbps)
+		}
+		delay += l.DelayMs
+	}
+	for _, l := range links {
+		l.reservedMbps += mbps
+		l.byPath[pathID] = mbps
+	}
+	r := &Reservation{ID: pathID, Hops: append([]string(nil), hops...), Mbps: mbps, DelayMs: delay}
+	n.paths[pathID] = r
+	n.installFlowsLocked(r)
+	return r, nil
+}
+
+// installFlowsLocked writes OpenFlow entries for the path into each switch
+// node it traverses.
+func (n *Network) installFlowsLocked(r *Reservation) {
+	for i, hop := range r.Hops {
+		if n.nodes[hop] != KindSwitch {
+			continue
+		}
+		in := ""
+		if i > 0 {
+			in = r.Hops[i-1]
+		}
+		out := ""
+		if i+1 < len(r.Hops) {
+			out = r.Hops[i+1]
+		}
+		n.flows[hop] = append(n.flows[hop], FlowEntry{PathID: r.ID, InPort: in, OutPort: out})
+	}
+}
+
+func (n *Network) removeFlowsLocked(pathID string) {
+	for node, entries := range n.flows {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.PathID != pathID {
+				kept = append(kept, e)
+			}
+		}
+		n.flows[node] = kept
+	}
+}
+
+// Release frees the path's bandwidth and flow entries. Unknown IDs are a
+// no-op (idempotent teardown).
+func (n *Network) Release(pathID string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.paths[pathID]
+	if !ok {
+		return
+	}
+	if links, err := n.pathLinksLocked(r.Hops); err == nil {
+		for _, l := range links {
+			l.reservedMbps -= l.byPath[pathID]
+			if l.reservedMbps < 0 {
+				l.reservedMbps = 0
+			}
+			delete(l.byPath, pathID)
+		}
+	}
+	n.removeFlowsLocked(pathID)
+	delete(n.paths, pathID)
+}
+
+// Resize changes the path's reservation to mbps, atomically.
+func (n *Network) Resize(pathID string, mbps float64) error {
+	if mbps <= 0 {
+		return fmt.Errorf("transport: resize to %.2f Mbps must be positive", mbps)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.paths[pathID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPath, pathID)
+	}
+	links, err := n.pathLinksLocked(r.Hops)
+	if err != nil {
+		return err
+	}
+	for _, l := range links {
+		delta := mbps - l.byPath[pathID]
+		if delta > l.ResidualMbps()+1e-9 {
+			return fmt.Errorf("%w: %s residual %.2f < grow %.2f", ErrInsufficientBW, l.key(), l.ResidualMbps(), delta)
+		}
+	}
+	for _, l := range links {
+		l.reservedMbps += mbps - l.byPath[pathID]
+		l.byPath[pathID] = mbps
+	}
+	r.Mbps = mbps
+	return nil
+}
+
+// Reservation returns a copy of the named path reservation.
+func (n *Network) Reservation(pathID string) (Reservation, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.paths[pathID]
+	if !ok {
+		return Reservation{}, false
+	}
+	cp := *r
+	cp.Hops = append([]string(nil), r.Hops...)
+	return cp, true
+}
+
+// FlowTable returns a copy of the switch's flow entries.
+func (n *Network) FlowTable(node string) []FlowEntry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]FlowEntry(nil), n.flows[node]...)
+}
+
+// PathsOverLink lists path IDs reserved over the directed link, sorted —
+// used to find victims when a link fails.
+func (n *Network) PathsOverLink(from, to string) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.links[from+"->"+to]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(l.byPath))
+	for id := range l.byPath {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Utilization returns mean and max link utilization over up links.
+func (n *Network) Utilization() (mean, max float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cnt := 0
+	for _, l := range n.links {
+		if !l.Up {
+			continue
+		}
+		u := l.Utilization()
+		mean += u
+		if u > max {
+			max = u
+		}
+		cnt++
+	}
+	if cnt > 0 {
+		mean /= float64(cnt)
+	}
+	return mean, max
+}
+
+// LinkSnapshot is one row of the topology view.
+type LinkSnapshot struct {
+	From         string  `json:"from"`
+	To           string  `json:"to"`
+	Type         string  `json:"type"`
+	CapacityMbps float64 `json:"capacity_mbps"`
+	ReservedMbps float64 `json:"reserved_mbps"`
+	DelayMs      float64 `json:"delay_ms"`
+	Up           bool    `json:"up"`
+}
+
+// Snapshot lists all links sorted by key.
+func (n *Network) Snapshot() []LinkSnapshot {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	keys := make([]string, 0, len(n.links))
+	for k := range n.links {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]LinkSnapshot, 0, len(keys))
+	for _, k := range keys {
+		l := n.links[k]
+		out = append(out, LinkSnapshot{
+			From: l.From, To: l.To, Type: l.Type.String(),
+			CapacityMbps: l.CapacityMbps, ReservedMbps: l.reservedMbps,
+			DelayMs: l.DelayMs, Up: l.Up,
+		})
+	}
+	return out
+}

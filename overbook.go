@@ -1,0 +1,120 @@
+// Package overbook is the public facade of the end-to-end network-slice
+// overbooking orchestrator — a from-scratch reproduction of "Overbooking
+// Network Slices End-to-End: Implementation and Demonstration" (Zanzi et
+// al., SIGCOMM'18 Posters and Demos).
+//
+// A System bundles the simulated testbed of the demo (two MOCN eNBs,
+// mmWave/µWave transport around a programmable switch, edge and core
+// OpenStack-style data centers) with the orchestrator that admits slices
+// under revenue maximization, embeds them across the three domains, and
+// overbooks their resources from traffic forecasts.
+//
+// Quick start:
+//
+//	sys, _ := overbook.NewSimulated(overbook.Options{Seed: 1, Overbook: true})
+//	sys.Orchestrator.Start()
+//	sl, _ := sys.Orchestrator.Submit(overbook.Request{
+//		Tenant: "acme",
+//		SLA: overbook.SLA{ThroughputMbps: 30, MaxLatencyMs: 20,
+//			Duration: time.Hour, PriceEUR: 100, PenaltyEUR: 2},
+//	}, nil)
+//	sys.Sim.RunFor(time.Hour)
+//	fmt.Println(sl.State(), sys.Orchestrator.Gain().MultiplexingGain)
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package overbook
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/slice"
+	"repro/internal/testbed"
+)
+
+// Re-exported core types, so typical users import only this package.
+type (
+	// Request is a tenant's slice request.
+	Request = slice.Request
+	// SLA carries the contract parameters of a request.
+	SLA = slice.SLA
+	// Slice is a managed network slice.
+	Slice = slice.Slice
+	// Snapshot is the API view of a slice.
+	Snapshot = slice.Snapshot
+	// GainReport is the gains-vs-penalties dashboard report.
+	GainReport = core.GainReport
+	// OrchestratorConfig tunes admission and overbooking.
+	OrchestratorConfig = core.Config
+	// TestbedConfig scales the simulated infrastructure.
+	TestbedConfig = testbed.Config
+)
+
+// Service classes for SLA.Class.
+const (
+	ClassEMBB       = slice.ClassEMBB
+	ClassAutomotive = slice.ClassAutomotive
+	ClassEHealth    = slice.ClassEHealth
+	ClassMMTC       = slice.ClassMMTC
+)
+
+// Options assembles a System. Zero values select the demo defaults.
+type Options struct {
+	// Seed drives all randomness of a simulated system.
+	Seed int64
+	// Overbook enables forecast-based provisioning (the paper's headline
+	// feature). Risk tunes how aggressively (default 0.95).
+	Overbook bool
+	Risk     float64
+	// Orchestrator overrides the full orchestrator config; when set,
+	// Overbook/Risk above are ignored.
+	Orchestrator *OrchestratorConfig
+	// Testbed overrides the infrastructure scale.
+	Testbed TestbedConfig
+}
+
+// System is an assembled testbed + orchestrator.
+type System struct {
+	// Sim is the virtual clock (nil for live systems).
+	Sim *sim.Simulator
+	// Clock is the scheduler driving the orchestrator.
+	Clock sim.Scheduler
+	// Testbed is the simulated infrastructure.
+	Testbed *testbed.Testbed
+	// Orchestrator is the system under control.
+	Orchestrator *core.Orchestrator
+}
+
+func (o Options) orchConfig() core.Config {
+	if o.Orchestrator != nil {
+		return *o.Orchestrator
+	}
+	return core.Config{Overbook: o.Overbook, Risk: o.Risk}
+}
+
+// NewSimulated builds a deterministic simulated System: experiments run in
+// virtual time via sys.Sim.RunFor.
+func NewSimulated(opts Options) (*System, error) {
+	s := sim.NewSimulator(opts.Seed)
+	tb, err := testbed.New(opts.Testbed, s.Rand())
+	if err != nil {
+		return nil, err
+	}
+	orch := core.New(opts.orchConfig(), tb, s, monitor.NewStore(8192))
+	return &System{Sim: s, Clock: s, Testbed: tb, Orchestrator: orch}, nil
+}
+
+// NewLive builds a wall-clock System for the daemon (cmd/orchestrator):
+// the same orchestration code runs on real timers and demand arrives via
+// the REST API.
+func NewLive(opts Options) (*System, error) {
+	clock := sim.NewRealtimeClock()
+	tb, err := testbed.New(opts.Testbed, rand.New(rand.NewSource(opts.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	orch := core.New(opts.orchConfig(), tb, clock, monitor.NewStore(8192))
+	return &System{Clock: clock, Testbed: tb, Orchestrator: orch}, nil
+}

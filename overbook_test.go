@@ -1,0 +1,74 @@
+package overbook
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewSimulatedQuickstart(t *testing.T) {
+	sys, err := NewSimulated(Options{Seed: 1, Overbook: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Orchestrator.Start()
+	sl, err := sys.Orchestrator.Submit(Request{
+		Tenant: "acme",
+		SLA: SLA{ThroughputMbps: 30, MaxLatencyMs: 20,
+			Duration: time.Hour, PriceEUR: 100, PenaltyEUR: 2,
+			Class: ClassEHealth},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Sim.RunFor(time.Minute)
+	if sl.State().String() != "active" {
+		t.Fatalf("state %v (%s)", sl.State(), sl.Reason())
+	}
+	if g := sys.Orchestrator.Gain(); g.Admitted != 1 {
+		t.Fatalf("gain %+v", g)
+	}
+}
+
+func TestNewSimulatedCustomConfig(t *testing.T) {
+	cfg := OrchestratorConfig{Overbook: true, Risk: 0.8, PLMNLimit: 10}
+	sys, err := NewSimulated(Options{Seed: 2, Orchestrator: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Orchestrator.Config().Risk; got != 0.8 {
+		t.Fatalf("risk %v", got)
+	}
+	if got := sys.Orchestrator.Config().PLMNLimit; got != 10 {
+		t.Fatalf("plmn limit %v", got)
+	}
+}
+
+func TestNewLiveRunsOnWallClock(t *testing.T) {
+	sys, err := NewLive(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Sim != nil {
+		t.Fatal("live system has a simulator")
+	}
+	sl, err := sys.Orchestrator.Submit(Request{
+		Tenant: "live",
+		SLA:    SLA{ThroughputMbps: 10, MaxLatencyMs: 50, Duration: time.Hour, PriceEUR: 10},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.State().String() != "installing" {
+		t.Fatalf("state %v", sl.State())
+	}
+}
+
+func TestTestbedOverride(t *testing.T) {
+	sys, err := NewSimulated(Options{Seed: 1, Testbed: TestbedConfig{ENBs: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.Testbed.RAN.Names()); got != 4 {
+		t.Fatalf("eNBs %d", got)
+	}
+}
