@@ -4,7 +4,8 @@
 //	go test -bench=. -benchmem
 //
 // Each benchmark maps to one figure/claim: F1 BenchmarkOrchestrationCycle,
-// F2 BenchmarkSliceInstallation, D1 BenchmarkAdmissionControl (+ the
+// F2 BenchmarkSliceInstallation, F3 BenchmarkParallelAdmission (the
+// sharded-engine scaling claim), D1 BenchmarkAdmissionControl (+ the
 // knapsack solver), D2 BenchmarkGainTracking, D3 BenchmarkForecasters,
 // D4 BenchmarkOverbookingSweep, D5 BenchmarkDomainUtilization,
 // D6 BenchmarkEmbedding.
@@ -13,6 +14,7 @@ package overbook
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -79,6 +81,69 @@ func BenchmarkSliceInstallation(b *testing.B) {
 		if err := sys.Orchestrator.Delete(sl.ID()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelAdmission (F3) measures concurrent admission throughput
+// of the sharded engine: every goroutine submits and immediately deletes
+// small slices for its own tenant on a wall-clock System, so the full
+// admit → multi-domain install → teardown cycle runs in parallel. The
+// shards=1 case serializes the whole cycle (the pre-sharding engine); the
+// 4- and 16-shard cases let independent tenants proceed concurrently, and
+// ops/sec should scale with cores (DESIGN.md §4, claim F3: ≥2× at 16
+// shards vs 1 on a multi-core runner).
+func BenchmarkParallelAdmission(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := core.Config{
+				Overbook:            true,
+				Risk:                0.9,
+				AdmissionLoadFactor: 0.5,
+				PLMNLimit:           4096,
+				HistoryLimit:        256,
+				Shards:              shards,
+			}
+			sys, err := NewLive(Options{
+				Orchestrator: &cfg,
+				Testbed: TestbedConfig{
+					ENBs: 4, MaxPLMNs: 4096, CoreHosts: 32, EdgeHosts: 16,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				tenant := fmt.Sprintf("bench-tenant-%d", seq.Add(1))
+				for pb.Next() {
+					sl, err := sys.Orchestrator.Submit(slice.Request{
+						Tenant: tenant,
+						SLA: slice.SLA{
+							ThroughputMbps: 2,
+							MaxLatencyMs:   50,
+							Duration:       time.Hour,
+							PriceEUR:       10,
+							PenaltyEUR:     1,
+						},
+					}, nil)
+					// b.Fatal must not be called from RunParallel workers;
+					// b.Error + return stops this worker and fails the run.
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if sl.State() == slice.StateRejected {
+						b.Errorf("bench request rejected: %s", sl.Reason())
+						return
+					}
+					if err := sys.Orchestrator.Delete(sl.ID()); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
 	}
 }
 

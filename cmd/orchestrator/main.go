@@ -44,7 +44,9 @@ func main() {
 	sys, err := overbook.NewLive(overbook.Options{
 		Seed:         *seed,
 		Orchestrator: &cfg,
-		Testbed:      overbook.TestbedConfig{ENBs: *enbs},
+		// MaxPLMNs follows the allocator limit so raising -plmn-limit
+		// actually lifts the per-cell MOCN broadcast bound too.
+		Testbed: overbook.TestbedConfig{ENBs: *enbs, MaxPLMNs: *plmnMax},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "orchestrator:", err)

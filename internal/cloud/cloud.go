@@ -403,9 +403,11 @@ func (dc *DataCenter) Utilization() float64 {
 	return c.UsedVCPUs / c.TotalVCPUs
 }
 
-// Region is the set of data centers available to the orchestrator.
+// Region is the set of data centers available to the orchestrator. All
+// methods are safe for concurrent use; lookups take a shared read lock
+// because every admission check and installation resolves a data center.
 type Region struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	dcs map[string]*DataCenter
 }
 
@@ -425,16 +427,16 @@ func (r *Region) Add(dc *DataCenter) error {
 
 // Get returns the named data center.
 func (r *Region) Get(name string) (*DataCenter, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	dc, ok := r.dcs[name]
 	return dc, ok
 }
 
 // Names lists data centers sorted.
 func (r *Region) Names() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]string, 0, len(r.dcs))
 	for n := range r.dcs {
 		out = append(out, n)
@@ -446,8 +448,8 @@ func (r *Region) Names() []string {
 // All returns data centers sorted by name.
 func (r *Region) All() []*DataCenter {
 	names := r.Names()
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]*DataCenter, 0, len(names))
 	for _, n := range names {
 		out = append(out, r.dcs[n])

@@ -9,25 +9,29 @@ import (
 	"repro/internal/testbed"
 )
 
-// admitLocked runs the admission checks of Section 3: "our end-to-end
+// admit runs the admission checks of Section 3: "our end-to-end
 // orchestration algorithm checks the infrastructure resources availability
 // in each domain and performs traffic forecasting, considering past and
-// current network slices information". It returns "" to admit or a
-// rejection reason.
+// current network slices information". It returns ("", reservedMbps) to
+// admit — with the newcomer's estimated load already reserved on the shared
+// capacity ledger (phase one of the two-phase reservation; install commits
+// it, any failure must release it) — or a rejection reason.
 //
-// The radio check is the overbooking-aware one: the sum of *estimated*
-// loads (current provisioned allocations of running slices + a load-factor
-// estimate for the newcomer) must fit under the capacity cap. Without
-// overbooking the estimates are the full contracts, which degenerates to
-// classic peak-provisioning admission.
-func (o *Orchestrator) admitLocked(req slice.Request) string {
+// The radio check is the overbooking-aware one: the running sum of
+// *estimated* loads (current provisioned allocations of running slices +
+// a load-factor estimate for the newcomer) must fit under the capacity cap.
+// Without overbooking the estimates are the full contracts, which
+// degenerates to classic peak-provisioning admission. The sum is maintained
+// incrementally by the ledger, so the check is O(1) and atomic under
+// concurrent admissions on other shards.
+func (o *Orchestrator) admit(req slice.Request) (string, float64) {
 	sla := req.SLA
 
 	// Revenue policy: EUR per Mbps·hour must clear the configured bar.
 	if o.cfg.MinRevenueDensity > 0 {
 		density := sla.PriceEUR / (sla.ThroughputMbps * sla.Duration.Hours())
 		if density < o.cfg.MinRevenueDensity {
-			return fmt.Sprintf("revenue density %.3f EUR/(Mbps·h) below policy %.3f", density, o.cfg.MinRevenueDensity)
+			return fmt.Sprintf("revenue density %.3f EUR/(Mbps·h) below policy %.3f", density, o.cfg.MinRevenueDensity), 0
 		}
 	}
 
@@ -38,29 +42,31 @@ func (o *Orchestrator) admitLocked(req slice.Request) string {
 	if o.cfg.PenaltyAware {
 		if expected := o.expectedPenaltyEUR(sla); expected >= sla.PriceEUR {
 			return fmt.Sprintf("revenue: expected penalty %.2f EUR >= price %.2f EUR at risk %.2f",
-				expected, sla.PriceEUR, o.cfg.effectiveRisk())
+				expected, sla.PriceEUR, o.cfg.effectiveRisk()), 0
 		}
 	}
 
 	// PLMN slot (MOCN broadcast list).
 	if o.plmns.Available() == 0 {
-		return "PLMN broadcast list full"
+		return "PLMN broadcast list full", 0
 	}
 
-	// Radio capacity (overbooking-aware estimate).
+	// Radio capacity (overbooking-aware estimate): atomic two-phase
+	// reservation against the shared ledger.
 	capacity := o.tb.RadioCapacityMbps() * o.cfg.UtilizationCap
-	load := o.estimatedRadioLoadLocked()
 	newLoad := o.admissionEstimate(sla)
-	if load+newLoad > capacity {
-		return fmt.Sprintf("radio capacity: estimated load %.1f+%.1f Mbps exceeds %.1f", load, newLoad, capacity)
+	ok, load := o.ledger.TryReserve(newLoad, capacity)
+	if !ok {
+		return fmt.Sprintf("radio capacity: estimated load %.1f+%.1f Mbps exceeds %.1f", load, newLoad, capacity), 0
 	}
 
 	// Cloud + transport: at least one data center must satisfy both the
 	// latency budget and the compute demand.
-	if _, _, reason := o.chooseDataCenterLocked(sla); reason != "" {
-		return reason
+	if _, _, reason := o.chooseDataCenter(sla); reason != "" {
+		o.ledger.Release(newLoad)
+		return reason, 0
 	}
-	return ""
+	return "", newLoad
 }
 
 // expectedPenaltyEUR estimates the SLA penalties the operator will owe the
@@ -82,31 +88,13 @@ func (o *Orchestrator) admissionEstimate(sla slice.SLA) float64 {
 	return sla.ThroughputMbps * o.cfg.AdmissionLoadFactor
 }
 
-// estimatedRadioLoadLocked sums the forecast loads of live slices: the
-// current provisioning target for slices with demand history (already
-// forecast-shrunk when overbooking), the a-priori load-factor estimate for
-// slices not yet observed. This is the "considering past and current
-// network slices information" input of the admission algorithm.
-func (o *Orchestrator) estimatedRadioLoadLocked() float64 {
-	sum := 0.0
-	for _, m := range o.orderedSlicesLocked() {
-		switch m.s.State() {
-		case slice.StateActive, slice.StateReconfiguring, slice.StateInstalling, slice.StateAdmitted:
-			if m.prov != nil && m.prov.Observed() {
-				sum += m.prov.Provision(m.s.SLA().ThroughputMbps)
-			} else {
-				sum += o.admissionEstimate(m.s.SLA())
-			}
-		}
-	}
-	return sum
-}
-
-// chooseDataCenterLocked picks the data center for the slice: the one with
+// chooseDataCenter picks the data center for the slice: the one with
 // the fewest spare resources that still meets the latency budget (keeping
 // the scarce edge free for slices that need it), honouring EdgeCompute.
 // It returns the DC name and the worst-case transport delay, or a reason.
-func (o *Orchestrator) chooseDataCenterLocked(sla slice.SLA) (string, float64, string) {
+// It reads only the (internally synchronized) domain controllers, so it
+// needs no shard lock.
+func (o *Orchestrator) chooseDataCenter(sla slice.SLA) (string, float64, string) {
 	type cand struct {
 		name  string
 		delay float64

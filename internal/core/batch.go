@@ -51,12 +51,11 @@ type BatchItem struct {
 // SubmitBatch decides the batch jointly under the policy and submits the
 // chosen requests through the normal installation path; the others are
 // registered as rejected with a batch-policy reason. Returned slices are
-// positionally aligned with items.
+// positionally aligned with items. Safe for concurrent use; the budget is
+// read from the capacity ledger in one atomic step.
 func (o *Orchestrator) SubmitBatch(items []BatchItem, policy BatchPolicy) ([]*slice.Slice, error) {
 	// Budget: remaining estimated radio capacity.
-	o.mu.Lock()
-	budget := o.tb.RadioCapacityMbps()*o.cfg.UtilizationCap - o.estimatedRadioLoadLocked()
-	o.mu.Unlock()
+	budget := o.tb.RadioCapacityMbps()*o.cfg.UtilizationCap - o.ledger.Load()
 	if budget < 0 {
 		budget = 0
 	}
@@ -94,21 +93,16 @@ func (o *Orchestrator) SubmitBatch(items []BatchItem, policy BatchPolicy) ([]*sl
 			continue
 		}
 		// Register the loser as a rejected slice so the dashboard shows it.
-		o.mu.Lock()
-		o.seq++
-		id := slice.ID(fmt.Sprintf("s-%d", o.seq))
+		id := slice.ID(fmt.Sprintf("s-%d", o.seq.Add(1)))
 		sl, err := slice.New(id, it.Request)
-		if err == nil {
-			sl.Reject(fmt.Sprintf("revenue policy: not selected by %s batch admission", policy))
-			o.rejected++
-			o.rejectReasons["revenue-policy"]++
-			o.slices[id] = &managedSlice{s: sl}
-			o.pruneHistoryLocked()
-		}
-		o.mu.Unlock()
 		if err != nil {
 			return nil, err
 		}
+		sh := o.shardFor(id)
+		sh.mu.Lock()
+		evicted := o.rejectLocked(sh, sl, fmt.Sprintf("revenue policy: not selected by %s batch admission", policy))
+		sh.mu.Unlock()
+		o.dropFinished(evicted)
 		out[i] = sl
 	}
 	return out, nil

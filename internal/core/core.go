@@ -11,14 +11,33 @@
 // clock before the slice turns Active. A periodic control epoch measures
 // demand, feeds the forecasters, charges SLA violations and resizes
 // reservations.
+//
+// # Concurrency
+//
+// The Orchestrator is safe for concurrent use. Slice state is partitioned
+// into Config.Shards independent shards (hash of slice ID), each with its
+// own lock, so admissions, installs, teardowns and demand recording for
+// slices on different shards proceed in parallel; requests that hash to the
+// same shard queue up on its lock in arrival order. The shared radio
+// overbooking budget is a capacity ledger with a two-phase reservation
+// (reserve at admission, release on failure or teardown), so the admission
+// capacity check is one atomic step rather than a registry scan.
+//
+// Submit, SubmitBatch, Delete, Get, List, Timeline, RecordDemand,
+// ActiveCount, Gain, RunEpoch, HandleLinkFailure, HandleLinkDegradation,
+// RestoreLink, Start and Stop are all goroutine-safe. Whole-registry passes
+// (RunEpoch, Gain, List, restoration, the squeeze that shrinks running
+// slices for a newcomer) briefly quiesce the system by taking every shard
+// lock in index order; everything else holds at most one shard lock, which
+// makes the locking deadlock-free by construction (see DESIGN.md §3.4).
 package core
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/forecast"
@@ -80,6 +99,14 @@ type Config struct {
 	// are retained for the dashboard; the oldest beyond the limit are
 	// pruned so a long-running daemon stays flat (default 512).
 	HistoryLimit int
+	// Shards is the number of independent admission shards the slice
+	// registry is partitioned into (rounded up to a power of two,
+	// default 8). Requests for slices on different shards are admitted,
+	// installed and torn down in parallel; a single shard serializes its
+	// slices in arrival order. Shard count never changes outcomes — only
+	// contention — so deterministic simulations are identical at any
+	// setting.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -119,7 +146,20 @@ func (c Config) withDefaults() Config {
 	if c.HistoryLimit <= 0 {
 		c.HistoryLimit = 512
 	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	c.Shards = ceilPow2(c.Shards)
 	return c
+}
+
+// ceilPow2 rounds n up to the next power of two (capped at 1<<16).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n && p < 1<<16 {
+		p <<= 1
+	}
+	return p
 }
 
 // effectiveRisk returns the provisioning risk honouring the master switch.
@@ -130,9 +170,11 @@ func (c Config) effectiveRisk() float64 {
 	return c.Risk
 }
 
-// managedSlice is the orchestrator's bookkeeping for one slice.
+// managedSlice is the orchestrator's bookkeeping for one slice. All fields
+// are guarded by the owning shard's mutex.
 type managedSlice struct {
 	s    *slice.Slice
+	sh   *shard
 	prov *forecast.Provisioner
 	// demand is the simulated offered-load process (nil in live mode,
 	// where demand arrives via RecordDemand).
@@ -140,12 +182,15 @@ type managedSlice struct {
 	// lastDemand is the most recent demand sample in Mbps.
 	lastDemand float64
 	haveDemand bool
+	// ledgerMbps is this slice's entry in the shared capacity ledger.
+	ledgerMbps float64
 
 	expiry *sim.Event
 	timers []*sim.Event // pending installation stage events
 }
 
-// Orchestrator is the end-to-end slice orchestrator.
+// Orchestrator is the end-to-end slice orchestrator. It is safe for
+// concurrent use; see the package documentation for the sharding model.
 type Orchestrator struct {
 	cfg   Config
 	clock sim.Scheduler
@@ -153,20 +198,16 @@ type Orchestrator struct {
 	store *monitor.Store
 	plmns *slice.PLMNAllocator
 
-	mu     sync.Mutex
-	slices map[slice.ID]*managedSlice
-	seq    int
-	loop   *sim.Event
+	shards    []*shard
+	shardMask uint32
+	ledger    capacityLedger
+	history   finishedHistory
 
-	// Cumulative counters for the demonstration dashboard.
-	admitted, rejected int
-	rejectReasons      map[string]int
-	violationsTotal    int
-	penaltyTotalEUR    float64
-	revenueTotalEUR    float64
-	reconfigurations   int
-	epochs             int
-	timelines          map[slice.ID]*InstallTimeline
+	seq    atomic.Int64 // slice ID sequence
+	epochs atomic.Int64 // control-loop passes
+
+	loopMu sync.Mutex
+	loop   *sim.Event
 }
 
 // New returns an orchestrator over the testbed using the given clock.
@@ -175,16 +216,20 @@ func New(cfg Config, tb *testbed.Testbed, clock sim.Scheduler, store *monitor.St
 	if store == nil {
 		store = monitor.NewStore(4096)
 	}
-	return &Orchestrator{
-		cfg:           cfg,
-		clock:         clock,
-		tb:            tb,
-		store:         store,
-		plmns:         slice.NewPLMNAllocator("001", cfg.PLMNLimit),
-		slices:        make(map[slice.ID]*managedSlice),
-		rejectReasons: make(map[string]int),
-		timelines:     make(map[slice.ID]*InstallTimeline),
+	o := &Orchestrator{
+		cfg:       cfg,
+		clock:     clock,
+		tb:        tb,
+		store:     store,
+		plmns:     slice.NewPLMNAllocator("001", cfg.PLMNLimit),
+		shards:    make([]*shard, cfg.Shards),
+		shardMask: uint32(cfg.Shards - 1),
+		history:   finishedHistory{limit: cfg.HistoryLimit},
 	}
+	for i := range o.shards {
+		o.shards[i] = newShard()
+	}
+	return o
 }
 
 // Config returns the effective configuration.
@@ -198,8 +243,8 @@ func (o *Orchestrator) Testbed() *testbed.Testbed { return o.tb }
 
 // Start schedules the periodic control loop on the clock.
 func (o *Orchestrator) Start() {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.loopMu.Lock()
+	defer o.loopMu.Unlock()
 	if o.loop != nil {
 		return
 	}
@@ -208,8 +253,8 @@ func (o *Orchestrator) Start() {
 
 // Stop cancels the control loop.
 func (o *Orchestrator) Stop() {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.loopMu.Lock()
+	defer o.loopMu.Unlock()
 	if o.loop != nil {
 		o.loop.Cancel()
 		o.loop = nil
@@ -232,9 +277,10 @@ func (tl InstallTimeline) Total() time.Duration { return tl.Active.Sub(tl.Submit
 
 // Timeline returns the installation timeline of a slice, if recorded.
 func (o *Orchestrator) Timeline(id slice.ID) (InstallTimeline, bool) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	tl, ok := o.timelines[id]
+	sh := o.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tl, ok := sh.timelines[id]
 	if !ok {
 		return InstallTimeline{}, false
 	}
@@ -252,44 +298,60 @@ func (e errReject) Error() string { return e.reason }
 // slice is in StateInstalling or StateRejected; rejection is not an error.
 // The optional demand process makes the simulation feed the slice's
 // offered load every epoch (live deployments call RecordDemand instead).
+//
+// Submit is safe for concurrent use: requests serialize per shard, so
+// independent tenants are admitted and installed in parallel.
 func (o *Orchestrator) Submit(req slice.Request, demand traffic.Demand) (*slice.Slice, error) {
 	if req.Arrival.IsZero() {
 		req.Arrival = o.clock.Now()
 	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
-
-	o.seq++
-	id := slice.ID(fmt.Sprintf("s-%d", o.seq))
+	id := slice.ID(fmt.Sprintf("s-%d", o.seq.Add(1)))
 	s, err := slice.New(id, req)
 	if err != nil {
 		return nil, err
 	}
+	sh := o.shardFor(id)
+	sh.mu.Lock()
 
-	if reason := o.admitLocked(req); reason != "" {
-		s.Reject(reason)
-		o.rejected++
-		o.rejectReasons[reasonClass(reason)]++
-		o.slices[id] = &managedSlice{s: s}
-		o.pruneHistoryLocked()
+	// Phase one: admission checks plus the atomic capacity-ledger
+	// reservation for the newcomer's estimated radio load.
+	reason, reserved := o.admit(req)
+	if reason != "" {
+		evicted := o.rejectLocked(sh, s, reason)
+		sh.mu.Unlock()
+		o.dropFinished(evicted)
 		return s, nil
 	}
 
-	if err := o.installLocked(s, demand); err != nil {
+	// Phase two: multi-domain installation; any failure releases the
+	// ledger reservation and converts to a rejection.
+	if err := o.install(sh, s, demand, reserved); err != nil {
+		o.ledger.Release(reserved)
 		var rej errReject
 		if errors.As(err, &rej) {
-			s.Reject(rej.reason)
-			o.rejected++
-			o.rejectReasons[reasonClass(rej.reason)]++
-			o.slices[id] = &managedSlice{s: s}
-			o.pruneHistoryLocked()
+			evicted := o.rejectLocked(sh, s, rej.reason)
+			sh.mu.Unlock()
+			o.dropFinished(evicted)
 			return s, nil
 		}
+		sh.mu.Unlock()
 		return nil, err
 	}
-	o.admitted++
-	o.revenueTotalEUR += req.SLA.PriceEUR
+	sh.admitted++
+	sh.revenueTotalEUR += req.SLA.PriceEUR
+	sh.mu.Unlock()
 	return s, nil
+}
+
+// rejectLocked registers a rejected request in the shard (so the dashboard
+// shows it) and returns any finished slices evicted from the bounded
+// history, which the caller must drop after releasing the shard lock.
+func (o *Orchestrator) rejectLocked(sh *shard, s *slice.Slice, reason string) []slice.ID {
+	s.Reject(reason)
+	sh.rejected++
+	sh.rejectReasons[reasonClass(reason)]++
+	sh.slices[s.ID()] = &managedSlice{s: s, sh: sh}
+	return o.history.Push(s.ID())
 }
 
 // reasonClass maps a detailed rejection reason onto the histogram bucket
@@ -315,79 +377,47 @@ func reasonClass(reason string) string {
 
 // Delete tears the slice down ahead of its expiry.
 func (o *Orchestrator) Delete(id slice.ID) error {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	m, ok := o.slices[id]
+	sh := o.shardFor(id)
+	sh.mu.Lock()
+	m, ok := sh.slices[id]
 	if !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("core: unknown slice %s", id)
 	}
 	switch m.s.State() {
 	case slice.StateRejected, slice.StateTerminated:
-		return fmt.Errorf("core: slice %s already %s", id, m.s.State())
+		st := m.s.State()
+		sh.mu.Unlock()
+		return fmt.Errorf("core: slice %s already %s", id, st)
 	}
-	o.teardownLocked(m, "deleted by tenant")
+	evicted := o.teardownLocked(sh, m, "deleted by tenant")
+	sh.mu.Unlock()
+	o.dropFinished(evicted)
 	return nil
 }
 
 // Get returns the slice by ID.
 func (o *Orchestrator) Get(id slice.ID) (*slice.Slice, bool) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	m, ok := o.slices[id]
+	sh := o.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m, ok := sh.slices[id]
 	if !ok {
 		return nil, false
 	}
 	return m.s, true
 }
 
-// List returns snapshots of every slice, sorted by ID sequence.
+// List returns snapshots of every slice, sorted by ID sequence. The
+// snapshot is atomic across shards.
 func (o *Orchestrator) List() []slice.Snapshot {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	ids := make([]slice.ID, 0, len(o.slices))
-	for id := range o.slices {
-		ids = append(ids, id)
+	o.lockAll()
+	defer o.unlockAll()
+	ms := o.orderedSlicesAllLocked()
+	out := make([]slice.Snapshot, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, m.s.Snapshot())
 	}
-	sort.Slice(ids, func(i, j int) bool { return seqOf(ids[i]) < seqOf(ids[j]) })
-	out := make([]slice.Snapshot, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, o.slices[id].s.Snapshot())
-	}
-	return out
-}
-
-// pruneHistoryLocked drops the oldest finished slices beyond HistoryLimit
-// so the registry (and every sorted iteration over it) stays bounded in a
-// long-running daemon. Live slices are never pruned.
-func (o *Orchestrator) pruneHistoryLocked() {
-	var finished []slice.ID
-	for id, m := range o.slices {
-		switch m.s.State() {
-		case slice.StateTerminated, slice.StateRejected:
-			finished = append(finished, id)
-		}
-	}
-	excess := len(finished) - o.cfg.HistoryLimit
-	if excess <= 0 {
-		return
-	}
-	sort.Slice(finished, func(i, j int) bool { return seqOf(finished[i]) < seqOf(finished[j]) })
-	for _, id := range finished[:excess] {
-		delete(o.slices, id)
-		delete(o.timelines, id)
-	}
-}
-
-// orderedSlicesLocked returns all managed slices sorted by submission
-// sequence. Every loop that samples randomness, resizes reservations or
-// sums floating-point loads must use this order so that runs are
-// bit-reproducible under a fixed seed (map iteration order is not).
-func (o *Orchestrator) orderedSlicesLocked() []*managedSlice {
-	out := make([]*managedSlice, 0, len(o.slices))
-	for _, m := range o.slices {
-		out = append(out, m)
-	}
-	sort.Slice(out, func(i, j int) bool { return seqOf(out[i].s.ID()) < seqOf(out[j].s.ID()) })
 	return out
 }
 
@@ -402,9 +432,10 @@ func seqOf(id slice.ID) int {
 // RecordDemand feeds a live demand measurement for the slice (Mbps). In
 // simulations the attached traffic.Demand process supersedes it.
 func (o *Orchestrator) RecordDemand(id slice.ID, mbps float64) error {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	m, ok := o.slices[id]
+	sh := o.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m, ok := sh.slices[id]
 	if !ok {
 		return fmt.Errorf("core: unknown slice %s", id)
 	}
@@ -415,12 +446,14 @@ func (o *Orchestrator) RecordDemand(id slice.ID, mbps float64) error {
 
 // ActiveCount returns the number of active (traffic-carrying) slices.
 func (o *Orchestrator) ActiveCount() int {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.lockAll()
+	defer o.unlockAll()
 	n := 0
-	for _, m := range o.slices {
-		if m.s.State() == slice.StateActive {
-			n++
+	for _, sh := range o.shards {
+		for _, m := range sh.slices {
+			if m.s.State() == slice.StateActive {
+				n++
+			}
 		}
 	}
 	return n

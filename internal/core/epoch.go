@@ -18,18 +18,25 @@ import (
 //  5. automatic configuration of network elements — resize radio and
 //     transport reservations where the target moved beyond hysteresis.
 //
-// It also pushes all telemetry and the gain/penalty dashboard series.
+// It also pushes all telemetry and the gain/penalty dashboard series, and
+// rolls the per-slice capacity-ledger entries forward to the new
+// provisioning targets so subsequent admissions see the refreshed budget.
+//
+// The epoch is the cross-shard rollover of the sharded engine: it takes
+// every shard lock (index order), so it serializes against all in-flight
+// admissions and teardowns — a brief stop-the-world pass, matching the
+// paper's single periodic reconfiguration point.
 func (o *Orchestrator) RunEpoch() {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.lockAll()
+	defer o.unlockAll()
 	now := o.clock.Now()
-	o.epochs++
+	o.epochs.Add(1)
 
 	// Stage 1: demand collection, in submission order (the sampling draws
 	// from the shared RNG, so order is part of determinism).
 	demands := make(map[slice.PLMN]float64)
 	var active []*managedSlice
-	for _, m := range o.orderedSlicesLocked() {
+	for _, m := range o.orderedSlicesAllLocked() {
 		if m.s.State() != slice.StateActive {
 			continue
 		}
@@ -50,26 +57,29 @@ func (o *Orchestrator) RunEpoch() {
 		plmn := m.s.Allocation().PLMN
 		got := served[plmn]
 		if m.s.RecordEpoch(m.lastDemand, got) {
-			o.violationsTotal++
-			o.penaltyTotalEUR += m.s.SLA().PenaltyEUR
+			m.sh.violationsTotal++
+			m.sh.penaltyTotalEUR += m.s.SLA().PenaltyEUR
 		}
 		id := string(m.s.ID())
 		o.store.Record(monitor.SliceMetric(id, "demand_mbps"), now, m.lastDemand)
 		o.store.Record(monitor.SliceMetric(id, "served_mbps"), now, got)
 	}
 
-	// Stages 3–5: forecast, optimize, reconfigure.
+	// Stages 3–5: forecast, optimize, reconfigure; roll the ledger entry
+	// forward to the new provisioning target.
 	for _, m := range active {
 		m.prov.Observe(m.lastDemand)
 		target := m.prov.Provision(m.s.SLA().ThroughputMbps)
 		o.resizeLocked(m, target)
+		o.ledger.Update(m.ledgerMbps, target)
+		m.ledgerMbps = target
 		o.store.Record(monitor.SliceMetric(string(m.s.ID()), "allocated_mbps"), now, m.s.Allocation().AllocatedMbps)
 	}
 
 	// Telemetry.
 	o.tb.Ctrl.PushTelemetry(o.store, now)
 	o.store.Record("orchestrator/ran_epoch_utilization", now, ranUtil)
-	g := o.gainLocked()
+	g := o.gainAllLocked()
 	o.store.Record("orchestrator/overbooking_ratio", now, g.OverbookingRatio)
 	o.store.Record("orchestrator/multiplexing_gain", now, g.MultiplexingGain)
 	o.store.Record("orchestrator/penalties_eur", now, g.PenaltyTotalEUR)
@@ -110,29 +120,33 @@ type GainReport struct {
 	Epochs int `json:"epochs"`
 }
 
-// Gain returns the current gain/penalty report.
+// Gain returns the current gain/penalty report, atomic across shards.
 func (o *Orchestrator) Gain() GainReport {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.gainLocked()
+	o.lockAll()
+	defer o.unlockAll()
+	return o.gainAllLocked()
 }
 
-func (o *Orchestrator) gainLocked() GainReport {
+// gainAllLocked aggregates the shard counters and live-slice totals. Caller
+// holds every shard lock.
+func (o *Orchestrator) gainAllLocked() GainReport {
 	g := GainReport{
-		CapacityMbps:     o.tb.RadioCapacityMbps(),
-		Admitted:         o.admitted,
-		Rejected:         o.rejected,
-		RevenueTotalEUR:  o.revenueTotalEUR,
-		PenaltyTotalEUR:  o.penaltyTotalEUR,
-		ViolationEpochs:  o.violationsTotal,
-		Reconfigurations: o.reconfigurations,
-		Epochs:           o.epochs,
-		RejectReasons:    make(map[string]int, len(o.rejectReasons)),
+		CapacityMbps:  o.tb.RadioCapacityMbps(),
+		Epochs:        int(o.epochs.Load()),
+		RejectReasons: make(map[string]int),
 	}
-	for k, v := range o.rejectReasons {
-		g.RejectReasons[k] = v
+	for _, sh := range o.shards {
+		g.Admitted += sh.admitted
+		g.Rejected += sh.rejected
+		g.RevenueTotalEUR += sh.revenueTotalEUR
+		g.PenaltyTotalEUR += sh.penaltyTotalEUR
+		g.ViolationEpochs += sh.violationsTotal
+		g.Reconfigurations += sh.reconfigurations
+		for k, v := range sh.rejectReasons {
+			g.RejectReasons[k] += v
+		}
 	}
-	for _, m := range o.orderedSlicesLocked() {
+	for _, m := range o.orderedSlicesAllLocked() {
 		switch m.s.State() {
 		case slice.StateActive, slice.StateReconfiguring:
 			g.Active++

@@ -3,25 +3,39 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/ctrl"
 	"repro/internal/forecast"
 	"repro/internal/slice"
 	"repro/internal/traffic"
 )
 
-// installLocked reserves resources in all three domains for an admitted
-// request and schedules the installation stages on the clock. Any domain
-// failure rolls everything back and converts to a rejection.
+// install reserves resources in all three domains for an admitted request
+// and schedules the installation stages on the clock. Any domain failure
+// rolls everything back and converts to a rejection. The caller holds
+// sh.mu (its shard's lock) and has already reserved reservedMbps on the
+// capacity ledger; install commits that reservation to the managed slice's
+// bookkeeping on success (the caller releases it on failure).
+//
+// The cloud deployment (Heat stack + vEPC registration) is independent of
+// the radio grant, so it runs concurrently with the radio reservation and
+// the transport path setup — the per-domain parallelism inside one request.
+// Join order is fixed, so outcomes are deterministic: a radio or transport
+// failure is reported first (matching the domain order of the admission
+// checks), with any concurrently created stack torn back down.
 //
 // When the radio domain cannot fit the newcomer's contract at face value
 // but overbooking is on, running slices are first squeezed down to their
 // forecast-provisioned sizes — "allocated network slices might be
 // dynamically re-configured (overbooked) to accommodate new slice requests"
-// (Section 3).
-func (o *Orchestrator) installLocked(s *slice.Slice, demand traffic.Demand) error {
+// (Section 3). The squeeze is a whole-registry pass needing every shard
+// lock, so install briefly releases its own shard lock around it (the
+// newcomer is not yet published, so nothing can observe the gap) and
+// re-acquires it before retrying.
+func (o *Orchestrator) install(sh *shard, s *slice.Slice, demand traffic.Demand, reservedMbps float64) error {
 	sla := s.SLA()
 	now := o.clock.Now()
 
-	dcName, _, reason := o.chooseDataCenterLocked(sla)
+	dcName, _, reason := o.chooseDataCenter(sla)
 	if reason != "" {
 		return errReject{reason}
 	}
@@ -34,10 +48,33 @@ func (o *Orchestrator) installLocked(s *slice.Slice, demand traffic.Demand) erro
 
 	rollbackPLMN := func() { o.plmns.Release(plmn) }
 
-	// 2. Radio PRBs at full contract; squeeze running slices if needed.
+	// 2a. Cloud: Heat stack + vEPC, concurrently with the radio/transport
+	// chain below.
+	type cloudResult struct {
+		dep ctrl.Deployment
+		err error
+	}
+	cloudCh := make(chan cloudResult, 1)
+	go func() {
+		dep, err := o.tb.Ctrl.Cloud.DeployEPC(s.ID(), dcName, plmn, sla.ThroughputMbps, sla.Class)
+		cloudCh <- cloudResult{dep, err}
+	}()
+	// joinCloud tears the concurrent deployment back down (used on
+	// radio/transport failure).
+	joinCloudAbort := func() {
+		if res := <-cloudCh; res.err == nil {
+			o.tb.Ctrl.Cloud.Teardown(res.dep.DataCenter, res.dep.StackID, res.dep.EPCID)
+		}
+	}
+
+	// 2b. Radio PRBs at full contract; squeeze running slices if needed.
 	radio, err := o.tb.Ctrl.RAN.ReserveSlice(plmn, sla.ThroughputMbps)
 	if err != nil && o.cfg.effectiveRisk() < 0.9995 {
-		o.squeezeLocked()
+		// The squeeze locks every shard; drop ours first so the global
+		// lock order (all shards, ascending) is never violated.
+		sh.mu.Unlock()
+		o.squeezeAll()
+		sh.mu.Lock()
 		radio, err = o.tb.Ctrl.RAN.ReserveSlice(plmn, sla.ThroughputMbps)
 		if err != nil {
 			// Last resort: install at the admission estimate; the epoch
@@ -46,6 +83,7 @@ func (o *Orchestrator) installLocked(s *slice.Slice, demand traffic.Demand) erro
 		}
 	}
 	if err != nil {
+		joinCloudAbort()
 		rollbackPLMN()
 		return errReject{fmt.Sprintf("radio: %v", err)}
 	}
@@ -55,17 +93,19 @@ func (o *Orchestrator) installLocked(s *slice.Slice, demand traffic.Demand) erro
 	budget := sla.MaxLatencyMs - 0.5 // vEPC processing share
 	paths, err := o.tb.Ctrl.Transport.SetupPaths(s.ID(), dcName, radio.TotalMbps, budget)
 	if err != nil {
+		joinCloudAbort()
 		rollbackRadio()
 		return errReject{fmt.Sprintf("transport: %v", err)}
 	}
 	rollbackPaths := func() { o.tb.Ctrl.Transport.ReleasePaths(s.ID()); rollbackRadio() }
 
-	// 4. Heat stack + vEPC.
-	dep, err := o.tb.Ctrl.Cloud.DeployEPC(s.ID(), dcName, plmn, sla.ThroughputMbps, sla.Class)
-	if err != nil {
+	// 4. Join the cloud deployment.
+	res := <-cloudCh
+	if res.err != nil {
 		rollbackPaths()
-		return errReject{fmt.Sprintf("cloud: %v", err)}
+		return errReject{fmt.Sprintf("cloud: %v", res.err)}
 	}
+	dep := res.dep
 
 	if err := s.Admit(); err != nil {
 		o.tb.Ctrl.Cloud.Teardown(dep.DataCenter, dep.StackID, dep.EPCID)
@@ -84,16 +124,18 @@ func (o *Orchestrator) installLocked(s *slice.Slice, demand traffic.Demand) erro
 	})
 
 	m := &managedSlice{
-		s:      s,
-		demand: demand,
-		prov:   forecast.NewProvisioner(o.cfg.NewForecaster(), o.cfg.effectiveRisk(), o.cfg.FloorMbps),
+		s:          s,
+		sh:         sh,
+		demand:     demand,
+		prov:       forecast.NewProvisioner(o.cfg.NewForecaster(), o.cfg.effectiveRisk(), o.cfg.FloorMbps),
+		ledgerMbps: reservedMbps,
 	}
-	o.slices[s.ID()] = m
+	sh.slices[s.ID()] = m
 
 	// Installation stage timeline (Fig. 2 workflow). Resources are already
 	// committed; the stages model configuration latency.
 	tl := &InstallTimeline{Submitted: now}
-	o.timelines[s.ID()] = tl
+	sh.timelines[s.ID()] = tl
 	radioAt := now.Add(o.cfg.RadioConfigDelay)
 	pathsAt := radioAt.Add(o.cfg.PathSetupDelay)
 	stackAt := pathsAt.Add(o.cfg.StackCreateDelay)
@@ -104,8 +146,8 @@ func (o *Orchestrator) installLocked(s *slice.Slice, demand traffic.Demand) erro
 	}
 	stamp := func(set func(*InstallTimeline)) func() {
 		return func() {
-			o.mu.Lock()
-			defer o.mu.Unlock()
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
 			set(tl)
 		}
 	}
@@ -121,36 +163,57 @@ func (o *Orchestrator) installLocked(s *slice.Slice, demand traffic.Demand) erro
 // activate fires when the vEPC boot delay elapses: the EPC starts serving
 // attaches and the slice turns Active until its contracted expiry.
 func (o *Orchestrator) activate(id slice.ID) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	m, ok := o.slices[id]
+	sh := o.shardFor(id)
+	sh.mu.Lock()
+	m, ok := sh.slices[id]
 	if !ok || m.s.State() != slice.StateInstalling {
+		sh.mu.Unlock()
 		return
 	}
 	alloc := m.s.Allocation()
 	now := o.clock.Now()
 	if err := o.tb.Ctrl.Cloud.MarkEPCRunning(alloc.EPCID, now); err != nil {
-		o.teardownLocked(m, fmt.Sprintf("EPC failed to boot: %v", err))
+		evicted := o.teardownLocked(sh, m, fmt.Sprintf("EPC failed to boot: %v", err))
+		sh.mu.Unlock()
+		o.dropFinished(evicted)
 		return
 	}
 	if err := m.s.Activate(now); err != nil {
+		sh.mu.Unlock()
 		return
 	}
-	if tl, ok := o.timelines[id]; ok {
+	if tl, ok := sh.timelines[id]; ok {
 		tl.Active = now
 	}
 	m.expiry = o.clock.At(m.s.Expiry(), string(id)+"/expiry", func() {
-		o.mu.Lock()
-		defer o.mu.Unlock()
-		if mm, ok := o.slices[id]; ok {
-			o.teardownLocked(mm, "expired")
+		sh.mu.Lock()
+		mm, ok := sh.slices[id]
+		if !ok {
+			sh.mu.Unlock()
+			return
 		}
+		// On a wall clock the timer may already be in flight when a
+		// concurrent teardown cancels it; re-check liveness under the
+		// shard lock so a finished slice is never torn down twice (its
+		// PLMN may already belong to someone else).
+		switch mm.s.State() {
+		case slice.StateRejected, slice.StateTerminated:
+			sh.mu.Unlock()
+			return
+		}
+		evicted := o.teardownLocked(sh, mm, "expired")
+		sh.mu.Unlock()
+		o.dropFinished(evicted)
 	})
+	sh.mu.Unlock()
 }
 
-// teardownLocked releases every domain's resources and terminates the
-// slice. Safe to call from any live state; idempotent per domain.
-func (o *Orchestrator) teardownLocked(m *managedSlice, reason string) {
+// teardownLocked releases every domain's resources, returns the slice's
+// capacity-ledger entry and terminates the slice. Safe to call from any
+// live state; idempotent per domain. The caller holds the slice's shard
+// lock (or every shard lock in restoration passes) and must drop the
+// returned evicted finished slices once its locks are released.
+func (o *Orchestrator) teardownLocked(sh *shard, m *managedSlice, reason string) []slice.ID {
 	for _, t := range m.timers {
 		t.Cancel()
 	}
@@ -168,15 +231,21 @@ func (o *Orchestrator) teardownLocked(m *managedSlice, reason string) {
 		o.tb.Ctrl.RAN.ReleaseSlice(alloc.PLMN)
 		o.plmns.Release(alloc.PLMN)
 	}
+	o.ledger.Release(m.ledgerMbps)
+	m.ledgerMbps = 0
 	m.s.Terminate(reason)
-	o.pruneHistoryLocked()
+	return o.history.Push(m.s.ID())
 }
 
-// squeezeLocked shrinks every live slice's radio+transport reservation to
-// its forecast-provisioned target (or the a-priori estimate for slices
-// without history), freeing capacity for a newcomer.
-func (o *Orchestrator) squeezeLocked() {
-	for _, m := range o.orderedSlicesLocked() {
+// squeezeAll shrinks every live slice's radio+transport reservation to its
+// forecast-provisioned target (or the a-priori estimate for slices without
+// history), freeing capacity for a newcomer. It is a whole-registry pass:
+// callers must hold no shard lock; squeezeAll takes all of them in index
+// order.
+func (o *Orchestrator) squeezeAll() {
+	o.lockAll()
+	defer o.unlockAll()
+	for _, m := range o.orderedSlicesAllLocked() {
 		switch m.s.State() {
 		case slice.StateAdmitted, slice.StateInstalling, slice.StateActive:
 		default:
@@ -192,7 +261,7 @@ func (o *Orchestrator) squeezeLocked() {
 
 // resizeLocked applies a new radio+transport allocation to the slice if it
 // differs enough from the current one (hysteresis). Returns whether a
-// reconfiguration happened.
+// reconfiguration happened. The caller holds the slice's shard lock.
 func (o *Orchestrator) resizeLocked(m *managedSlice, targetMbps float64) bool {
 	sla := m.s.SLA()
 	alloc := m.s.Allocation()
@@ -227,6 +296,6 @@ func (o *Orchestrator) resizeLocked(m *managedSlice, targetMbps float64) bool {
 	alloc.AllocatedMbps = radio.TotalMbps
 	alloc.PRBs = radio.PRBs
 	m.s.SetAllocation(alloc)
-	o.reconfigurations++
+	m.sh.reconfigurations++
 	return true
 }

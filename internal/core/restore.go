@@ -15,6 +15,10 @@ import (
 // orchestrator must then re-route the slices whose dedicated paths crossed
 // the failed link or, when no feasible alternative exists, tear them down
 // and surface the SLA failure.
+//
+// A failed link's victims can live on any shard, so both handlers are
+// whole-registry passes: they take every shard lock (index order) for the
+// duration, serializing against in-flight admissions like the epoch.
 
 // RestorationReport summarises one link-failure handling pass.
 type RestorationReport struct {
@@ -30,24 +34,52 @@ type RestorationReport struct {
 // slice whose reserved paths crossed it. Re-routing keeps the slice's data
 // center and current bandwidth; the latency budget is re-validated. Slices
 // with no feasible alternative are terminated (the tenant's SLA failed
-// outright — shown on the dashboard).
+// outright — shown on the dashboard). Safe for concurrent use.
 func (o *Orchestrator) HandleLinkFailure(from, to string) (RestorationReport, error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.lockAll()
 
 	rep := RestorationReport{Link: from + "->" + to}
 	victims := o.tb.Transport.PathsOverLink(from, to)
 	if err := o.tb.Transport.SetLinkUp(from, to, false); err != nil {
+		o.unlockAll()
 		return rep, err
 	}
 	if len(victims) == 0 {
+		o.unlockAll()
 		return rep, nil
 	}
 
 	// Path IDs are "<sliceID>/<enb>-><dc>"; recover the victim slices.
+	ids := victimSliceIDs(victims)
+
+	var evicted []slice.ID
+	for _, id := range ids {
+		m, ok := o.lookupAllLocked(id)
+		if !ok {
+			continue
+		}
+		switch m.s.State() {
+		case slice.StateRejected, slice.StateTerminated:
+			continue
+		}
+		if o.rerouteLocked(m, m.s.Allocation().AllocatedMbps) {
+			rep.Restored = append(rep.Restored, id)
+		} else {
+			evicted = append(evicted, o.teardownLocked(m.sh, m, fmt.Sprintf("transport link %s failed, no feasible restoration path", rep.Link))...)
+			rep.Dropped = append(rep.Dropped, id)
+		}
+	}
+	o.dropFinishedAllLocked(evicted)
+	o.unlockAll()
+	return rep, nil
+}
+
+// victimSliceIDs maps path IDs ("<sliceID>/<enb>-><dc>") onto their unique
+// slice IDs, in submission order.
+func victimSliceIDs(pathIDs []string) []slice.ID {
 	seen := map[slice.ID]bool{}
 	var ids []slice.ID
-	for _, pid := range victims {
+	for _, pid := range pathIDs {
 		idx := strings.IndexByte(pid, '/')
 		if idx < 0 {
 			continue
@@ -59,24 +91,7 @@ func (o *Orchestrator) HandleLinkFailure(from, to string) (RestorationReport, er
 		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return seqOf(ids[i]) < seqOf(ids[j]) })
-
-	for _, id := range ids {
-		m, ok := o.slices[id]
-		if !ok {
-			continue
-		}
-		switch m.s.State() {
-		case slice.StateRejected, slice.StateTerminated:
-			continue
-		}
-		if o.rerouteLocked(m, m.s.Allocation().AllocatedMbps) {
-			rep.Restored = append(rep.Restored, id)
-		} else {
-			o.teardownLocked(m, fmt.Sprintf("transport link %s failed, no feasible restoration path", rep.Link))
-			rep.Dropped = append(rep.Dropped, id)
-		}
-	}
-	return rep, nil
+	return ids
 }
 
 // RestoreLink marks the directed link up again. Existing paths are not
@@ -92,37 +107,28 @@ func (o *Orchestrator) RestoreLink(from, to string) error {
 // bandwidth; if no alternative exists, its reservation is shrunk to the
 // link's fair share (demand keeps flowing, SLA violations become the
 // monitoring loop's problem); a slice that cannot even keep the floor is
-// dropped.
+// dropped. Safe for concurrent use.
 func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps float64) (RestorationReport, error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.lockAll()
 
 	rep := RestorationReport{Link: from + "->" + to}
 	if err := o.tb.Transport.SetLinkCapacity(from, to, newCapacityMbps); err != nil {
+		o.unlockAll()
 		return rep, err
 	}
 	over := o.tb.Transport.OversubscribedPaths()
 	if len(over) == 0 {
+		o.unlockAll()
 		return rep, nil
 	}
 
-	seen := map[slice.ID]bool{}
-	var ids []slice.ID
-	for _, pid := range over {
-		if idx := strings.IndexByte(pid, '/'); idx > 0 {
-			id := slice.ID(pid[:idx])
-			if !seen[id] {
-				seen[id] = true
-				ids = append(ids, id)
-			}
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return seqOf(ids[i]) < seqOf(ids[j]) })
+	ids := victimSliceIDs(over)
 
 	// Fair share per victim on the degraded link.
 	share := newCapacityMbps / float64(len(ids))
+	var evicted []slice.ID
 	for _, id := range ids {
-		m, ok := o.slices[id]
+		m, ok := o.lookupAllLocked(id)
 		if !ok {
 			continue
 		}
@@ -139,7 +145,7 @@ func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps fl
 		}
 		target := share
 		if target < o.cfg.FloorMbps || !o.rerouteLocked(m, target) {
-			o.teardownLocked(m, fmt.Sprintf("transport link %s degraded below slice floor", rep.Link))
+			evicted = append(evicted, o.teardownLocked(m.sh, m, fmt.Sprintf("transport link %s degraded below slice floor", rep.Link))...)
 			rep.Dropped = append(rep.Dropped, id)
 			continue
 		}
@@ -153,6 +159,8 @@ func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps fl
 		m.s.SetAllocation(alloc)
 		rep.Restored = append(rep.Restored, id)
 	}
+	o.dropFinishedAllLocked(evicted)
+	o.unlockAll()
 	return rep, nil
 }
 
@@ -161,7 +169,7 @@ func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps fl
 // released first (their bandwidth is stranded on the broken/degraded hop
 // anyway, and the replacement may share the surviving hops); ReleasePaths
 // is idempotent, so staged fallbacks may call this repeatedly with shrinking
-// targets. Returns success.
+// targets. Returns success. The caller holds the slice's shard lock.
 func (o *Orchestrator) rerouteLocked(m *managedSlice, mbps float64) bool {
 	alloc := m.s.Allocation()
 	sla := m.s.SLA()
@@ -174,6 +182,6 @@ func (o *Orchestrator) rerouteLocked(m *managedSlice, mbps float64) bool {
 	alloc.PathIDs = setup.PathIDs
 	alloc.PathLatencyMs = setup.WorstDelayMs
 	m.s.SetAllocation(alloc)
-	o.reconfigurations++
+	m.sh.reconfigurations++
 	return true
 }

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/slice"
+)
+
+// This file implements the partitioning layer of the concurrent admission
+// engine (DESIGN.md §3.4): the slice registry is split into a power-of-two
+// number of shards, keyed by an FNV-1a hash of the slice ID, so independent
+// tenants' admissions, installs and teardowns serialize only against their
+// own shard. Cross-shard operations — the control epoch, restoration after
+// link failures, the squeeze that shrinks running slices for a newcomer —
+// acquire every shard lock in index order (lockAll), which is deadlock-free
+// because single-shard paths never hold more than one shard lock at a time.
+//
+// The global overbooking budget lives outside the shards in a capacity
+// ledger: admission performs a two-phase reservation (reserve the estimated
+// load atomically, commit it to the slice's bookkeeping on install success,
+// release it on any failure or teardown), so the radio capacity check needs
+// no cross-shard iteration on the hot path.
+
+// shard is one partition of the orchestrator's slice registry. Its mutex
+// guards the maps, the managedSlice bookkeeping of every slice hashed to it,
+// and the shard-local cumulative counters (summed by Gain).
+type shard struct {
+	mu        sync.Mutex
+	slices    map[slice.ID]*managedSlice
+	timelines map[slice.ID]*InstallTimeline
+
+	// Cumulative counters for the demonstration dashboard; Gain aggregates
+	// them across shards.
+	admitted, rejected int
+	rejectReasons      map[string]int
+	violationsTotal    int
+	penaltyTotalEUR    float64
+	revenueTotalEUR    float64
+	reconfigurations   int
+}
+
+func newShard() *shard {
+	return &shard{
+		slices:        make(map[slice.ID]*managedSlice),
+		timelines:     make(map[slice.ID]*InstallTimeline),
+		rejectReasons: make(map[string]int),
+	}
+}
+
+// shardFor maps a slice ID onto its shard (FNV-1a inlined: this runs on
+// every per-slice operation, and hash/fnv would allocate its hasher each
+// call).
+func (o *Orchestrator) shardFor(id slice.ID) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return o.shards[h&o.shardMask]
+}
+
+// lockAll acquires every shard lock in index order. Paired with unlockAll.
+// Only whole-registry passes (epoch, gain, list, squeeze, restoration) use
+// it; per-slice paths lock exactly one shard, so the index order makes
+// deadlock impossible.
+func (o *Orchestrator) lockAll() {
+	for _, sh := range o.shards {
+		sh.mu.Lock()
+	}
+}
+
+// unlockAll releases every shard lock (reverse order).
+func (o *Orchestrator) unlockAll() {
+	for i := len(o.shards) - 1; i >= 0; i-- {
+		o.shards[i].mu.Unlock()
+	}
+}
+
+// orderedSlicesAllLocked returns every managed slice across all shards
+// sorted by submission sequence. Caller must hold all shard locks. Every
+// loop that samples randomness, resizes reservations or sums floating-point
+// loads must use this order so that runs are bit-reproducible under a fixed
+// seed (map and shard iteration order are not).
+func (o *Orchestrator) orderedSlicesAllLocked() []*managedSlice {
+	n := 0
+	for _, sh := range o.shards {
+		n += len(sh.slices)
+	}
+	out := make([]*managedSlice, 0, n)
+	for _, sh := range o.shards {
+		for _, m := range sh.slices {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return seqOf(out[i].s.ID()) < seqOf(out[j].s.ID()) })
+	return out
+}
+
+// lookupAllLocked finds the managed slice by ID. Caller holds all shard
+// locks (restoration paths).
+func (o *Orchestrator) lookupAllLocked(id slice.ID) (*managedSlice, bool) {
+	m, ok := o.shardFor(id).slices[id]
+	return m, ok
+}
+
+// capacityLedger is the shared radio overbooking budget: the running sum of
+// every live slice's estimated load (the forecast provisioning target once
+// observed, the a-priori admission estimate before). Admission reserves
+// against it in one atomic step — phase one of the two-phase reservation —
+// and installation failure or teardown releases it, so concurrent admissions
+// on different shards never oversell the same capacity.
+type capacityLedger struct {
+	mu   sync.Mutex
+	load float64
+}
+
+// Load returns the current estimated radio load in Mbps.
+func (l *capacityLedger) Load() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.load
+}
+
+// TryReserve atomically adds mbps if the total stays within limit. It
+// returns whether the reservation was taken and the load seen at decision
+// time (for the rejection message).
+func (l *capacityLedger) TryReserve(mbps, limit float64) (bool, float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.load+mbps > limit {
+		return false, l.load
+	}
+	l.load += mbps
+	return true, l.load
+}
+
+// Release subtracts a previously reserved load.
+func (l *capacityLedger) Release(mbps float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.load -= mbps
+	if l.load < 0 {
+		l.load = 0
+	}
+}
+
+// Update replaces a slice's ledger entry (epoch reprovisioning).
+func (l *capacityLedger) Update(old, new float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.load += new - old
+	if l.load < 0 {
+		l.load = 0
+	}
+}
+
+// finishedHistory bounds how many finished (terminated/rejected) slices the
+// registry retains, globally across shards, so a long-running daemon stays
+// flat. It orders entries by submission sequence — the oldest finished
+// slices are evicted first, exactly the pre-sharding pruning policy.
+type finishedHistory struct {
+	mu    sync.Mutex
+	limit int
+	ids   []slice.ID // ascending submission sequence
+}
+
+// Push records a newly finished slice and returns the IDs evicted beyond the
+// limit. The caller deletes those from their shards — after releasing its
+// own shard lock (dropFinished) or directly when it already holds every
+// shard lock (dropFinishedAllLocked); Push itself takes only the history
+// mutex, so it is safe under any shard lock.
+func (h *finishedHistory) Push(id slice.ID) []slice.ID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	seq := seqOf(id)
+	i := sort.Search(len(h.ids), func(i int) bool { return seqOf(h.ids[i]) >= seq })
+	h.ids = append(h.ids, "")
+	copy(h.ids[i+1:], h.ids[i:])
+	h.ids[i] = id
+	excess := len(h.ids) - h.limit
+	if excess <= 0 {
+		return nil
+	}
+	evicted := append([]slice.ID(nil), h.ids[:excess]...)
+	h.ids = append(h.ids[:0], h.ids[excess:]...)
+	return evicted
+}
+
+// dropFinished deletes evicted finished slices from their shards, locking
+// one shard at a time. Callers must hold no shard lock.
+func (o *Orchestrator) dropFinished(ids []slice.ID) {
+	for _, id := range ids {
+		sh := o.shardFor(id)
+		sh.mu.Lock()
+		delete(sh.slices, id)
+		delete(sh.timelines, id)
+		sh.mu.Unlock()
+	}
+}
+
+// dropFinishedAllLocked is dropFinished for callers already holding every
+// shard lock (restoration passes).
+func (o *Orchestrator) dropFinishedAllLocked(ids []slice.ID) {
+	for _, id := range ids {
+		sh := o.shardFor(id)
+		delete(sh.slices, id)
+		delete(sh.timelines, id)
+	}
+}

@@ -9,6 +9,17 @@
 // primitives the orchestrator drives, and pushes utilization telemetry into
 // a monitor.Store — the "gathered monitoring information promptly fed to
 // the end-to-end orchestrator".
+//
+// All controller methods are safe for concurrent use: the sharded
+// orchestrator core installs independent slices in parallel (and runs the
+// cloud deployment concurrently with the radio/transport chain within one
+// request), so every reserve/resize/release primitive synchronizes on its
+// substrate's internal locks, and hot read paths (path feasibility, slice
+// path lookups, utilization) take shared read locks. Multi-step primitives
+// (ReserveSlice across eNBs, SetupPaths across paths) are all-or-nothing
+// per call but not atomic against concurrent callers — the orchestrator's
+// capacity ledger and shard serialization provide admission-level
+// consistency above them.
 package ctrl
 
 import (
@@ -180,7 +191,7 @@ func (c *RANController) PushTelemetry(store *monitor.Store, now time.Time) {
 type TransportController struct {
 	net *transport.Network
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	bySlice map[slice.ID][]string // path IDs per slice
 }
 
@@ -241,9 +252,9 @@ func (c *TransportController) SetupPaths(id slice.ID, dc string, mbps, maxDelayM
 // ResizePaths changes every path of the slice to the new aggregate
 // bandwidth. On failure, previously resized paths are restored.
 func (c *TransportController) ResizePaths(id slice.ID, mbps float64) error {
-	c.mu.Lock()
+	c.mu.RLock()
 	pids := append([]string(nil), c.bySlice[id]...)
-	c.mu.Unlock()
+	c.mu.RUnlock()
 	if len(pids) == 0 {
 		return fmt.Errorf("ctrl: slice %s has no transport paths", id)
 	}

@@ -11,6 +11,12 @@
 // EWMA, Holt linear trend, Holt-Winters additive seasonal), a residual
 // tracker that converts forecast error into a Gaussian quantile margin, and
 // accuracy metrics for the ablation experiment (D3).
+//
+// Forecasters and Provisioners are deliberately unsynchronized: each one
+// belongs to exactly one slice, and the orchestrator core guards it with
+// the owning shard's lock (every Observe/Provision happens under the
+// epoch's stop-the-world pass or the shard lock — see DESIGN.md §3.4).
+// Do not share one instance across slices or goroutines.
 package forecast
 
 import (

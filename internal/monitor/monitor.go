@@ -7,6 +7,11 @@
 // Series are fixed-capacity rings: the orchestrator only ever needs a
 // bounded history (forecast warm-up plus dashboard window), and rings keep
 // the memory of a long-running daemon flat.
+//
+// Store and Series are safe for concurrent use — domain controllers and
+// the sharded orchestrator write from parallel goroutines while the REST
+// API and dashboard read. Reads (lookups, windows, stats, snapshots) take
+// shared read locks so they never stall the telemetry hot path.
 package monitor
 
 import (

@@ -458,8 +458,10 @@ func (e *ENB) Snapshot() Snapshot {
 }
 
 // Network is the RAN domain: the set of eNBs the RAN controller manages.
+// All methods are safe for concurrent use; lookups take a shared read lock
+// because every slice installation walks the eNB set.
 type Network struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	enbs map[string]*ENB
 }
 
@@ -479,16 +481,16 @@ func (n *Network) Add(e *ENB) error {
 
 // Get returns the named eNB.
 func (n *Network) Get(name string) (*ENB, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	e, ok := n.enbs[name]
 	return e, ok
 }
 
 // Names lists eNB names sorted.
 func (n *Network) Names() []string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]string, 0, len(n.enbs))
 	for name := range n.enbs {
 		out = append(out, name)
@@ -501,8 +503,8 @@ func (n *Network) Names() []string {
 func (n *Network) All() []*ENB {
 	names := n.Names()
 	out := make([]*ENB, 0, len(names))
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	for _, name := range names {
 		out = append(out, n.enbs[name])
 	}

@@ -7,6 +7,13 @@
 // provided: Simulator (a classic event-heap discrete-event engine with a
 // virtual clock) and RealtimeClock (a thin wrapper over time.Now used by the
 // live dashboard daemon). Orchestrator code is identical under both.
+//
+// Scheduling (Now, At, After, Every, Event.Cancel) is safe for concurrent
+// use on both clocks, so the concurrent orchestrator core can install
+// timers from parallel admissions. Advancing a Simulator (Step, RunUntil,
+// RunFor, Drain) and drawing from Rand remain single-goroutine operations:
+// one driver advances virtual time, which is what keeps experiments
+// deterministic.
 package sim
 
 import (
@@ -48,7 +55,8 @@ type Event struct {
 	fn       func()
 	period   time.Duration // >0 for periodic events
 	canceled atomic.Bool
-	index    int // heap index, -1 when not queued
+	stop     func() // releases the backing runtime timer (RealtimeClock)
+	index    int    // heap index, -1 when not queued
 }
 
 // When returns the time the event is due to fire next.
@@ -59,8 +67,15 @@ func (e *Event) Name() string { return e.name }
 
 // Cancel prevents the event from firing again. Cancelling an already-fired
 // one-shot event is a no-op. Cancel is safe to call from inside the event's
-// own callback (this is how periodic tasks stop themselves).
-func (e *Event) Cancel() { e.canceled.Store(true) }
+// own callback (this is how periodic tasks stop themselves) and from any
+// goroutine. On a RealtimeClock it also releases the backing runtime timer
+// immediately, so churning slices do not accumulate dead timers.
+func (e *Event) Cancel() {
+	e.canceled.Store(true)
+	if e.stop != nil {
+		e.stop()
+	}
+}
 
 // eventQueue is a min-heap ordered by (when, seq).
 type eventQueue []*Event
@@ -92,10 +107,13 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
-// Simulator is a deterministic discrete-event engine. It is not safe for
-// concurrent use; the whole point is that a single goroutine advances virtual
-// time, which removes every race from the experiments.
+// Simulator is a deterministic discrete-event engine. Scheduling and Now
+// are safe for concurrent use (the concurrent orchestrator installs timers
+// from parallel goroutines); advancing time (Step, RunUntil, RunFor, Drain)
+// and Rand are driven by a single goroutine, which is what removes every
+// race from the experiments.
 type Simulator struct {
+	mu    sync.Mutex
 	now   time.Time
 	queue eventQueue
 	seq   uint64
@@ -118,21 +136,40 @@ func NewSimulator(seed int64) *Simulator {
 }
 
 // Now implements Clock.
-func (s *Simulator) Now() time.Time { return s.now }
+func (s *Simulator) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
 
 // Rand exposes the simulator's deterministic random source. All stochastic
 // models (traffic noise, CQI draws, arrival processes) must draw from this,
-// never from the global rand, so a seed fully determines a run.
+// never from the global rand, so a seed fully determines a run. It is not
+// synchronized: only the driving goroutine may draw from it.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
 // EventsFired reports how many callbacks have executed.
-func (s *Simulator) EventsFired() uint64 { return s.fired }
+func (s *Simulator) EventsFired() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}
 
 // Pending reports how many events are queued.
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
 
 // At implements Scheduler.
 func (s *Simulator) At(t time.Time, name string, fn func()) *Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.atLocked(t, name, fn)
+}
+
+func (s *Simulator) atLocked(t time.Time, name string, fn func()) *Event {
 	if t.Before(s.now) {
 		t = s.now
 	}
@@ -144,7 +181,9 @@ func (s *Simulator) At(t time.Time, name string, fn func()) *Event {
 
 // After implements Scheduler.
 func (s *Simulator) After(d time.Duration, name string, fn func()) *Event {
-	return s.At(s.now.Add(d), name, fn)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.atLocked(s.now.Add(d), name, fn)
 }
 
 // Every implements Scheduler.
@@ -152,7 +191,9 @@ func (s *Simulator) Every(d time.Duration, name string, fn func()) *Event {
 	if d <= 0 {
 		panic(fmt.Sprintf("sim: Every(%v) requires a positive period", d))
 	}
-	e := s.At(s.now.Add(d), name, fn)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.atLocked(s.now.Add(d), name, fn)
 	e.period = d
 	return e
 }
@@ -162,48 +203,63 @@ func (s *Simulator) Every(d time.Duration, name string, fn func()) *Event {
 var ErrDeadlock = errors.New("sim: event queue empty before target time")
 
 // Step executes the single earliest event, advancing the clock to its due
-// time. It reports whether an event was executed.
+// time. It reports whether an event was executed. The callback runs without
+// the scheduler lock held, so it may schedule or cancel events freely.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.canceled.Load() {
-			continue
-		}
-		s.now = e.when
-		s.fired++
-		e.fn()
-		if e.period > 0 && !e.canceled.Load() {
-			e.when = e.when.Add(e.period)
-			e.seq = s.seq
-			s.seq++
-			heap.Push(&s.queue, e)
-		}
-		return true
+	return s.step(time.Time{}, false)
+}
+
+// step pops and executes the earliest live event. When bounded, events due
+// after limit stay queued and step reports false — this keeps RunUntil from
+// overshooting its target when a concurrent Cancel removes the event peeked
+// at the head (events due exactly at limit do run).
+func (s *Simulator) step(limit time.Time, bounded bool) bool {
+	s.mu.Lock()
+	for len(s.queue) > 0 && s.queue[0].canceled.Load() {
+		heap.Pop(&s.queue)
 	}
-	return false
+	if len(s.queue) == 0 || (bounded && s.queue[0].when.After(limit)) {
+		s.mu.Unlock()
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	// Never move the clock backwards: a concurrent scheduler may have
+	// enqueued this event (clamped against a pre-jump now) just before a
+	// RunUntil empty-queue jump.
+	if e.when.After(s.now) {
+		s.now = e.when
+	}
+	s.fired++
+	s.mu.Unlock()
+	e.fn()
+	if e.period > 0 && !e.canceled.Load() {
+		s.mu.Lock()
+		e.when = e.when.Add(e.period)
+		e.seq = s.seq
+		s.seq++
+		heap.Push(&s.queue, e)
+		s.mu.Unlock()
+	}
+	return true
 }
 
 // RunUntil executes events in order until the virtual clock reaches t.
 // Events due exactly at t are executed. The clock always ends at t even when
 // the queue drains early, so periodic samplers restarted afterwards line up.
 func (s *Simulator) RunUntil(t time.Time) error {
-	for {
-		next, ok := s.peek()
-		if !ok {
-			s.now = t
-			return nil
-		}
-		if next.After(t) {
-			s.now = t
-			return nil
-		}
-		s.Step()
+	for s.step(t, true) {
 	}
+	s.mu.Lock()
+	if t.After(s.now) {
+		s.now = t
+	}
+	s.mu.Unlock()
+	return nil
 }
 
 // RunFor advances the clock by d, executing everything due in the window.
 func (s *Simulator) RunFor(d time.Duration) error {
-	return s.RunUntil(s.now.Add(d))
+	return s.RunUntil(s.Now().Add(d))
 }
 
 // Drain runs until the queue is empty or maxEvents callbacks have fired.
@@ -220,20 +276,9 @@ func (s *Simulator) Drain(maxEvents int) int {
 	return n
 }
 
-func (s *Simulator) peek() (time.Time, bool) {
-	for len(s.queue) > 0 {
-		if s.queue[0].canceled.Load() {
-			heap.Pop(&s.queue)
-			continue
-		}
-		return s.queue[0].when, true
-	}
-	return time.Time{}, false
-}
-
 // RealtimeClock adapts wall-clock time to the Scheduler interface so the
 // live daemon (cmd/orchestrator) can run the exact same orchestration code
-// as the deterministic experiments.
+// as the deterministic experiments. Safe for concurrent use.
 type RealtimeClock struct {
 	mu     sync.Mutex
 	timers map[*Event]*time.Timer
@@ -268,11 +313,10 @@ func (c *RealtimeClock) Every(d time.Duration, name string, fn func()) *Event {
 
 func (c *RealtimeClock) schedule(d, period time.Duration, name string, fn func()) *Event {
 	e := &Event{when: time.Now().Add(d), name: name, fn: fn, period: period, index: -1}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var run func()
 	run = func() {
 		c.mu.Lock()
+		delete(c.timers, e) // this firing consumed the timer
 		canceled := e.canceled.Load()
 		c.mu.Unlock()
 		if canceled {
@@ -288,7 +332,20 @@ func (c *RealtimeClock) schedule(d, period time.Duration, name string, fn func()
 			c.mu.Unlock()
 		}
 	}
+	// Cancel releases the runtime timer and its map entry eagerly, so a
+	// daemon churning short-lived slices does not leak one timer per
+	// cancelled installation stage or expiry.
+	e.stop = func() {
+		c.mu.Lock()
+		if t, ok := c.timers[e]; ok {
+			t.Stop()
+			delete(c.timers, e)
+		}
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
 	c.timers[e] = time.AfterFunc(d, run)
+	c.mu.Unlock()
 	return e
 }
 

@@ -24,6 +24,11 @@ type Config struct {
 	ENBs int
 	// ENBBandwidth sets each cell's PRB grid.
 	ENBBandwidth ran.Bandwidth
+	// MaxPLMNs lifts each cell's MOCN broadcast-list bound (default 6, the
+	// 3GPP SIB1 limit). Scale-out experiments and the concurrent-admission
+	// benchmarks raise it together with core.Config.PLMNLimit so the radio
+	// capacity, not the broadcast list, is what binds.
+	MaxPLMNs int
 	// MeanCQI / CQIStdDev set the radio channel model.
 	MeanCQI   float64
 	CQIStdDev float64
@@ -136,6 +141,7 @@ func New(cfg Config, rng *rand.Rand) (*Testbed, error) {
 		e, err := ran.NewENB(ran.Config{
 			Name:      ENBName(i),
 			Bandwidth: cfg.ENBBandwidth,
+			MaxPLMNs:  cfg.MaxPLMNs,
 			MeanCQI:   cfg.MeanCQI,
 			CQIStdDev: cfg.CQIStdDev,
 		}, rng)

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 )
@@ -53,9 +54,11 @@ func (q *pq) Pop() any {
 // bandwidth constraint (links with insufficient residual are pruned), then
 // verifies the delay budget. It returns ErrNoPath when the pruned graph is
 // disconnected and ErrDelayBudget when a path exists but misses the budget.
+// The computation holds only the shared read lock, so admission feasibility
+// checks from concurrent slice requests run fully in parallel.
 func (n *Network) ShortestPath(req PathRequest) (Path, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.shortestPathLocked(req, nil, nil)
 }
 
@@ -135,8 +138,8 @@ func (n *Network) KShortestPaths(req PathRequest, k int) ([]Path, error) {
 	if k < 1 {
 		k = 1
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 
 	unconstrained := req
 	unconstrained.MaxDelayMs = 0 // apply the budget as a filter at the end
@@ -253,11 +256,29 @@ func containsPath(ps []Path, hops []string) bool {
 }
 
 // ReservePath computes the best path for req and reserves req.MinMbps on it
-// under pathID in one step — the common fast path for slice installation.
+// under pathID — the common fast path for slice installation. The
+// computation runs under the shared read lock and the reservation
+// revalidates residuals under the write lock, so a concurrent installation
+// may have consumed the chosen path's bandwidth in between; in that case
+// the computation is retried on the updated topology (optimistic
+// concurrency) before the bandwidth error is surfaced.
 func (n *Network) ReservePath(pathID string, req PathRequest) (*Reservation, error) {
-	p, err := n.ShortestPath(req)
-	if err != nil {
-		return nil, err
+	const attempts = 4
+	var err error
+	for try := 0; try < attempts; try++ {
+		var p Path
+		p, err = n.ShortestPath(req)
+		if err != nil {
+			return nil, err
+		}
+		var r *Reservation
+		r, err = n.Reserve(pathID, p.Hops, req.MinMbps)
+		if err == nil {
+			return r, nil
+		}
+		if !errors.Is(err, ErrInsufficientBW) {
+			return nil, err
+		}
 	}
-	return n.Reserve(pathID, p.Hops, req.MinMbps)
+	return nil, err
 }

@@ -123,9 +123,12 @@ type FlowEntry struct {
 }
 
 // Network is the transport topology with per-link reservations and per-node
-// flow tables. All methods are safe for concurrent use.
+// flow tables. All methods are safe for concurrent use; read-only queries
+// (path computation, utilization, snapshots) take a shared read lock, so
+// concurrent slice installations only serialize on the short reserve/release
+// critical sections.
 type Network struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	nodes map[string]NodeKind
 	links map[string]*Link        // key: "a->b"
 	adj   map[string][]*Link      // outgoing links per node
@@ -235,8 +238,8 @@ func (n *Network) SetLinkCapacity(from, to string, capacityMbps float64) error {
 // OversubscribedPaths returns the path IDs reserved over links whose
 // reserved bandwidth now exceeds capacity (after a degradation), sorted.
 func (n *Network) OversubscribedPaths() []string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	seen := map[string]bool{}
 	var out []string
 	for _, l := range n.links {
@@ -256,8 +259,8 @@ func (n *Network) OversubscribedPaths() []string {
 
 // Link returns a copy of the directed link's current state.
 func (n *Network) Link(from, to string) (Link, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	l, ok := n.links[from+"->"+to]
 	if !ok {
 		return Link{}, false
@@ -269,8 +272,8 @@ func (n *Network) Link(from, to string) (Link, bool) {
 
 // Nodes returns node names sorted.
 func (n *Network) Nodes() []string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]string, 0, len(n.nodes))
 	for name := range n.nodes {
 		out = append(out, name)
@@ -281,8 +284,8 @@ func (n *Network) Nodes() []string {
 
 // NodesOfKind returns the sorted names of nodes with the given kind.
 func (n *Network) NodesOfKind(kind NodeKind) []string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	var out []string
 	for name, k := range n.nodes {
 		if k == kind {
@@ -429,8 +432,8 @@ func (n *Network) Resize(pathID string, mbps float64) error {
 
 // Reservation returns a copy of the named path reservation.
 func (n *Network) Reservation(pathID string) (Reservation, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	r, ok := n.paths[pathID]
 	if !ok {
 		return Reservation{}, false
@@ -442,16 +445,16 @@ func (n *Network) Reservation(pathID string) (Reservation, bool) {
 
 // FlowTable returns a copy of the switch's flow entries.
 func (n *Network) FlowTable(node string) []FlowEntry {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return append([]FlowEntry(nil), n.flows[node]...)
 }
 
 // PathsOverLink lists path IDs reserved over the directed link, sorted —
 // used to find victims when a link fails.
 func (n *Network) PathsOverLink(from, to string) []string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	l, ok := n.links[from+"->"+to]
 	if !ok {
 		return nil
@@ -466,8 +469,8 @@ func (n *Network) PathsOverLink(from, to string) []string {
 
 // Utilization returns mean and max link utilization over up links.
 func (n *Network) Utilization() (mean, max float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	cnt := 0
 	for _, l := range n.links {
 		if !l.Up {
@@ -499,8 +502,8 @@ type LinkSnapshot struct {
 
 // Snapshot lists all links sorted by key.
 func (n *Network) Snapshot() []LinkSnapshot {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	keys := make([]string, 0, len(n.links))
 	for k := range n.links {
 		keys = append(keys, k)

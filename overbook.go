@@ -22,6 +22,14 @@
 //	fmt.Println(sl.State(), sys.Orchestrator.Gain().MultiplexingGain)
 //
 // See examples/ for runnable programs and DESIGN.md for the architecture.
+//
+// A System is safe for concurrent use: the orchestrator core is sharded
+// (see core.Config.Shards and DESIGN.md §3.4), so parallel Submit, Delete,
+// Get, List, Gain, RecordDemand and the control epoch may be driven from
+// many goroutines — independent tenants are admitted and installed in
+// parallel. The one single-goroutine surface is advancing a simulated
+// System's virtual clock (Sim.RunFor / RunUntil / Step) and drawing from
+// Sim.Rand, which stay with one driver to keep experiments deterministic.
 package overbook
 
 import (
