@@ -84,6 +84,45 @@ func BenchmarkSliceInstallation(b *testing.B) {
 	}
 }
 
+// BenchmarkInstallTransaction (F2) measures the generic domain-transaction
+// engine on the same admit → multi-domain install → teardown cycle that
+// BenchmarkSliceInstallation recorded on the seed's hand-rolled install, so
+// the abstraction's overhead stays visible in the F2 trajectory. domains=3
+// is the direct apples-to-apples comparison; domains=4 adds the pluggable
+// MEC domain and prices one extra concurrent-group member.
+func BenchmarkInstallTransaction(b *testing.B) {
+	for _, mecHosts := range []int{0, 4} {
+		name := "domains=3"
+		if mecHosts > 0 {
+			name = "domains=4"
+		}
+		b.Run(name, func(b *testing.B) {
+			sys, err := NewSimulated(Options{
+				Seed:     1,
+				Overbook: true,
+				Testbed:  TestbedConfig{MECHosts: mecHosts, MECHostCPUs: 64},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sl, err := sys.Orchestrator.Submit(benchReq(i), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sl.State() == slice.StateRejected {
+					b.Fatalf("bench request rejected: %s", sl.Reason())
+				}
+				sys.Sim.RunFor(15 * time.Second) // install stages
+				if err := sys.Orchestrator.Delete(sl.ID()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkParallelAdmission (F3) measures concurrent admission throughput
 // of the sharded engine: every goroutine submits and immediately deletes
 // small slices for its own tenant on a wall-clock System, so the full

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	experiments [-seed 1] [-only f1,f2,d1,d2,d3,d4,d5,d6]
+//	experiments [-seed 1] [-only f1,f2,d1,d2,d3,d4,d5,d6,d7,...]
 package main
 
 import (
@@ -58,6 +58,9 @@ func main() {
 	}
 	if run("d6") {
 		expD6(*seed)
+	}
+	if run("d7") {
+		expD7(*seed)
 	}
 	if run("d1b") {
 		expD1b(*seed)
@@ -298,6 +301,32 @@ func expD6(seed int64) {
 	w = tw()
 	for _, k := range keys {
 		fmt.Fprintf(w, "  %s\t%d\n", k, hist[k])
+	}
+	w.Flush()
+}
+
+func expD7(seed int64) {
+	header("D7", "pluggable MEC domain: edge apps through the generic engine")
+	res, err := scenario.MECScenario(seed)
+	check(err)
+	g := res.Result.Gain
+	w := tw()
+	fmt.Fprintf(w, "offered\t%d\n", res.Result.Offered)
+	fmt.Fprintf(w, "admitted / rejected\t%d / %d\n", g.Admitted, g.Rejected)
+	fmt.Fprintf(w, "mec-capacity rejections\t%d\n", res.MECRejections)
+	fmt.Fprintf(w, "edge apps placed\t%d\n", res.PlacedApps)
+	fmt.Fprintf(w, "MEC pool utilization\t%.0f%%\n", res.MECUtilization*100)
+	fmt.Fprintf(w, "net revenue\t%.2f EUR\n", res.Result.NetRevenueEUR)
+	w.Flush()
+	fmt.Println("\nrejection cause codes:")
+	keys := make([]string, 0, len(g.RejectReasons))
+	for k := range g.RejectReasons {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w = tw()
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %s\t%d\n", k, g.RejectReasons[k])
 	}
 	w.Flush()
 }

@@ -32,6 +32,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "testbed random seed")
 		enbs    = flag.Int("enbs", 2, "number of eNBs in the testbed")
 		plmnMax = flag.Int("plmn-limit", 6, "MOCN broadcast list size (max simultaneous slices)")
+		mec     = flag.Int("mec-hosts", 0, "enable the edge MEC compute domain with this many hosts (0 = off)")
 	)
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 		Orchestrator: &cfg,
 		// MaxPLMNs follows the allocator limit so raising -plmn-limit
 		// actually lifts the per-cell MOCN broadcast bound too.
-		Testbed: overbook.TestbedConfig{ENBs: *enbs, MaxPLMNs: *plmnMax},
+		Testbed: overbook.TestbedConfig{ENBs: *enbs, MaxPLMNs: *plmnMax, MECHosts: *mec},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "orchestrator:", err)

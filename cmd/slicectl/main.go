@@ -143,7 +143,7 @@ func cmdRequest(c *restapi.Client, args []string) error {
 		return err
 	}
 	if snap.State == "rejected" {
-		fmt.Printf("REJECTED %s: %s\n", snap.ID, snap.Reason)
+		fmt.Printf("REJECTED %s [%s]: %s\n", snap.ID, snap.RejectCode, snap.Reason)
 		return nil
 	}
 	fmt.Printf("accepted %s: state=%s plmn=%s dc=%s\n",
@@ -157,11 +157,11 @@ func cmdList(c *restapi.Client) error {
 		return err
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "ID\tTENANT\tCLASS\tSTATE\tCONTRACT\tALLOCATED\tNET€\tREASON")
+	fmt.Fprintln(w, "ID\tTENANT\tCLASS\tSTATE\tCONTRACT\tALLOCATED\tNET€\tCAUSE\tREASON")
 	for _, s := range ls {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.0f\t%.1f\t%.2f\t%s\n",
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.0f\t%.1f\t%.2f\t%s\t%s\n",
 			s.ID, s.Tenant, s.Class, s.State,
-			s.SLA.ThroughputMbps, s.Allocation.AllocatedMbps, s.Accounting.NetEUR, s.Reason)
+			s.SLA.ThroughputMbps, s.Allocation.AllocatedMbps, s.Accounting.NetEUR, s.RejectCode, s.Reason)
 	}
 	return w.Flush()
 }
@@ -172,7 +172,11 @@ func cmdGet(c *restapi.Client, id slice.ID) error {
 		return err
 	}
 	fmt.Printf("slice %s (%s, %s)\n", s.ID, s.Tenant, s.Class)
-	fmt.Printf("  state      %s %s\n", s.State, s.Reason)
+	if s.RejectCode != "" {
+		fmt.Printf("  state      %s [%s] %s\n", s.State, s.RejectCode, s.Reason)
+	} else {
+		fmt.Printf("  state      %s %s\n", s.State, s.Reason)
+	}
 	fmt.Printf("  contract   %.1f Mbps, <=%.1f ms, until %s\n", s.SLA.ThroughputMbps, s.SLA.MaxLatencyMs, s.Expires.Format(time.RFC3339))
 	fmt.Printf("  allocated  %.1f Mbps (PLMN %s, DC %s, path %.2f ms)\n",
 		s.Allocation.AllocatedMbps, s.Allocation.PLMN, s.Allocation.DataCenter, s.Allocation.PathLatencyMs)

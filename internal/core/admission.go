@@ -1,10 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"math"
 
-	"repro/internal/epc"
+	"repro/internal/ctrl"
 	"repro/internal/slice"
 	"repro/internal/testbed"
 )
@@ -12,10 +11,10 @@ import (
 // admit runs the admission checks of Section 3: "our end-to-end
 // orchestration algorithm checks the infrastructure resources availability
 // in each domain and performs traffic forecasting, considering past and
-// current network slices information". It returns ("", reservedMbps) to
+// current network slices information". It returns (nil, reservedMbps) to
 // admit — with the newcomer's estimated load already reserved on the shared
 // capacity ledger (phase one of the two-phase reservation; install commits
-// it, any failure must release it) — or a rejection reason.
+// it, any failure must release it) — or a typed rejection cause.
 //
 // The radio check is the overbooking-aware one: the running sum of
 // *estimated* loads (current provisioned allocations of running slices +
@@ -24,14 +23,15 @@ import (
 // degenerates to classic peak-provisioning admission. The sum is maintained
 // incrementally by the ledger, so the check is O(1) and atomic under
 // concurrent admissions on other shards.
-func (o *Orchestrator) admit(req slice.Request) (string, float64) {
+func (o *Orchestrator) admit(req slice.Request) (*slice.RejectionCause, float64) {
 	sla := req.SLA
 
 	// Revenue policy: EUR per Mbps·hour must clear the configured bar.
 	if o.cfg.MinRevenueDensity > 0 {
 		density := sla.PriceEUR / (sla.ThroughputMbps * sla.Duration.Hours())
 		if density < o.cfg.MinRevenueDensity {
-			return fmt.Sprintf("revenue density %.3f EUR/(Mbps·h) below policy %.3f", density, o.cfg.MinRevenueDensity), 0
+			return slice.Rejectf(slice.RejectRevenuePolicy, "",
+				"revenue density %.3f EUR/(Mbps·h) below policy %.3f", density, o.cfg.MinRevenueDensity), 0
 		}
 	}
 
@@ -41,14 +41,15 @@ func (o *Orchestrator) admit(req slice.Request) (string, float64) {
 	// price is a losing trade and is rejected up front.
 	if o.cfg.PenaltyAware {
 		if expected := o.expectedPenaltyEUR(sla); expected >= sla.PriceEUR {
-			return fmt.Sprintf("revenue: expected penalty %.2f EUR >= price %.2f EUR at risk %.2f",
+			return slice.Rejectf(slice.RejectRevenuePolicy, "",
+				"revenue: expected penalty %.2f EUR >= price %.2f EUR at risk %.2f",
 				expected, sla.PriceEUR, o.cfg.effectiveRisk()), 0
 		}
 	}
 
 	// PLMN slot (MOCN broadcast list).
 	if o.plmns.Available() == 0 {
-		return "PLMN broadcast list full", 0
+		return slice.Rejectf(slice.RejectPLMNExhausted, "", "PLMN broadcast list full"), 0
 	}
 
 	// Radio capacity (overbooking-aware estimate): atomic two-phase
@@ -57,16 +58,17 @@ func (o *Orchestrator) admit(req slice.Request) (string, float64) {
 	newLoad := o.admissionEstimate(sla)
 	ok, load := o.ledger.TryReserve(newLoad, capacity)
 	if !ok {
-		return fmt.Sprintf("radio capacity: estimated load %.1f+%.1f Mbps exceeds %.1f", load, newLoad, capacity), 0
+		return slice.Rejectf(slice.RejectRadioCapacity, "ran",
+			"radio capacity: estimated load %.1f+%.1f Mbps exceeds %.1f", load, newLoad, capacity), 0
 	}
 
-	// Cloud + transport: at least one data center must satisfy both the
-	// latency budget and the compute demand.
-	if _, _, reason := o.chooseDataCenter(sla); reason != "" {
+	// Per-domain feasibility: at least one data center must pass every
+	// registered domain's dry run (latency budget, compute fit, ...).
+	if _, cause := o.chooseDataCenter(sla); cause != nil {
 		o.ledger.Release(newLoad)
-		return reason, 0
+		return cause, 0
 	}
-	return "", newLoad
+	return nil, newLoad
 }
 
 // expectedPenaltyEUR estimates the SLA penalties the operator will owe the
@@ -89,46 +91,35 @@ func (o *Orchestrator) admissionEstimate(sla slice.SLA) float64 {
 }
 
 // chooseDataCenter picks the data center for the slice: the one with
-// the fewest spare resources that still meets the latency budget (keeping
-// the scarce edge free for slices that need it), honouring EdgeCompute.
-// It returns the DC name and the worst-case transport delay, or a reason.
-// It reads only the (internally synchronized) domain controllers, so it
-// needs no shard lock.
-func (o *Orchestrator) chooseDataCenter(sla slice.SLA) (string, float64, string) {
-	type cand struct {
-		name  string
-		delay float64
-	}
-	procMs := 0.5 // vEPC user-plane processing, counted against the budget
-	var cands []cand
+// the fewest spare resources that still passes every registered domain's
+// feasibility dry run (keeping the scarce edge free for slices that need
+// it), honouring EdgeCompute. It returns the DC name or the last candidate's
+// typed rejection cause. It reads only the (internally synchronized) domain
+// controllers, so it needs no shard lock.
+func (o *Orchestrator) chooseDataCenter(sla slice.SLA) (string, *slice.RejectionCause) {
 	names := []string{testbed.CoreDC, testbed.EdgeDC} // prefer core when both fit
 	if sla.EdgeCompute {
 		names = []string{testbed.EdgeDC}
 	}
-	lastReason := ""
+	est := o.admissionEstimate(sla)
+	var last *slice.RejectionCause
 	for _, dc := range names {
-		delay, err := o.tb.Ctrl.Transport.FeasibleDelay(dc, o.admissionEstimate(sla))
-		if err != nil {
-			lastReason = fmt.Sprintf("transport to %s: %v", dc, err)
+		tx := ctrl.Tx{
+			SLA:             sla,
+			DataCenter:      dc,
+			Mbps:            est,
+			LatencyBudgetMs: o.latencyBudget(sla),
+		}
+		if cause := o.feasibleAll(tx); cause != nil {
+			last = cause
 			continue
 		}
-		if delay+procMs > sla.MaxLatencyMs {
-			lastReason = fmt.Sprintf("latency: best path to %s is %.2f ms + %.2f ms EPC > budget %.2f ms", dc, delay, procMs, sla.MaxLatencyMs)
-			continue
-		}
-		if !o.tb.Ctrl.Cloud.CanFit(dc, sla.ThroughputMbps) {
-			lastReason = fmt.Sprintf("cloud compute: %s cannot fit a %.0f-vCPU vEPC", dc, epc.VCPUDemand(sla.ThroughputMbps))
-			continue
-		}
-		cands = append(cands, cand{dc, delay})
+		return dc, nil
 	}
-	if len(cands) == 0 {
-		if lastReason == "" {
-			lastReason = "no data center available"
-		}
-		return "", 0, lastReason
+	if last == nil {
+		last = slice.Rejectf(slice.RejectOther, "", "no data center available")
 	}
-	return cands[0].name, cands[0].delay, ""
+	return "", last
 }
 
 // KnapsackRequest pairs a request with its estimated radio load for the

@@ -1,12 +1,16 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"repro/internal/monitor"
+	"repro/internal/sim"
 	"repro/internal/slice"
+	"repro/internal/testbed"
 )
 
 func kreq(mbps, price float64) KnapsackRequest {
@@ -131,19 +135,46 @@ func TestPropertyKnapsackOptimality(t *testing.T) {
 	}
 }
 
-func TestReasonClass(t *testing.T) {
-	cases := map[string]string{
-		"PLMN broadcast list full":         "plmn-exhausted",
-		"radio capacity: estimated load":   "radio-capacity",
-		"latency: best path":               "latency-unmeetable",
-		"cloud compute: edge cannot fit":   "cloud-capacity",
-		"transport to core: no path":       "transport-capacity",
-		"revenue density 0.1 below policy": "revenue-policy",
-		"mystery":                          "other",
+// TestRejectionCauseTaxonomy drives real rejections end-to-end and checks
+// that each surfaces its stable typed code (the histogram bucket) and is
+// errors.Is-compatible against the RejectCode sentinels.
+func TestRejectionCauseTaxonomy(t *testing.T) {
+	s := sim.NewSimulator(1)
+	tb, err := testbed.New(testbed.Default(), s.Rand())
+	if err != nil {
+		t.Fatal(err)
 	}
-	for reason, want := range cases {
-		if got := reasonClass(reason); got != want {
-			t.Fatalf("reasonClass(%q) = %q, want %q", reason, got, want)
-		}
+	o := New(Config{MinRevenueDensity: 1000}, tb, s, monitor.NewStore(64))
+
+	// Revenue policy.
+	sl, err := o.Submit(req("cheap", 20, 50, time.Hour, 0.01), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause, ok := sl.Cause()
+	if !ok || cause.Code != slice.RejectRevenuePolicy {
+		t.Fatalf("cause %+v, ok %v", cause, ok)
+	}
+	if !errors.Is(&cause, slice.RejectRevenuePolicy) {
+		t.Fatalf("errors.Is(%v, RejectRevenuePolicy) = false", cause)
+	}
+	if errors.Is(&cause, slice.RejectRadioCapacity) {
+		t.Fatalf("cause %v matched the wrong code", cause)
+	}
+	if sl.Snapshot().RejectCode != slice.RejectRevenuePolicy {
+		t.Fatalf("snapshot code %q", sl.Snapshot().RejectCode)
+	}
+
+	// Latency unmeetable.
+	o2 := New(Config{}, tb, s, monitor.NewStore(64))
+	sl2, err := o2.Submit(req("urllc", 20, 0.01, time.Hour, 100), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := sl2.Cause(); c.Code != slice.RejectLatencyUnmeetable {
+		t.Fatalf("latency cause %+v", c)
+	}
+	if g := o2.Gain(); g.RejectReasons[string(slice.RejectLatencyUnmeetable)] != 1 {
+		t.Fatalf("histogram %v not keyed on typed codes", g.RejectReasons)
 	}
 }

@@ -100,7 +100,8 @@ func (o *Orchestrator) SubmitBatch(items []BatchItem, policy BatchPolicy) ([]*sl
 		}
 		sh := o.shardFor(id)
 		sh.mu.Lock()
-		evicted := o.rejectLocked(sh, sl, fmt.Sprintf("revenue policy: not selected by %s batch admission", policy))
+		evicted := o.rejectLocked(sh, sl, slice.Rejectf(slice.RejectRevenuePolicy, "",
+			"revenue policy: not selected by %s batch admission", policy))
 		sh.mu.Unlock()
 		o.dropFinished(evicted)
 		out[i] = sl

@@ -12,6 +12,13 @@
 // demand, feeds the forecasters, charges SLA violations and resizes
 // reservations.
 //
+// All multi-domain resource work — install, admission feasibility, resize,
+// teardown, restoration — runs through the generic two-phase transaction
+// engine (engine.go) over the uniform ctrl.Domain surface, with automatic
+// reverse-order rollback; rejections carry typed slice.RejectionCause
+// values end-to-end. The engine has no domain-specific branches, so new
+// domains (e.g. the MEC compute domain) register in the testbed only.
+//
 // # Concurrency
 //
 // The Orchestrator is safe for concurrent use. Slice state is partitioned
@@ -35,7 +42,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -192,11 +198,12 @@ type managedSlice struct {
 // Orchestrator is the end-to-end slice orchestrator. It is safe for
 // concurrent use; see the package documentation for the sharding model.
 type Orchestrator struct {
-	cfg   Config
-	clock sim.Scheduler
-	tb    *testbed.Testbed
-	store *monitor.Store
-	plmns *slice.PLMNAllocator
+	cfg     Config
+	clock   sim.Scheduler
+	tb      *testbed.Testbed
+	store   *monitor.Store
+	plmns   *slice.PLMNAllocator
+	domains txEngine
 
 	shards    []*shard
 	shardMask uint32
@@ -222,6 +229,7 @@ func New(cfg Config, tb *testbed.Testbed, clock sim.Scheduler, store *monitor.St
 		tb:        tb,
 		store:     store,
 		plmns:     slice.NewPLMNAllocator("001", cfg.PLMNLimit),
+		domains:   newTxEngine(tb.Ctrl),
 		shards:    make([]*shard, cfg.Shards),
 		shardMask: uint32(cfg.Shards - 1),
 		history:   finishedHistory{limit: cfg.HistoryLimit},
@@ -287,11 +295,14 @@ func (o *Orchestrator) Timeline(id slice.ID) (InstallTimeline, bool) {
 	return *tl, true
 }
 
-// errReject carries an admission rejection reason (not an error to callers:
-// rejection is a normal outcome shown on the dashboard).
-type errReject struct{ reason string }
+// errReject carries a typed admission rejection cause through the install
+// path (not an error to callers: rejection is a normal outcome shown on the
+// dashboard). It unwraps to the cause, so errors.Is against RejectCode
+// sentinels works on the whole chain.
+type errReject struct{ cause *slice.RejectionCause }
 
-func (e errReject) Error() string { return e.reason }
+func (e errReject) Error() string { return e.cause.Detail }
+func (e errReject) Unwrap() error { return e.cause }
 
 // Submit runs admission control and, when accepted, reserves resources in
 // all three domains and schedules the installation stages. The returned
@@ -315,21 +326,21 @@ func (o *Orchestrator) Submit(req slice.Request, demand traffic.Demand) (*slice.
 
 	// Phase one: admission checks plus the atomic capacity-ledger
 	// reservation for the newcomer's estimated radio load.
-	reason, reserved := o.admit(req)
-	if reason != "" {
-		evicted := o.rejectLocked(sh, s, reason)
+	cause, reserved := o.admit(req)
+	if cause != nil {
+		evicted := o.rejectLocked(sh, s, cause)
 		sh.mu.Unlock()
 		o.dropFinished(evicted)
 		return s, nil
 	}
 
-	// Phase two: multi-domain installation; any failure releases the
-	// ledger reservation and converts to a rejection.
+	// Phase two: the multi-domain transaction; any failure releases the
+	// ledger reservation and converts to a typed rejection.
 	if err := o.install(sh, s, demand, reserved); err != nil {
 		o.ledger.Release(reserved)
 		var rej errReject
 		if errors.As(err, &rej) {
-			evicted := o.rejectLocked(sh, s, rej.reason)
+			evicted := o.rejectLocked(sh, s, rej.cause)
 			sh.mu.Unlock()
 			o.dropFinished(evicted)
 			return s, nil
@@ -344,35 +355,16 @@ func (o *Orchestrator) Submit(req slice.Request, demand traffic.Demand) (*slice.
 }
 
 // rejectLocked registers a rejected request in the shard (so the dashboard
-// shows it) and returns any finished slices evicted from the bounded
+// shows it), keys the rejection histogram on the cause's stable typed code
+// — never on the free-form detail string, which would give every rejection
+// its own bucket — and returns any finished slices evicted from the bounded
 // history, which the caller must drop after releasing the shard lock.
-func (o *Orchestrator) rejectLocked(sh *shard, s *slice.Slice, reason string) []slice.ID {
-	s.Reject(reason)
+func (o *Orchestrator) rejectLocked(sh *shard, s *slice.Slice, cause *slice.RejectionCause) []slice.ID {
+	s.Reject(cause)
 	sh.rejected++
-	sh.rejectReasons[reasonClass(reason)]++
+	sh.rejectReasons[string(cause.Code)]++
 	sh.slices[s.ID()] = &managedSlice{s: s, sh: sh}
 	return o.history.Push(s.ID())
-}
-
-// reasonClass maps a detailed rejection reason onto the histogram bucket
-// shown in experiment D6.
-func reasonClass(reason string) string {
-	switch {
-	case strings.Contains(reason, "PLMN"):
-		return "plmn-exhausted"
-	case strings.Contains(reason, "radio"):
-		return "radio-capacity"
-	case strings.Contains(reason, "latency"), strings.Contains(reason, "delay"):
-		return "latency-unmeetable"
-	case strings.Contains(reason, "compute"), strings.Contains(reason, "cloud"), strings.Contains(reason, "stack"):
-		return "cloud-capacity"
-	case strings.Contains(reason, "transport"), strings.Contains(reason, "path"):
-		return "transport-capacity"
-	case strings.Contains(reason, "revenue"):
-		return "revenue-policy"
-	default:
-		return "other"
-	}
 }
 
 // Delete tears the slice down ahead of its expiry.

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"repro/internal/ctrl"
+	"repro/internal/slice"
+)
+
+// This file is the generic multi-domain two-phase transaction engine: the
+// one place that knows how to reserve, commit, abort, resize and release a
+// slice across an ordered chain of domains. It drives every domain through
+// the uniform ctrl.Domain surface and never branches on domain identity —
+// adding a domain (see the MEC controller) changes the testbed's
+// registration, not this file.
+//
+// Execution plan (from ctrl.Set):
+//
+//   - The *chain* (radio → transport) runs sequentially; each stage is
+//     sized to the previous grant's effective throughput, so transport
+//     paths always match what the radio actually granted.
+//   - The *concurrent group* (cloud vEPC, MEC apps, any Extra domain) is
+//     independent of the chain, so it reserves in parallel with it — the
+//     per-request domain parallelism of the original hand-rolled install —
+//     and joins in registration order, keeping rejection precedence
+//     deterministic regardless of goroutine scheduling.
+//
+// Rollback is reverse acquisition order, automatic, on any failure: a
+// reserve or commit failure aborts every grant taken so far (concurrent
+// group first, then the chain backwards), and the caller releases the PLMN
+// and capacity-ledger entry it acquired before the transaction.
+
+// txEngine is the orchestrator's compiled execution plan.
+type txEngine struct {
+	chain []ctrl.Domain // sequential, throughput-threaded
+	async []ctrl.Domain // concurrent with the chain, joined in order
+	all   []ctrl.Domain // chain then async — the logical acquisition order
+	// fixedLatencyMs sums the fixed processing contributions of every
+	// registered domain (ctrl.LatencyContributor — a capability query,
+	// not an identity branch); the engine deducts it from every latency
+	// budget it hands out.
+	fixedLatencyMs float64
+}
+
+func newTxEngine(set ctrl.Set) txEngine {
+	chain, async := set.Chain(), set.Async()
+	all := make([]ctrl.Domain, 0, len(chain)+len(async))
+	all = append(all, chain...)
+	all = append(all, async...)
+	e := txEngine{chain: chain, async: async, all: all}
+	for _, d := range all {
+		if lc, ok := d.(ctrl.LatencyContributor); ok {
+			e.fixedLatencyMs += lc.ProcessingLatencyMs()
+		}
+	}
+	return e
+}
+
+// latencyBudget is the latency budget handed to every domain: the SLA bound
+// minus the vEPC user-plane processing share and every registered domain's
+// fixed processing contribution.
+func (o *Orchestrator) latencyBudget(sla slice.SLA) float64 {
+	return sla.MaxLatencyMs - epcProcMs - o.domains.fixedLatencyMs
+}
+
+// domainGrant pairs a grant with its owning domain so rollback never needs
+// to rediscover who granted what.
+type domainGrant struct {
+	d ctrl.Domain
+	g ctrl.Grant
+}
+
+// abortGrants rolls back in reverse acquisition order.
+func abortGrants(grants []domainGrant) {
+	for i := len(grants) - 1; i >= 0; i-- {
+		grants[i].d.Abort(grants[i].g)
+	}
+}
+
+// reserveAll runs phase one of the install transaction: every
+// concurrent-group domain reserves in parallel with the sequential chain.
+// On success the returned grants are in logical acquisition order (chain,
+// then concurrent group in registration order); on failure everything
+// already granted has been aborted in reverse order and the first failure
+// (chain before concurrent group, both in registration order) is returned.
+//
+// The caller holds sh.mu. When the head of the chain — the bottleneck
+// domain the overbooking budget governs — cannot fit the request at face
+// value and overbooking is on, running slices are first squeezed down to
+// their forecast-provisioned sizes and the stage retried, then retried once
+// more at the admission estimate (fallbackMbps): "allocated network slices
+// might be dynamically re-configured (overbooked) to accommodate new slice
+// requests" (Section 3). The squeeze locks every shard, so the caller's
+// shard lock is released around it (the newcomer is unpublished; nothing
+// observes the gap) and re-acquired before retrying.
+func (o *Orchestrator) reserveAll(sh *shard, tx ctrl.Tx, fallbackMbps float64) ([]domainGrant, *slice.RejectionCause) {
+	type asyncResult struct {
+		g     ctrl.Grant
+		cause *slice.RejectionCause
+	}
+	chans := make([]chan asyncResult, len(o.domains.async))
+	for i, d := range o.domains.async {
+		ch := make(chan asyncResult, 1)
+		chans[i] = ch
+		// tx goes by value: concurrent-group domains size off the contract
+		// while the chain loop below threads effective throughput through
+		// its own copy.
+		go func(d ctrl.Domain, tx ctrl.Tx) {
+			g, cause := d.Reserve(tx)
+			ch <- asyncResult{g, cause}
+		}(d, tx)
+	}
+
+	// join drains every concurrent-group reservation exactly once. It is
+	// forced before the squeeze: the squeeze resizes every live slice
+	// across every domain, so no in-flight reservation may race it —
+	// outcomes must depend on the domain state, never on goroutine
+	// scheduling.
+	joined := make([]asyncResult, len(chans))
+	haveJoined := false
+	join := func() {
+		if haveJoined {
+			return
+		}
+		for i, ch := range chans {
+			joined[i] = <-ch
+		}
+		haveJoined = true
+	}
+
+	var grants []domainGrant
+	var failure *slice.RejectionCause
+	for i, d := range o.domains.chain {
+		g, cause := d.Reserve(tx)
+		if cause != nil && i == 0 && o.cfg.effectiveRisk() < 0.9995 {
+			join()
+			sh.mu.Unlock()
+			o.squeezeAll()
+			sh.mu.Lock()
+			g, cause = d.Reserve(tx)
+			if cause != nil && fallbackMbps < tx.Mbps {
+				// Last resort: install at the admission estimate; the
+				// epoch loop will grow it when capacity frees up.
+				fb := tx
+				fb.Mbps = fallbackMbps
+				g, cause = d.Reserve(fb)
+			}
+		}
+		if cause != nil {
+			failure = cause
+			break
+		}
+		grants = append(grants, domainGrant{d: d, g: g})
+		if m := g.EffectiveMbps(); m > 0 {
+			tx.Mbps = m
+		}
+	}
+
+	// Join the concurrent group in registration order. A chain failure
+	// outranks any concurrent-group failure (matching the order of the
+	// admission checks); among the group, the first registered wins.
+	join()
+	for i, res := range joined {
+		switch {
+		case res.cause == nil:
+			grants = append(grants, domainGrant{d: o.domains.async[i], g: res.g})
+		case failure == nil:
+			failure = res.cause
+		}
+	}
+	if failure != nil {
+		abortGrants(grants)
+		return nil, failure
+	}
+	return grants, nil
+}
+
+// commitGrants runs phase two in acquisition order. A failing commit aborts
+// every grant in reverse order (domains must accept Abort after Commit).
+func commitGrants(grants []domainGrant) *slice.RejectionCause {
+	for _, dg := range grants {
+		if err := dg.d.Commit(dg.g); err != nil {
+			abortGrants(grants)
+			return slice.CauseOf(err, slice.RejectOther, dg.d.Domain())
+		}
+	}
+	return nil
+}
+
+// releaseAll frees every domain's resources for the slice in reverse
+// acquisition order. Domain Release is idempotent, so teardown paths may
+// call this regardless of how far installation got.
+func (o *Orchestrator) releaseAll(id slice.ID, p slice.PLMN) {
+	for i := len(o.domains.all) - 1; i >= 0; i-- {
+		o.domains.all[i].Release(id, p)
+	}
+}
+
+// resizeAll applies a new throughput across every domain in acquisition
+// order, threading each grant's effective throughput into the next stage
+// exactly like installation does. On any failure the already-resized
+// domains are restored to prev in reverse order and false is returned; on
+// success the returned grants (some may be nil) record the allocation
+// changes for the caller to apply.
+func (o *Orchestrator) resizeAll(tx ctrl.Tx, target, prev float64) ([]domainGrant, bool) {
+	grants := make([]domainGrant, 0, len(o.domains.all))
+	carried := target
+	for i, d := range o.domains.all {
+		g, err := d.Resize(tx, carried)
+		if err != nil {
+			for j := i - 1; j >= 0; j-- {
+				o.domains.all[j].Resize(tx, prev)
+			}
+			return nil, false
+		}
+		grants = append(grants, domainGrant{d: d, g: g})
+		if g != nil {
+			if m := g.EffectiveMbps(); m > 0 {
+				carried = m
+			}
+		}
+	}
+	return grants, true
+}
+
+// feasibleAll runs every domain's admission dry run against tx in
+// acquisition order and returns the first failing domain's cause.
+func (o *Orchestrator) feasibleAll(tx ctrl.Tx) *slice.RejectionCause {
+	for _, d := range o.domains.all {
+		if cause := d.Feasible(tx); cause != nil {
+			return cause
+		}
+	}
+	return nil
+}

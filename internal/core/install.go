@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/ctrl"
 	"repro/internal/forecast"
@@ -9,119 +10,72 @@ import (
 	"repro/internal/traffic"
 )
 
-// install reserves resources in all three domains for an admitted request
-// and schedules the installation stages on the clock. Any domain failure
-// rolls everything back and converts to a rejection. The caller holds
-// sh.mu (its shard's lock) and has already reserved reservedMbps on the
-// capacity ledger; install commits that reservation to the managed slice's
-// bookkeeping on success (the caller releases it on failure).
+// epcProcMs is the vEPC user-plane processing share counted against every
+// slice's end-to-end latency budget; the domains see the remainder.
+const epcProcMs = 0.5
+
+// install reserves resources across the registered domain chain for an
+// admitted request and schedules the installation stages on the clock. The
+// heavy lifting is the generic two-phase transaction engine (engine.go):
+// concurrent-group domains (cloud vEPC, MEC apps, ...) reserve in parallel
+// with the sequential radio → transport chain, join in deterministic order,
+// and any failure rolls everything back in reverse order automatically and
+// converts to a typed rejection.
 //
-// The cloud deployment (Heat stack + vEPC registration) is independent of
-// the radio grant, so it runs concurrently with the radio reservation and
-// the transport path setup — the per-domain parallelism inside one request.
-// Join order is fixed, so outcomes are deterministic: a radio or transport
-// failure is reported first (matching the domain order of the admission
-// checks), with any concurrently created stack torn back down.
-//
-// When the radio domain cannot fit the newcomer's contract at face value
-// but overbooking is on, running slices are first squeezed down to their
-// forecast-provisioned sizes — "allocated network slices might be
-// dynamically re-configured (overbooked) to accommodate new slice requests"
-// (Section 3). The squeeze is a whole-registry pass needing every shard
-// lock, so install briefly releases its own shard lock around it (the
-// newcomer is not yet published, so nothing can observe the gap) and
-// re-acquires it before retrying.
+// The caller holds sh.mu (its shard's lock) and has already reserved
+// reservedMbps on the capacity ledger; install commits that reservation to
+// the managed slice's bookkeeping on success (the caller releases it on
+// failure). The engine may briefly release and re-acquire sh.mu around the
+// overbooking squeeze — see reserveAll.
 func (o *Orchestrator) install(sh *shard, s *slice.Slice, demand traffic.Demand, reservedMbps float64) error {
 	sla := s.SLA()
 	now := o.clock.Now()
 
-	dcName, _, reason := o.chooseDataCenter(sla)
-	if reason != "" {
-		return errReject{reason}
+	dcName, cause := o.chooseDataCenter(sla)
+	if cause != nil {
+		return errReject{cause}
 	}
 
-	// 1. PLMN.
+	// 1. PLMN — the slice's broadcast identity, acquired before the domain
+	// transaction and released after every grant on rollback.
 	plmn, err := o.plmns.Allocate(s.ID())
 	if err != nil {
-		return errReject{err.Error()}
+		return errReject{slice.CauseOf(err, slice.RejectPLMNExhausted, "")}
 	}
 
-	rollbackPLMN := func() { o.plmns.Release(plmn) }
-
-	// 2a. Cloud: Heat stack + vEPC, concurrently with the radio/transport
-	// chain below.
-	type cloudResult struct {
-		dep ctrl.Deployment
-		err error
+	// 2. The multi-domain two-phase transaction.
+	tx := ctrl.Tx{
+		Slice:           s.ID(),
+		PLMN:            plmn,
+		SLA:             sla,
+		DataCenter:      dcName,
+		Mbps:            sla.ThroughputMbps,
+		LatencyBudgetMs: o.latencyBudget(sla),
 	}
-	cloudCh := make(chan cloudResult, 1)
-	go func() {
-		dep, err := o.tb.Ctrl.Cloud.DeployEPC(s.ID(), dcName, plmn, sla.ThroughputMbps, sla.Class)
-		cloudCh <- cloudResult{dep, err}
-	}()
-	// joinCloud tears the concurrent deployment back down (used on
-	// radio/transport failure).
-	joinCloudAbort := func() {
-		if res := <-cloudCh; res.err == nil {
-			o.tb.Ctrl.Cloud.Teardown(res.dep.DataCenter, res.dep.StackID, res.dep.EPCID)
-		}
+	grants, cause := o.reserveAll(sh, tx, o.admissionEstimate(sla))
+	if cause != nil {
+		o.plmns.Release(plmn)
+		return errReject{cause}
 	}
-
-	// 2b. Radio PRBs at full contract; squeeze running slices if needed.
-	radio, err := o.tb.Ctrl.RAN.ReserveSlice(plmn, sla.ThroughputMbps)
-	if err != nil && o.cfg.effectiveRisk() < 0.9995 {
-		// The squeeze locks every shard; drop ours first so the global
-		// lock order (all shards, ascending) is never violated.
-		sh.mu.Unlock()
-		o.squeezeAll()
-		sh.mu.Lock()
-		radio, err = o.tb.Ctrl.RAN.ReserveSlice(plmn, sla.ThroughputMbps)
-		if err != nil {
-			// Last resort: install at the admission estimate; the epoch
-			// loop will grow it when capacity frees up.
-			radio, err = o.tb.Ctrl.RAN.ReserveSlice(plmn, o.admissionEstimate(sla))
-		}
+	if cause := commitGrants(grants); cause != nil {
+		o.plmns.Release(plmn)
+		return errReject{cause}
 	}
-	if err != nil {
-		joinCloudAbort()
-		rollbackPLMN()
-		return errReject{fmt.Sprintf("radio: %v", err)}
-	}
-	rollbackRadio := func() { o.tb.Ctrl.RAN.ReleaseSlice(plmn); rollbackPLMN() }
-
-	// 3. Transport paths to the chosen DC, sized like the radio grant.
-	budget := sla.MaxLatencyMs - 0.5 // vEPC processing share
-	paths, err := o.tb.Ctrl.Transport.SetupPaths(s.ID(), dcName, radio.TotalMbps, budget)
-	if err != nil {
-		joinCloudAbort()
-		rollbackRadio()
-		return errReject{fmt.Sprintf("transport: %v", err)}
-	}
-	rollbackPaths := func() { o.tb.Ctrl.Transport.ReleasePaths(s.ID()); rollbackRadio() }
-
-	// 4. Join the cloud deployment.
-	res := <-cloudCh
-	if res.err != nil {
-		rollbackPaths()
-		return errReject{fmt.Sprintf("cloud: %v", res.err)}
-	}
-	dep := res.dep
 
 	if err := s.Admit(); err != nil {
-		o.tb.Ctrl.Cloud.Teardown(dep.DataCenter, dep.StackID, dep.EPCID)
-		rollbackPaths()
+		abortGrants(grants)
+		o.plmns.Release(plmn)
 		return err
 	}
-	s.SetAllocation(slice.Allocation{
-		AllocatedMbps: radio.TotalMbps,
-		PRBs:          radio.PRBs,
-		PathIDs:       paths.PathIDs,
-		PathLatencyMs: paths.WorstDelayMs,
-		DataCenter:    dep.DataCenter,
-		StackID:       dep.StackID,
-		EPCID:         dep.EPCID,
-		PLMN:          plmn,
-	})
+	alloc := slice.Allocation{PLMN: plmn}
+	bootDelay := time.Duration(0)
+	for _, dg := range grants {
+		dg.g.Apply(&alloc)
+		if d := dg.g.ActivationDelay(); d > bootDelay {
+			bootDelay = d
+		}
+	}
+	s.SetAllocation(alloc)
 
 	m := &managedSlice{
 		s:          s,
@@ -139,7 +93,7 @@ func (o *Orchestrator) install(sh *shard, s *slice.Slice, demand traffic.Demand,
 	radioAt := now.Add(o.cfg.RadioConfigDelay)
 	pathsAt := radioAt.Add(o.cfg.PathSetupDelay)
 	stackAt := pathsAt.Add(o.cfg.StackCreateDelay)
-	activeAt := stackAt.Add(dep.BootDelay)
+	activeAt := stackAt.Add(bootDelay)
 
 	if err := s.BeginInstall(); err != nil {
 		return err
@@ -208,11 +162,12 @@ func (o *Orchestrator) activate(id slice.ID) {
 	sh.mu.Unlock()
 }
 
-// teardownLocked releases every domain's resources, returns the slice's
-// capacity-ledger entry and terminates the slice. Safe to call from any
-// live state; idempotent per domain. The caller holds the slice's shard
-// lock (or every shard lock in restoration passes) and must drop the
-// returned evicted finished slices once its locks are released.
+// teardownLocked releases every domain's resources (reverse acquisition
+// order through the generic engine), returns the slice's capacity-ledger
+// entry and terminates the slice. Safe to call from any live state;
+// idempotent per domain. The caller holds the slice's shard lock (or every
+// shard lock in restoration passes) and must drop the returned evicted
+// finished slices once its locks are released.
 func (o *Orchestrator) teardownLocked(sh *shard, m *managedSlice, reason string) []slice.ID {
 	for _, t := range m.timers {
 		t.Cancel()
@@ -223,21 +178,15 @@ func (o *Orchestrator) teardownLocked(sh *shard, m *managedSlice, reason string)
 		m.expiry = nil
 	}
 	alloc := m.s.Allocation()
-	if alloc.EPCID != "" {
-		o.tb.Ctrl.Cloud.Teardown(alloc.DataCenter, alloc.StackID, alloc.EPCID)
-	}
-	o.tb.Ctrl.Transport.ReleasePaths(m.s.ID())
-	if !alloc.PLMN.IsZero() {
-		o.tb.Ctrl.RAN.ReleaseSlice(alloc.PLMN)
-		o.plmns.Release(alloc.PLMN)
-	}
+	o.releaseAll(m.s.ID(), alloc.PLMN)
+	o.plmns.Release(alloc.PLMN)
 	o.ledger.Release(m.ledgerMbps)
 	m.ledgerMbps = 0
 	m.s.Terminate(reason)
 	return o.history.Push(m.s.ID())
 }
 
-// squeezeAll shrinks every live slice's radio+transport reservation to its
+// squeezeAll shrinks every live slice's domain reservations to its
 // forecast-provisioned target (or the a-priori estimate for slices without
 // history), freeing capacity for a newcomer. It is a whole-registry pass:
 // callers must hold no shard lock; squeezeAll takes all of them in index
@@ -259,7 +208,7 @@ func (o *Orchestrator) squeezeAll() {
 	}
 }
 
-// resizeLocked applies a new radio+transport allocation to the slice if it
+// resizeLocked applies a new multi-domain allocation to the slice if it
 // differs enough from the current one (hysteresis). Returns whether a
 // reconfiguration happened. The caller holds the slice's shard lock.
 func (o *Orchestrator) resizeLocked(m *managedSlice, targetMbps float64) bool {
@@ -284,17 +233,22 @@ func (o *Orchestrator) resizeLocked(m *managedSlice, targetMbps float64) bool {
 		defer m.s.EndReconfigure()
 	}
 
-	radio, err := o.tb.Ctrl.RAN.ResizeSlice(alloc.PLMN, targetMbps)
-	if err != nil {
+	tx := ctrl.Tx{
+		Slice:           m.s.ID(),
+		PLMN:            alloc.PLMN,
+		SLA:             sla,
+		DataCenter:      alloc.DataCenter,
+		LatencyBudgetMs: o.latencyBudget(sla),
+	}
+	grants, ok := o.resizeAll(tx, targetMbps, alloc.AllocatedMbps)
+	if !ok {
 		return false
 	}
-	if err := o.tb.Ctrl.Transport.ResizePaths(m.s.ID(), radio.TotalMbps); err != nil {
-		// Radio grew but transport refused: restore the radio side.
-		o.tb.Ctrl.RAN.ResizeSlice(alloc.PLMN, alloc.AllocatedMbps)
-		return false
+	for _, dg := range grants {
+		if dg.g != nil {
+			dg.g.Apply(&alloc)
+		}
 	}
-	alloc.AllocatedMbps = radio.TotalMbps
-	alloc.PRBs = radio.PRBs
 	m.s.SetAllocation(alloc)
 	m.sh.reconfigurations++
 	return true

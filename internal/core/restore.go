@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/ctrl"
 	"repro/internal/slice"
 )
 
@@ -149,12 +150,22 @@ func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps fl
 			rep.Dropped = append(rep.Dropped, id)
 			continue
 		}
+		// The re-route just rebuilt the paths at the fair share; shrink the
+		// rest of the allocation to match. The chain head's quantized grant
+		// records the new throughput, and every concurrent-group domain
+		// (vEPC no-op, MEC app CPU, ...) follows the same target — shrinks
+		// always fit, so errors are ignored like in the engine's restore
+		// path.
 		alloc := m.s.Allocation()
-		if radio, err := o.tb.Ctrl.RAN.ResizeSlice(alloc.PLMN, target); err == nil {
-			alloc.AllocatedMbps = radio.TotalMbps
-			alloc.PRBs = radio.PRBs
+		tx := ctrl.Tx{Slice: id, PLMN: alloc.PLMN, SLA: m.s.SLA(), DataCenter: alloc.DataCenter,
+			LatencyBudgetMs: o.latencyBudget(m.s.SLA())}
+		if g, err := o.domains.chain[0].Resize(tx, target); err == nil && g != nil {
+			g.Apply(&alloc)
 		} else {
 			alloc.AllocatedMbps = target
+		}
+		for _, d := range o.domains.async {
+			d.Resize(tx, target)
 		}
 		m.s.SetAllocation(alloc)
 		rep.Restored = append(rep.Restored, id)
@@ -165,22 +176,32 @@ func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps fl
 }
 
 // rerouteLocked rebuilds the slice's transport paths around the current
-// topology at the given bandwidth, keeping its DC. Old reservations are
-// released first (their bandwidth is stranded on the broken/degraded hop
-// anyway, and the replacement may share the surviving hops); ReleasePaths
-// is idempotent, so staged fallbacks may call this repeatedly with shrinking
-// targets. Returns success. The caller holds the slice's shard lock.
+// topology at the given bandwidth, keeping its DC, driving the transport
+// controller through its generic Domain surface (Release + Reserve + grant
+// Apply) with the Set's Wrap decoration applied, so fault-injection and
+// tracing wrappers observe restoration like any engine operation. Old
+// reservations are released first (their bandwidth is stranded on the
+// broken/degraded hop anyway, and the replacement may share the surviving
+// hops); Release is idempotent, so staged fallbacks may call this
+// repeatedly with shrinking targets. Returns success. The caller holds the
+// slice's shard lock.
 func (o *Orchestrator) rerouteLocked(m *managedSlice, mbps float64) bool {
 	alloc := m.s.Allocation()
 	sla := m.s.SLA()
-	o.tb.Ctrl.Transport.ReleasePaths(m.s.ID())
-	budget := sla.MaxLatencyMs - 0.5
-	setup, err := o.tb.Ctrl.Transport.SetupPaths(m.s.ID(), alloc.DataCenter, mbps, budget)
-	if err != nil {
+	d := o.tb.Ctrl.Wrapped(o.tb.Ctrl.Transport)
+	d.Release(m.s.ID(), alloc.PLMN)
+	g, cause := d.Reserve(ctrl.Tx{
+		Slice:           m.s.ID(),
+		PLMN:            alloc.PLMN,
+		SLA:             sla,
+		DataCenter:      alloc.DataCenter,
+		Mbps:            mbps,
+		LatencyBudgetMs: o.latencyBudget(sla),
+	})
+	if cause != nil {
 		return false
 	}
-	alloc.PathIDs = setup.PathIDs
-	alloc.PathLatencyMs = setup.WorstDelayMs
+	g.Apply(&alloc)
 	m.s.SetAllocation(alloc)
 	m.sh.reconfigurations++
 	return true

@@ -8,7 +8,11 @@
 // Each controller wraps its substrate, exposes the reserve/resize/release
 // primitives the orchestrator drives, and pushes utilization telemetry into
 // a monitor.Store — the "gathered monitoring information promptly fed to
-// the end-to-end orchestrator".
+// the end-to-end orchestrator". Beyond the three controllers of the demo,
+// every controller also implements the uniform transactional Domain surface
+// (domain.go) the orchestrator's generic engine drives, and additional
+// domains (the MEC compute controller) plug in through Set.Extra without
+// touching the core.
 //
 // All controller methods are safe for concurrent use: the sharded
 // orchestrator core installs independent slices in parallel (and runs the
@@ -328,11 +332,14 @@ func (c *TransportController) PushTelemetry(store *monitor.Store, now time.Time)
 type CloudController struct {
 	region *cloud.Region
 	epcs   *epc.Registry
+
+	mu      sync.RWMutex
+	bySlice map[slice.ID]Deployment // live deployments per slice
 }
 
 // NewCloudController wraps the region with a fresh EPC registry.
 func NewCloudController(region *cloud.Region) *CloudController {
-	return &CloudController{region: region, epcs: epc.NewRegistry()}
+	return &CloudController{region: region, epcs: epc.NewRegistry(), bySlice: make(map[slice.ID]Deployment)}
 }
 
 // Domain implements Controller.
@@ -428,17 +435,58 @@ func (c *CloudController) PushTelemetry(store *monitor.Store, now time.Time) {
 	}
 }
 
-// Set bundles the three controllers, in the fixed order the orchestrator
-// iterates them.
+// Set bundles the domain controllers and describes the execution plan the
+// orchestrator's generic transaction engine follows.
 type Set struct {
 	RAN       *RANController
 	Transport *TransportController
 	Cloud     *CloudController
+	// Extra holds additional pluggable domains (e.g. the MEC compute
+	// controller) the testbed registered. They join the engine's
+	// concurrent group after the cloud domain, in registration order —
+	// the core never learns their identity.
+	Extra []Domain
+	// Wrap, when non-nil, decorates every domain handed to the engine —
+	// the hook fault-injection tests and tracing use. It must be set
+	// before the orchestrator is constructed.
+	Wrap func(Domain) Domain
 }
 
-// All returns the controllers as the generic interface, sorted by domain.
+// Wrapped applies the Set's Wrap decoration (if any) to d — the same
+// decoration Chain/Async apply, so domain-event handlers (restoration)
+// drive decorated domains exactly like the transaction engine does.
+func (s Set) Wrapped(d Domain) Domain {
+	if s.Wrap != nil {
+		return s.Wrap(d)
+	}
+	return d
+}
+
+// Chain returns the sequential (dependent) domains in install order: each
+// stage is sized to the previous grant's effective throughput, so transport
+// paths match what the radio actually granted.
+func (s Set) Chain() []Domain {
+	return []Domain{s.Wrapped(s.RAN), s.Wrapped(s.Transport)}
+}
+
+// Async returns the domains independent of the chain: the engine reserves
+// them concurrently with the chain and joins them in this (deterministic)
+// order, so rejection precedence never depends on goroutine scheduling.
+func (s Set) Async() []Domain {
+	out := []Domain{s.Wrapped(s.Cloud)}
+	for _, d := range s.Extra {
+		out = append(out, s.Wrapped(d))
+	}
+	return out
+}
+
+// All returns every controller as the generic monitoring interface, sorted
+// by domain name.
 func (s Set) All() []Controller {
 	out := []Controller{s.Cloud, s.RAN, s.Transport}
+	for _, d := range s.Extra {
+		out = append(out, d)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Domain() < out[j].Domain() })
 	return out
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -100,9 +101,12 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			Util: fmt.Sprintf("%.0f%%", dc.Utilization()*100), VMs: c.VMs,
 		})
 	}
-	for reason, n := range v.Gain.RejectReasons {
-		v.RejectRows = append(v.RejectRows, rejectRow{Reason: reason, Count: n})
+	// The histogram is keyed on the stable typed cause codes (bounded
+	// cardinality); sort for a deterministic render.
+	for code, n := range v.Gain.RejectReasons {
+		v.RejectRows = append(v.RejectRows, rejectRow{Reason: code, Count: n})
 	}
+	sort.Slice(v.RejectRows, func(i, j int) bool { return v.RejectRows[i].Reason < v.RejectRows[j].Reason })
 	v.Chart = template.HTML(h.gainChartSVG(640, 200))
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := h.tpl.Execute(w, v); err != nil {
@@ -244,7 +248,7 @@ const pageTemplate = `<!DOCTYPE html>
 <h2>Network slices</h2>
 <table>
 <tr><th>ID</th><th>Tenant</th><th>Class</th><th>State</th><th>PLMN</th><th>DC</th>
-    <th>Contract</th><th>Allocated</th><th>Demand</th><th>Violations</th><th>Net €</th><th>Reason</th></tr>
+    <th>Contract</th><th>Allocated</th><th>Demand</th><th>Violations</th><th>Net €</th><th>Cause</th><th>Reason</th></tr>
 {{range .Slices}}
 <tr>
  <td>{{.ID}}</td><td>{{.Tenant}}</td><td>{{.Class}}</td>
@@ -256,6 +260,7 @@ const pageTemplate = `<!DOCTYPE html>
  <td>{{printf "%.1f Mbps" .Accounting.DemandMbps}}</td>
  <td>{{.Accounting.ViolationEpochs}}/{{.Accounting.ServedEpochs}}</td>
  <td>{{printf "%.2f" .Accounting.NetEUR}}</td>
+ <td>{{.RejectCode}}</td>
  <td>{{.Reason}}</td>
 </tr>
 {{end}}
@@ -276,7 +281,7 @@ const pageTemplate = `<!DOCTYPE html>
 {{if .RejectRows}}
 <h2>Rejection reasons</h2>
 <table>
-<tr><th>reason</th><th>count</th></tr>
+<tr><th>cause code</th><th>count</th></tr>
 {{range .RejectRows}}<tr><td>{{.Reason}}</td><td>{{.Count}}</td></tr>{{end}}
 </table>
 {{end}}

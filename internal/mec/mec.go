@@ -1,0 +1,230 @@
+// Package mec models a mobile-edge-compute substrate: a small pool of CPU
+// capacity co-located with the radio site that hosts one low-latency edge
+// application per network slice. It is the fourth orchestration domain —
+// added to prove that the orchestrator's generic domain-transaction engine
+// is pluggable: the MEC controller (internal/ctrl) implements the same
+// transactional surface as the radio, transport and cloud controllers, and
+// the core engine installs, resizes, restores and rolls back MEC apps
+// without a single MEC-specific branch.
+//
+// The model mirrors internal/cloud at smaller scale: named hosts with CPU
+// capacity, first-fit placement in host-name order (deterministic), atomic
+// per-app place/resize/remove, and a fixed per-app processing-latency
+// contribution counted against the slice's end-to-end budget.
+//
+// All methods are safe for concurrent use.
+package mec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/slice"
+)
+
+// Errors surfaced to the orchestrator as rejection causes.
+var (
+	ErrNoCapacity   = errors.New("mec: no edge host fits the app")
+	ErrDuplicateApp = errors.New("mec: app already placed")
+	ErrUnknownApp   = errors.New("mec: unknown app")
+)
+
+// CPUForMbps sizes a slice's edge app: one CPU per 20 Mbps of throughput,
+// minimum one — the deterministic dimensioning rule the admission check and
+// the overbooking resize share.
+func CPUForMbps(mbps float64) float64 {
+	if mbps <= 0 {
+		return 1
+	}
+	return math.Max(1, math.Ceil(mbps/20))
+}
+
+// App is one placed edge application.
+type App struct {
+	ID    string   `json:"id"`
+	Slice slice.ID `json:"slice"`
+	CPU   float64  `json:"cpu"`
+	Host  string   `json:"host"`
+}
+
+// host is one edge compute node.
+type host struct {
+	name string
+	cap  float64
+	used float64
+}
+
+// Pool is the edge MEC compute substrate.
+type Pool struct {
+	mu    sync.RWMutex
+	hosts []*host // sorted by name (first-fit order)
+	apps  map[string]*App
+
+	procDelayMs float64
+}
+
+// NewPool returns an empty pool whose apps contribute procDelayMs of
+// user-plane processing latency each.
+func NewPool(procDelayMs float64) *Pool {
+	if procDelayMs < 0 {
+		procDelayMs = 0
+	}
+	return &Pool{apps: make(map[string]*App), procDelayMs: procDelayMs}
+}
+
+// ProcessingDelayMs is the per-app latency contribution, charged against the
+// slice's end-to-end budget by the MEC controller's feasibility check.
+func (p *Pool) ProcessingDelayMs() float64 { return p.procDelayMs }
+
+// AddHost registers an edge compute node.
+func (p *Pool) AddHost(name string, cpus float64) error {
+	if name == "" || cpus <= 0 {
+		return fmt.Errorf("mec: invalid host %q (%.1f CPUs)", name, cpus)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, h := range p.hosts {
+		if h.name == name {
+			return fmt.Errorf("mec: duplicate host %q", name)
+		}
+	}
+	p.hosts = append(p.hosts, &host{name: name, cap: cpus})
+	sort.Slice(p.hosts, func(i, j int) bool { return p.hosts[i].name < p.hosts[j].name })
+	return nil
+}
+
+// CanFit reports whether some host could take cpu right now (admission's
+// dry run; a concurrent placement may still win the race — the orchestrator
+// engine rolls back on reserve failure).
+func (p *Pool) CanFit(cpu float64) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, h := range p.hosts {
+		if h.cap-h.used >= cpu-1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+// Place puts an app of cpu CPUs on the first host (name order) that fits.
+func (p *Pool) Place(id string, owner slice.ID, cpu float64) (App, error) {
+	if cpu <= 0 {
+		return App{}, fmt.Errorf("mec: app %q needs positive CPU, got %.2f", id, cpu)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.apps[id]; ok {
+		return App{}, fmt.Errorf("%w: %s", ErrDuplicateApp, id)
+	}
+	for _, h := range p.hosts {
+		if h.cap-h.used >= cpu-1e-9 {
+			h.used += cpu
+			a := &App{ID: id, Slice: owner, CPU: cpu, Host: h.name}
+			p.apps[id] = a
+			return *a, nil
+		}
+	}
+	return App{}, fmt.Errorf("%w: %.1f CPUs for %s", ErrNoCapacity, cpu, owner)
+}
+
+// Resize changes the app's CPU share in place on its host. Growing fails
+// when the host's free capacity does not cover the increase.
+func (p *Pool) Resize(id string, cpu float64) error {
+	if cpu <= 0 {
+		return fmt.Errorf("mec: resize of %q to %.2f CPUs must be positive", id, cpu)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.apps[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownApp, id)
+	}
+	for _, h := range p.hosts {
+		if h.name != a.Host {
+			continue
+		}
+		if delta := cpu - a.CPU; h.cap-h.used < delta-1e-9 {
+			return fmt.Errorf("%w: grow %s by %.1f CPUs, free %.1f on %s", ErrNoCapacity, id, delta, h.cap-h.used, h.name)
+		}
+		h.used += cpu - a.CPU
+		a.CPU = cpu
+		return nil
+	}
+	return fmt.Errorf("%w: host %q vanished", ErrUnknownApp, a.Host)
+}
+
+// Remove frees the app. Unknown IDs are a no-op so teardown is idempotent.
+func (p *Pool) Remove(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.apps[id]
+	if !ok {
+		return
+	}
+	delete(p.apps, id)
+	for _, h := range p.hosts {
+		if h.name == a.Host {
+			h.used -= a.CPU
+			if h.used < 0 {
+				h.used = 0
+			}
+			return
+		}
+	}
+}
+
+// App returns the placed app by ID.
+func (p *Pool) App(id string) (App, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	a, ok := p.apps[id]
+	if !ok {
+		return App{}, false
+	}
+	return *a, true
+}
+
+// Apps returns every placed app sorted by ID.
+func (p *Pool) Apps() []App {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]App, 0, len(p.apps))
+	for _, a := range p.apps {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Capacity summarises the pool.
+type Capacity struct {
+	TotalCPUs float64 `json:"total_cpus"`
+	UsedCPUs  float64 `json:"used_cpus"`
+	Hosts     int     `json:"hosts"`
+	Apps      int     `json:"apps"`
+}
+
+// Capacity returns the pool capacity summary.
+func (p *Pool) Capacity() Capacity {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	c := Capacity{Hosts: len(p.hosts), Apps: len(p.apps)}
+	for _, h := range p.hosts {
+		c.TotalCPUs += h.cap
+		c.UsedCPUs += h.used
+	}
+	return c
+}
+
+// Utilization returns used/total CPUs in [0,1].
+func (p *Pool) Utilization() float64 {
+	c := p.Capacity()
+	if c.TotalCPUs <= 0 {
+		return 0
+	}
+	return c.UsedCPUs / c.TotalCPUs
+}

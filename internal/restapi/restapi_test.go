@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/monitor"
 	"repro/internal/sim"
+	"repro/internal/slice"
 	"repro/internal/testbed"
 )
 
@@ -83,6 +84,10 @@ func TestSubmitRejectedReportedInBand(t *testing.T) {
 	}
 	if snap.State != "rejected" || !strings.Contains(snap.Reason, "latency") {
 		t.Fatalf("state %q reason %q", snap.State, snap.Reason)
+	}
+	// The typed cause code crosses the wire with the snapshot.
+	if snap.RejectCode != slice.RejectLatencyUnmeetable {
+		t.Fatalf("reject_code %q, want %q", snap.RejectCode, slice.RejectLatencyUnmeetable)
 	}
 }
 

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestFixedSeedScenarioGolden pins an overloaded fixed-seed run to golden
+// outcome numbers recorded on the pre-refactor (hand-rolled three-domain
+// install) engine. The generic domain-transaction engine must reproduce
+// them byte-for-byte: the refactor — like the shard count — changes
+// contention and structure, never outcomes. If this test fails after an
+// intentional behavior change, re-record the constants in the same commit
+// and say why.
+func TestFixedSeedScenarioGolden(t *testing.T) {
+	res, err := Run(Options{
+		Seed:             42,
+		Duration:         8 * time.Hour,
+		MeanInterarrival: 5 * time.Minute,
+		Orchestrator:     core.Config{Overbook: true, Risk: 0.9, PLMNLimit: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Gain
+	intChecks := map[string][2]int{
+		"offered":          {res.Offered, 104},
+		"admitted":         {g.Admitted, 22},
+		"rejected":         {g.Rejected, 82},
+		"active":           {g.Active, 6},
+		"violation_epochs": {g.ViolationEpochs, 401},
+		"reconfigurations": {g.Reconfigurations, 868},
+		"epochs":           {g.Epochs, 480},
+		"served_epochs":    {res.ServedEpochs, 2727},
+		"attached_ues":     {res.AttachedUEs, 66},
+		"plmn-exhausted":   {g.RejectReasons["plmn-exhausted"], 65},
+		"radio-capacity":   {g.RejectReasons["radio-capacity"], 17},
+	}
+	for name, c := range intChecks {
+		if c[0] != c[1] {
+			t.Errorf("%s = %d, want golden %d", name, c[0], c[1])
+		}
+	}
+	if n := len(g.RejectReasons); n != 2 {
+		t.Errorf("histogram has %d buckets %v, want the 2 golden typed codes", n, g.RejectReasons)
+	}
+	floatChecks := map[string][2]float64{
+		"revenue_eur": {g.RevenueTotalEUR, 1978.3629373013005},
+		"penalty_eur": {g.PenaltyTotalEUR, 1060},
+		"net_eur":     {g.NetRevenueEUR, 918.3629373013005},
+	}
+	for name, c := range floatChecks {
+		if math.Abs(c[0]-c[1]) > 1e-6 {
+			t.Errorf("%s = %.10f, want golden %.10f", name, c[0], c[1])
+		}
+	}
+}

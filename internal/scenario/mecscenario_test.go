@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// TestMECScenario drives the D7 pluggable-domain experiment: the MEC pool
+// must actually bind (typed mec-capacity rejections), live slices must hold
+// placed apps, and the pool must never leak beyond its capacity.
+func TestMECScenario(t *testing.T) {
+	res, err := MECScenario(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result.Gain.Admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if res.MECRejections == 0 {
+		t.Fatalf("no mec-capacity rejections; histogram %v", res.Result.Gain.RejectReasons)
+	}
+	if res.MECUtilization < 0 || res.MECUtilization > 1 {
+		t.Fatalf("MEC utilization %g out of range", res.MECUtilization)
+	}
+	// Every live (installing/active/reconfiguring) slice holds an edge app;
+	// finished slices hold none.
+	live := 0
+	for _, sn := range res.Result.Slices {
+		switch sn.State {
+		case "installing", "active", "reconfiguring":
+			live++
+			if sn.Allocation.MECAppID == "" {
+				t.Fatalf("live slice %s has no MEC app", sn.ID)
+			}
+		}
+	}
+	if res.PlacedApps != live {
+		t.Fatalf("%d apps placed, %d live slices", res.PlacedApps, live)
+	}
+	// Deterministic: same seed, same outcome.
+	again, err := MECScenario(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Result.Gain.Admitted != res.Result.Gain.Admitted ||
+		again.Result.Gain.Rejected != res.Result.Gain.Rejected ||
+		again.MECRejections != res.MECRejections ||
+		again.Result.NetRevenueEUR != res.Result.NetRevenueEUR {
+		t.Fatalf("MEC scenario not deterministic:\n%+v\n%+v", res, again)
+	}
+}

@@ -1,0 +1,100 @@
+package slice
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RejectCode is the stable, machine-readable taxonomy of admission-rejection
+// causes. The codes are the dashboard's histogram buckets, the REST API's
+// `reject_code` field and slicectl's bracketed tag — they are part of the
+// public surface and must stay stable across releases; the human-readable
+// detail string may change freely.
+//
+// RejectCode implements error so the codes double as errors.Is sentinels:
+//
+//	if errors.Is(cause, slice.RejectRadioCapacity) { ... }
+type RejectCode string
+
+// The rejection taxonomy. Every domain classifies its own failures; the
+// engine never inspects detail strings.
+const (
+	// RejectPLMNExhausted: no free PLMN broadcast slot (orchestrator
+	// allocator or a cell's MOCN SIB1 list).
+	RejectPLMNExhausted RejectCode = "plmn-exhausted"
+	// RejectRadioCapacity: the radio domain cannot carry the estimated
+	// load (capacity-ledger check or PRB reservation failure).
+	RejectRadioCapacity RejectCode = "radio-capacity"
+	// RejectLatencyUnmeetable: no placement satisfies the latency budget.
+	RejectLatencyUnmeetable RejectCode = "latency-unmeetable"
+	// RejectTransportCapacity: no feasible transport path with enough
+	// residual bandwidth.
+	RejectTransportCapacity RejectCode = "transport-capacity"
+	// RejectCloudCapacity: the chosen data center cannot host the vEPC.
+	RejectCloudCapacity RejectCode = "cloud-capacity"
+	// RejectMECCapacity: the edge MEC pool cannot place the slice's app.
+	RejectMECCapacity RejectCode = "mec-capacity"
+	// RejectRevenuePolicy: the revenue-maximization policy turned the
+	// request down (density floor, penalty-aware check, batch admission).
+	RejectRevenuePolicy RejectCode = "revenue-policy"
+	// RejectOther: unclassified (fault-injection wrappers, future domains
+	// without a dedicated code).
+	RejectOther RejectCode = "other"
+)
+
+// Error implements error, making each code an errors.Is target.
+func (c RejectCode) Error() string { return string(c) }
+
+// RejectionCause is a typed admission rejection: a stable code, the domain
+// that raised it and the human-readable detail shown on the dashboard. It
+// implements error and participates in errors.Is/errors.As chains — both
+// `errors.Is(cause, slice.RejectRadioCapacity)` and unwrapping to the
+// underlying substrate error work.
+type RejectionCause struct {
+	// Code is the stable taxonomy bucket.
+	Code RejectCode `json:"code"`
+	// Domain names the domain that classified the failure ("" for
+	// orchestrator-level policy rejections).
+	Domain string `json:"domain,omitempty"`
+	// Detail is the human-readable reason.
+	Detail string `json:"detail"`
+
+	err error // wrapped substrate error, if any
+}
+
+// Rejectf builds a cause with a formatted detail. %w verbs wrap the
+// underlying error into the cause's chain.
+func Rejectf(code RejectCode, domain, format string, args ...any) *RejectionCause {
+	err := fmt.Errorf(format, args...)
+	return &RejectionCause{Code: code, Domain: domain, Detail: err.Error(), err: err}
+}
+
+// Error implements error.
+func (c *RejectionCause) Error() string { return c.Detail }
+
+// Unwrap exposes the underlying substrate error to errors.Is/As.
+func (c *RejectionCause) Unwrap() error { return c.err }
+
+// Is matches RejectCode sentinels and other causes by code.
+func (c *RejectionCause) Is(target error) bool {
+	switch t := target.(type) {
+	case RejectCode:
+		return c.Code == t
+	case *RejectionCause:
+		return t != nil && c.Code == t.Code
+	}
+	return false
+}
+
+// CauseOf coerces err into a typed cause: an existing *RejectionCause in
+// err's chain is returned as-is, anything else is wrapped under code.
+func CauseOf(err error, code RejectCode, domain string) *RejectionCause {
+	if err == nil {
+		return nil
+	}
+	var c *RejectionCause
+	if errors.As(err, &c) {
+		return c
+	}
+	return &RejectionCause{Code: code, Domain: domain, Detail: err.Error(), err: err}
+}

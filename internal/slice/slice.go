@@ -182,6 +182,9 @@ type Allocation struct {
 	StackID string
 	// EPCID is the deployed vEPC instance.
 	EPCID string
+	// MECAppID is the edge application placed for the slice when the
+	// optional MEC compute domain is registered ("" otherwise).
+	MECAppID string
 	// PLMN is the dedicated PLMN the slice is broadcast under.
 	PLMN PLMN
 }
@@ -207,7 +210,8 @@ type Slice struct {
 	id      ID
 	req     Request
 	state   State
-	reason  string // rejection or termination reason
+	reason  string          // rejection or termination reason (human-readable)
+	cause   *RejectionCause // typed rejection cause (nil unless rejected)
 	created time.Time
 	starts  time.Time
 	expires time.Time
@@ -307,8 +311,31 @@ func (s *Slice) transition(to State, reason string) error {
 	return fmt.Errorf("%w: %s -> %s (slice %s)", ErrBadTransition, s.state, to, s.id)
 }
 
-// Reject moves Pending -> Rejected with a reason shown on the dashboard.
-func (s *Slice) Reject(reason string) error { return s.transition(StateRejected, reason) }
+// Reject moves Pending -> Rejected with a typed cause: the cause's detail
+// becomes the human-readable reason and the code surfaces through
+// Cause/Snapshot. A nil cause is recorded as RejectOther.
+func (s *Slice) Reject(cause *RejectionCause) error {
+	if cause == nil {
+		cause = &RejectionCause{Code: RejectOther, Detail: "rejected"}
+	}
+	if err := s.transition(StateRejected, cause.Detail); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.cause = cause
+	s.mu.Unlock()
+	return nil
+}
+
+// Cause returns the typed rejection cause, if the slice was rejected.
+func (s *Slice) Cause() (RejectionCause, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cause == nil {
+		return RejectionCause{}, false
+	}
+	return *s.cause, true
+}
 
 // Admit moves Pending -> Admitted.
 func (s *Slice) Admit() error { return s.transition(StateAdmitted, "") }
@@ -398,11 +425,13 @@ func (s *Slice) Accounting() Accounting {
 
 // Snapshot is an immutable view of a slice for APIs and the dashboard.
 type Snapshot struct {
-	ID         ID         `json:"id"`
-	Tenant     string     `json:"tenant"`
-	Class      string     `json:"class"`
-	State      string     `json:"state"`
-	Reason     string     `json:"reason,omitempty"`
+	ID     ID     `json:"id"`
+	Tenant string `json:"tenant"`
+	Class  string `json:"class"`
+	State  string `json:"state"`
+	Reason string `json:"reason,omitempty"`
+	// RejectCode is the stable typed rejection cause ("" unless rejected).
+	RejectCode RejectCode `json:"reject_code,omitempty"`
 	SLA        SLA        `json:"sla"`
 	Allocation Allocation `json:"allocation"`
 	Accounting Accounting `json:"accounting"`
@@ -414,7 +443,7 @@ func (s *Slice) Snapshot() Snapshot {
 	acct := s.Accounting()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Snapshot{
+	snap := Snapshot{
 		ID:         s.id,
 		Tenant:     s.req.Tenant,
 		Class:      s.req.SLA.Class.String(),
@@ -425,4 +454,8 @@ func (s *Slice) Snapshot() Snapshot {
 		Accounting: acct,
 		Expires:    s.expires,
 	}
+	if s.cause != nil {
+		snap.RejectCode = s.cause.Code
+	}
+	return snap
 }

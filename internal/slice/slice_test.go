@@ -110,7 +110,7 @@ func TestInvalidTransitions(t *testing.T) {
 	if err := s.Activate(time.Now()); !errors.Is(err, ErrBadTransition) {
 		t.Fatalf("pending->active error = %v", err)
 	}
-	s.Reject("no capacity")
+	s.Reject(Rejectf(RejectRadioCapacity, "ran", "no capacity"))
 	if err := s.Admit(); !errors.Is(err, ErrBadTransition) {
 		t.Fatalf("rejected->admitted error = %v", err)
 	}
@@ -168,7 +168,7 @@ func TestRecordEpochViolationAccounting(t *testing.T) {
 
 func TestRejectedSliceEarnsNothing(t *testing.T) {
 	s, _ := New("s1", validReq())
-	s.Reject("full")
+	s.Reject(Rejectf(RejectPLMNExhausted, "", "full"))
 	if a := s.Accounting(); a.PriceEUR != 0 || a.NetEUR != 0 {
 		t.Fatalf("rejected slice has revenue: %+v", a)
 	}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/ctrl"
+	"repro/internal/mec"
 	"repro/internal/ran"
 	"repro/internal/transport"
 )
@@ -50,6 +51,17 @@ type Config struct {
 	// links are strictly worse in delay); restoration after a link
 	// failure becomes possible.
 	RedundantTransport bool
+	// MECHosts enables the optional fourth orchestration domain: an edge
+	// MEC compute pool of this many hosts, registered behind the same
+	// generic Domain surface as the radio/transport/cloud controllers.
+	// 0 (the default) leaves the demo's original three-domain setup
+	// untouched.
+	MECHosts int
+	// MECHostCPUs sizes each MEC host (default 8 when MECHosts > 0).
+	MECHostCPUs float64
+	// MECProcDelayMs is the per-app processing-latency contribution
+	// charged against the slice budget (default 0.2 ms).
+	MECProcDelayMs float64
 }
 
 // Default returns the demo-scale testbed configuration.
@@ -107,6 +119,14 @@ func (c Config) normalize() Config {
 	if c.CoreDelayMs <= 0 {
 		c.CoreDelayMs = d.CoreDelayMs
 	}
+	if c.MECHosts > 0 {
+		if c.MECHostCPUs <= 0 {
+			c.MECHostCPUs = 8
+		}
+		if c.MECProcDelayMs <= 0 {
+			c.MECProcDelayMs = 0.2
+		}
+	}
 	return c
 }
 
@@ -124,7 +144,10 @@ type Testbed struct {
 	RAN       *ran.Network
 	Transport *transport.Network
 	Region    *cloud.Region
-	Ctrl      ctrl.Set
+	// MEC is the optional edge compute pool (nil unless Config.MECHosts
+	// enables the fourth domain).
+	MEC  *mec.Pool
+	Ctrl ctrl.Set
 }
 
 // ENBName returns the i-th eNB name (0-based).
@@ -238,6 +261,20 @@ func New(cfg Config, rng *rand.Rand) (*Testbed, error) {
 		RAN:       ctrl.NewRANController(ranNet),
 		Transport: ctrl.NewTransportController(tn),
 		Cloud:     ctrl.NewCloudController(region),
+	}
+
+	// Optional fourth domain: the edge MEC compute pool, registered behind
+	// the same generic Domain surface — the orchestrator core picks it up
+	// from the Set without any MEC-specific wiring.
+	if cfg.MECHosts > 0 {
+		pool := mec.NewPool(cfg.MECProcDelayMs)
+		for i := 0; i < cfg.MECHosts; i++ {
+			if err := pool.AddHost(fmt.Sprintf("mec-h%d", i+1), cfg.MECHostCPUs); err != nil {
+				return nil, err
+			}
+		}
+		tb.MEC = pool
+		tb.Ctrl.Extra = append(tb.Ctrl.Extra, ctrl.NewMECController(pool))
 	}
 	return tb, nil
 }

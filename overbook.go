@@ -58,6 +58,24 @@ type (
 	OrchestratorConfig = core.Config
 	// TestbedConfig scales the simulated infrastructure.
 	TestbedConfig = testbed.Config
+	// RejectionCause is the typed admission-rejection cause attached to a
+	// rejected Slice (Slice.Cause, Snapshot.RejectCode).
+	RejectionCause = slice.RejectionCause
+	// RejectCode is the stable rejection taxonomy; the constants below are
+	// errors.Is sentinels: errors.Is(&cause, overbook.RejectRadioCapacity).
+	RejectCode = slice.RejectCode
+)
+
+// The stable rejection taxonomy, re-exported from internal/slice.
+const (
+	RejectPLMNExhausted     = slice.RejectPLMNExhausted
+	RejectRadioCapacity     = slice.RejectRadioCapacity
+	RejectLatencyUnmeetable = slice.RejectLatencyUnmeetable
+	RejectTransportCapacity = slice.RejectTransportCapacity
+	RejectCloudCapacity     = slice.RejectCloudCapacity
+	RejectMECCapacity       = slice.RejectMECCapacity
+	RejectRevenuePolicy     = slice.RejectRevenuePolicy
+	RejectOther             = slice.RejectOther
 )
 
 // Service classes for SLA.Class.
