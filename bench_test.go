@@ -5,15 +5,18 @@
 //
 // Each benchmark maps to one figure/claim: F1 BenchmarkOrchestrationCycle,
 // F2 BenchmarkSliceInstallation, F3 BenchmarkParallelAdmission (the
-// sharded-engine scaling claim), D1 BenchmarkAdmissionControl (+ the
+// sharded-engine scaling claim), F4 BenchmarkWatchFanout (event publication
+// stays off the admission hot path), D1 BenchmarkAdmissionControl (+ the
 // knapsack solver), D2 BenchmarkGainTracking, D3 BenchmarkForecasters,
 // D4 BenchmarkOverbookingSweep, D5 BenchmarkDomainUtilization,
 // D6 BenchmarkEmbedding.
 package overbook
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -182,6 +185,84 @@ func BenchmarkParallelAdmission(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkWatchFanout (F4) measures concurrent admission throughput while
+// 1/64/1024 subscribers consume the lifecycle event stream — the proof
+// that event publication stays off the sharded hot path: ops/sec at any
+// subscriber count must track BenchmarkParallelAdmission/shards=16 (each
+// admit+delete publishes three events; subscribers drain concurrently and
+// the slowest merely resyncs, never stalling Submit).
+func BenchmarkWatchFanout(b *testing.B) {
+	for _, subs := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			cfg := core.Config{
+				Overbook:            true,
+				Risk:                0.9,
+				AdmissionLoadFactor: 0.5,
+				PLMNLimit:           4096,
+				HistoryLimit:        256,
+				Shards:              16,
+			}
+			sys, err := NewLive(Options{
+				Orchestrator: &cfg,
+				Testbed: TestbedConfig{
+					ENBs: 4, MaxPLMNs: 4096, CoreHosts: 32, EdgeHosts: 16,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			var consumed atomic.Int64
+			var wg sync.WaitGroup
+			for i := 0; i < subs; i++ {
+				ch := sys.Orchestrator.Watch(ctx, WatchOptions{Buffer: 256})
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range ch {
+						consumed.Add(1)
+					}
+				}()
+			}
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				tenant := fmt.Sprintf("bench-tenant-%d", seq.Add(1))
+				for pb.Next() {
+					sl, err := sys.Orchestrator.Submit(slice.Request{
+						Tenant: tenant,
+						SLA: slice.SLA{
+							ThroughputMbps: 2,
+							MaxLatencyMs:   50,
+							Duration:       time.Hour,
+							PriceEUR:       10,
+							PenaltyEUR:     1,
+						},
+					}, nil)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if sl.State() == slice.StateRejected {
+						b.Errorf("bench request rejected: %s", sl.Reason())
+						return
+					}
+					if err := sys.Orchestrator.Delete(sl.ID()); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			cancel()
+			wg.Wait()
+			if b.N > 0 {
+				b.ReportMetric(float64(consumed.Load())/float64(b.N), "events/op")
+			}
 		})
 	}
 }

@@ -1,6 +1,7 @@
 // Command orchestrator runs the end-to-end slicing orchestrator as a live
 // daemon: the simulated testbed is managed on the wall clock, the REST API
-// is served under /api/v1/, and the demo's control dashboard under /.
+// is served under /api/v1/ (poll) and /api/v2/ (filtered list, idempotent
+// submit, SSE event stream), and the demo's control dashboard under /.
 //
 // Usage:
 //
@@ -55,14 +56,16 @@ func main() {
 	}
 	sys.Orchestrator.Start()
 
+	api := restapi.NewServer(sys.Orchestrator)
 	mux := http.NewServeMux()
-	mux.Handle("/api/v1/", restapi.NewServer(sys.Orchestrator))
-	mux.Handle("/healthz", restapi.NewServer(sys.Orchestrator))
+	mux.Handle("/api/v1/", api)
+	mux.Handle("/api/v2/", api)
+	mux.Handle("/healthz", api)
 	mux.Handle("/", dashboard.New(sys.Orchestrator))
 
 	log.Printf("end-to-end slicing orchestrator listening on %s (overbook=%v risk=%.2f epoch=%v)",
 		*addr, *doOver, *risk, *epoch)
-	log.Printf("dashboard: http://localhost%s/  API: http://localhost%s/api/v1/slices", *addr, *addr)
+	log.Printf("dashboard: http://localhost%s/  API: http://localhost%s/api/v1/slices  events: http://localhost%s/api/v2/events", *addr, *addr, *addr)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}

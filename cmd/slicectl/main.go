@@ -14,15 +14,25 @@
 //	demand <slice-id> <mbps>
 //	gain
 //	topology
+//	watch [-since SEQ] [-n COUNT] [-timeout D] [-tenant NAME] [-type EVENT]
+//
+// watch streams the orchestrator's ordered slice-lifecycle events over
+// GET /api/v2/events (Server-Sent Events) instead of polling list: it
+// prints admissions, rejections, installs, overbooking resizes, SLA
+// violations, expiries and link failures as they happen, resuming from the
+// last seen sequence number across connection drops.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/restapi"
 	"repro/internal/slice"
 )
@@ -52,6 +62,8 @@ func main() {
 		err = cmdGain(c)
 	case "topology":
 		err = cmdTopology(c)
+	case "watch":
+		err = cmdWatch(c, args[1:])
 	case "link":
 		err = cmdLink(c, args[1:])
 	default:
@@ -65,10 +77,70 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: slicectl [-server URL] <request|list|get|delete|demand|gain|topology|link> [args]
+	fmt.Fprintln(os.Stderr, `usage: slicectl [-server URL] <request|list|get|delete|demand|gain|topology|watch|link> [args]
+  watch [-since SEQ] [-n N] [-timeout D] [-tenant NAME] [-type EVENT]
+                                   stream lifecycle events (SSE, auto-resume)
   link fail <from> <to>            take a transport link down (slices re-route or drop)
   link restore <from> <to>         bring it back up
   link degrade <from> <to> <mbps>  rain-fade the link to the given capacity`)
+}
+
+func cmdWatch(c *restapi.Client, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	var (
+		since   = fs.Int64("since", 0, "resume after this event sequence (0 = live tail, -1 = replay retained history)")
+		count   = fs.Int("n", 0, "exit after printing N events (0 = stream forever)")
+		timeout = fs.Duration("timeout", 0, "exit after this long (0 = stream forever)")
+		tenant  = fs.String("tenant", "", "only this tenant's events")
+		typ     = fs.String("type", "", "only this event type (e.g. admitted, violation, deleted)")
+	)
+	fs.Parse(args)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	p := restapi.WatchParams{Since: *since}
+	if *tenant != "" {
+		p.Tenants = []string{*tenant}
+	}
+	if *typ != "" {
+		p.Types = []core.EventType{core.EventType(*typ)}
+	}
+	n := 0
+	err := c.WatchEvents(ctx, p, func(ev core.Event) error {
+		printEvent(ev)
+		n++
+		if *count > 0 && n >= *count {
+			return restapi.ErrStopWatch
+		}
+		return nil
+	})
+	if *timeout > 0 && errors.Is(err, context.DeadlineExceeded) {
+		return nil // ran out the requested window: a clean exit
+	}
+	return err
+}
+
+func printEvent(ev core.Event) {
+	line := fmt.Sprintf("%s  #%-6d %-13s", ev.Time.Format(time.RFC3339), ev.Seq, ev.Type)
+	if ev.Slice != "" {
+		line += fmt.Sprintf(" %-6s tenant=%s state=%s", ev.Slice, ev.Tenant, ev.State)
+		if ev.Mbps > 0 {
+			line += fmt.Sprintf(" alloc=%.1fMbps", ev.Mbps)
+		}
+		if ev.RejectCode != "" {
+			line += fmt.Sprintf(" [%s]", ev.RejectCode)
+		}
+	}
+	if ev.Link != "" {
+		line += " link=" + ev.Link
+	}
+	if ev.Detail != "" {
+		line += "  " + ev.Detail
+	}
+	fmt.Println(line)
 }
 
 func cmdLink(c *restapi.Client, args []string) error {

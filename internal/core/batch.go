@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/slice"
@@ -52,8 +53,20 @@ type BatchItem struct {
 // chosen requests through the normal installation path; the others are
 // registered as rejected with a batch-policy reason. Returned slices are
 // positionally aligned with items. Safe for concurrent use; the budget is
-// read from the capacity ledger in one atomic step.
+// read from the capacity ledger in one atomic step. It is a thin wrapper
+// over SubmitBatchCtx with a background context.
 func (o *Orchestrator) SubmitBatch(items []BatchItem, policy BatchPolicy) ([]*slice.Slice, error) {
+	return o.SubmitBatchCtx(context.Background(), items, policy)
+}
+
+// SubmitBatchCtx is SubmitBatch with caller-controlled cancellation: an
+// already-cancelled context fails fast before any admission work. The batch
+// decision and installs then run to completion — a batch is decided jointly,
+// so it is never abandoned halfway by a racing cancel.
+func (o *Orchestrator) SubmitBatchCtx(ctx context.Context, items []BatchItem, policy BatchPolicy) ([]*slice.Slice, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Budget: remaining estimated radio capacity.
 	budget := o.tb.RadioCapacityMbps()*o.cfg.UtilizationCap - o.ledger.Load()
 	if budget < 0 {
@@ -85,6 +98,10 @@ func (o *Orchestrator) SubmitBatch(items []BatchItem, policy BatchPolicy) ([]*sl
 	out := make([]*slice.Slice, len(items))
 	for i, it := range items {
 		if take[i] {
+			// Deliberately not threading ctx further: the batch was decided
+			// jointly, so once committed it installs to completion — a cancel
+			// racing the loop must not strand half the winners installed with
+			// the caller never receiving their handles.
 			sl, err := o.Submit(it.Request, it.Demand)
 			if err != nil {
 				return nil, err
@@ -98,6 +115,7 @@ func (o *Orchestrator) SubmitBatch(items []BatchItem, policy BatchPolicy) ([]*sl
 		if err != nil {
 			return nil, err
 		}
+		o.publish(EventSubmitted, sl, "")
 		sh := o.shardFor(id)
 		sh.mu.Lock()
 		evicted := o.rejectLocked(sh, sl, slice.Rejectf(slice.RejectRevenuePolicy, "",

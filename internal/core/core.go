@@ -30,9 +30,14 @@
 // (reserve at admission, release on failure or teardown), so the admission
 // capacity check is one atomic step rather than a registry scan.
 //
-// Submit, SubmitBatch, Delete, Get, List, Timeline, RecordDemand,
-// ActiveCount, Gain, RunEpoch, HandleLinkFailure, HandleLinkDegradation,
-// RestoreLink, Start and Stop are all goroutine-safe. Whole-registry passes
+// Submit, SubmitCtx, SubmitBatch, SubmitBatchCtx, Delete, Get, List,
+// ListFiltered, Watch, Timeline, RecordDemand, ActiveCount, Gain, RunEpoch,
+// HandleLinkFailure, HandleLinkDegradation, RestoreLink, Start and Stop are
+// all goroutine-safe. Every lifecycle transition is additionally published
+// on an ordered event bus (events.go): Watch subscribers observe a single
+// global sequence and may resume from any recent sequence number; slow
+// subscribers are resynced, never allowed to stall admission. Whole-registry
+// passes
 // (RunEpoch, Gain, List, restoration, the squeeze that shrinks running
 // slices for a newcomer) briefly quiesce the system by taking every shard
 // lock in index order; everything else holds at most one shard lock, which
@@ -40,8 +45,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,6 +120,10 @@ type Config struct {
 	// contention — so deterministic simulations are identical at any
 	// setting.
 	Shards int
+	// EventBuffer bounds the lifecycle event replay ring: Watch subscribers
+	// can resume from any sequence still within the last EventBuffer events
+	// (default 1024). Older positions resync (see EventResync).
+	EventBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +167,9 @@ func (c Config) withDefaults() Config {
 		c.Shards = 8
 	}
 	c.Shards = ceilPow2(c.Shards)
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 1024
+	}
 	return c
 }
 
@@ -209,6 +223,7 @@ type Orchestrator struct {
 	shardMask uint32
 	ledger    capacityLedger
 	history   finishedHistory
+	bus       *EventBus
 
 	seq    atomic.Int64 // slice ID sequence
 	epochs atomic.Int64 // control-loop passes
@@ -233,6 +248,7 @@ func New(cfg Config, tb *testbed.Testbed, clock sim.Scheduler, store *monitor.St
 		shards:    make([]*shard, cfg.Shards),
 		shardMask: uint32(cfg.Shards - 1),
 		history:   finishedHistory{limit: cfg.HistoryLimit},
+		bus:       NewEventBus(cfg.EventBuffer),
 	}
 	for i := range o.shards {
 		o.shards[i] = newShard()
@@ -311,8 +327,25 @@ func (e errReject) Unwrap() error { return e.cause }
 // offered load every epoch (live deployments call RecordDemand instead).
 //
 // Submit is safe for concurrent use: requests serialize per shard, so
-// independent tenants are admitted and installed in parallel.
+// independent tenants are admitted and installed in parallel. It is a thin
+// wrapper over SubmitCtx with a background context.
 func (o *Orchestrator) Submit(req slice.Request, demand traffic.Demand) (*slice.Slice, error) {
+	return o.SubmitCtx(context.Background(), req, demand)
+}
+
+// SubmitCtx is Submit with caller-controlled cancellation: a context that is
+// already cancelled (or past its deadline) fails fast with ctx.Err() before
+// any admission work. Once admission starts the multi-domain transaction
+// runs to completion — reservations are atomic (fully installed or fully
+// rolled back), never torn down halfway by a racing cancel.
+//
+// Each submission publishes its lifecycle on the event bus: EventSubmitted,
+// then EventAdmitted or EventRejected, later EventInstalled when the
+// installation stages complete (see Watch).
+func (o *Orchestrator) SubmitCtx(ctx context.Context, req slice.Request, demand traffic.Demand) (*slice.Slice, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if req.Arrival.IsZero() {
 		req.Arrival = o.clock.Now()
 	}
@@ -321,6 +354,7 @@ func (o *Orchestrator) Submit(req slice.Request, demand traffic.Demand) (*slice.
 	if err != nil {
 		return nil, err
 	}
+	o.publish(EventSubmitted, s, "")
 	sh := o.shardFor(id)
 	sh.mu.Lock()
 
@@ -350,6 +384,7 @@ func (o *Orchestrator) Submit(req slice.Request, demand traffic.Demand) (*slice.
 	}
 	sh.admitted++
 	sh.revenueTotalEUR += req.SLA.PriceEUR
+	o.publish(EventAdmitted, s, "")
 	sh.mu.Unlock()
 	return s, nil
 }
@@ -364,6 +399,7 @@ func (o *Orchestrator) rejectLocked(sh *shard, s *slice.Slice, cause *slice.Reje
 	sh.rejected++
 	sh.rejectReasons[string(cause.Code)]++
 	sh.slices[s.ID()] = &managedSlice{s: s, sh: sh}
+	o.publish(EventRejected, s, cause.Detail)
 	return o.history.Push(s.ID())
 }
 
@@ -382,7 +418,7 @@ func (o *Orchestrator) Delete(id slice.ID) error {
 		sh.mu.Unlock()
 		return fmt.Errorf("core: slice %s already %s", id, st)
 	}
-	evicted := o.teardownLocked(sh, m, "deleted by tenant")
+	evicted := o.teardownLocked(sh, m, "deleted by tenant", EventDeleted)
 	sh.mu.Unlock()
 	o.dropFinished(evicted)
 	return nil
@@ -401,16 +437,83 @@ func (o *Orchestrator) Get(id slice.ID) (*slice.Slice, bool) {
 }
 
 // List returns snapshots of every slice, sorted by ID sequence. The
-// snapshot is atomic across shards.
+// snapshot is atomic across shards. It is a thin wrapper over ListFiltered
+// with zero options.
 func (o *Orchestrator) List() []slice.Snapshot {
+	page, _ := o.ListFiltered(ListOptions{}) // zero options never error
+	return page.Slices
+}
+
+// ListOptions filters and paginates ListFiltered. Zero values select
+// everything in one page.
+type ListOptions struct {
+	// State keeps only slices in this lifecycle state (API string form,
+	// e.g. "active", "rejected"); "" keeps all.
+	State string
+	// Tenant keeps only this tenant's slices; "" keeps all.
+	Tenant string
+	// RejectCode keeps only slices rejected with this taxonomy code; ""
+	// keeps all.
+	RejectCode slice.RejectCode
+	// Limit caps the page size (0 = unlimited).
+	Limit int
+	// PageToken resumes a paginated listing: pass the previous page's
+	// NextPageToken. Tokens are stable across calls (they encode the last
+	// returned slice's submission sequence).
+	PageToken string
+}
+
+// ListPage is one page of filtered slice snapshots.
+type ListPage struct {
+	Slices []slice.Snapshot `json:"slices"`
+	// NextPageToken is set when more matching slices remain; pass it as
+	// ListOptions.PageToken to continue.
+	NextPageToken string `json:"next_page_token,omitempty"`
+}
+
+// ListFiltered returns the snapshots matching opts, sorted by submission
+// sequence and atomic across shards. Pagination is keyset-based (the token
+// encodes the last seen submission sequence), so pages stay consistent under
+// concurrent admissions: a slice admitted behind the cursor is simply picked
+// up by a later page, never duplicated.
+func (o *Orchestrator) ListFiltered(opts ListOptions) (ListPage, error) {
+	after := 0
+	if opts.PageToken != "" {
+		n, err := strconv.Atoi(opts.PageToken)
+		if err != nil || n < 0 {
+			return ListPage{}, fmt.Errorf("core: bad page token %q", opts.PageToken)
+		}
+		after = n
+	}
 	o.lockAll()
 	defer o.unlockAll()
-	ms := o.orderedSlicesAllLocked()
-	out := make([]slice.Snapshot, 0, len(ms))
-	for _, m := range ms {
-		out = append(out, m.s.Snapshot())
+	page := ListPage{Slices: []slice.Snapshot{}}
+	for _, m := range o.orderedSlicesAllLocked() {
+		if seqOf(m.s.ID()) <= after {
+			continue
+		}
+		// Filter on the cheap accessors first — slice state is stable under
+		// lockAll (every transition needs a shard lock) — and pay the deep
+		// Snapshot clone only for matches.
+		if opts.Tenant != "" && m.s.Tenant() != opts.Tenant {
+			continue
+		}
+		if opts.State != "" && m.s.State().String() != opts.State {
+			continue
+		}
+		if opts.RejectCode != "" {
+			cause, ok := m.s.Cause()
+			if !ok || cause.Code != opts.RejectCode {
+				continue
+			}
+		}
+		if opts.Limit > 0 && len(page.Slices) == opts.Limit {
+			page.NextPageToken = strconv.Itoa(seqOf(page.Slices[len(page.Slices)-1].ID))
+			return page, nil
+		}
+		page.Slices = append(page.Slices, m.s.Snapshot())
 	}
-	return out
+	return page, nil
 }
 
 func seqOf(id slice.ID) int {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/monitor"
 	"repro/internal/slice"
 )
@@ -59,6 +61,8 @@ func (o *Orchestrator) RunEpoch() {
 		if m.s.RecordEpoch(m.lastDemand, got) {
 			m.sh.violationsTotal++
 			m.sh.penaltyTotalEUR += m.s.SLA().PenaltyEUR
+			o.publish(EventViolation, m.s,
+				fmt.Sprintf("served %.1f of %.1f Mbps demanded", got, m.lastDemand))
 		}
 		id := string(m.s.ID())
 		o.store.Record(monitor.SliceMetric(id, "demand_mbps"), now, m.lastDemand)

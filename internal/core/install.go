@@ -127,7 +127,7 @@ func (o *Orchestrator) activate(id slice.ID) {
 	alloc := m.s.Allocation()
 	now := o.clock.Now()
 	if err := o.tb.Ctrl.Cloud.MarkEPCRunning(alloc.EPCID, now); err != nil {
-		evicted := o.teardownLocked(sh, m, fmt.Sprintf("EPC failed to boot: %v", err))
+		evicted := o.teardownLocked(sh, m, fmt.Sprintf("EPC failed to boot: %v", err), EventDeleted)
 		sh.mu.Unlock()
 		o.dropFinished(evicted)
 		return
@@ -139,6 +139,7 @@ func (o *Orchestrator) activate(id slice.ID) {
 	if tl, ok := sh.timelines[id]; ok {
 		tl.Active = now
 	}
+	o.publish(EventInstalled, m.s, "")
 	m.expiry = o.clock.At(m.s.Expiry(), string(id)+"/expiry", func() {
 		sh.mu.Lock()
 		mm, ok := sh.slices[id]
@@ -155,7 +156,7 @@ func (o *Orchestrator) activate(id slice.ID) {
 			sh.mu.Unlock()
 			return
 		}
-		evicted := o.teardownLocked(sh, mm, "expired")
+		evicted := o.teardownLocked(sh, mm, "expired", EventExpired)
 		sh.mu.Unlock()
 		o.dropFinished(evicted)
 	})
@@ -164,11 +165,12 @@ func (o *Orchestrator) activate(id slice.ID) {
 
 // teardownLocked releases every domain's resources (reverse acquisition
 // order through the generic engine), returns the slice's capacity-ledger
-// entry and terminates the slice. Safe to call from any live state;
+// entry and terminates the slice, publishing typ (EventDeleted or
+// EventExpired) on the event bus. Safe to call from any live state;
 // idempotent per domain. The caller holds the slice's shard lock (or every
 // shard lock in restoration passes) and must drop the returned evicted
 // finished slices once its locks are released.
-func (o *Orchestrator) teardownLocked(sh *shard, m *managedSlice, reason string) []slice.ID {
+func (o *Orchestrator) teardownLocked(sh *shard, m *managedSlice, reason string, typ EventType) []slice.ID {
 	for _, t := range m.timers {
 		t.Cancel()
 	}
@@ -183,6 +185,7 @@ func (o *Orchestrator) teardownLocked(sh *shard, m *managedSlice, reason string)
 	o.ledger.Release(m.ledgerMbps)
 	m.ledgerMbps = 0
 	m.s.Terminate(reason)
+	o.publish(typ, m.s, reason)
 	return o.history.Push(m.s.ID())
 }
 
@@ -226,11 +229,17 @@ func (o *Orchestrator) resizeLocked(m *managedSlice, targetMbps float64) bool {
 	}
 	// Active slices go through the Reconfiguring state; slices still being
 	// installed are resized in place (their data plane is not live yet).
+	reconfiguring := false
 	if m.s.State() == slice.StateActive {
 		if err := m.s.BeginReconfigure(); err != nil {
 			return false
 		}
-		defer m.s.EndReconfigure()
+		reconfiguring = true
+	}
+	endReconfigure := func() {
+		if reconfiguring {
+			m.s.EndReconfigure()
+		}
 	}
 
 	tx := ctrl.Tx{
@@ -242,6 +251,7 @@ func (o *Orchestrator) resizeLocked(m *managedSlice, targetMbps float64) bool {
 	}
 	grants, ok := o.resizeAll(tx, targetMbps, alloc.AllocatedMbps)
 	if !ok {
+		endReconfigure()
 		return false
 	}
 	for _, dg := range grants {
@@ -251,5 +261,9 @@ func (o *Orchestrator) resizeLocked(m *managedSlice, targetMbps float64) bool {
 	}
 	m.s.SetAllocation(alloc)
 	m.sh.reconfigurations++
+	// Publish after the Reconfiguring -> Active transition completes so the
+	// event carries the post-transition state.
+	endReconfigure()
+	o.publish(EventResized, m.s, "")
 	return true
 }

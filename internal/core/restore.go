@@ -45,6 +45,7 @@ func (o *Orchestrator) HandleLinkFailure(from, to string) (RestorationReport, er
 		o.unlockAll()
 		return rep, err
 	}
+	o.publishLink(EventLinkFailed, rep.Link, "")
 	if len(victims) == 0 {
 		o.unlockAll()
 		return rep, nil
@@ -65,8 +66,9 @@ func (o *Orchestrator) HandleLinkFailure(from, to string) (RestorationReport, er
 		}
 		if o.rerouteLocked(m, m.s.Allocation().AllocatedMbps) {
 			rep.Restored = append(rep.Restored, id)
+			o.publish(EventRestored, m.s, "re-routed around "+rep.Link)
 		} else {
-			evicted = append(evicted, o.teardownLocked(m.sh, m, fmt.Sprintf("transport link %s failed, no feasible restoration path", rep.Link))...)
+			evicted = append(evicted, o.teardownLocked(m.sh, m, fmt.Sprintf("transport link %s failed, no feasible restoration path", rep.Link), EventDeleted)...)
 			rep.Dropped = append(rep.Dropped, id)
 		}
 	}
@@ -99,7 +101,11 @@ func victimSliceIDs(pathIDs []string) []slice.ID {
 // moved back (make-before-break is a non-goal); new computations will use
 // it.
 func (o *Orchestrator) RestoreLink(from, to string) error {
-	return o.tb.Transport.SetLinkUp(from, to, true)
+	if err := o.tb.Transport.SetLinkUp(from, to, true); err != nil {
+		return err
+	}
+	o.publishLink(EventLinkRestored, from+"->"+to, "")
+	return nil
 }
 
 // HandleLinkDegradation rescales the directed link's capacity (rain fade on
@@ -117,6 +123,7 @@ func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps fl
 		o.unlockAll()
 		return rep, err
 	}
+	o.publishLink(EventLinkDegraded, rep.Link, fmt.Sprintf("capacity rescaled to %.1f Mbps", newCapacityMbps))
 	over := o.tb.Transport.OversubscribedPaths()
 	if len(over) == 0 {
 		o.unlockAll()
@@ -142,11 +149,12 @@ func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps fl
 		// degraded link and shrink the radio side to match.
 		if o.rerouteLocked(m, m.s.Allocation().AllocatedMbps) {
 			rep.Restored = append(rep.Restored, id)
+			o.publish(EventRestored, m.s, "re-routed around degraded "+rep.Link)
 			continue
 		}
 		target := share
 		if target < o.cfg.FloorMbps || !o.rerouteLocked(m, target) {
-			evicted = append(evicted, o.teardownLocked(m.sh, m, fmt.Sprintf("transport link %s degraded below slice floor", rep.Link))...)
+			evicted = append(evicted, o.teardownLocked(m.sh, m, fmt.Sprintf("transport link %s degraded below slice floor", rep.Link), EventDeleted)...)
 			rep.Dropped = append(rep.Dropped, id)
 			continue
 		}
@@ -169,6 +177,7 @@ func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps fl
 		}
 		m.s.SetAllocation(alloc)
 		rep.Restored = append(rep.Restored, id)
+		o.publish(EventResized, m.s, fmt.Sprintf("shrunk to fair share of degraded %s", rep.Link))
 	}
 	o.dropFinishedAllLocked(evicted)
 	o.unlockAll()

@@ -5,9 +5,15 @@
 // multiple network slices are running" (Section 3).
 //
 // The page is server-rendered html/template with an inline SVG chart (no
-// JavaScript frameworks — the repository is stdlib-only) and auto-refreshes
-// every few seconds. A small HTML form posts slice requests to the REST API
-// through the same orchestrator.
+// JavaScript frameworks — the repository is stdlib-only). Instead of the
+// old fixed-interval polling refresh, a few inline lines of vanilla JS
+// subscribe to the orchestrator's lifecycle stream (GET /api/v2/events,
+// Server-Sent Events) and re-render only when something actually happened —
+// an admission, a squeeze, an SLA violation, a restoration. Browsers
+// without EventSource (and error paths) fall back to the old timed reload.
+// A small HTML form posts slice requests to the REST API through the same
+// orchestrator, and a "recent events" pane shows the tail of the ordered
+// event sequence.
 package dashboard
 
 import (
@@ -28,7 +34,8 @@ import (
 type Handler struct {
 	orch *core.Orchestrator
 	tpl  *template.Template
-	// RefreshSeconds sets the meta-refresh interval (default 5).
+	// RefreshSeconds sets the fallback reload interval used when the
+	// event stream is unavailable (default 5).
 	RefreshSeconds int
 }
 
@@ -52,6 +59,11 @@ type view struct {
 	DCs        []dcView
 	Chart      template.HTML
 	RejectRows []rejectRow
+	// Events is the tail of the lifecycle event sequence, newest first,
+	// read straight from the orchestrator's replay ring.
+	Events []core.Event
+	// LastSeq seeds the page's EventSource resume point.
+	LastSeq int64
 }
 
 type enbView struct {
@@ -82,6 +94,11 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	v := view{
 		Refresh: h.RefreshSeconds,
 		Now:     time.Now().UTC().Format(time.RFC3339),
+		// LastSeq is read before any state below: an event published while
+		// the page gathers Gain/List lands after this sequence, so the
+		// EventSource resume (?since=LastSeq) re-renders rather than
+		// skipping it and leaving the page stale.
+		LastSeq: h.orch.Events().LastSeq(),
 		Gain:    h.orch.Gain(),
 	}
 	v.GainPct = fmt.Sprintf("%.1f%%", (v.Gain.MultiplexingGain-1)*100)
@@ -107,6 +124,11 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		v.RejectRows = append(v.RejectRows, rejectRow{Reason: code, Count: n})
 	}
 	sort.Slice(v.RejectRows, func(i, j int) bool { return v.RejectRows[i].Reason < v.RejectRows[j].Reason })
+	// Recent lifecycle events, newest first (the ring returns oldest first).
+	recent := h.orch.Events().Recent(12)
+	for i := len(recent) - 1; i >= 0; i-- {
+		v.Events = append(v.Events, recent[i])
+	}
 	v.Chart = template.HTML(h.gainChartSVG(640, 200))
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := h.tpl.Execute(w, v); err != nil {
@@ -199,7 +221,7 @@ const pageTemplate = `<!DOCTYPE html>
 <html>
 <head>
 <meta charset="utf-8">
-<meta http-equiv="refresh" content="{{.Refresh}}">
+<noscript><meta http-equiv="refresh" content="{{.Refresh}}"></noscript>
 <title>E2E Network Slicing Orchestrator</title>
 <style>
  body { font-family: -apple-system, "Segoe UI", sans-serif; background:#0b0e13; color:#e6e6e6; margin:2rem; }
@@ -216,7 +238,7 @@ const pageTemplate = `<!DOCTYPE html>
 </head>
 <body>
 <h1>End-to-End Network Slicing Orchestrator — Overbooking Dashboard</h1>
-<p>rendered {{.Now}} · auto-refresh {{.Refresh}}s</p>
+<p>rendered {{.Now}} · live via /api/v2/events (seq {{.LastSeq}}) · fallback refresh {{.Refresh}}s</p>
 
 <div>
  <span class="kpi"><b>{{printf "%.2f×" .Gain.MultiplexingGain}}</b>multiplexing gain</span>
@@ -285,5 +307,36 @@ const pageTemplate = `<!DOCTYPE html>
 {{range .RejectRows}}<tr><td>{{.Reason}}</td><td>{{.Count}}</td></tr>{{end}}
 </table>
 {{end}}
+
+{{if .Events}}
+<h2>Recent events</h2>
+<table>
+<tr><th>#</th><th>time</th><th>event</th><th>slice</th><th>tenant</th><th>state</th><th>detail</th></tr>
+{{range .Events}}<tr><td>{{.Seq}}</td><td>{{.Time.Format "15:04:05"}}</td><td>{{.Type}}</td><td>{{.Slice}}</td><td>{{.Tenant}}</td><td>{{.State}}</td><td>{{.Detail}}</td></tr>
+{{end}}
+</table>
+{{end}}
+
+<script>
+(function () {
+  // Event-driven refresh: re-render when the orchestrator publishes a
+  // lifecycle event, instead of polling on a timer. Resumes from the
+  // sequence this page was rendered at, so nothing is missed in between.
+  var reloading = false;
+  function reload() {
+    if (reloading) { return; }
+    reloading = true;
+    setTimeout(function () { location.reload(); }, 400);
+  }
+  function fallback() { setTimeout(function () { location.reload(); }, {{.Refresh}} * 1000); }
+  if (!window.EventSource) { fallback(); return; }
+  var types = ["submitted", "admitted", "rejected", "installed", "resized",
+    "violation", "expired", "deleted", "restored",
+    "link-failed", "link-degraded", "link-restored", "resync"];
+  var es = new EventSource("/api/v2/events?since={{.LastSeq}}");
+  for (var i = 0; i < types.length; i++) { es.addEventListener(types[i], reload); }
+  es.onerror = function () { es.close(); fallback(); };
+})();
+</script>
 </body>
 </html>`

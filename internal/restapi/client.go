@@ -46,6 +46,11 @@ func (e *apiError) Error() string {
 
 // do performs a request and decodes the JSON response into out (unless nil).
 func (c *Client) do(method, path string, in, out any) error {
+	return c.doHeaders(method, path, nil, in, out)
+}
+
+// doHeaders is do with extra request headers (e.g. Idempotency-Key).
+func (c *Client) doHeaders(method, path string, hdr http.Header, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
@@ -57,6 +62,9 @@ func (c *Client) do(method, path string, in, out any) error {
 	req, err := http.NewRequest(method, c.BaseURL+path, body)
 	if err != nil {
 		return err
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -172,4 +180,71 @@ func (c *Client) DegradeLink(from, to string, capacityMbps float64) (core.Restor
 	var rep core.RestorationReport
 	err := c.do(http.MethodPost, linkPath(from, to, "degrade"), LinkOpBody{CapacityMbps: capacityMbps}, &rep)
 	return rep, err
+}
+
+// ListQuery filters and paginates ListSlicesV2; the zero value lists
+// everything in one page.
+type ListQuery struct {
+	State      string
+	Tenant     string
+	RejectCode slice.RejectCode
+	Limit      int
+	PageToken  string
+}
+
+func (q ListQuery) values() url.Values {
+	v := url.Values{}
+	if q.State != "" {
+		v.Set("state", q.State)
+	}
+	if q.Tenant != "" {
+		v.Set("tenant", q.Tenant)
+	}
+	if q.RejectCode != "" {
+		v.Set("reject_code", string(q.RejectCode))
+	}
+	if q.Limit > 0 {
+		v.Set("limit", fmt.Sprint(q.Limit))
+	}
+	if q.PageToken != "" {
+		v.Set("page_token", q.PageToken)
+	}
+	return v
+}
+
+// ListSlicesV2 fetches one filtered page of slice snapshots from
+// GET /api/v2/slices; continue with NextPageToken.
+func (c *Client) ListSlicesV2(q ListQuery) (core.ListPage, error) {
+	path := "/api/v2/slices"
+	if v := q.values(); len(v) > 0 {
+		path += "?" + v.Encode()
+	}
+	var page core.ListPage
+	err := c.do(http.MethodGet, path, nil, &page)
+	return page, err
+}
+
+// SubmitSliceV2 posts a slice request through /api/v2/slices. A non-empty
+// idempotencyKey deduplicates retries: resubmitting with the same key
+// returns the same slice instead of creating another.
+func (c *Client) SubmitSliceV2(body SliceRequestBody, idempotencyKey string) (slice.Snapshot, error) {
+	var hdr http.Header
+	if idempotencyKey != "" {
+		hdr = http.Header{"Idempotency-Key": []string{idempotencyKey}}
+	}
+	var snap slice.Snapshot
+	err := c.doHeaders(http.MethodPost, "/api/v2/slices", hdr, body, &snap)
+	return snap, err
+}
+
+// GetSliceV2 fetches one slice through /api/v2/.
+func (c *Client) GetSliceV2(id slice.ID) (slice.Snapshot, error) {
+	var snap slice.Snapshot
+	err := c.do(http.MethodGet, "/api/v2/slices/"+url.PathEscape(string(id)), nil, &snap)
+	return snap, err
+}
+
+// DeleteSliceV2 tears a slice down through /api/v2/.
+func (c *Client) DeleteSliceV2(id slice.ID) error {
+	return c.do(http.MethodDelete, "/api/v2/slices/"+url.PathEscape(string(id)), nil, nil)
 }

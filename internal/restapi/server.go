@@ -4,6 +4,14 @@
 // submit a slice with duration, maximum latency, expected throughput, price
 // and penalty; watch its state; read the gains-vs-penalties report.
 //
+// Two API versions share one Server (routed with Go 1.22 method patterns):
+//
+//   - /api/v1/ is the original poll-only surface, byte-for-byte preserved.
+//   - /api/v2/ is the event-driven surface (DESIGN.md §6): filtered and
+//     keyset-paginated GET /api/v2/slices, Idempotency-Key-deduplicated
+//     POST /api/v2/slices, and GET /api/v2/events — the ordered lifecycle
+//     stream as Server-Sent Events with ?since=<seq> resume.
+//
 // Server wraps an *core.Orchestrator; Client is the typed counterpart used
 // by cmd/slicectl and the examples.
 package restapi
@@ -12,9 +20,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -22,8 +32,8 @@ import (
 	"repro/internal/slice"
 )
 
-// SliceRequestBody is the JSON payload of POST /api/v1/slices — exactly the
-// dashboard's form fields (Section 3).
+// SliceRequestBody is the JSON payload of POST /api/{v1,v2}/slices — exactly
+// the dashboard's form fields (Section 3).
 type SliceRequestBody struct {
 	Tenant string `json:"tenant"`
 	// DurationSeconds is the slice lifetime.
@@ -100,112 +110,189 @@ type errorBody struct {
 type Server struct {
 	orch *core.Orchestrator
 	mux  *http.ServeMux
+	idem *idemStore
+	// submit performs the slice submission; a seam so tests can inject
+	// internal failures (defaults to orch.Submit).
+	submit func(slice.Request) (*slice.Slice, error)
 }
 
-// NewServer builds the API server.
+// NewServer builds the API server serving both /api/v1/ and /api/v2/.
 func NewServer(orch *core.Orchestrator) *Server {
-	s := &Server{orch: orch, mux: http.NewServeMux()}
+	s := &Server{orch: orch, mux: http.NewServeMux(), idem: newIdemStore(1024)}
+	s.submit = func(req slice.Request) (*slice.Slice, error) { return orch.Submit(req, nil) }
+
 	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/api/v1/slices", s.handleSlices)
-	s.mux.HandleFunc("/api/v1/slices/", s.handleSliceByID)
+
+	// v1 — method patterns; unmatched methods fall through to the bare
+	// path pattern (method patterns are more specific, so they win), which
+	// preserves the v1 JSON 405 envelope byte-for-byte. HEAD is registered
+	// explicitly because a GET pattern would otherwise claim it — the old
+	// hand-rolled method switches answered HEAD with the 405 envelope. The
+	// /api/v1/slices/ subtree fallback replicates the old prefix handler
+	// for paths the patterns reject (empty ID, extra segments).
+	s.mux.HandleFunc("GET /api/v1/slices", s.handleListV1)
+	s.mux.HandleFunc("POST /api/v1/slices", s.handleSubmitV1)
+	s.mux.HandleFunc("HEAD /api/v1/slices", methodNotAllowed("restapi: use GET or POST"))
+	s.mux.HandleFunc("/api/v1/slices", methodNotAllowed("restapi: use GET or POST"))
+	s.mux.HandleFunc("GET /api/v1/slices/{id}", s.handleGetSlice)
+	s.mux.HandleFunc("DELETE /api/v1/slices/{id}", s.handleDeleteSlice)
+	s.mux.HandleFunc("HEAD /api/v1/slices/{id}", methodNotAllowed("restapi: use GET or DELETE"))
+	s.mux.HandleFunc("/api/v1/slices/{id}", methodNotAllowed("restapi: use GET or DELETE"))
+	s.mux.HandleFunc("POST /api/v1/slices/{id}/demand", s.handleDemand)
+	s.mux.HandleFunc("/api/v1/slices/{id}/demand", methodNotAllowed("restapi: use POST"))
+	s.mux.HandleFunc("/api/v1/slices/", s.slicesSubtreeFallback("/api/v1/slices/"))
 	s.mux.HandleFunc("/api/v1/gain", s.handleGain)
 	s.mux.HandleFunc("/api/v1/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/api/v1/metrics/", s.handleMetricSeries)
+	s.mux.HandleFunc("/api/v1/metrics/{name...}", s.handleMetricSeries)
 	s.mux.HandleFunc("/api/v1/topology", s.handleTopology)
-	s.mux.HandleFunc("/api/v1/links/", s.handleLinkOps)
+	s.mux.HandleFunc("POST /api/v1/links/{from}/{to}/{op}", s.handleLinkOps)
+	s.mux.HandleFunc("/api/v1/links/", s.handleLinksFallback)
 	s.mux.HandleFunc("/api/v1/enbs", s.handleENBs)
 	s.mux.HandleFunc("/api/v1/datacenters", s.handleDCs)
 	s.mux.HandleFunc("/api/v1/epcs", s.handleEPCs)
+
+	// v2 — the event-driven surface (v2.go).
+	s.mux.HandleFunc("GET /api/v2/slices", s.handleListV2)
+	s.mux.HandleFunc("POST /api/v2/slices", s.handleSubmitV2)
+	s.mux.HandleFunc("/api/v2/slices", methodNotAllowed("restapi: use GET or POST"))
+	s.mux.HandleFunc("GET /api/v2/slices/{id}", s.handleGetSlice)
+	s.mux.HandleFunc("DELETE /api/v2/slices/{id}", s.handleDeleteSlice)
+	s.mux.HandleFunc("/api/v2/slices/{id}", methodNotAllowed("restapi: use GET or DELETE"))
+	s.mux.HandleFunc("GET /api/v2/events", s.handleEvents)
+	s.mux.HandleFunc("/api/v2/events", methodNotAllowed("restapi: use GET"))
+	s.mux.HandleFunc("/api/v2/slices/", s.slicesSubtreeFallback("/api/v2/slices/"))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// logf reports response-encoding failures; swapped out by tests.
+var logf = log.Printf
+
+// writeJSON writes the response envelope. The status line and headers go
+// out before the body — exactly once, so a mid-body encode failure can
+// never double-write headers — and encode errors (typically the client
+// hanging up) are logged once rather than silently dropped.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		logf("restapi: encode %T response: %v", v, err)
+	}
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
+// methodNotAllowed is the shared JSON 405 fallback registered on the bare
+// path patterns.
+func methodNotAllowed(msg string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New(msg))
+	}
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Server) handleSlices(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodGet:
-		writeJSON(w, http.StatusOK, s.orch.List())
-	case http.MethodPost:
-		var body SliceRequestBody
-		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad JSON: %w", err))
-			return
+func (s *Server) handleListV1(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.orch.List())
+}
+
+// decodeSubmitBody parses and validates a slice submission, reporting any
+// problem as a 400. The nil,false return means the response is written.
+func (s *Server) decodeSubmitBody(w http.ResponseWriter, r *http.Request) (slice.Request, bool) {
+	var body SliceRequestBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad JSON: %w", err))
+		return slice.Request{}, false
+	}
+	req, err := body.Request()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return slice.Request{}, false
+	}
+	if err := req.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return slice.Request{}, false
+	}
+	return req, true
+}
+
+// handleSubmitV1 serves POST /api/v1/slices. Validation failures are the
+// tenant's fault (400); anything Submit returns after validation passed is
+// an internal failure (500) — business rejections are not errors and are
+// reported in-band. The same mapping backs v2.
+func (s *Server) handleSubmitV1(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeSubmitBody(w, r)
+	if !ok {
+		return
+	}
+	s.handleSubmitV1Decoded(w, req)
+}
+
+// handleGetSlice serves GET /api/{v1,v2}/slices/{id}.
+func (s *Server) handleGetSlice(w http.ResponseWriter, r *http.Request) {
+	s.getSlice(w, slice.ID(r.PathValue("id")))
+}
+
+func (s *Server) getSlice(w http.ResponseWriter, id slice.ID) {
+	sl, ok := s.orch.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("restapi: slice %s not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, sl.Snapshot())
+}
+
+// handleDeleteSlice serves DELETE /api/{v1,v2}/slices/{id}.
+func (s *Server) handleDeleteSlice(w http.ResponseWriter, r *http.Request) {
+	s.deleteSlice(w, slice.ID(r.PathValue("id")))
+}
+
+func (s *Server) deleteSlice(w http.ResponseWriter, id slice.ID) {
+	if err := s.orch.Delete(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "terminated"})
+}
+
+// slicesSubtreeFallback answers /api/{v1,v2}/slices/ paths no pattern
+// claims — an empty ID ("/api/v1/slices/") or extra path segments — with
+// the original v1 prefix handler's parse-and-dispatch, JSON envelopes
+// included: the first segment is the slice ID, GET/DELETE operate on it
+// (404 for the inevitably unknown ID), anything else is the 405 envelope.
+func (s *Server) slicesSubtreeFallback(prefix string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, prefix)
+		id := slice.ID(strings.SplitN(rest, "/", 2)[0])
+		switch r.Method {
+		case http.MethodGet:
+			s.getSlice(w, id)
+		case http.MethodDelete:
+			s.deleteSlice(w, id)
+		default:
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("restapi: use GET or DELETE"))
 		}
-		req, err := body.Request()
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		sl, err := s.orch.Submit(req, nil)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		status := http.StatusAccepted
-		if sl.State() == slice.StateRejected {
-			// Rejection is a valid business outcome, reported in-band.
-			status = http.StatusOK
-		}
-		writeJSON(w, status, sl.Snapshot())
-	default:
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("restapi: use GET or POST"))
 	}
 }
 
-// handleSliceByID serves /api/v1/slices/{id} and /api/v1/slices/{id}/demand.
-func (s *Server) handleSliceByID(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/slices/")
-	parts := strings.SplitN(rest, "/", 2)
-	id := slice.ID(parts[0])
-	if len(parts) == 2 && parts[1] == "demand" {
-		if r.Method != http.MethodPost {
-			writeErr(w, http.StatusMethodNotAllowed, errors.New("restapi: use POST"))
-			return
-		}
-		var body DemandBody
-		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad JSON: %w", err))
-			return
-		}
-		if err := s.orch.RecordDemand(id, body.Mbps); err != nil {
-			writeErr(w, http.StatusNotFound, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
+// handleDemand serves POST /api/v1/slices/{id}/demand.
+func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
+	var body DemandBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad JSON: %w", err))
 		return
 	}
-	switch r.Method {
-	case http.MethodGet:
-		sl, ok := s.orch.Get(id)
-		if !ok {
-			writeErr(w, http.StatusNotFound, fmt.Errorf("restapi: slice %s not found", id))
-			return
-		}
-		writeJSON(w, http.StatusOK, sl.Snapshot())
-	case http.MethodDelete:
-		if err := s.orch.Delete(id); err != nil {
-			writeErr(w, http.StatusNotFound, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "terminated"})
-	default:
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("restapi: use GET or DELETE"))
+	if err := s.orch.RecordDemand(slice.ID(r.PathValue("id")), body.Mbps); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
 	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
 }
 
 func (s *Server) handleGain(w http.ResponseWriter, r *http.Request) {
@@ -217,7 +304,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetricSeries(w http.ResponseWriter, r *http.Request) {
-	name := strings.TrimPrefix(r.URL.Path, "/api/v1/metrics/")
+	name := r.PathValue("name")
 	if name == "" {
 		writeErr(w, http.StatusBadRequest, errors.New("restapi: metric name required"))
 		return
@@ -252,16 +339,7 @@ type LinkOpBody struct {
 // — the operational hooks for the demo's "different transport network
 // topology configurations" and failure injection.
 func (s *Server) handleLinkOps(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("restapi: use POST"))
-		return
-	}
-	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/api/v1/links/"), "/")
-	if len(parts) != 3 {
-		writeErr(w, http.StatusBadRequest, errors.New("restapi: want /api/v1/links/{from}/{to}/{fail|restore|degrade}"))
-		return
-	}
-	from, to, op := parts[0], parts[1], parts[2]
+	from, to, op := r.PathValue("from"), r.PathValue("to"), r.PathValue("op")
 	switch op {
 	case "fail":
 		rep, err := s.orch.HandleLinkFailure(from, to)
@@ -291,6 +369,17 @@ func (s *Server) handleLinkOps(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: unknown link op %q", op))
 	}
+}
+
+// handleLinksFallback preserves the pre-pattern-routing link-op errors:
+// non-POST methods get the JSON 405 envelope; a POST whose path is not
+// exactly {from}/{to}/{op} gets the shape hint.
+func (s *Server) handleLinksFallback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("restapi: use POST"))
+		return
+	}
+	writeErr(w, http.StatusBadRequest, errors.New("restapi: want /api/v1/links/{from}/{to}/{fail|restore|degrade}"))
 }
 
 func (s *Server) handleENBs(w http.ResponseWriter, r *http.Request) {
@@ -323,4 +412,61 @@ func (s *Server) handleEPCs(w http.ResponseWriter, r *http.Request) {
 		out = append(out, in.Snapshot())
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// idemStore deduplicates POST /api/v2/slices by Idempotency-Key: the first
+// request with a key performs the submission, concurrent and later
+// duplicates replay its outcome instead of creating another slice. The
+// store is bounded (oldest keys evicted) so a long-running daemon stays
+// flat; failed submissions are not cached, so retries re-attempt.
+type idemStore struct {
+	mu      sync.Mutex
+	limit   int
+	order   []string
+	entries map[string]*idemEntry
+}
+
+// idemEntry is one key's outcome. once gates the actual submission:
+// concurrent duplicates block on it and then replay.
+type idemEntry struct {
+	once   sync.Once
+	id     slice.ID
+	status int
+	snap   slice.Snapshot
+	err    error
+}
+
+func newIdemStore(limit int) *idemStore {
+	return &idemStore{limit: limit, entries: make(map[string]*idemEntry)}
+}
+
+// entry returns the entry for key, creating it when absent (evicting the
+// oldest key beyond the bound).
+func (st *idemStore) entry(key string) *idemEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.entries[key]; ok {
+		return e
+	}
+	e := &idemEntry{}
+	st.entries[key] = e
+	st.order = append(st.order, key)
+	if len(st.order) > st.limit {
+		delete(st.entries, st.order[0])
+		st.order = st.order[1:]
+	}
+	return e
+}
+
+// drop removes a failed key so a retry re-attempts the submission.
+func (st *idemStore) drop(key string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.entries, key)
+	for i, k := range st.order {
+		if k == key {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
 }

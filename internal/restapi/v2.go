@@ -1,0 +1,160 @@
+package restapi
+
+// The /api/v2/ surface: the event-driven counterpart of v1 (DESIGN.md §6).
+// v2 keeps v1's JSON envelopes and error mapping but adds list filtering
+// with keyset pagination, Idempotency-Key submission dedup, and the ordered
+// slice-lifecycle stream as Server-Sent Events with ?since resume.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/slice"
+)
+
+// handleListV2 serves GET /api/v2/slices with optional query filters
+// state, tenant, reject_code, limit and page_token (keyset pagination: pass
+// the previous response's next_page_token).
+func (s *Server) handleListV2(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	opts := core.ListOptions{
+		State:      q.Get("state"),
+		Tenant:     q.Get("tenant"),
+		RejectCode: slice.RejectCode(q.Get("reject_code")),
+		PageToken:  q.Get("page_token"),
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad limit %q", v))
+			return
+		}
+		opts.Limit = n
+	}
+	page, err := s.orch.ListFiltered(opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// handleSubmitV2 serves POST /api/v2/slices: v1 submission semantics (202
+// installing, 200 in-band rejection, 400 validation, 5xx internal) plus
+// Idempotency-Key dedup — the first request with a key submits, concurrent
+// and later duplicates replay its outcome with Idempotency-Replay: true and
+// a fresh snapshot of the same slice. Failed submissions are not cached, so
+// retries after a 5xx re-attempt.
+func (s *Server) handleSubmitV2(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeSubmitBody(w, r)
+	if !ok {
+		return
+	}
+	key := r.Header.Get("Idempotency-Key")
+	if key == "" {
+		s.handleSubmitV1Decoded(w, req)
+		return
+	}
+	e := s.idem.entry(key)
+	fresh := false
+	e.once.Do(func() {
+		fresh = true
+		sl, err := s.submit(req)
+		if err != nil {
+			e.err = err
+			s.idem.drop(key)
+			return
+		}
+		e.id = sl.ID()
+		e.status = http.StatusAccepted
+		if sl.State() == slice.StateRejected {
+			e.status = http.StatusOK
+		}
+		e.snap = sl.Snapshot()
+	})
+	if e.err != nil {
+		writeErr(w, http.StatusInternalServerError, e.err)
+		return
+	}
+	snap := e.snap
+	if sl, ok := s.orch.Get(e.id); ok {
+		snap = sl.Snapshot() // replay with the slice's current state
+	}
+	if !fresh {
+		w.Header().Set("Idempotency-Replay", "true")
+	}
+	writeJSON(w, e.status, snap)
+}
+
+// handleSubmitV1Decoded is the shared non-idempotent submission tail.
+func (s *Server) handleSubmitV1Decoded(w http.ResponseWriter, req slice.Request) {
+	sl, err := s.submit(req)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	status := http.StatusAccepted
+	if sl.State() == slice.StateRejected {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, sl.Snapshot())
+}
+
+// handleEvents serves GET /api/v2/events: the ordered slice-lifecycle
+// stream as Server-Sent Events. Each frame carries the event's sequence
+// number as the SSE id, its type as the SSE event name, and the JSON
+// encoding as data. Query parameters: since (resume after this sequence;
+// since=0 replays everything the ring retains; absent = live tail),
+// tenant, state and type (each repeatable) filter server-side. A consumer
+// that outruns the bounded replay ring receives one "resync" frame and
+// must re-list state (GET /api/v2/slices) before continuing.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, errors.New("restapi: streaming unsupported"))
+		return
+	}
+	opts := core.WatchOptions{Buffer: 256}
+	q := r.URL.Query()
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad since %q", v))
+			return
+		}
+		if n == 0 {
+			opts.Since = -1 // explicit since=0: full replay of the ring
+		} else {
+			opts.Since = n
+		}
+	}
+	opts.Tenants = q["tenant"]
+	opts.States = q["state"]
+	for _, t := range q["type"] {
+		opts.Types = append(opts.Types, core.EventType(t))
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, "retry: 2000\n\n")
+	fl.Flush()
+
+	for ev := range s.orch.Watch(r.Context(), opts) {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			logf("restapi: encode event %d: %v", ev.Seq, err)
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return // client hung up; Watch channel closes via r.Context()
+		}
+		fl.Flush()
+	}
+}

@@ -288,6 +288,14 @@ func (s *Slice) SetAllocation(a Allocation) {
 	s.alloc = a.Clone()
 }
 
+// AllocatedMbps returns the current radio throughput reservation without
+// cloning the whole allocation (hot path: lifecycle event publication).
+func (s *Slice) AllocatedMbps() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alloc.AllocatedMbps
+}
+
 // UpdateAllocatedMbps resizes only the radio throughput reservation record
 // (used by the overbooking reconfiguration loop).
 func (s *Slice) UpdateAllocatedMbps(mbps float64) {

@@ -27,7 +27,15 @@
 // (see core.Config.Shards and DESIGN.md §3.4), so parallel Submit, Delete,
 // Get, List, Gain, RecordDemand and the control epoch may be driven from
 // many goroutines — independent tenants are admitted and installed in
-// parallel. The one single-goroutine surface is advancing a simulated
+// parallel.
+//
+// The v2 surface is event-driven and context-aware: every lifecycle
+// transition is published as an ordered Event, and
+// Orchestrator.Watch(ctx, WatchOptions{Since: n}) resumes the stream from
+// any recent sequence number (DESIGN.md §6). SubmitCtx, SubmitBatchCtx and
+// ListFiltered add cancellation, filtering and keyset pagination; the v1
+// methods remain as thin wrappers with identical behavior.
+// The one single-goroutine surface is advancing a simulated
 // System's virtual clock (Sim.RunFor / RunUntil / Step) and drawing from
 // Sim.Rand, which stay with one driver to keep experiments deterministic.
 package overbook
@@ -64,6 +72,36 @@ type (
 	// RejectCode is the stable rejection taxonomy; the constants below are
 	// errors.Is sentinels: errors.Is(&cause, overbook.RejectRadioCapacity).
 	RejectCode = slice.RejectCode
+	// Event is one ordered slice-lifecycle event delivered by
+	// Orchestrator.Watch and GET /api/v2/events.
+	Event = core.Event
+	// EventType names one kind of lifecycle event (the constants below).
+	EventType = core.EventType
+	// WatchOptions positions and filters a Watch subscription.
+	WatchOptions = core.WatchOptions
+	// ListOptions filters and paginates Orchestrator.ListFiltered.
+	ListOptions = core.ListOptions
+	// ListPage is one page of filtered slice snapshots.
+	ListPage = core.ListPage
+)
+
+// The slice-lifecycle event taxonomy, re-exported from internal/core. A
+// Watch subscriber (or SSE consumer) that falls behind the bounded replay
+// ring receives one EventResync marker and must re-List state.
+const (
+	EventSubmitted    = core.EventSubmitted
+	EventAdmitted     = core.EventAdmitted
+	EventRejected     = core.EventRejected
+	EventInstalled    = core.EventInstalled
+	EventResized      = core.EventResized
+	EventViolation    = core.EventViolation
+	EventExpired      = core.EventExpired
+	EventDeleted      = core.EventDeleted
+	EventRestored     = core.EventRestored
+	EventLinkFailed   = core.EventLinkFailed
+	EventLinkDegraded = core.EventLinkDegraded
+	EventLinkRestored = core.EventLinkRestored
+	EventResync       = core.EventResync
 )
 
 // The stable rejection taxonomy, re-exported from internal/slice.
