@@ -267,6 +267,155 @@ func BenchmarkWatchFanout(b *testing.B) {
 	}
 }
 
+// epochLoadedSystem builds a simulated system carrying n active slices with
+// live demand processes — the fixture for the epoch-engine benchmarks. The
+// testbed is scaled (aggregated carriers, lifted MOCN list, larger core DC,
+// fat transport links) so the radio grid, not the model limits, is what
+// binds; every slice is genuinely installed through the multi-domain engine.
+func epochLoadedSystem(b *testing.B, n, shards int) *System {
+	b.Helper()
+	cfg := core.Config{
+		Overbook:            true,
+		Risk:                0.9,
+		AdmissionLoadFactor: 0.5,
+		PLMNLimit:           n + 8,
+		HistoryLimit:        64,
+		Shards:              shards,
+	}
+	sys, err := NewSimulated(Options{
+		Seed:         1,
+		Orchestrator: &cfg,
+		Testbed: TestbedConfig{
+			ENBs:          2,
+			ENBCarriers:   n/50 + 2,
+			MaxPLMNs:      n + 8,
+			CoreHosts:     n/16 + 8,
+			CoreHostVCPUs: 64,
+			EdgeHosts:     4,
+			MmWaveMbps:    1 << 20,
+			MicroWaveMbps: 1 << 20,
+			WiredMbps:     1 << 22,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sys.Sim.Rand()
+	for i := 0; i < n; i++ {
+		sl, err := sys.Orchestrator.Submit(slice.Request{
+			Tenant: fmt.Sprintf("epoch-%d", i),
+			SLA: slice.SLA{
+				ThroughputMbps: 2,
+				MaxLatencyMs:   50,
+				Duration:       1000 * time.Hour,
+				PriceEUR:       10,
+				PenaltyEUR:     1,
+			},
+		}, traffic.NewConstant(1, 0.15, rng))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sl.State() == slice.StateRejected {
+			b.Fatalf("epoch bench slice %d rejected: %s", i, sl.Reason())
+		}
+	}
+	sys.Sim.RunFor(15 * time.Second) // install stages + vEPC boot
+	return sys
+}
+
+// BenchmarkEpoch measures one pass of the phase-structured control epoch at
+// increasing registry sizes and shard counts. shards=1 is the serial path;
+// shards=16 runs the per-shard monitor/forecast/provision phase in parallel
+// workers. The DESIGN.md §7 scaling claim: slices=8192/shards=16 at least
+// 2x faster than the pre-refactor stop-the-world epoch at the same size.
+func BenchmarkEpoch(b *testing.B) {
+	for _, n := range []int{64, 1024, 8192} {
+		for _, shards := range []int{1, 16} {
+			b.Run(fmt.Sprintf("slices=%d/shards=%d", n, shards), func(b *testing.B) {
+				sys := epochLoadedSystem(b, n, shards)
+				if got := sys.Orchestrator.ActiveCount(); got != n {
+					b.Fatalf("loaded %d active slices, want %d", got, n)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sys.Orchestrator.RunEpoch()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGainUnderLoad measures the dashboard's Gain() read while the
+// sharded engine is busy admitting and tearing down slices — the read plane
+// must not stall admission (and vice versa).
+func BenchmarkGainUnderLoad(b *testing.B) {
+	cfg := core.Config{
+		Overbook:            true,
+		Risk:                0.9,
+		AdmissionLoadFactor: 0.5,
+		PLMNLimit:           4096,
+		HistoryLimit:        256,
+		Shards:              16,
+	}
+	sys, err := NewLive(Options{
+		Orchestrator: &cfg,
+		Testbed: TestbedConfig{
+			ENBs: 4, MaxPLMNs: 4096, CoreHosts: 32, EdgeHosts: 16,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		churn.Add(1)
+		go func(w int) {
+			defer churn.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sl, err := sys.Orchestrator.Submit(slice.Request{
+					Tenant: fmt.Sprintf("churn-%d", w),
+					SLA: slice.SLA{
+						ThroughputMbps: 2,
+						MaxLatencyMs:   50,
+						Duration:       time.Hour,
+						PriceEUR:       10,
+						PenaltyEUR:     1,
+					},
+				}, nil)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if sl.State() != slice.StateRejected {
+					if err := sys.Orchestrator.Delete(sl.ID()); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			g := sys.Orchestrator.Gain()
+			if g.CapacityMbps <= 0 {
+				b.Error("bad report")
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	churn.Wait()
+}
+
 // BenchmarkAdmissionControl (D1) measures the admission decision itself on
 // a loaded system, including the multi-domain feasibility checks.
 func BenchmarkAdmissionControl(b *testing.B) {

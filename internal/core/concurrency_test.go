@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -246,5 +248,104 @@ func TestConcurrentSubmitSqueeze(t *testing.T) {
 	}
 	if g.Admitted < 2 {
 		t.Fatalf("only %d admitted; squeeze path not effective", g.Admitted)
+	}
+}
+
+// TestConcurrentSubmitDeleteWatchDuringEpochs hammers the phase-pipelined
+// epoch: back-to-back RunEpoch passes (serial head, parallel per-shard
+// analysis, ordered commit, snapshot publish) run while workers submit,
+// record demand and delete slices and a Watch subscriber drains the ordered
+// event stream. Run with -race; the final invariants catch lost counter
+// updates and a stale or inconsistent published snapshot.
+func TestConcurrentSubmitDeleteWatchDuringEpochs(t *testing.T) {
+	o := concurrentEnv(t, 16)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := o.Watch(ctx, WatchOptions{Since: -1, Buffer: 1024})
+	var consumed atomic.Int64
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range events {
+			consumed.Add(1)
+		}
+	}()
+
+	const workers = 8
+	const perWorker = 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sl, err := o.Submit(smallReq(fmt.Sprintf("epoch-churn-%d-%d", w, i)), nil)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if sl.State() == slice.StateRejected {
+					continue
+				}
+				if err := o.RecordDemand(sl.ID(), 1); err != nil &&
+					!strings.Contains(err.Error(), "unknown") {
+					t.Errorf("record demand: %v", err)
+				}
+				if i%2 == 0 {
+					if err := o.Delete(sl.ID()); err != nil &&
+						!strings.Contains(err.Error(), "already") &&
+						!strings.Contains(err.Error(), "unknown") {
+						t.Errorf("delete: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Back-to-back epochs plus the lock-free read plane, concurrently.
+	stop := make(chan struct{})
+	var bg sync.WaitGroup
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				o.RunEpoch()
+				o.LastEpoch()
+				o.Gain()
+				o.ActiveCount()
+				if _, err := o.ListFiltered(ListOptions{State: "active", Limit: 16}); err != nil {
+					t.Errorf("list filtered: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	bg.Wait()
+	o.RunEpoch() // one quiet epoch so the snapshot reflects the final state
+
+	g := o.Gain()
+	if got := g.Admitted + g.Rejected; got != workers*perWorker {
+		t.Fatalf("admitted %d + rejected %d = %d, want %d", g.Admitted, g.Rejected, got, workers*perWorker)
+	}
+	snap, ok := o.LastEpoch()
+	if !ok {
+		t.Fatal("no epoch snapshot published")
+	}
+	if snap.Gain.Admitted != g.Admitted || snap.Gain.Rejected != g.Rejected {
+		t.Fatalf("quiet snapshot %d/%d diverged from live %d/%d",
+			snap.Gain.Admitted, snap.Gain.Rejected, g.Admitted, g.Rejected)
+	}
+	cancel()
+	<-drained
+	if consumed.Load() == 0 {
+		t.Fatal("watch subscriber saw no events")
 	}
 }

@@ -31,23 +31,31 @@
 // capacity check is one atomic step rather than a registry scan.
 //
 // Submit, SubmitCtx, SubmitBatch, SubmitBatchCtx, Delete, Get, List,
-// ListFiltered, Watch, Timeline, RecordDemand, ActiveCount, Gain, RunEpoch,
-// HandleLinkFailure, HandleLinkDegradation, RestoreLink, Start and Stop are
-// all goroutine-safe. Every lifecycle transition is additionally published
-// on an ordered event bus (events.go): Watch subscribers observe a single
-// global sequence and may resume from any recent sequence number; slow
-// subscribers are resynced, never allowed to stall admission. Whole-registry
-// passes
-// (RunEpoch, Gain, List, restoration, the squeeze that shrinks running
-// slices for a newcomer) briefly quiesce the system by taking every shard
-// lock in index order; everything else holds at most one shard lock, which
-// makes the locking deadlock-free by construction (see DESIGN.md §3.4).
+// ListFiltered, Watch, Timeline, RecordDemand, ActiveCount, Gain, LastEpoch,
+// RunEpoch, HandleLinkFailure, HandleLinkDegradation, RestoreLink, Start and
+// Stop are all goroutine-safe. Every lifecycle transition is additionally
+// published on an ordered event bus (events.go): Watch subscribers observe a
+// single global sequence and may resume from any recent sequence number;
+// slow subscribers are resynced, never allowed to stall admission.
+//
+// The read plane never freezes the registry: Gain and ActiveCount are
+// served from per-shard atomic counters plus one leaf accumulator (gain.go),
+// List/ListFiltered snapshot shard by shard (one shard lock at a time), and
+// each control epoch publishes an immutable EpochSnapshot for epoch-aligned
+// reads. The control epoch itself is a phase pipeline (epoch.go): a brief
+// serial collection pass holds every shard lock in index order, the
+// per-slice analysis phase runs one worker per shard holding only its own
+// shard lock, and reconfigurations commit in submission order. Epoch,
+// squeeze and restoration passes serialize on epochMu; everything else
+// holds at most one shard lock, which keeps the locking deadlock-free by
+// construction (see DESIGN.md §3.4 and §7).
 package core
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -204,6 +212,10 @@ type managedSlice struct {
 	haveDemand bool
 	// ledgerMbps is this slice's entry in the shared capacity ledger.
 	ledgerMbps float64
+	// Cached telemetry series names ("slice/<id>/demand_mbps", ...), built
+	// lazily on the slice's first epoch so the monitoring flush does not
+	// re-format three names per slice per epoch.
+	seriesDemand, seriesServed, seriesAlloc string
 
 	expiry *sim.Event
 	timers []*sim.Event // pending installation stage events
@@ -224,6 +236,18 @@ type Orchestrator struct {
 	ledger    capacityLedger
 	history   finishedHistory
 	bus       *EventBus
+
+	// acc holds the order-sensitive float aggregates of the gain report;
+	// lastEpoch is the snapshot the telemetry barrier (phase P4) publishes
+	// each epoch (gain.go).
+	acc       *gainAccumulator
+	lastEpoch atomic.Pointer[EpochSnapshot]
+
+	// epochMu serializes the whole-registry passes — the control epoch's
+	// phase pipeline, the squeeze, link restoration — against each other,
+	// so no two of them interleave their multi-phase work. It is always
+	// acquired before any shard lock (never while holding one).
+	epochMu sync.Mutex
 
 	seq    atomic.Int64 // slice ID sequence
 	epochs atomic.Int64 // control-loop passes
@@ -249,6 +273,7 @@ func New(cfg Config, tb *testbed.Testbed, clock sim.Scheduler, store *monitor.St
 		shardMask: uint32(cfg.Shards - 1),
 		history:   finishedHistory{limit: cfg.HistoryLimit},
 		bus:       NewEventBus(cfg.EventBuffer),
+		acc:       newGainAccumulator(),
 	}
 	for i := range o.shards {
 		o.shards[i] = newShard()
@@ -382,8 +407,8 @@ func (o *Orchestrator) SubmitCtx(ctx context.Context, req slice.Request, demand 
 		sh.mu.Unlock()
 		return nil, err
 	}
-	sh.admitted++
-	sh.revenueTotalEUR += req.SLA.PriceEUR
+	sh.admitted.Add(1)
+	o.acc.admit(req.SLA.PriceEUR, req.SLA.ThroughputMbps, s.AllocatedMbps())
 	o.publish(EventAdmitted, s, "")
 	sh.mu.Unlock()
 	return s, nil
@@ -396,8 +421,8 @@ func (o *Orchestrator) SubmitCtx(ctx context.Context, req slice.Request, demand 
 // history, which the caller must drop after releasing the shard lock.
 func (o *Orchestrator) rejectLocked(sh *shard, s *slice.Slice, cause *slice.RejectionCause) []slice.ID {
 	s.Reject(cause)
-	sh.rejected++
-	sh.rejectReasons[string(cause.Code)]++
+	sh.rejected.Add(1)
+	o.acc.reject(string(cause.Code))
 	sh.slices[s.ID()] = &managedSlice{s: s, sh: sh}
 	o.publish(EventRejected, s, cause.Detail)
 	return o.history.Push(s.ID())
@@ -436,9 +461,9 @@ func (o *Orchestrator) Get(id slice.ID) (*slice.Slice, bool) {
 	return m.s, true
 }
 
-// List returns snapshots of every slice, sorted by ID sequence. The
-// snapshot is atomic across shards. It is a thin wrapper over ListFiltered
-// with zero options.
+// List returns snapshots of every slice, sorted by ID sequence. Snapshots
+// are taken shard by shard (see ListFiltered). It is a thin wrapper over
+// ListFiltered with zero options.
 func (o *Orchestrator) List() []slice.Snapshot {
 	page, _ := o.ListFiltered(ListOptions{}) // zero options never error
 	return page.Slices
@@ -472,10 +497,14 @@ type ListPage struct {
 }
 
 // ListFiltered returns the snapshots matching opts, sorted by submission
-// sequence and atomic across shards. Pagination is keyset-based (the token
-// encodes the last seen submission sequence), so pages stay consistent under
-// concurrent admissions: a slice admitted behind the cursor is simply picked
-// up by a later page, never duplicated.
+// sequence. Since PR 4 it snapshots shard by shard — one shard lock at a
+// time, never the whole registry — so a large list request can no longer
+// stall admission on other shards. The page is therefore not a single
+// atomic cut across shards: a transition committed on another shard while
+// the listing walks may or may not appear. Pagination is keyset-based (the
+// token encodes the last seen submission sequence), so pages stay
+// consistent under concurrent admissions: a slice admitted behind the
+// cursor is simply picked up by a later page, never duplicated.
 func (o *Orchestrator) ListFiltered(opts ListOptions) (ListPage, error) {
 	after := 0
 	if opts.PageToken != "" {
@@ -485,33 +514,67 @@ func (o *Orchestrator) ListFiltered(opts ListOptions) (ListPage, error) {
 		}
 		after = n
 	}
-	o.lockAll()
-	defer o.unlockAll()
-	page := ListPage{Slices: []slice.Snapshot{}}
-	for _, m := range o.orderedSlicesAllLocked() {
-		if seqOf(m.s.ID()) <= after {
-			continue
-		}
-		// Filter on the cheap accessors first — slice state is stable under
-		// lockAll (every transition needs a shard lock) — and pay the deep
-		// Snapshot clone only for matches.
-		if opts.Tenant != "" && m.s.Tenant() != opts.Tenant {
-			continue
-		}
-		if opts.State != "" && m.s.State().String() != opts.State {
-			continue
-		}
-		if opts.RejectCode != "" {
-			cause, ok := m.s.Cause()
-			if !ok || cause.Code != opts.RejectCode {
+	// Pass one: match on the cheap accessors only, collecting lightweight
+	// references — state transitions for a shard's slices need its lock,
+	// which we hold while walking it.
+	type matchRef struct {
+		seq int
+		id  slice.ID
+		sh  *shard
+	}
+	var matches []matchRef
+	for _, sh := range o.shards {
+		sh.mu.Lock()
+		for _, m := range sh.slices {
+			seq := seqOf(m.s.ID())
+			if seq <= after {
 				continue
 			}
+			if opts.Tenant != "" && m.s.Tenant() != opts.Tenant {
+				continue
+			}
+			if opts.State != "" && m.s.State().String() != opts.State {
+				continue
+			}
+			if opts.RejectCode != "" {
+				cause, ok := m.s.Cause()
+				if !ok || cause.Code != opts.RejectCode {
+					continue
+				}
+			}
+			matches = append(matches, matchRef{seq: seq, id: m.s.ID(), sh: sh})
 		}
-		if opts.Limit > 0 && len(page.Slices) == opts.Limit {
-			page.NextPageToken = strconv.Itoa(seqOf(page.Slices[len(page.Slices)-1].ID))
-			return page, nil
+		sh.mu.Unlock()
+	}
+	// Pass two: order, cut the page, and pay the deep Snapshot clone only
+	// for the entries actually returned — a limit-16 request over an
+	// 8192-slice registry clones 16 snapshots, not 8192. A slice evicted
+	// or transitioned out of the requested filter between the passes is
+	// skipped (the page may come back short), never returned with a
+	// snapshot contradicting the query.
+	sort.Slice(matches, func(i, j int) bool { return matches[i].seq < matches[j].seq })
+	page := ListPage{}
+	if opts.Limit > 0 && len(matches) > opts.Limit {
+		page.NextPageToken = strconv.Itoa(matches[opts.Limit-1].seq)
+		matches = matches[:opts.Limit]
+	}
+	page.Slices = make([]slice.Snapshot, 0, len(matches))
+	for _, ref := range matches {
+		ref.sh.mu.Lock()
+		if m, ok := ref.sh.slices[ref.id]; ok {
+			stillMatches := true
+			if opts.State != "" && m.s.State().String() != opts.State {
+				stillMatches = false
+			}
+			if stillMatches && opts.RejectCode != "" {
+				cause, ok := m.s.Cause()
+				stillMatches = ok && cause.Code == opts.RejectCode
+			}
+			if stillMatches {
+				page.Slices = append(page.Slices, m.s.Snapshot())
+			}
 		}
-		page.Slices = append(page.Slices, m.s.Snapshot())
+		ref.sh.mu.Unlock()
 	}
 	return page, nil
 }
@@ -537,19 +600,4 @@ func (o *Orchestrator) RecordDemand(id slice.ID, mbps float64) error {
 	m.lastDemand = mbps
 	m.haveDemand = true
 	return nil
-}
-
-// ActiveCount returns the number of active (traffic-carrying) slices.
-func (o *Orchestrator) ActiveCount() int {
-	o.lockAll()
-	defer o.unlockAll()
-	n := 0
-	for _, sh := range o.shards {
-		for _, m := range sh.slices {
-			if m.s.State() == slice.StateActive {
-				n++
-			}
-		}
-	}
-	return n
 }

@@ -2,10 +2,67 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/monitor"
 	"repro/internal/slice"
 )
+
+// This file is the phase-pipelined control epoch — the Fig. 1 closed loop
+// (monitor → analyze → optimize → reconfigure) restructured so its cost no
+// longer means freezing the whole sharded engine (DESIGN.md §7):
+//
+//	P1  collect   serial, all shard locks: sample every active slice's
+//	              offered load in submission order. The sampling draws from
+//	              the shared simulation RNG, so this order is part of the
+//	              fixed-seed determinism contract and must stay serial.
+//	P2  schedule  serial, all shard locks: one global RAN.ScheduleEpoch
+//	              pass over the collected demand (the cell scheduler and
+//	              its CQI draw are genuinely global).
+//	P3  analyze   parallel, one worker per shard, each holding only its
+//	              own shard lock: per-slice violation detection
+//	              (RecordEpoch), forecaster update, provisioning target —
+//	              the embarrassingly parallel per-slice pipeline of the
+//	              companion forecasting paper [4] — plus the shard's
+//	              demand/served telemetry flushed as one batch.
+//	P3c commit    serial, submission order, one shard lock at a time:
+//	              charge and publish SLA violations, then apply resizes
+//	              through the transaction engine and roll the capacity
+//	              ledger forward. Everything order-sensitive (domain
+//	              mutations, ledger float additions, event sequence)
+//	              happens here, in exactly the order the pre-pipeline
+//	              epoch performed it — the determinism argument is that
+//	              P3 computes only per-slice values, and every shared-
+//	              state mutation is confined to the serial phases.
+//	P4  publish   telemetry barrier: flush the remaining batches, fold the
+//	              gain report and atomically publish the EpochSnapshot the
+//	              read plane serves from.
+//
+// Between P2's unlock and each commit step, per-slice operations on other
+// shards (admissions, teardowns, watches) proceed concurrently; the epoch
+// re-checks slice liveness under the shard lock before touching it. Whole-
+// registry passes (squeeze, restoration) cannot interleave: RunEpoch holds
+// epochMu for the duration.
+
+// sliceSeriesCapacity bounds the per-slice telemetry rings. Orchestrator-
+// level and domain series keep the store's default capacity; per-slice
+// rings are the ones that multiply by the slice count, and a bounded
+// dashboard window is all they serve.
+const sliceSeriesCapacity = 512
+
+// epochItem carries one active slice through the epoch pipeline. The serial
+// phases fill plmn/demand/served; the slice's shard worker fills live,
+// violated and target.
+type epochItem struct {
+	m        *managedSlice
+	plmn     slice.PLMN
+	demand   float64
+	served   float64
+	live     bool // still Active when its shard worker reached it
+	violated bool
+	target   float64
+}
 
 // RunEpoch executes one pass of the Fig. 1 closed loop:
 //
@@ -20,25 +77,29 @@ import (
 //  5. automatic configuration of network elements — resize radio and
 //     transport reservations where the target moved beyond hysteresis.
 //
-// It also pushes all telemetry and the gain/penalty dashboard series, and
-// rolls the per-slice capacity-ledger entries forward to the new
-// provisioning targets so subsequent admissions see the refreshed budget.
+// It also pushes all telemetry, rolls the per-slice capacity-ledger entries
+// forward to the new provisioning targets, and publishes the epoch's
+// outcome as an atomically swapped EpochSnapshot.
 //
-// The epoch is the cross-shard rollover of the sharded engine: it takes
-// every shard lock (index order), so it serializes against all in-flight
-// admissions and teardowns — a brief stop-the-world pass, matching the
-// paper's single periodic reconfiguration point.
+// Steps 1–2 are the serial head (phases P1/P2, under every shard lock in
+// index order — the only remaining stop-the-world window, and it is O(n)
+// cheap). Steps 3–4 run in parallel shard workers (P3); step 5 and all
+// other shared-state mutations commit serially in submission order (P3c),
+// so a fixed-seed run is bit-identical at any shard count. See the file
+// comment for the full phase/locking contract.
 func (o *Orchestrator) RunEpoch() {
-	o.lockAll()
-	defer o.unlockAll()
+	o.epochMu.Lock()
+	defer o.epochMu.Unlock()
 	now := o.clock.Now()
 	o.epochs.Add(1)
 
-	// Stage 1: demand collection, in submission order (the sampling draws
-	// from the shared RNG, so order is part of determinism).
-	demands := make(map[slice.PLMN]float64)
-	var active []*managedSlice
-	for _, m := range o.orderedSlicesAllLocked() {
+	// P1: demand collection, in submission order (the sampling draws from
+	// the shared RNG, so order is part of determinism).
+	o.lockAll()
+	ordered := o.orderedSlicesAllLocked()
+	items := make([]epochItem, 0, len(ordered))
+	demands := make(map[slice.PLMN]float64, len(ordered))
+	for _, m := range ordered {
 		if m.s.State() != slice.StateActive {
 			continue
 		}
@@ -49,123 +110,149 @@ func (o *Orchestrator) RunEpoch() {
 		if !m.haveDemand {
 			continue
 		}
-		demands[m.s.Allocation().PLMN] = m.lastDemand
-		active = append(active, m)
-	}
-
-	// Stage 2: schedule the epoch and account violations.
-	served, ranUtil := o.tb.Ctrl.RAN.ScheduleEpoch(demands, o.cfg.ShareUnusedPRBs)
-	for _, m := range active {
 		plmn := m.s.Allocation().PLMN
-		got := served[plmn]
-		if m.s.RecordEpoch(m.lastDemand, got) {
-			m.sh.violationsTotal++
-			m.sh.penaltyTotalEUR += m.s.SLA().PenaltyEUR
-			o.publish(EventViolation, m.s,
-				fmt.Sprintf("served %.1f of %.1f Mbps demanded", got, m.lastDemand))
+		demands[plmn] = m.lastDemand
+		items = append(items, epochItem{m: m, plmn: plmn, demand: m.lastDemand})
+	}
+
+	// P2: the global cell-scheduler pass and its violation inputs.
+	served, ranUtil := o.tb.Ctrl.RAN.ScheduleEpoch(demands, o.cfg.ShareUnusedPRBs)
+	for i := range items {
+		items[i].served = served[items[i].plmn]
+	}
+	o.unlockAll()
+
+	// P3: per-shard parallel monitor/analyze/optimize workers.
+	o.analyzePhase(now, items)
+
+	// P3c: ordered commit. First charge and publish every SLA violation in
+	// submission order, each under its shard lock so a concurrent Delete
+	// serializes against the charge — a slice torn down since P3 is
+	// dropped, never billed or announced after its EventDeleted...
+	for i := range items {
+		it := &items[i]
+		if !it.violated {
+			continue
 		}
-		id := string(m.s.ID())
-		o.store.Record(monitor.SliceMetric(id, "demand_mbps"), now, m.lastDemand)
-		o.store.Record(monitor.SliceMetric(id, "served_mbps"), now, got)
+		m := it.m
+		m.sh.mu.Lock()
+		if m.s.State() == slice.StateActive {
+			m.sh.violations.Add(1)
+			o.acc.penalty(m.s.SLA().PenaltyEUR)
+			o.publish(EventViolation, m.s,
+				fmt.Sprintf("served %.1f of %.1f Mbps demanded", it.served, it.demand))
+		}
+		m.sh.mu.Unlock()
+	}
+	// ...then apply reconfigurations and roll the ledger forward, still in
+	// submission order: resizes contend on the shared PRB/link/CPU pools,
+	// so their order decides marginal grow/shrink outcomes and the ledger's
+	// float bits — pinning it here keeps fixed-seed runs identical at any
+	// shard count.
+	allocBatch := make([]monitor.BatchSample, 0, len(items))
+	for i := range items {
+		it := &items[i]
+		if !it.live {
+			continue
+		}
+		m := it.m
+		m.sh.mu.Lock()
+		if m.s.State() == slice.StateActive {
+			o.resizeLocked(m, it.target)
+			o.ledger.Update(m.ledgerMbps, it.target)
+			m.ledgerMbps = it.target
+			allocBatch = append(allocBatch, monitor.BatchSample{
+				Name: m.seriesAlloc, Value: m.s.Allocation().AllocatedMbps})
+		}
+		m.sh.mu.Unlock()
 	}
 
-	// Stages 3–5: forecast, optimize, reconfigure; roll the ledger entry
-	// forward to the new provisioning target.
-	for _, m := range active {
-		m.prov.Observe(m.lastDemand)
-		target := m.prov.Provision(m.s.SLA().ThroughputMbps)
-		o.resizeLocked(m, target)
-		o.ledger.Update(m.ledgerMbps, target)
-		m.ledgerMbps = target
-		o.store.Record(monitor.SliceMetric(string(m.s.ID()), "allocated_mbps"), now, m.s.Allocation().AllocatedMbps)
-	}
-
-	// Telemetry.
+	// P4: telemetry barrier — flush the commit batch, push domain
+	// telemetry, fold the gain report and publish the epoch snapshot. The
+	// fold runs under a momentary lockAll: every counter/accumulator
+	// update happens while holding a shard lock, so quiescing the shards
+	// makes the snapshot one mutually consistent cut (the lock-free
+	// Gain() alone guarantees only per-field exactness) — O(shards) work,
+	// once per epoch.
+	o.store.RecordBatchSized(now, allocBatch, sliceSeriesCapacity)
 	o.tb.Ctrl.PushTelemetry(o.store, now)
+	o.lockAll()
+	g := o.Gain()
+	o.unlockAll()
 	o.store.Record("orchestrator/ran_epoch_utilization", now, ranUtil)
-	g := o.gainAllLocked()
 	o.store.Record("orchestrator/overbooking_ratio", now, g.OverbookingRatio)
 	o.store.Record("orchestrator/multiplexing_gain", now, g.MultiplexingGain)
 	o.store.Record("orchestrator/penalties_eur", now, g.PenaltyTotalEUR)
 	o.store.Record("orchestrator/net_revenue_eur", now, g.NetRevenueEUR)
-	o.store.Record("orchestrator/active_slices", now, float64(len(active)))
+	o.store.Record("orchestrator/active_slices", now, float64(len(items)))
+	o.lastEpoch.Store(&EpochSnapshot{
+		Epoch:          int(o.epochs.Load()),
+		At:             now,
+		MeasuredSlices: len(items),
+		RANUtilization: ranUtil,
+		Gain:           g,
+	})
 }
 
-// GainReport is the dashboard's "current gains vs. penalties" panel plus
-// the admission counters.
-type GainReport struct {
-	// CapacityMbps is the physical radio capacity at mean CQI.
-	CapacityMbps float64 `json:"capacity_mbps"`
-	// ContractedMbps sums the SLAs of live (installing or active) slices.
-	ContractedMbps float64 `json:"contracted_mbps"`
-	// AllocatedMbps sums the current (possibly shrunk) reservations.
-	AllocatedMbps float64 `json:"allocated_mbps"`
-	// OverbookingRatio is ContractedMbps / CapacityMbps: above 1 the
-	// operator has sold more than it physically owns.
-	OverbookingRatio float64 `json:"overbooking_ratio"`
-	// MultiplexingGain is ContractedMbps / AllocatedMbps: how much SLA
-	// each reserved Mbps carries (1.0 without overbooking).
-	MultiplexingGain float64 `json:"multiplexing_gain"`
-	// Admission counters.
-	Admitted int `json:"admitted"`
-	Rejected int `json:"rejected"`
-	Active   int `json:"active"`
-	// RejectReasons histograms rejection causes (experiment D6).
-	RejectReasons map[string]int `json:"reject_reasons"`
-	// Money (the gains-vs-penalties trade-off of Section 3).
-	RevenueTotalEUR float64 `json:"revenue_total_eur"`
-	PenaltyTotalEUR float64 `json:"penalty_total_eur"`
-	NetRevenueEUR   float64 `json:"net_revenue_eur"`
-	// ViolationEpochs counts SLA-violation epochs across all slices.
-	ViolationEpochs int `json:"violation_epochs"`
-	// Reconfigurations counts overbooking resizes applied.
-	Reconfigurations int `json:"reconfigurations"`
-	// Epochs counts control-loop passes.
-	Epochs int `json:"epochs"`
-}
-
-// Gain returns the current gain/penalty report, atomic across shards.
-func (o *Orchestrator) Gain() GainReport {
-	o.lockAll()
-	defer o.unlockAll()
-	return o.gainAllLocked()
-}
-
-// gainAllLocked aggregates the shard counters and live-slice totals. Caller
-// holds every shard lock.
-func (o *Orchestrator) gainAllLocked() GainReport {
-	g := GainReport{
-		CapacityMbps:  o.tb.RadioCapacityMbps(),
-		Epochs:        int(o.epochs.Load()),
-		RejectReasons: make(map[string]int),
+// analyzePhase is P3: per-slice violation detection, forecaster update and
+// provisioning-target computation, partitioned by shard. Each worker holds
+// only its own shard's lock, touches only that shard's slices (and their
+// slice-private forecasters), and flushes its demand/served telemetry as
+// one batch after unlocking — no shared state is written, which is what
+// makes the phase safe to run on one goroutine per shard. With a single
+// shard (or a single populated shard) the phase runs inline: that is the
+// serial path the shard-equivalence tests compare against.
+func (o *Orchestrator) analyzePhase(now time.Time, items []epochItem) {
+	if len(items) == 0 {
+		return
 	}
-	for _, sh := range o.shards {
-		g.Admitted += sh.admitted
-		g.Rejected += sh.rejected
-		g.RevenueTotalEUR += sh.revenueTotalEUR
-		g.PenaltyTotalEUR += sh.penaltyTotalEUR
-		g.ViolationEpochs += sh.violationsTotal
-		g.Reconfigurations += sh.reconfigurations
-		for k, v := range sh.rejectReasons {
-			g.RejectReasons[k] += v
+	groups := make(map[*shard][]int, len(o.shards))
+	for i := range items {
+		sh := items[i].m.sh
+		groups[sh] = append(groups[sh], i)
+	}
+	work := func(idxs []int) {
+		sh := items[idxs[0]].m.sh
+		batch := make([]monitor.BatchSample, 0, 2*len(idxs))
+		sh.mu.Lock()
+		for _, i := range idxs {
+			it := &items[i]
+			m := it.m
+			// A teardown may have won the race since P1 released the
+			// locks (live mode); a dead slice is dropped from the epoch.
+			if m.s.State() != slice.StateActive {
+				continue
+			}
+			it.live = true
+			it.violated = m.s.RecordEpoch(it.demand, it.served)
+			if m.seriesDemand == "" {
+				id := string(m.s.ID())
+				m.seriesDemand = monitor.SliceMetric(id, "demand_mbps")
+				m.seriesServed = monitor.SliceMetric(id, "served_mbps")
+				m.seriesAlloc = monitor.SliceMetric(id, "allocated_mbps")
+			}
+			batch = append(batch,
+				monitor.BatchSample{Name: m.seriesDemand, Value: it.demand},
+				monitor.BatchSample{Name: m.seriesServed, Value: it.served})
+			m.prov.Observe(it.demand)
+			it.target = m.prov.Provision(m.s.SLA().ThroughputMbps)
 		}
+		sh.mu.Unlock()
+		o.store.RecordBatchSized(now, batch, sliceSeriesCapacity)
 	}
-	for _, m := range o.orderedSlicesAllLocked() {
-		switch m.s.State() {
-		case slice.StateActive, slice.StateReconfiguring:
-			g.Active++
-			fallthrough
-		case slice.StateAdmitted, slice.StateInstalling:
-			g.ContractedMbps += m.s.SLA().ThroughputMbps
-			g.AllocatedMbps += m.s.Allocation().AllocatedMbps
+	if len(groups) == 1 {
+		for _, idxs := range groups {
+			work(idxs)
 		}
+		return
 	}
-	if g.CapacityMbps > 0 {
-		g.OverbookingRatio = g.ContractedMbps / g.CapacityMbps
+	var wg sync.WaitGroup
+	for _, idxs := range groups {
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			work(idxs)
+		}(idxs)
 	}
-	if g.AllocatedMbps > 0 {
-		g.MultiplexingGain = g.ContractedMbps / g.AllocatedMbps
-	}
-	g.NetRevenueEUR = g.RevenueTotalEUR - g.PenaltyTotalEUR
-	return g
+	wg.Wait()
 }

@@ -128,3 +128,39 @@ func TestGainReportConsistency(t *testing.T) {
 		t.Fatal("net revenue identity broken")
 	}
 }
+
+func TestEpochSnapshotPublished(t *testing.T) {
+	s, o := env(t, Config{Overbook: true, Risk: 0.9})
+	if _, ok := o.LastEpoch(); ok {
+		t.Fatal("epoch snapshot published before any epoch ran")
+	}
+	o.Start()
+	o.Submit(req("t", 30, 50, 2*time.Hour, 50), traffic.NewConstant(10, 0, nil))
+	s.RunFor(20 * time.Minute)
+	snap, ok := o.LastEpoch()
+	if !ok {
+		t.Fatal("no epoch snapshot after 20 epochs")
+	}
+	if snap.Epoch != 20 {
+		t.Fatalf("snapshot epoch %d, want 20", snap.Epoch)
+	}
+	if snap.MeasuredSlices != 1 {
+		t.Fatalf("measured %d slices, want 1", snap.MeasuredSlices)
+	}
+	if snap.RANUtilization <= 0 {
+		t.Fatalf("RAN utilization %.3f, want > 0 under load", snap.RANUtilization)
+	}
+	// Nothing moved since the epoch, so the snapshot must agree with the
+	// live report — the documented staleness bound is "at most one epoch".
+	g := o.Gain()
+	if snap.Gain.Admitted != g.Admitted || snap.Gain.Active != g.Active || snap.Gain.Epochs != g.Epochs {
+		t.Fatalf("snapshot gain %+v diverged from live %+v on a quiet system", snap.Gain, g)
+	}
+	// The snapshot is immutable: mutating the returned histogram must not
+	// leak into the published copy.
+	snap.Gain.RejectReasons["tampered"] = 1
+	again, _ := o.LastEpoch()
+	if _, ok := again.Gain.RejectReasons["tampered"]; ok {
+		t.Fatal("snapshot histogram aliased between readers")
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the orchestrator's lock-free read plane: the gain/penalty
+// report, the active-slice count and the per-epoch snapshot are served from
+// per-shard atomic counters plus one tiny global accumulator, never from a
+// whole-registry pass. Before PR 4, Gain() and ActiveCount() took every
+// shard lock and walked every slice — a stop-the-world freeze on each
+// dashboard poll; now a poll costs O(shards) atomic loads and one leaf
+// mutex, and admission never waits on a reader.
+//
+// Counter taxonomy (see also DESIGN.md §7):
+//
+//   - Monotone integer counters (admitted, rejected, violation epochs,
+//     reconfigurations, active count) live in per-shard atomics: updates on
+//     different shards never contend and reads are exact at all times.
+//   - Order-sensitive float aggregates (revenue, penalties, contracted and
+//     allocated Mbps) live in the single gainAccumulator below, mutated in
+//     the deterministic order the engine performs the underlying
+//     transitions. Splitting them per shard would change float-addition
+//     grouping with the shard count, and a fixed-seed run must produce
+//     bit-identical money at any shard count
+//     (TestShardCountDoesNotChangeOutcomes).
+//
+// The accumulator mutex is a leaf: it is taken while holding a shard lock,
+// and never the other way around.
+
+// gainAccumulator tracks the order-sensitive aggregates of the gain report.
+type gainAccumulator struct {
+	mu             sync.Mutex
+	revenueEUR     float64
+	penaltyEUR     float64
+	contractedMbps float64
+	allocatedMbps  float64
+	// live counts the slices currently contributing to the Mbps totals.
+	// Incremental float sums accumulate rounding residue ((x+a)-a need not
+	// equal x), so when the last live slice leaves, the totals are snapped
+	// back to exactly zero — an empty registry must report zero contracted
+	// capacity, not an ulp-sized residue.
+	live          int
+	rejectReasons map[string]int
+}
+
+func newGainAccumulator() *gainAccumulator {
+	return &gainAccumulator{rejectReasons: make(map[string]int)}
+}
+
+// admit records an accepted request: its price joins the revenue and its
+// contract and initial allocation join the live totals.
+func (a *gainAccumulator) admit(priceEUR, contractedMbps, allocatedMbps float64) {
+	a.mu.Lock()
+	a.revenueEUR += priceEUR
+	a.contractedMbps += contractedMbps
+	a.allocatedMbps += allocatedMbps
+	a.live++
+	a.mu.Unlock()
+}
+
+// reject buckets a rejection under its stable taxonomy code.
+func (a *gainAccumulator) reject(code string) {
+	a.mu.Lock()
+	a.rejectReasons[code]++
+	a.mu.Unlock()
+}
+
+// release removes a torn-down slice's contract and allocation from the live
+// totals.
+func (a *gainAccumulator) release(contractedMbps, allocatedMbps float64) {
+	a.mu.Lock()
+	a.contractedMbps -= contractedMbps
+	a.allocatedMbps -= allocatedMbps
+	a.live--
+	if a.live <= 0 {
+		a.contractedMbps = 0
+		a.allocatedMbps = 0
+	}
+	a.mu.Unlock()
+}
+
+// allocDelta shifts the live allocated total after a reconfiguration.
+func (a *gainAccumulator) allocDelta(deltaMbps float64) {
+	if deltaMbps == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.allocatedMbps += deltaMbps
+	a.mu.Unlock()
+}
+
+// penalty charges an SLA-violation penalty.
+func (a *gainAccumulator) penalty(eur float64) {
+	a.mu.Lock()
+	a.penaltyEUR += eur
+	a.mu.Unlock()
+}
+
+// report copies the accumulator into g (floats plus the histogram).
+func (a *gainAccumulator) report(g *GainReport) {
+	a.mu.Lock()
+	g.RevenueTotalEUR = a.revenueEUR
+	g.PenaltyTotalEUR = a.penaltyEUR
+	g.ContractedMbps = a.contractedMbps
+	g.AllocatedMbps = a.allocatedMbps
+	for k, v := range a.rejectReasons {
+		g.RejectReasons[k] += v
+	}
+	a.mu.Unlock()
+}
+
+// GainReport is the dashboard's "current gains vs. penalties" panel plus
+// the admission counters.
+type GainReport struct {
+	// CapacityMbps is the physical radio capacity at mean CQI.
+	CapacityMbps float64 `json:"capacity_mbps"`
+	// ContractedMbps sums the SLAs of live (installing or active) slices.
+	ContractedMbps float64 `json:"contracted_mbps"`
+	// AllocatedMbps sums the current (possibly shrunk) reservations.
+	AllocatedMbps float64 `json:"allocated_mbps"`
+	// OverbookingRatio is ContractedMbps / CapacityMbps: above 1 the
+	// operator has sold more than it physically owns.
+	OverbookingRatio float64 `json:"overbooking_ratio"`
+	// MultiplexingGain is ContractedMbps / AllocatedMbps: how much SLA
+	// each reserved Mbps carries (1.0 without overbooking).
+	MultiplexingGain float64 `json:"multiplexing_gain"`
+	// Admission counters.
+	Admitted int `json:"admitted"`
+	Rejected int `json:"rejected"`
+	Active   int `json:"active"`
+	// RejectReasons histograms rejection causes (experiment D6).
+	RejectReasons map[string]int `json:"reject_reasons"`
+	// Money (the gains-vs-penalties trade-off of Section 3).
+	RevenueTotalEUR float64 `json:"revenue_total_eur"`
+	PenaltyTotalEUR float64 `json:"penalty_total_eur"`
+	NetRevenueEUR   float64 `json:"net_revenue_eur"`
+	// ViolationEpochs counts SLA-violation epochs across all slices.
+	ViolationEpochs int `json:"violation_epochs"`
+	// Reconfigurations counts overbooking resizes applied.
+	Reconfigurations int `json:"reconfigurations"`
+	// Epochs counts control-loop passes.
+	Epochs int `json:"epochs"`
+}
+
+// Gain returns the current gain/penalty report. Every individual counter is
+// exact — it reflects all completed transitions — and the read is cheap:
+// O(shards) atomic loads plus one leaf mutex, with no shard lock taken, so
+// a dashboard polling Gain at any rate never stalls admission or the epoch.
+// The report is not one atomic cut across fields, though: a transition
+// committing concurrently with the read may be visible in the integer
+// counters but not yet in the money/Mbps aggregates (or vice versa) for
+// that single poll. Epoch-aligned, mutually consistent numbers come from
+// LastEpoch, whose report is folded under a momentary all-shard quiesce.
+func (o *Orchestrator) Gain() GainReport {
+	g := GainReport{
+		CapacityMbps:  o.tb.RadioCapacityMbps(),
+		Epochs:        int(o.epochs.Load()),
+		RejectReasons: make(map[string]int),
+	}
+	for _, sh := range o.shards {
+		g.Admitted += int(sh.admitted.Load())
+		g.Rejected += int(sh.rejected.Load())
+		g.ViolationEpochs += int(sh.violations.Load())
+		g.Reconfigurations += int(sh.reconfigurations.Load())
+		g.Active += int(sh.active.Load())
+	}
+	o.acc.report(&g)
+	if g.CapacityMbps > 0 {
+		g.OverbookingRatio = g.ContractedMbps / g.CapacityMbps
+	}
+	if g.AllocatedMbps > 0 {
+		g.MultiplexingGain = g.ContractedMbps / g.AllocatedMbps
+	}
+	g.NetRevenueEUR = g.RevenueTotalEUR - g.PenaltyTotalEUR
+	return g
+}
+
+// ActiveCount returns the number of active (traffic-carrying) slices from
+// the per-shard counters — no shard lock, no registry walk.
+func (o *Orchestrator) ActiveCount() int {
+	n := 0
+	for _, sh := range o.shards {
+		n += int(sh.active.Load())
+	}
+	return n
+}
+
+// EpochSnapshot is the atomically published outcome of one control epoch:
+// the telemetry barrier (phase P4) folds the epoch's results into one of
+// these and swaps it in with a single atomic store. Readers (REST,
+// dashboard) get a consistent epoch-aligned view that is at most one epoch
+// stale, without touching any lock the write path uses.
+type EpochSnapshot struct {
+	// Epoch is the control-loop pass counter (1-based).
+	Epoch int `json:"epoch"`
+	// At is the epoch's timestamp on the driving clock.
+	At time.Time `json:"at"`
+	// MeasuredSlices counts the active slices the epoch sampled, scheduled
+	// and reprovisioned.
+	MeasuredSlices int `json:"measured_slices"`
+	// RANUtilization is the scheduled PRB utilization of the epoch [0,1].
+	RANUtilization float64 `json:"ran_utilization"`
+	// Gain is the gain/penalty report folded at the end of the epoch.
+	Gain GainReport `json:"gain"`
+}
+
+// LastEpoch returns the snapshot published by the most recent control epoch
+// and whether any epoch has completed yet. The snapshot is immutable; the
+// returned histogram is a copy.
+func (o *Orchestrator) LastEpoch() (EpochSnapshot, bool) {
+	p := o.lastEpoch.Load()
+	if p == nil {
+		return EpochSnapshot{}, false
+	}
+	snap := *p
+	reasons := make(map[string]int, len(p.Gain.RejectReasons))
+	for k, v := range p.Gain.RejectReasons {
+		reasons[k] = v
+	}
+	snap.Gain.RejectReasons = reasons
+	return snap, true
+}

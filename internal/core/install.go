@@ -136,6 +136,7 @@ func (o *Orchestrator) activate(id slice.ID) {
 		sh.mu.Unlock()
 		return
 	}
+	sh.active.Add(1)
 	if tl, ok := sh.timelines[id]; ok {
 		tl.Active = now
 	}
@@ -179,11 +180,22 @@ func (o *Orchestrator) teardownLocked(sh *shard, m *managedSlice, reason string,
 		m.expiry.Cancel()
 		m.expiry = nil
 	}
+	st := m.s.State()
 	alloc := m.s.Allocation()
 	o.releaseAll(m.s.ID(), alloc.PLMN)
 	o.plmns.Release(alloc.PLMN)
 	o.ledger.Release(m.ledgerMbps)
 	m.ledgerMbps = 0
+	// Read-plane bookkeeping: the slice leaves the live totals, and the
+	// active count drops if it was carrying traffic.
+	switch st {
+	case slice.StateAdmitted, slice.StateInstalling, slice.StateActive, slice.StateReconfiguring:
+		o.acc.release(m.s.SLA().ThroughputMbps, alloc.AllocatedMbps)
+	}
+	switch st {
+	case slice.StateActive, slice.StateReconfiguring:
+		sh.active.Add(-1)
+	}
 	m.s.Terminate(reason)
 	o.publish(typ, m.s, reason)
 	return o.history.Push(m.s.ID())
@@ -192,9 +204,13 @@ func (o *Orchestrator) teardownLocked(sh *shard, m *managedSlice, reason string,
 // squeezeAll shrinks every live slice's domain reservations to its
 // forecast-provisioned target (or the a-priori estimate for slices without
 // history), freeing capacity for a newcomer. It is a whole-registry pass:
-// callers must hold no shard lock; squeezeAll takes all of them in index
+// callers must hold no shard lock (reserveAll releases its own around the
+// call); squeezeAll serializes on epochMu — so it never interleaves with
+// the epoch's phase pipeline — and then takes every shard lock in index
 // order.
 func (o *Orchestrator) squeezeAll() {
+	o.epochMu.Lock()
+	defer o.epochMu.Unlock()
 	o.lockAll()
 	defer o.unlockAll()
 	for _, m := range o.orderedSlicesAllLocked() {
@@ -249,6 +265,7 @@ func (o *Orchestrator) resizeLocked(m *managedSlice, targetMbps float64) bool {
 		DataCenter:      alloc.DataCenter,
 		LatencyBudgetMs: o.latencyBudget(sla),
 	}
+	before := alloc.AllocatedMbps
 	grants, ok := o.resizeAll(tx, targetMbps, alloc.AllocatedMbps)
 	if !ok {
 		endReconfigure()
@@ -260,7 +277,8 @@ func (o *Orchestrator) resizeLocked(m *managedSlice, targetMbps float64) bool {
 		}
 	}
 	m.s.SetAllocation(alloc)
-	m.sh.reconfigurations++
+	o.acc.allocDelta(alloc.AllocatedMbps - before)
+	m.sh.reconfigurations.Add(1)
 	// Publish after the Reconfiguring -> Active transition completes so the
 	// event carries the post-transition state.
 	endReconfigure()

@@ -18,8 +18,10 @@ import (
 // and surface the SLA failure.
 //
 // A failed link's victims can live on any shard, so both handlers are
-// whole-registry passes: they take every shard lock (index order) for the
-// duration, serializing against in-flight admissions like the epoch.
+// whole-registry passes: they serialize on epochMu (so a restoration never
+// interleaves with the control epoch's phase pipeline or the squeeze) and
+// then take every shard lock (index order) for the duration, serializing
+// against in-flight admissions.
 
 // RestorationReport summarises one link-failure handling pass.
 type RestorationReport struct {
@@ -37,6 +39,8 @@ type RestorationReport struct {
 // with no feasible alternative are terminated (the tenant's SLA failed
 // outright — shown on the dashboard). Safe for concurrent use.
 func (o *Orchestrator) HandleLinkFailure(from, to string) (RestorationReport, error) {
+	o.epochMu.Lock()
+	defer o.epochMu.Unlock()
 	o.lockAll()
 
 	rep := RestorationReport{Link: from + "->" + to}
@@ -116,6 +120,8 @@ func (o *Orchestrator) RestoreLink(from, to string) error {
 // monitoring loop's problem); a slice that cannot even keep the floor is
 // dropped. Safe for concurrent use.
 func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps float64) (RestorationReport, error) {
+	o.epochMu.Lock()
+	defer o.epochMu.Unlock()
 	o.lockAll()
 
 	rep := RestorationReport{Link: from + "->" + to}
@@ -165,6 +171,7 @@ func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps fl
 		// always fit, so errors are ignored like in the engine's restore
 		// path.
 		alloc := m.s.Allocation()
+		before := alloc.AllocatedMbps
 		tx := ctrl.Tx{Slice: id, PLMN: alloc.PLMN, SLA: m.s.SLA(), DataCenter: alloc.DataCenter,
 			LatencyBudgetMs: o.latencyBudget(m.s.SLA())}
 		if g, err := o.domains.chain[0].Resize(tx, target); err == nil && g != nil {
@@ -176,6 +183,7 @@ func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps fl
 			d.Resize(tx, target)
 		}
 		m.s.SetAllocation(alloc)
+		o.acc.allocDelta(alloc.AllocatedMbps - before)
 		rep.Restored = append(rep.Restored, id)
 		o.publish(EventResized, m.s, fmt.Sprintf("shrunk to fair share of degraded %s", rep.Link))
 	}
@@ -212,6 +220,6 @@ func (o *Orchestrator) rerouteLocked(m *managedSlice, mbps float64) bool {
 	}
 	g.Apply(&alloc)
 	m.s.SetAllocation(alloc)
-	m.sh.reconfigurations++
+	m.sh.reconfigurations.Add(1)
 	return true
 }

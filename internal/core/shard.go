@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/slice"
 )
@@ -11,10 +12,13 @@ import (
 // engine (DESIGN.md §3.4): the slice registry is split into a power-of-two
 // number of shards, keyed by an FNV-1a hash of the slice ID, so independent
 // tenants' admissions, installs and teardowns serialize only against their
-// own shard. Cross-shard operations — the control epoch, restoration after
-// link failures, the squeeze that shrinks running slices for a newcomer —
-// acquire every shard lock in index order (lockAll), which is deadlock-free
-// because single-shard paths never hold more than one shard lock at a time.
+// own shard. Whole-registry passes — the serial head of the control epoch,
+// restoration after link failures, the squeeze that shrinks running slices
+// for a newcomer — first take the orchestrator's epochMu (serializing those
+// passes against each other and against the epoch's phase pipeline) and
+// then acquire every shard lock in index order (lockAll), which is
+// deadlock-free because single-shard paths never hold more than one shard
+// lock at a time. See DESIGN.md §7 for the full phase/locking contract.
 //
 // The global overbooking budget lives outside the shards in a capacity
 // ledger: admission performs a two-phase reservation (reserve the estimated
@@ -23,28 +27,35 @@ import (
 // no cross-shard iteration on the hot path.
 
 // shard is one partition of the orchestrator's slice registry. Its mutex
-// guards the maps, the managedSlice bookkeeping of every slice hashed to it,
-// and the shard-local cumulative counters (summed by Gain).
+// guards the maps and the managedSlice bookkeeping of every slice hashed to
+// it. The cumulative counters are atomics so the read plane (Gain,
+// ActiveCount, the dashboard) sums them without taking any shard lock;
+// writers update them while holding the shard lock (or, for the epoch's
+// violation pass, from the single ordered-commit goroutine), so each
+// counter is monotone and exact.
 type shard struct {
 	mu        sync.Mutex
 	slices    map[slice.ID]*managedSlice
 	timelines map[slice.ID]*InstallTimeline
 
 	// Cumulative counters for the demonstration dashboard; Gain aggregates
-	// them across shards.
-	admitted, rejected int
-	rejectReasons      map[string]int
-	violationsTotal    int
-	penaltyTotalEUR    float64
-	revenueTotalEUR    float64
-	reconfigurations   int
+	// them across shards. Order-sensitive float aggregates (money, live
+	// Mbps totals) live in the global gainAccumulator instead — see
+	// gain.go for the split's rationale.
+	admitted         atomic.Int64
+	rejected         atomic.Int64
+	violations       atomic.Int64
+	reconfigurations atomic.Int64
+	// active counts slices currently in StateActive or StateReconfiguring
+	// (incremented on activation, decremented on teardown from either
+	// state).
+	active atomic.Int64
 }
 
 func newShard() *shard {
 	return &shard{
-		slices:        make(map[slice.ID]*managedSlice),
-		timelines:     make(map[slice.ID]*InstallTimeline),
-		rejectReasons: make(map[string]int),
+		slices:    make(map[slice.ID]*managedSlice),
+		timelines: make(map[slice.ID]*InstallTimeline),
 	}
 }
 
@@ -61,9 +72,10 @@ func (o *Orchestrator) shardFor(id slice.ID) *shard {
 }
 
 // lockAll acquires every shard lock in index order. Paired with unlockAll.
-// Only whole-registry passes (epoch, gain, list, squeeze, restoration) use
-// it; per-slice paths lock exactly one shard, so the index order makes
-// deadlock impossible.
+// Only whole-registry passes use it — the epoch's serial collection phase,
+// the squeeze, restoration — and all of them hold epochMu first; per-slice
+// paths lock exactly one shard, so the index order makes deadlock
+// impossible. The read plane (Gain, ActiveCount, List) no longer uses it.
 func (o *Orchestrator) lockAll() {
 	for _, sh := range o.shards {
 		sh.mu.Lock()

@@ -148,18 +148,27 @@ func (c *RANController) ReleaseSlice(p slice.PLMN) {
 // ScheduleEpoch distributes per-slice demand evenly over the eNBs, runs
 // each cell's scheduler and returns the summed served throughput per PLMN
 // plus the mean cell utilization.
+//
+// It is the serial heart of the control epoch (core's phase P2): the
+// orchestrator calls it exactly once per epoch, from one goroutine, while
+// the per-slice forecast/provision work runs in the parallel phase around
+// it. The per-eNB demand split is built once and shared across cells (each
+// cell only reads it), so the pass is O(slices + slices·cells-in-scheduler)
+// rather than re-building a map per cell.
 func (c *RANController) ScheduleEpoch(demand map[slice.PLMN]float64, shareUnused bool) (map[slice.PLMN]float64, float64) {
 	enbs := c.net.All()
 	served := make(map[slice.PLMN]float64, len(demand))
 	if len(enbs) == 0 {
 		return served, 0
 	}
+	// One shared per-cell demand map: every slice's UEs camp on all cells,
+	// so the per-cell share is the same everywhere.
+	local := make(ran.DemandMbps, len(demand))
+	for p, d := range demand {
+		local[p] = d / float64(len(enbs))
+	}
 	utilSum := 0.0
 	for _, e := range enbs {
-		local := make(ran.DemandMbps, len(demand))
-		for p, d := range demand {
-			local[p] = d / float64(len(enbs))
-		}
 		s, u := e.ScheduleEpoch(local, shareUnused)
 		for p, v := range s {
 			served[p] += v

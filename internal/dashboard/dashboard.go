@@ -14,6 +14,13 @@
 // A small HTML form posts slice requests to the REST API through the same
 // orchestrator, and a "recent events" pane shows the tail of the ordered
 // event sequence.
+//
+// Each render reads Gain() and List() — both served from the orchestrator's
+// lock-free read plane (per-shard counters and shard-by-shard snapshots; see
+// core's gain.go and DESIGN.md §7), so dashboard polling at any rate never
+// freezes admission or the control epoch, and epoch-aligned numbers are
+// additionally available from the published EpochSnapshot (GET
+// /api/v2/epoch).
 package dashboard
 
 import (

@@ -13,10 +13,14 @@
 // accuracy metrics for the ablation experiment (D3).
 //
 // Forecasters and Provisioners are deliberately unsynchronized: each one
-// belongs to exactly one slice, and the orchestrator core guards it with
-// the owning shard's lock (every Observe/Provision happens under the
-// epoch's stop-the-world pass or the shard lock — see DESIGN.md §3.4).
-// Do not share one instance across slices or goroutines.
+// belongs to exactly one slice, and every Observe/Provision call happens
+// while the caller holds that slice's shard lock. Since PR 4 the control
+// epoch's analysis phase (P3) runs one worker goroutine per shard, so
+// forecasters on different shards are driven in parallel — but a single
+// forecaster still only ever sees one goroutine at a time (its shard's
+// worker, or the squeeze/restore passes, which the orchestrator serializes
+// against the epoch; see DESIGN.md §7). Do not share one instance across
+// slices or goroutines.
 package forecast
 
 import (

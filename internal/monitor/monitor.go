@@ -29,10 +29,17 @@ type Sample struct {
 }
 
 // Series is a fixed-capacity ring buffer of samples. Safe for concurrent use.
+//
+// Internally the ring stores (unix-nanosecond, value) pairs rather than
+// Sample structs: time.Time carries a *Location pointer, and a store with
+// tens of thousands of per-slice series would otherwise hand the garbage
+// collector millions of pointer slots to scan on every cycle. Timestamps
+// round-trip exactly (nanosecond precision, reported in UTC).
 type Series struct {
 	mu   sync.RWMutex
 	name string
-	buf  []Sample
+	at   []int64 // UnixNano per sample
+	val  []float64
 	head int // next write position
 	n    int // valid samples
 }
@@ -42,7 +49,7 @@ func NewSeries(name string, capacity int) *Series {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Series{name: name, buf: make([]Sample, capacity)}
+	return &Series{name: name, at: make([]int64, capacity), val: make([]float64, capacity)}
 }
 
 // Name returns the series name.
@@ -52,9 +59,14 @@ func (s *Series) Name() string { return s.name }
 func (s *Series) Add(at time.Time, v float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.buf[s.head] = Sample{At: at, Value: v}
-	s.head = (s.head + 1) % len(s.buf)
-	if s.n < len(s.buf) {
+	s.addLocked(at.UnixNano(), v)
+}
+
+func (s *Series) addLocked(atNanos int64, v float64) {
+	s.at[s.head] = atNanos
+	s.val[s.head] = v
+	s.head = (s.head + 1) % len(s.at)
+	if s.n < len(s.at) {
 		s.n++
 	}
 }
@@ -67,7 +79,7 @@ func (s *Series) Len() int {
 }
 
 // Capacity returns the ring size.
-func (s *Series) Capacity() int { return len(s.buf) }
+func (s *Series) Capacity() int { return len(s.at) }
 
 // Last returns the most recent sample, if any.
 func (s *Series) Last() (Sample, bool) {
@@ -76,8 +88,8 @@ func (s *Series) Last() (Sample, bool) {
 	if s.n == 0 {
 		return Sample{}, false
 	}
-	idx := (s.head - 1 + len(s.buf)) % len(s.buf)
-	return s.buf[idx], true
+	idx := (s.head - 1 + len(s.at)) % len(s.at)
+	return Sample{At: time.Unix(0, s.at[idx]).UTC(), Value: s.val[idx]}, true
 }
 
 // Window returns up to n most recent samples in chronological order.
@@ -89,19 +101,25 @@ func (s *Series) Window(n int) []Sample {
 		n = s.n
 	}
 	out := make([]Sample, n)
-	start := (s.head - n + len(s.buf)) % len(s.buf)
+	start := (s.head - n + len(s.at)) % len(s.at)
 	for i := 0; i < n; i++ {
-		out[i] = s.buf[(start+i)%len(s.buf)]
+		j := (start + i) % len(s.at)
+		out[i] = Sample{At: time.Unix(0, s.at[j]).UTC(), Value: s.val[j]}
 	}
 	return out
 }
 
 // Values returns just the values of Window(n).
 func (s *Series) Values(n int) []float64 {
-	w := s.Window(n)
-	out := make([]float64, len(w))
-	for i, smp := range w {
-		out[i] = smp.Value
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if n <= 0 || n > s.n {
+		n = s.n
+	}
+	out := make([]float64, n)
+	start := (s.head - n + len(s.at)) % len(s.at)
+	for i := range out {
+		out[i] = s.val[(start+i)%len(s.at)]
 	}
 	return out
 }
@@ -220,9 +238,92 @@ func (st *Store) Series(name string) *Series {
 	return s
 }
 
+// SeriesSized returns the named series, creating it on first use with the
+// given ring capacity instead of the store default. An existing series keeps
+// its original capacity. The orchestrator uses this to bound per-slice
+// telemetry rings: with tens of thousands of slices, default-sized rings
+// would dominate the daemon's memory.
+func (st *Store) SeriesSized(name string, capacity int) *Series {
+	st.mu.RLock()
+	s, ok := st.series[name]
+	st.mu.RUnlock()
+	if ok {
+		return s
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s, ok = st.series[name]; ok {
+		return s
+	}
+	s = NewSeries(name, capacity)
+	st.series[name] = s
+	return s
+}
+
 // Record appends to the named series, creating it if needed.
 func (st *Store) Record(name string, at time.Time, v float64) {
 	st.Series(name).Add(at, v)
+}
+
+// BatchSample is one (series, value) pair of a RecordBatch flush.
+type BatchSample struct {
+	Name  string
+	Value float64
+}
+
+// RecordBatch appends every sample, all stamped at, resolving the whole
+// batch against the series registry in a single shared-lock acquisition
+// (plus one write-lock pass when new series must be created) — the epoch
+// engine's per-shard telemetry flush, replacing one registry round-trip per
+// sample. Missing series are created with the store default capacity.
+// Semantics per sample are identical to Record.
+func (st *Store) RecordBatch(at time.Time, samples []BatchSample) {
+	st.recordBatch(at, samples, st.capacity)
+}
+
+// RecordBatchSized is RecordBatch, but series missing from the registry are
+// created with the given ring capacity (see SeriesSized).
+func (st *Store) RecordBatchSized(at time.Time, samples []BatchSample, capacity int) {
+	st.recordBatch(at, samples, capacity)
+}
+
+func (st *Store) recordBatch(at time.Time, samples []BatchSample, capacity int) {
+	if len(samples) == 0 {
+		return
+	}
+	ptrs := make([]*Series, len(samples))
+	missing := false
+	st.mu.RLock()
+	for i := range samples {
+		if s, ok := st.series[samples[i].Name]; ok {
+			ptrs[i] = s
+		} else {
+			missing = true
+		}
+	}
+	st.mu.RUnlock()
+	if missing {
+		st.mu.Lock()
+		for i := range samples {
+			if ptrs[i] != nil {
+				continue
+			}
+			s, ok := st.series[samples[i].Name]
+			if !ok {
+				s = NewSeries(samples[i].Name, capacity)
+				st.series[samples[i].Name] = s
+			}
+			ptrs[i] = s
+		}
+		st.mu.Unlock()
+	}
+	nanos := at.UnixNano()
+	for i := range samples {
+		s := ptrs[i]
+		s.mu.Lock()
+		s.addLocked(nanos, samples[i].Value)
+		s.mu.Unlock()
+	}
 }
 
 // Names returns all series names, sorted.

@@ -139,6 +139,12 @@ type Config struct {
 	Name string
 	// Bandwidth sets the PRB grid size.
 	Bandwidth Bandwidth
+	// Carriers aggregates this many component carriers of Bandwidth into
+	// one logical cell (default 1, the demo's single-carrier MB4420).
+	// Scale-out simulations raise it so thousands of slices fit one cell's
+	// PRB grid; the control surface (reserve/resize/release per PLMN) is
+	// unchanged.
+	Carriers int
 	// MaxPLMNs bounds the MOCN broadcast list (SIB1 allows 6).
 	MaxPLMNs int
 	// MeanCQI is the average channel quality of the attached UE
@@ -159,6 +165,9 @@ type ENB struct {
 	mu       sync.Mutex
 	reserved map[slice.PLMN]int // PRBs per PLMN
 	order    []slice.PLMN       // reservation order, for deterministic iteration
+	used     int                // sum of reserved PRBs, kept incrementally so
+	// the free-PRB check on every reserve/resize is O(1) instead of a scan
+	// over all PLMNs (the control epoch resizes every slice every period).
 }
 
 // NewENB validates cfg and returns the eNB. rng may be nil for a
@@ -176,8 +185,11 @@ func NewENB(cfg Config, rng *rand.Rand) (*ENB, error) {
 	if cfg.MeanCQI <= 0 {
 		cfg.MeanCQI = 12
 	}
-	if cfg.ControlPRBs < 0 || cfg.ControlPRBs >= cfg.Bandwidth.PRBs() {
-		return nil, fmt.Errorf("ran: control PRBs %d out of range for %v", cfg.ControlPRBs, cfg.Bandwidth)
+	if cfg.Carriers <= 0 {
+		cfg.Carriers = 1
+	}
+	if cfg.ControlPRBs < 0 || cfg.ControlPRBs >= cfg.Bandwidth.PRBs()*cfg.Carriers {
+		return nil, fmt.Errorf("ran: control PRBs %d out of range for %v x%d", cfg.ControlPRBs, cfg.Bandwidth, cfg.Carriers)
 	}
 	return &ENB{cfg: cfg, rng: rng, reserved: make(map[slice.PLMN]int)}, nil
 }
@@ -185,8 +197,9 @@ func NewENB(cfg Config, rng *rand.Rand) (*ENB, error) {
 // Name returns the eNB name.
 func (e *ENB) Name() string { return e.cfg.Name }
 
-// TotalPRBs returns the schedulable PRBs (grid minus control overhead).
-func (e *ENB) TotalPRBs() int { return e.cfg.Bandwidth.PRBs() - e.cfg.ControlPRBs }
+// TotalPRBs returns the schedulable PRBs (grid across all aggregated
+// carriers, minus control overhead).
+func (e *ENB) TotalPRBs() int { return e.cfg.Bandwidth.PRBs()*e.cfg.Carriers - e.cfg.ControlPRBs }
 
 // FreePRBs returns unreserved schedulable PRBs.
 func (e *ENB) FreePRBs() int {
@@ -195,13 +208,7 @@ func (e *ENB) FreePRBs() int {
 	return e.freeLocked()
 }
 
-func (e *ENB) freeLocked() int {
-	used := 0
-	for _, n := range e.reserved {
-		used += n
-	}
-	return e.TotalPRBs() - used
-}
+func (e *ENB) freeLocked() int { return e.TotalPRBs() - e.used }
 
 // MeanCQI returns the configured average channel quality.
 func (e *ENB) MeanCQI() float64 { return e.cfg.MeanCQI }
@@ -244,6 +251,7 @@ func (e *ENB) Reserve(p slice.PLMN, prbs int) error {
 		return fmt.Errorf("%w: want %d, free %d on %s", ErrInsufficientPRBs, prbs, e.freeLocked(), e.cfg.Name)
 	}
 	e.reserved[p] = prbs
+	e.used += prbs
 	e.order = append(e.order, p)
 	return nil
 }
@@ -266,6 +274,7 @@ func (e *ENB) Resize(p slice.PLMN, prbs int) error {
 		return fmt.Errorf("%w: grow by %d, free %d on %s", ErrInsufficientPRBs, delta, e.freeLocked(), e.cfg.Name)
 	}
 	e.reserved[p] = prbs
+	e.used += delta
 	return nil
 }
 
@@ -274,10 +283,12 @@ func (e *ENB) Resize(p slice.PLMN, prbs int) error {
 func (e *ENB) Release(p slice.PLMN) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, ok := e.reserved[p]; !ok {
+	n, ok := e.reserved[p]
+	if !ok {
 		return
 	}
 	delete(e.reserved, p)
+	e.used -= n
 	for i, q := range e.order {
 		if q == p {
 			e.order = append(e.order[:i], e.order[i+1:]...)

@@ -131,6 +131,15 @@ func (c *Client) Gain() (core.GainReport, error) {
 	return g, err
 }
 
+// LastEpoch fetches the snapshot published by the most recent control epoch
+// (GET /api/v2/epoch). Errors with a 404 envelope until the first epoch
+// completes.
+func (c *Client) LastEpoch() (core.EpochSnapshot, error) {
+	var snap core.EpochSnapshot
+	err := c.do(http.MethodGet, "/api/v2/epoch", nil, &snap)
+	return snap, err
+}
+
 // Metrics fetches the latest value of every series.
 func (c *Client) Metrics() (map[string]float64, error) {
 	var out map[string]float64

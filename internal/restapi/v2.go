@@ -43,6 +43,22 @@ func (s *Server) handleListV2(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, page)
 }
 
+// handleEpochV2 serves GET /api/v2/epoch: the snapshot the control loop's
+// telemetry barrier published at the end of its most recent pass — an
+// epoch-aligned, immutable view of the gain report and RAN utilization that
+// is at most one epoch stale and costs the orchestrator nothing to serve
+// (a single atomic pointer load; see core.EpochSnapshot). 404 until the
+// first epoch completes. Clients that need exact live counters keep using
+// /api/v1/gain.
+func (s *Server) handleEpochV2(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.orch.LastEpoch()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("restapi: no control epoch has completed yet"))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
 // handleSubmitV2 serves POST /api/v2/slices: v1 submission semantics (202
 // installing, 200 in-band rejection, 400 validation, 5xx internal) plus
 // Idempotency-Key dedup — the first request with a key submits, concurrent

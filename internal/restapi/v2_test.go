@@ -354,3 +354,49 @@ func TestLiveClockSSE(t *testing.T) {
 		t.Fatal("live SSE events never arrived")
 	}
 }
+
+func TestV2EpochSnapshot(t *testing.T) {
+	c, s := apiEnv(t)
+
+	// Before any epoch the snapshot does not exist yet: 404 envelope.
+	if _, err := c.LastEpoch(); err == nil {
+		t.Fatal("epoch snapshot served before the first epoch")
+	}
+
+	snap0, err := c.SubmitSlice(validBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(15 * time.Second) // install stages
+	if err := c.RecordDemand(snap0.ID, 5); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(5 * time.Minute) // several control epochs
+
+	snap, err := c.LastEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch < 1 || snap.MeasuredSlices < 1 {
+		t.Fatalf("snapshot epoch=%d measured=%d, want both >= 1", snap.Epoch, snap.MeasuredSlices)
+	}
+	g, err := c.Gain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Gain.Epochs > g.Epochs {
+		t.Fatalf("snapshot ahead of live report: %d > %d", snap.Gain.Epochs, g.Epochs)
+	}
+	if snap.Gain.Admitted != g.Admitted {
+		t.Fatalf("snapshot admitted %d, live %d (nothing changed since the epoch)", snap.Gain.Admitted, g.Admitted)
+	}
+	// Method guard: the endpoint is GET-only.
+	resp, err := http.Post(c.BaseURL+"/api/v2/epoch", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /api/v2/epoch: %d, want 405", resp.StatusCode)
+	}
+}

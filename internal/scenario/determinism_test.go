@@ -2,10 +2,12 @@ package scenario
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/monitor"
 )
 
 // TestFixedSeedScenarioGolden pins an overloaded fixed-seed run to golden
@@ -55,6 +57,71 @@ func TestFixedSeedScenarioGolden(t *testing.T) {
 	for name, c := range floatChecks {
 		if math.Abs(c[0]-c[1]) > 1e-6 {
 			t.Errorf("%s = %.10f, want golden %.10f", name, c[0], c[1])
+		}
+	}
+}
+
+// TestEpochPipelineShardEquivalence is the equivalence proof for the
+// phase-pipelined epoch engine: a fixed-seed scenario run on the Shards=1
+// serial path and on the Shards=16 pipelined path (parallel per-shard
+// analysis workers) must produce identical slice outcomes, identical
+// telemetry series — every sample of every series, bit for bit — and an
+// identical GainReport. Shard count, like before the pipeline, changes
+// contention only, never outcomes: all RNG draws happen in the epoch's
+// serial head, every order-sensitive mutation (domain resizes, ledger and
+// money float additions, event publication) commits in submission order,
+// and the parallel phase computes only per-slice values.
+func TestEpochPipelineShardEquivalence(t *testing.T) {
+	type outcome struct {
+		res    Result
+		series map[string][]monitor.Sample
+	}
+	run := func(shards int) outcome {
+		r, err := NewRunner(Options{
+			Seed:             42,
+			Duration:         3 * time.Hour,
+			MeanInterarrival: 5 * time.Minute,
+			Orchestrator: core.Config{
+				Overbook: true, Risk: 0.9, PLMNLimit: 64, Shards: shards,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.StartArrivals()
+		if err := r.Sim.RunFor(3 * time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		out := outcome{res: r.Collect(), series: map[string][]monitor.Sample{}}
+		store := r.Orch.Store()
+		for _, name := range store.Names() {
+			out.series[name] = store.Series(name).Window(0)
+		}
+		return out
+	}
+	serial, pipelined := run(1), run(16)
+
+	if !reflect.DeepEqual(serial.res.Gain, pipelined.res.Gain) {
+		t.Errorf("gain report diverged:\n serial:    %+v\n pipelined: %+v", serial.res.Gain, pipelined.res.Gain)
+	}
+	if !reflect.DeepEqual(serial.res.Slices, pipelined.res.Slices) {
+		t.Errorf("slice outcomes diverged (%d vs %d snapshots)", len(serial.res.Slices), len(pipelined.res.Slices))
+	}
+	if serial.res.Offered != pipelined.res.Offered || serial.res.AttachedUEs != pipelined.res.AttachedUEs {
+		t.Errorf("workload diverged: offered %d/%d, attached %d/%d",
+			serial.res.Offered, pipelined.res.Offered, serial.res.AttachedUEs, pipelined.res.AttachedUEs)
+	}
+	if len(serial.series) != len(pipelined.series) {
+		t.Fatalf("series sets diverged: %d vs %d", len(serial.series), len(pipelined.series))
+	}
+	for name, want := range serial.series {
+		got, ok := pipelined.series[name]
+		if !ok {
+			t.Errorf("series %q missing from the pipelined run", name)
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("series %q diverged (%d vs %d samples)", name, len(want), len(got))
 		}
 	}
 }

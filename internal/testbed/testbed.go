@@ -25,6 +25,11 @@ type Config struct {
 	ENBs int
 	// ENBBandwidth sets each cell's PRB grid.
 	ENBBandwidth ran.Bandwidth
+	// ENBCarriers aggregates this many component carriers of ENBBandwidth
+	// per cell (default 1). Scale-out experiments and the epoch benchmarks
+	// raise it — together with MaxPLMNs and the link capacities — so
+	// thousands of concurrent slices fit the radio grid.
+	ENBCarriers int
 	// MaxPLMNs lifts each cell's MOCN broadcast-list bound (default 6, the
 	// 3GPP SIB1 limit). Scale-out experiments and the concurrent-admission
 	// benchmarks raise it together with core.Config.PLMNLimit so the radio
@@ -164,6 +169,7 @@ func New(cfg Config, rng *rand.Rand) (*Testbed, error) {
 		e, err := ran.NewENB(ran.Config{
 			Name:      ENBName(i),
 			Bandwidth: cfg.ENBBandwidth,
+			Carriers:  cfg.ENBCarriers,
 			MaxPLMNs:  cfg.MaxPLMNs,
 			MeanCQI:   cfg.MeanCQI,
 			CQIStdDev: cfg.CQIStdDev,

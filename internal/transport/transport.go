@@ -471,8 +471,17 @@ func (n *Network) PathsOverLink(from, to string) []string {
 func (n *Network) Utilization() (mean, max float64) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	// Sum in sorted link order: float addition is not associative, and this
+	// mean is recorded as epoch telemetry, which fixed-seed runs must
+	// reproduce bit-for-bit — map iteration order would leak into the bits.
+	keys := make([]string, 0, len(n.links))
+	for k := range n.links {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	cnt := 0
-	for _, l := range n.links {
+	for _, k := range keys {
+		l := n.links[k]
 		if !l.Up {
 			continue
 		}

@@ -27,7 +27,11 @@
 // (see core.Config.Shards and DESIGN.md §3.4), so parallel Submit, Delete,
 // Get, List, Gain, RecordDemand and the control epoch may be driven from
 // many goroutines — independent tenants are admitted and installed in
-// parallel.
+// parallel. The control epoch is a phase pipeline (DESIGN.md §7): only its
+// brief serial head quiesces the registry, the per-slice analysis runs one
+// worker per shard, and the read plane (Gain, ActiveCount, List,
+// LastEpoch) never takes more than one shard lock at a time — a dashboard
+// polling at any rate cannot stall admission.
 //
 // The v2 surface is event-driven and context-aware: every lifecycle
 // transition is published as an ordered Event, and
