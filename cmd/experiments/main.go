@@ -80,6 +80,41 @@ func main() {
 	if run("a4") {
 		expA4(*seed)
 	}
+	for _, name := range scenario.ChaosNames() {
+		if run(name) {
+			expChaos(name, *seed)
+		}
+	}
+}
+
+// expChaos runs one canned chaos scenario (c1..c6) with the invariant
+// auditor attached and reports the workload outcome plus the audit verdict.
+func expChaos(name string, seed int64) {
+	header(strings.ToUpper(name), "chaos: "+scenario.ChaosTitle(name))
+	res, err := scenario.ChaosScenario(name, seed)
+	check(err)
+	g := res.Result.Gain
+	w := tw()
+	fmt.Fprintf(w, "chaos steps fired\t%d\n", len(res.Steps))
+	fmt.Fprintf(w, "offered / admitted / rejected\t%d / %d / %d\n", res.Result.Offered, g.Admitted, g.Rejected)
+	fmt.Fprintf(w, "violation epochs / reconfigs\t%d / %d\n", g.ViolationEpochs, g.Reconfigurations)
+	fmt.Fprintf(w, "multiplexing gain\t%.2fx\n", g.MultiplexingGain)
+	fmt.Fprintf(w, "net revenue\t%.0f EUR\n", g.NetRevenueEUR)
+	fmt.Fprintf(w, "audit sweeps / events checked\t%d / %d\n", res.AuditStats.Sweeps, res.AuditStats.Events)
+	w.Flush()
+	if len(res.Violations) == 0 {
+		fmt.Println("invariants: CLEAN (ledger conservation, leak-freedom, event order, epoch monotonicity)")
+		return
+	}
+	fmt.Printf("invariants: %d VIOLATION(S)\n", len(res.Violations))
+	for i, v := range res.Violations {
+		if i == 10 {
+			fmt.Printf("  ... and %d more\n", len(res.Violations)-i)
+			break
+		}
+		fmt.Printf("  %s\n", v)
+	}
+	os.Exit(1)
 }
 
 // expA4 ablates penalty-aware admission at aggressive risk.

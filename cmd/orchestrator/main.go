@@ -21,6 +21,7 @@ import (
 
 	overbook "repro"
 	"repro/internal/dashboard"
+	"repro/internal/invariant"
 	"repro/internal/restapi"
 )
 
@@ -34,6 +35,7 @@ func main() {
 		enbs    = flag.Int("enbs", 2, "number of eNBs in the testbed")
 		plmnMax = flag.Int("plmn-limit", 6, "MOCN broadcast list size (max simultaneous slices)")
 		mec     = flag.Int("mec-hosts", 0, "enable the edge MEC compute domain with this many hosts (0 = off)")
+		audit   = flag.Bool("audit", false, "attach the cross-domain invariant auditor (DESIGN.md §8); violations are logged")
 	)
 	flag.Parse()
 
@@ -42,6 +44,12 @@ func main() {
 		Risk:      *risk,
 		Epoch:     *epoch,
 		PLMNLimit: *plmnMax,
+		Audit:     *audit,
+	}
+	if *audit {
+		cfg.AuditOnViolation = func(v invariant.Violation) {
+			log.Printf("INVARIANT VIOLATION: %s", v)
+		}
 	}
 	sys, err := overbook.NewLive(overbook.Options{
 		Seed:         *seed,

@@ -1,0 +1,292 @@
+// Package chaos implements the scripted failure-timeline engine: a
+// declarative Go builder that schedules adversarial events — tenant flash
+// crowds, mass churn, link failures and repairs, cell fades, MEC-host
+// brownouts, forecaster mispredictions and injected domain-commit faults —
+// against a running simulation, deterministically from a seed.
+//
+// A Timeline is a list of (offset, action) steps plus optional repeating
+// steps. Install schedules every step on the simulation clock; actions run
+// on the simulator's driver goroutine in deterministic event order, and any
+// randomness (victim selection for churn) draws from the timeline's own
+// seeded RNG — never from the shared simulation RNG — so the same timeline
+// against the same scenario produces bit-identical outcomes at any shard
+// count (the property TestChaosShardEquivalence pins).
+//
+// Chaos is a verification weapon, not a demo: every canned scenario in
+// internal/scenario (C1–C6) runs with core.Config.Audit enabled, so each
+// scripted disaster doubles as a proof that the ledgers, reservations and
+// event streams stay exact under it.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/sim"
+	"repro/internal/slice"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+// Env is the surface a timeline acts on. The scenario runner assembles it;
+// chaos never imports the runner, so the dependency stays acyclic.
+type Env struct {
+	// Sim drives time (actions are scheduled on it).
+	Sim *sim.Simulator
+	// Orch is the orchestrator under attack.
+	Orch *core.Orchestrator
+	// TB exposes the substrates and domain controllers.
+	TB *testbed.Testbed
+	// Submit injects one generated request from the scenario's workload
+	// generator (used by burst actions). May be nil when a timeline uses no
+	// submission actions.
+	Submit func()
+
+	// rng is the timeline's private randomness (victim selection); see the
+	// package comment for why it is separate from the simulation RNG.
+	rng *rand.Rand
+	// log records fired steps for experiment output.
+	log []FiredStep
+}
+
+// FiredStep records one executed timeline step.
+type FiredStep struct {
+	At   time.Duration `json:"at"`
+	Name string        `json:"name"`
+}
+
+// Log returns the steps fired so far, in execution order.
+func (e *Env) Log() []FiredStep { return append([]FiredStep(nil), e.log...) }
+
+// Action is one scripted chaos event.
+type Action func(*Env)
+
+// step is one scheduled occurrence.
+type step struct {
+	offset time.Duration
+	name   string
+	act    Action
+}
+
+// Timeline is a declarative chaos script. Build it with At/Every, then
+// Install it on an Env before the simulation runs.
+type Timeline struct {
+	seed  int64
+	steps []step
+}
+
+// NewTimeline returns an empty timeline whose actions draw victim
+// randomness from seed.
+func NewTimeline(seed int64) *Timeline {
+	return &Timeline{seed: seed}
+}
+
+// At schedules one action at the given offset from installation.
+func (t *Timeline) At(offset time.Duration, name string, act Action) *Timeline {
+	t.steps = append(t.steps, step{offset: offset, name: name, act: act})
+	return t
+}
+
+// Every schedules count occurrences of the action, the first at start and
+// the rest period apart.
+func (t *Timeline) Every(start, period time.Duration, count int, name string, act Action) *Timeline {
+	for i := 0; i < count; i++ {
+		t.At(start+time.Duration(i)*period, fmt.Sprintf("%s#%d", name, i+1), act)
+	}
+	return t
+}
+
+// Install binds the timeline to the environment and schedules every step on
+// the simulation clock. The environment's RNG is (re)seeded here, so
+// installing the same timeline on two identically-seeded environments
+// replays identically.
+func (t *Timeline) Install(env *Env) {
+	env.rng = rand.New(rand.NewSource(t.seed))
+	start := env.Sim.Now()
+	// Steps fire in offset order; ties fire in declaration order (the sim
+	// heap breaks equal-time ties by schedule order, and sort.SliceStable
+	// keeps declaration order among equal offsets).
+	steps := append([]step(nil), t.steps...)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].offset < steps[j].offset })
+	for _, st := range steps {
+		st := st
+		env.Sim.At(start.Add(st.offset), "chaos/"+st.name, func() {
+			env.log = append(env.log, FiredStep{At: st.offset, Name: st.name})
+			st.act(env)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Victim selection.
+
+// activeIDs returns the IDs of active slices in submission order.
+func activeIDs(env *Env) []slice.ID {
+	page, _ := env.Orch.ListFiltered(core.ListOptions{State: "active"})
+	out := make([]slice.ID, 0, len(page.Slices))
+	for _, sn := range page.Slices {
+		out = append(out, sn.ID)
+	}
+	return out
+}
+
+// pickFraction deterministically samples ceil(frac*n) of ids without
+// replacement, preserving submission order among the picks.
+func pickFraction(env *Env, ids []slice.ID, frac float64) []slice.ID {
+	if frac <= 0 || len(ids) == 0 {
+		return nil
+	}
+	if frac >= 1 {
+		return ids
+	}
+	n := (len(ids)*int(frac*1000) + 999) / 1000
+	if n < 1 {
+		n = 1
+	}
+	if n > len(ids) {
+		n = len(ids)
+	}
+	picked := make(map[int]bool, n)
+	for len(picked) < n {
+		picked[env.rng.Intn(len(ids))] = true
+	}
+	out := make([]slice.ID, 0, n)
+	for i, id := range ids {
+		if picked[i] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Actions.
+
+// FlashCrowd overlays a demand spike of extraMbps for dur on a frac-sized
+// random subset of the active slices — the stadium-event adversary for the
+// overbooking forecasts.
+func FlashCrowd(frac, extraMbps float64, dur time.Duration) Action {
+	return func(env *Env) {
+		now := env.Sim.Now()
+		for _, id := range pickFraction(env, activeIDs(env), frac) {
+			_ = env.Orch.WrapDemand(id, func(d traffic.Demand) traffic.Demand {
+				if d == nil {
+					d = traffic.NewConstant(0, 0, nil)
+				}
+				return &traffic.FlashCrowd{Base: d, Start: now, Duration: dur, ExtraMbps: extraMbps}
+			})
+		}
+	}
+}
+
+// BurstSubmit injects n workload requests back to back — the admission half
+// of mass churn.
+func BurstSubmit(n int) Action {
+	return func(env *Env) {
+		for i := 0; i < n; i++ {
+			env.Submit()
+		}
+	}
+}
+
+// MassDelete tears down a frac-sized random subset of the active slices —
+// the teardown half of mass churn.
+func MassDelete(frac float64) Action {
+	return func(env *Env) {
+		for _, id := range pickFraction(env, activeIDs(env), frac) {
+			_ = env.Orch.Delete(id)
+		}
+	}
+}
+
+// LinkFail takes the directed transport link down mid-epoch; the
+// orchestrator re-routes or drops the victims.
+func LinkFail(from, to string) Action {
+	return func(env *Env) { _, _ = env.Orch.HandleLinkFailure(from, to) }
+}
+
+// LinkRestore brings the directed link back up.
+func LinkRestore(from, to string) Action {
+	return func(env *Env) { _ = env.Orch.RestoreLink(from, to) }
+}
+
+// LinkDegrade rescales the directed link's capacity (rain fade /
+// interference); oversubscribed victims are re-routed, shrunk to fair
+// share, or dropped.
+func LinkDegrade(from, to string, capacityMbps float64) Action {
+	return func(env *Env) { _, _ = env.Orch.HandleLinkDegradation(from, to, capacityMbps) }
+}
+
+// CellFade rescales eNB i's mean CQI — the radio model of capacity loss: a
+// deep fade cuts the throughput every PRB sustains, shrinking the cell
+// capacity and the overbooking budget while reservations stay intact.
+func CellFade(enbIndex int, cqi float64) Action {
+	return func(env *Env) {
+		if e, ok := env.TB.RAN.Get(testbed.ENBName(enbIndex)); ok {
+			e.SetMeanCQI(cqi)
+		}
+	}
+}
+
+// MECBrownout shrinks the i-th MEC host's spare CPU capacity toward
+// targetCPUs (clamped at current usage — placed apps are never stranded),
+// starving subsequent edge placements.
+func MECBrownout(hostIndex int, targetCPUs float64) Action {
+	return func(env *Env) {
+		if env.TB.MEC == nil {
+			return
+		}
+		names := env.TB.MEC.HostNames()
+		if hostIndex < 0 || hostIndex >= len(names) {
+			return
+		}
+		_, _ = env.TB.MEC.SetHostCapacity(names[hostIndex], targetCPUs)
+	}
+}
+
+// MECRecover restores the i-th MEC host's CPU capacity.
+func MECRecover(hostIndex int, cpus float64) Action {
+	return MECBrownout(hostIndex, cpus)
+}
+
+// controllerByName resolves a domain controller from the testbed's Set by
+// its Domain() name — no identity branches, so pluggable Extra domains are
+// addressable the same way as the built-in three.
+func controllerByName(tb *testbed.Testbed, domain string) (ctrl.Controller, bool) {
+	for _, c := range tb.Ctrl.All() {
+		if c.Domain() == domain {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// InjectFault arms a fault on the named domain through its first-class
+// ctrl.FaultInjector capability: the next `remaining` invocations of the
+// stage fail with the typed fault-injected rejection (remaining <= 0 keeps
+// it armed until ClearFaults).
+func InjectFault(domain string, stage ctrl.FaultStage, remaining int) Action {
+	return func(env *Env) {
+		if c, ok := controllerByName(env.TB, domain); ok {
+			if fi, ok := ctrl.Injector(c); ok {
+				fi.InjectFault(ctrl.Fault{Stage: stage, Remaining: remaining,
+					Detail: "chaos timeline fault"})
+			}
+		}
+	}
+}
+
+// ClearFaults disarms every fault on the named domain.
+func ClearFaults(domain string) Action {
+	return func(env *Env) {
+		if c, ok := controllerByName(env.TB, domain); ok {
+			if fi, ok := ctrl.Injector(c); ok {
+				fi.ClearFaults()
+			}
+		}
+	}
+}

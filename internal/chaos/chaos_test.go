@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/forecast"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/slice"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+func chaosEnv(t *testing.T, seed int64) *Env {
+	t.Helper()
+	s := sim.NewSimulator(seed)
+	tb, err := testbed.New(testbed.Config{MECHosts: 1, MECHostCPUs: 16, RedundantTransport: true}, s.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.New(core.Config{Audit: true, PLMNLimit: 16}, tb, s, monitor.NewStore(256))
+	return &Env{Sim: s, Orch: o, TB: tb}
+}
+
+func submitN(t *testing.T, env *Env, n int) []slice.ID {
+	t.Helper()
+	var ids []slice.ID
+	for i := 0; i < n; i++ {
+		sl, err := env.Orch.Submit(slice.Request{
+			Tenant: "t",
+			SLA: slice.SLA{ThroughputMbps: 10, MaxLatencyMs: 50,
+				Duration: time.Hour, PriceEUR: 10, Class: slice.ClassEMBB},
+		}, traffic.NewConstant(4, 0, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, sl.ID())
+	}
+	if err := env.Sim.RunFor(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+// TestTimelineFiresInOrder: steps execute at their offsets, in offset order,
+// and the fired log records them.
+func TestTimelineFiresInOrder(t *testing.T) {
+	env := chaosEnv(t, 1)
+	var got []string
+	mark := func(name string) Action {
+		return func(*Env) { got = append(got, name) }
+	}
+	NewTimeline(1).
+		At(2*time.Minute, "b", mark("b")).
+		At(1*time.Minute, "a", mark("a")).
+		Every(3*time.Minute, time.Minute, 2, "c", mark("c")).
+		Install(env)
+	if err := env.Sim.RunFor(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	if lg := env.Log(); len(lg) != 4 || lg[0].Name != "a" || lg[0].At != time.Minute {
+		t.Fatalf("log %v", lg)
+	}
+}
+
+// TestPickFractionDeterministic: same seed, same picks; picks preserve
+// submission order and have the right size.
+func TestPickFractionDeterministic(t *testing.T) {
+	ids := []slice.ID{"s-1", "s-2", "s-3", "s-4", "s-5", "s-6", "s-7", "s-8"}
+	run := func(seed int64) []slice.ID {
+		env := &Env{rng: rand.New(rand.NewSource(seed))}
+		return pickFraction(env, ids, 0.5)
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if len(a) != 4 {
+		t.Fatalf("picked %d of 8 at frac 0.5, want 4", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1] >= a[i] {
+			t.Fatalf("picks out of submission order: %v", a)
+		}
+	}
+	if c := run(43); reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical picks %v", a)
+	}
+}
+
+// TestChurnAndFaultActions drives burst-delete, link failure, cell fade,
+// MEC brownout and an injected commit fault against a live orchestrator and
+// leaves the invariants clean.
+func TestChurnAndFaultActions(t *testing.T) {
+	env := chaosEnv(t, 7)
+	submitted := 0
+	env.Submit = func() {
+		submitted++
+		_, _ = env.Orch.Submit(slice.Request{
+			Tenant: "burst",
+			SLA: slice.SLA{ThroughputMbps: 10, MaxLatencyMs: 50,
+				Duration: time.Hour, PriceEUR: 10, Class: slice.ClassEMBB},
+		}, traffic.NewConstant(4, 0, nil))
+	}
+	submitN(t, env, 6)
+
+	NewTimeline(7).
+		At(time.Minute, "delete-half", MassDelete(0.5)).
+		At(2*time.Minute, "fail-link", LinkFail(testbed.ENBName(0), testbed.Switch)).
+		At(3*time.Minute, "restore-link", LinkRestore(testbed.ENBName(0), testbed.Switch)).
+		At(4*time.Minute, "fade", CellFade(0, 6)).
+		At(5*time.Minute, "arm-commit-fault", InjectFault("cloud", ctrl.FaultCommit, 1)).
+		At(6*time.Minute, "burst", BurstSubmit(3)).
+		At(7*time.Minute, "clear", ClearFaults("cloud")).
+		At(8*time.Minute, "brownout", MECBrownout(0, 1)).
+		Install(env)
+	if err := env.Sim.RunFor(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	env.Orch.RunEpoch() // audit sweep over the post-chaos state
+
+	if submitted != 3 {
+		t.Fatalf("burst submitted %d, want 3", submitted)
+	}
+	if err := env.Orch.Auditor().Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The armed commit fault rejected the first burst submission with the
+	// typed code.
+	g := env.Orch.Gain()
+	if g.RejectReasons["fault-injected"] == 0 {
+		t.Fatalf("no fault-injected rejection recorded: %v", g.RejectReasons)
+	}
+}
+
+// TestFlashCrowdRaisesDemand: the overlay shows up in the next epoch's
+// sampled demand and decays after its duration.
+func TestFlashCrowdRaisesDemand(t *testing.T) {
+	env := chaosEnv(t, 3)
+	ids := submitN(t, env, 1)
+	NewTimeline(3).At(30*time.Second, "crowd", FlashCrowd(1.0, 100, 2*time.Minute)).Install(env)
+	if err := env.Sim.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	env.Orch.RunEpoch()
+	sl, _ := env.Orch.Get(ids[0])
+	if got := sl.Snapshot().Accounting.DemandMbps; got != 104 {
+		t.Fatalf("spiked demand %v, want 104", got)
+	}
+	if err := env.Sim.RunFor(3 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	env.Orch.RunEpoch()
+	if got := sl.Snapshot().Accounting.DemandMbps; got != 4 {
+		t.Fatalf("post-crowd demand %v, want 4", got)
+	}
+	if err := env.Orch.Auditor().Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMispredictForecaster: the decorator corrupts exactly every k-th
+// forecast and resets cleanly.
+func TestMispredictForecaster(t *testing.T) {
+	m := NewMispredict(forecast.NewNaive(), 2, 0.5)
+	m.Observe(10)
+	if f := m.Forecast(); f != 10 {
+		t.Fatalf("1st forecast %v, want 10", f)
+	}
+	if f := m.Forecast(); f != 5 {
+		t.Fatalf("2nd forecast %v, want corrupted 5", f)
+	}
+	m.Reset()
+	m.Observe(10)
+	if f := m.Forecast(); f != 10 {
+		t.Fatalf("post-reset forecast %v, want 10", f)
+	}
+	factory := MispredictFactory(func() forecast.Forecaster { return forecast.NewNaive() }, 3, 2)
+	if name := factory().Name(); name != "mispredict(naive,every=3,x2.00)" {
+		t.Fatalf("factory name %q", name)
+	}
+}

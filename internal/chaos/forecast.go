@@ -1,0 +1,57 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/forecast"
+)
+
+// Mispredict decorates a Forecaster with deterministic misprediction
+// injection: every k-th forecast is scaled by factor (factor < 1
+// under-predicts, starving slices and provoking SLA violations; factor > 1
+// over-predicts, wasting capacity). The counter is per instance — each
+// slice owns its forecaster — so injection is shard-count independent and
+// bit-reproducible.
+type Mispredict struct {
+	inner  forecast.Forecaster
+	every  int
+	factor float64
+	n      int
+}
+
+// NewMispredict wraps inner. every <= 1 corrupts every forecast.
+func NewMispredict(inner forecast.Forecaster, every int, factor float64) *Mispredict {
+	if every < 1 {
+		every = 1
+	}
+	return &Mispredict{inner: inner, every: every, factor: factor}
+}
+
+// Observe implements forecast.Forecaster.
+func (m *Mispredict) Observe(v float64) { m.inner.Observe(v) }
+
+// Forecast implements forecast.Forecaster.
+func (m *Mispredict) Forecast() float64 {
+	m.n++
+	f := m.inner.Forecast()
+	if m.n%m.every == 0 {
+		return f * m.factor
+	}
+	return f
+}
+
+// Name implements forecast.Forecaster.
+func (m *Mispredict) Name() string {
+	return fmt.Sprintf("mispredict(%s,every=%d,x%.2f)", m.inner.Name(), m.every, m.factor)
+}
+
+// Reset implements forecast.Forecaster.
+func (m *Mispredict) Reset() { m.inner.Reset(); m.n = 0 }
+
+// MispredictFactory adapts a forecaster factory for core.Config.
+// NewForecaster: every slice's forecaster is independently corrupted.
+func MispredictFactory(newInner func() forecast.Forecaster, every int, factor float64) func() forecast.Forecaster {
+	return func() forecast.Forecaster {
+		return NewMispredict(newInner(), every, factor)
+	}
+}

@@ -326,6 +326,88 @@ func (dc *DataCenter) Stack(id string) (*Stack, bool) {
 	return s, ok
 }
 
+// StackIDs returns every instantiated stack ID, sorted — the leak-check
+// enumeration the invariant auditor maps back onto live slices.
+func (dc *DataCenter) StackIDs() []string {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	out := make([]string, 0, len(dc.stacks))
+	for id := range dc.stacks {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AuditConservation cross-checks the data center's capacity books against
+// ground truth and returns one message per discrepancy (empty when the
+// books balance): each host's used vCPU/RAM/disk counters must equal the
+// sums over its placed VMs, free capacity must never go negative, every
+// host VM must belong to a registered stack, and every stack VM must be
+// placed on the host it names.
+func (dc *DataCenter) AuditConservation() []string {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	var out []string
+	names := make([]string, 0, len(dc.hosts))
+	for n := range dc.hosts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := dc.hosts[n]
+		var vcpus float64
+		var ram, disk int
+		for id, vm := range h.vms {
+			vcpus += vm.Flavor.VCPUs
+			ram += vm.Flavor.RAMMB
+			disk += vm.Flavor.DiskGB
+			stack, ok := dc.stacks[vm.Stack]
+			if !ok {
+				out = append(out, fmt.Sprintf("cloud %s/%s: VM %s belongs to unknown stack %q", dc.name, n, id, vm.Stack))
+				continue
+			}
+			found := false
+			for _, sv := range stack.VMs {
+				if sv.ID == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out = append(out, fmt.Sprintf("cloud %s/%s: VM %s missing from its stack %q", dc.name, n, id, vm.Stack))
+			}
+		}
+		if d := h.usedVCPUs - vcpus; d > 1e-6 || d < -1e-6 {
+			out = append(out, fmt.Sprintf("cloud %s/%s: used vCPUs %.3f != sum over VMs %.3f", dc.name, n, h.usedVCPUs, vcpus))
+		}
+		if h.usedRAMMB != ram {
+			out = append(out, fmt.Sprintf("cloud %s/%s: used RAM %d != sum over VMs %d", dc.name, n, h.usedRAMMB, ram))
+		}
+		if h.usedDiskGB != disk {
+			out = append(out, fmt.Sprintf("cloud %s/%s: used disk %d != sum over VMs %d", dc.name, n, h.usedDiskGB, disk))
+		}
+		if h.VCPUs-h.usedVCPUs < -1e-9 || h.RAMMB-h.usedRAMMB < 0 || h.DiskGB-h.usedDiskGB < 0 {
+			out = append(out, fmt.Sprintf("cloud %s/%s: negative slack (%.1f/%.1f vCPU, %d/%d MB, %d/%d GB)",
+				dc.name, n, h.usedVCPUs, h.VCPUs, h.usedRAMMB, h.RAMMB, h.usedDiskGB, h.DiskGB))
+		}
+	}
+	for id, stack := range dc.stacks {
+		for _, vm := range stack.VMs {
+			h, ok := dc.hosts[vm.Host]
+			if !ok {
+				out = append(out, fmt.Sprintf("cloud %s: stack %q VM %s names unknown host %q", dc.name, id, vm.ID, vm.Host))
+				continue
+			}
+			if _, ok := h.vms[vm.ID]; !ok {
+				out = append(out, fmt.Sprintf("cloud %s: stack %q VM %s not placed on host %s", dc.name, id, vm.ID, vm.Host))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // CanFit reports whether the template could be placed right now (a dry-run
 // used by admission control before committing).
 func (dc *DataCenter) CanFit(tmpl Template) bool {

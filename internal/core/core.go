@@ -62,6 +62,7 @@ import (
 	"time"
 
 	"repro/internal/forecast"
+	"repro/internal/invariant"
 	"repro/internal/monitor"
 	"repro/internal/sim"
 	"repro/internal/slice"
@@ -132,6 +133,18 @@ type Config struct {
 	// can resume from any sequence still within the last EventBuffer events
 	// (default 1024). Older positions resync (see EventResync).
 	EventBuffer int
+	// Audit attaches the cross-domain invariant auditor
+	// (internal/invariant): every epoch barrier and restoration pass runs a
+	// full conservation/leak sweep, every install rollback and teardown a
+	// scoped leak check, and every published event is validated for
+	// sequence gap-freeness and state-machine legality. Auditing observes,
+	// it never alters outcomes — a fixed-seed run is identical with it on
+	// or off. Read results via Auditor(). Chaos scenarios and CI soak tests
+	// enable it; the cost is O(registry) per epoch.
+	Audit bool
+	// AuditOnViolation, when set with Audit, is called synchronously for
+	// every detected violation (tests fail fast through it).
+	AuditOnViolation func(invariant.Violation)
 }
 
 func (c Config) withDefaults() Config {
@@ -237,6 +250,13 @@ type Orchestrator struct {
 	history   finishedHistory
 	bus       *EventBus
 
+	// audit is the invariant auditor (nil unless Config.Audit); pendingTx
+	// tracks slice IDs whose install transaction is in flight so the sweep
+	// never mistakes the squeeze window's unregistered grants for leaks
+	// (audit.go).
+	audit     *invariant.Auditor
+	pendingTx sync.Map // slice.ID -> struct{}
+
 	// acc holds the order-sensitive float aggregates of the gain report;
 	// lastEpoch is the snapshot the telemetry barrier (phase P4) publishes
 	// each epoch (gain.go).
@@ -277,6 +297,10 @@ func New(cfg Config, tb *testbed.Testbed, clock sim.Scheduler, store *monitor.St
 	}
 	for i := range o.shards {
 		o.shards[i] = newShard()
+	}
+	if cfg.Audit {
+		o.audit = invariant.New(invariant.Options{OnViolation: cfg.AuditOnViolation})
+		o.bus.SetTap(o.auditObserveEvent)
 	}
 	return o
 }
@@ -379,6 +403,11 @@ func (o *Orchestrator) SubmitCtx(ctx context.Context, req slice.Request, demand 
 	if err != nil {
 		return nil, err
 	}
+	// Mark the install transaction in flight for the invariant auditor: the
+	// engine may release the shard lock around the squeeze while holding
+	// grants that are registered nowhere yet.
+	auditDone := o.auditPendingBegin(id)
+	defer auditDone()
 	o.publish(EventSubmitted, s, "")
 	sh := o.shardFor(id)
 	sh.mu.Lock()
@@ -397,6 +426,7 @@ func (o *Orchestrator) SubmitCtx(ctx context.Context, req slice.Request, demand 
 	// ledger reservation and converts to a typed rejection.
 	if err := o.install(sh, s, demand, reserved); err != nil {
 		o.ledger.Release(reserved)
+		o.auditSliceReleased(id) // rollback must leave nothing behind
 		var rej errReject
 		if errors.As(err, &rej) {
 			evicted := o.rejectLocked(sh, s, rej.cause)
@@ -410,6 +440,9 @@ func (o *Orchestrator) SubmitCtx(ctx context.Context, req slice.Request, demand 
 	sh.admitted.Add(1)
 	o.acc.admit(req.SLA.PriceEUR, req.SLA.ThroughputMbps, s.AllocatedMbps())
 	o.publish(EventAdmitted, s, "")
+	if o.audit != nil {
+		o.auditSliceInstalled(sh.slices[id]) // commit must hold what it recorded
+	}
 	sh.mu.Unlock()
 	return s, nil
 }
@@ -444,6 +477,7 @@ func (o *Orchestrator) Delete(id slice.ID) error {
 		return fmt.Errorf("core: slice %s already %s", id, st)
 	}
 	evicted := o.teardownLocked(sh, m, "deleted by tenant", EventDeleted)
+	o.auditSliceReleased(id)
 	sh.mu.Unlock()
 	o.dropFinished(evicted)
 	return nil

@@ -5,6 +5,39 @@ import (
 	"repro/internal/slice"
 )
 
+// safeReserve runs d.Reserve, converting a panic (a double-release bug, a
+// corrupted substrate, a misbehaving pluggable domain) into a typed
+// RejectInternal cause: the transaction fails and rolls back through the
+// normal rejection path instead of crashing the orchestrator mid-install.
+func safeReserve(d ctrl.Domain, tx ctrl.Tx) (g ctrl.Grant, cause *slice.RejectionCause) {
+	defer func() {
+		if r := recover(); r != nil {
+			g = nil
+			cause = slice.Rejectf(slice.RejectInternal, d.Domain(), "%s: panic in reserve: %v", d.Domain(), r)
+		}
+	}()
+	return d.Reserve(tx)
+}
+
+// safeCommit is safeReserve for phase two. The returned error carries a
+// typed cause so commitGrants' classification preserves RejectInternal.
+func safeCommit(d ctrl.Domain, g ctrl.Grant) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = slice.Rejectf(slice.RejectInternal, d.Domain(), "%s: panic in commit: %v", d.Domain(), r)
+		}
+	}()
+	return d.Commit(g)
+}
+
+// safeAbort swallows a panic from one domain's rollback so the reverse-order
+// unwind always reaches every remaining grant — a partial rollback would
+// leak everything behind the panicking domain.
+func safeAbort(d ctrl.Domain, g ctrl.Grant) {
+	defer func() { _ = recover() }()
+	d.Abort(g)
+}
+
 // This file is the generic multi-domain two-phase transaction engine: the
 // one place that knows how to reserve, commit, abort, resize and release a
 // slice across an ordered chain of domains. It drives every domain through
@@ -68,10 +101,12 @@ type domainGrant struct {
 	g ctrl.Grant
 }
 
-// abortGrants rolls back in reverse acquisition order.
+// abortGrants rolls back in reverse acquisition order. Each abort is
+// panic-contained (safeAbort): one misbehaving domain must not strand the
+// grants behind it.
 func abortGrants(grants []domainGrant) {
 	for i := len(grants) - 1; i >= 0; i-- {
-		grants[i].d.Abort(grants[i].g)
+		safeAbort(grants[i].d, grants[i].g)
 	}
 }
 
@@ -104,7 +139,7 @@ func (o *Orchestrator) reserveAll(sh *shard, tx ctrl.Tx, fallbackMbps float64) (
 		// while the chain loop below threads effective throughput through
 		// its own copy.
 		go func(d ctrl.Domain, tx ctrl.Tx) {
-			g, cause := d.Reserve(tx)
+			g, cause := safeReserve(d, tx)
 			ch <- asyncResult{g, cause}
 		}(d, tx)
 	}
@@ -129,19 +164,19 @@ func (o *Orchestrator) reserveAll(sh *shard, tx ctrl.Tx, fallbackMbps float64) (
 	var grants []domainGrant
 	var failure *slice.RejectionCause
 	for i, d := range o.domains.chain {
-		g, cause := d.Reserve(tx)
+		g, cause := safeReserve(d, tx)
 		if cause != nil && i == 0 && o.cfg.effectiveRisk() < 0.9995 {
 			join()
 			sh.mu.Unlock()
 			o.squeezeAll()
 			sh.mu.Lock()
-			g, cause = d.Reserve(tx)
+			g, cause = safeReserve(d, tx)
 			if cause != nil && fallbackMbps < tx.Mbps {
 				// Last resort: install at the admission estimate; the
 				// epoch loop will grow it when capacity frees up.
 				fb := tx
 				fb.Mbps = fallbackMbps
-				g, cause = d.Reserve(fb)
+				g, cause = safeReserve(d, fb)
 			}
 		}
 		if cause != nil {
@@ -177,7 +212,7 @@ func (o *Orchestrator) reserveAll(sh *shard, tx ctrl.Tx, fallbackMbps float64) (
 // every grant in reverse order (domains must accept Abort after Commit).
 func commitGrants(grants []domainGrant) *slice.RejectionCause {
 	for _, dg := range grants {
-		if err := dg.d.Commit(dg.g); err != nil {
+		if err := safeCommit(dg.d, dg.g); err != nil {
 			abortGrants(grants)
 			return slice.CauseOf(err, slice.RejectOther, dg.d.Domain())
 		}

@@ -192,6 +192,16 @@ func (o *Orchestrator) RunEpoch() {
 		RANUtilization: ranUtil,
 		Gain:           g,
 	})
+
+	// Audit barrier: snapshot monotonicity plus the full conservation/leak
+	// sweep under a momentary all-shard quiesce — the same cut discipline
+	// as the gain fold above (audit.go).
+	if o.audit != nil {
+		o.audit.ObserveEpoch(int(o.epochs.Load()), now)
+		o.lockAll()
+		o.auditSweepAllLocked()
+		o.unlockAll()
+	}
 }
 
 // analyzePhase is P3: per-slice violation detection, forecaster update and

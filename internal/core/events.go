@@ -139,6 +139,11 @@ type EventBus struct {
 	cond *sync.Cond // on mu.RLocker(): readers wait, the writer broadcasts
 	ring []Event
 	next int64 // next sequence number to assign; the first event gets 1
+	// tap, when set, observes every event synchronously under the bus
+	// mutex, in sequence order — the invariant auditor's gap-freeness and
+	// state-legality checks need exactly that ordering guarantee, which no
+	// asynchronous subscriber can provide.
+	tap func(Event)
 }
 
 // NewEventBus builds a bus retaining the last capacity events for replay
@@ -162,12 +167,25 @@ func (b *EventBus) Publish(ev Event) int64 {
 	ev.Seq = b.next
 	b.next++
 	b.ring[(ev.Seq-1)%int64(len(b.ring))] = ev
+	if b.tap != nil {
+		b.tap(ev)
+	}
 	b.mu.Unlock()
 	// Waiters register with the cond before releasing their read lock, and
 	// the write above excludes read lock holders, so broadcasting after
 	// unlock cannot miss a waiter.
 	b.cond.Broadcast()
 	return ev.Seq
+}
+
+// SetTap installs the synchronous event observer (nil clears it). It must
+// be set before any event is published — the orchestrator wires it at
+// construction; installing it mid-stream would hand the observer a
+// sequence that does not start where its state does.
+func (b *EventBus) SetTap(tap func(Event)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tap = tap
 }
 
 // LastSeq returns the sequence number of the most recent event (0 when none

@@ -128,6 +128,7 @@ func (o *Orchestrator) activate(id slice.ID) {
 	now := o.clock.Now()
 	if err := o.tb.Ctrl.Cloud.MarkEPCRunning(alloc.EPCID, now); err != nil {
 		evicted := o.teardownLocked(sh, m, fmt.Sprintf("EPC failed to boot: %v", err), EventDeleted)
+		o.auditSliceReleased(id)
 		sh.mu.Unlock()
 		o.dropFinished(evicted)
 		return
@@ -158,6 +159,7 @@ func (o *Orchestrator) activate(id slice.ID) {
 			return
 		}
 		evicted := o.teardownLocked(sh, mm, "expired", EventExpired)
+		o.auditSliceReleased(id)
 		sh.mu.Unlock()
 		o.dropFinished(evicted)
 	})

@@ -77,6 +77,7 @@ func (o *Orchestrator) HandleLinkFailure(from, to string) (RestorationReport, er
 		}
 	}
 	o.dropFinishedAllLocked(evicted)
+	o.auditSweepAllLocked() // restoration is a whole-registry mutation: sweep before unlocking
 	o.unlockAll()
 	return rep, nil
 }
@@ -188,6 +189,7 @@ func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps fl
 		o.publish(EventResized, m.s, fmt.Sprintf("shrunk to fair share of degraded %s", rep.Link))
 	}
 	o.dropFinishedAllLocked(evicted)
+	o.auditSweepAllLocked()
 	o.unlockAll()
 	return rep, nil
 }

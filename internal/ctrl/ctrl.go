@@ -53,7 +53,9 @@ type Controller interface {
 
 // RANController manages the radio domain: PLMN-keyed PRB reservations
 // spread across all eNBs (the slice's UEs camp on both testbed cells).
+// The embedded FaultArm makes it a ctrl.FaultInjector for chaos timelines.
 type RANController struct {
+	FaultArm
 	net *ran.Network
 }
 
@@ -202,6 +204,7 @@ func (c *RANController) PushTelemetry(store *monitor.Store, now time.Time) {
 // TransportController manages path setup between the eNBs and the data
 // centers through the programmable switches.
 type TransportController struct {
+	FaultArm
 	net *transport.Network
 
 	mu      sync.RWMutex
@@ -339,6 +342,7 @@ func (c *TransportController) PushTelemetry(store *monitor.Store, now time.Time)
 // CloudController manages the two data centers and the vEPC instances
 // running in them.
 type CloudController struct {
+	FaultArm
 	region *cloud.Region
 	epcs   *epc.Registry
 

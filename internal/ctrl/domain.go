@@ -11,6 +11,7 @@ package ctrl
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/epc"
@@ -117,10 +118,13 @@ type LatencyContributor interface {
 // ---------------------------------------------------------------------------
 // Radio domain.
 
-// radioGrant is the RAN domain's reservation.
+// radioGrant is the RAN domain's reservation. aborted makes Abort
+// single-shot: PLMNs are recycled, so a second Abort of the same grant after
+// the slot was re-allocated would release the new owner's PRBs.
 type radioGrant struct {
-	plmn slice.PLMN
-	res  RadioReservation
+	plmn    slice.PLMN
+	res     RadioReservation
+	aborted atomic.Bool
 }
 
 func (g *radioGrant) Domain() string                 { return "ran" }
@@ -148,6 +152,9 @@ func (c *RANController) Feasible(tx Tx) *slice.RejectionCause { return nil }
 
 // Reserve implements Domain.
 func (c *RANController) Reserve(tx Tx) (Grant, *slice.RejectionCause) {
+	if cause := c.reserveFault("ran"); cause != nil {
+		return nil, cause
+	}
 	res, err := c.ReserveSlice(tx.PLMN, tx.Mbps)
 	if err != nil {
 		return nil, radioCause(err)
@@ -155,18 +162,24 @@ func (c *RANController) Reserve(tx Tx) (Grant, *slice.RejectionCause) {
 	return &radioGrant{plmn: tx.PLMN, res: res}, nil
 }
 
-// Commit implements Domain (PRB reservations are live at Reserve).
-func (c *RANController) Commit(g Grant) error { return nil }
+// Commit implements Domain (PRB reservations are live at Reserve; only an
+// armed fault can fail it).
+func (c *RANController) Commit(g Grant) error { return c.commitFault("ran") }
 
-// Abort implements Domain.
+// Abort implements Domain. Idempotent per grant: the PLMN is released at
+// most once, so an engine retry or a chaos double-abort can never free a
+// recycled slot now owned by another slice.
 func (c *RANController) Abort(g Grant) {
-	if rg, ok := g.(*radioGrant); ok {
+	if rg, ok := g.(*radioGrant); ok && rg.aborted.CompareAndSwap(false, true) {
 		c.ReleaseSlice(rg.plmn)
 	}
 }
 
 // Resize implements Domain.
 func (c *RANController) Resize(tx Tx, mbps float64) (Grant, error) {
+	if err := c.resizeFault("ran"); err != nil {
+		return nil, err
+	}
 	res, err := c.ResizeSlice(tx.PLMN, mbps)
 	if err != nil {
 		return nil, err
@@ -182,8 +195,9 @@ func (c *RANController) Release(id slice.ID, p slice.PLMN) { c.ReleaseSlice(p) }
 
 // pathGrant is the transport domain's reservation.
 type pathGrant struct {
-	id    slice.ID
-	setup PathSetup
+	id      slice.ID
+	setup   PathSetup
+	aborted atomic.Bool
 }
 
 func (g *pathGrant) Domain() string                 { return "transport" }
@@ -221,6 +235,9 @@ func (c *TransportController) Feasible(tx Tx) *slice.RejectionCause {
 
 // Reserve implements Domain.
 func (c *TransportController) Reserve(tx Tx) (Grant, *slice.RejectionCause) {
+	if cause := c.reserveFault("transport"); cause != nil {
+		return nil, cause
+	}
 	setup, err := c.SetupPaths(tx.Slice, tx.DataCenter, tx.Mbps, tx.LatencyBudgetMs)
 	if err != nil {
 		return nil, transportCause(err, "transport: %w", err)
@@ -228,12 +245,13 @@ func (c *TransportController) Reserve(tx Tx) (Grant, *slice.RejectionCause) {
 	return &pathGrant{id: tx.Slice, setup: setup}, nil
 }
 
-// Commit implements Domain (flows are installed at Reserve).
-func (c *TransportController) Commit(g Grant) error { return nil }
+// Commit implements Domain (flows are installed at Reserve; only an armed
+// fault can fail it).
+func (c *TransportController) Commit(g Grant) error { return c.commitFault("transport") }
 
-// Abort implements Domain.
+// Abort implements Domain. Idempotent per grant.
 func (c *TransportController) Abort(g Grant) {
-	if pg, ok := g.(*pathGrant); ok {
+	if pg, ok := g.(*pathGrant); ok && pg.aborted.CompareAndSwap(false, true) {
 		c.ReleasePaths(pg.id)
 	}
 }
@@ -241,6 +259,9 @@ func (c *TransportController) Abort(g Grant) {
 // Resize implements Domain. Path IDs are unchanged by a resize, so no grant
 // is returned.
 func (c *TransportController) Resize(tx Tx, mbps float64) (Grant, error) {
+	if err := c.resizeFault("transport"); err != nil {
+		return nil, err
+	}
 	return nil, c.ResizePaths(tx.Slice, mbps)
 }
 
@@ -252,8 +273,9 @@ func (c *TransportController) Release(id slice.ID, p slice.PLMN) { c.ReleasePath
 
 // cloudGrant is the cloud domain's reservation.
 type cloudGrant struct {
-	id  slice.ID
-	dep Deployment
+	id      slice.ID
+	dep     Deployment
+	aborted atomic.Bool
 }
 
 func (g *cloudGrant) Domain() string                 { return "cloud" }
@@ -277,6 +299,9 @@ func (c *CloudController) Feasible(tx Tx) *slice.RejectionCause {
 
 // Reserve implements Domain.
 func (c *CloudController) Reserve(tx Tx) (Grant, *slice.RejectionCause) {
+	if cause := c.reserveFault("cloud"); cause != nil {
+		return nil, cause
+	}
 	dep, err := c.DeployEPC(tx.Slice, tx.DataCenter, tx.PLMN, tx.SLA.ThroughputMbps, tx.SLA.Class)
 	if err != nil {
 		return nil, slice.Rejectf(slice.RejectCloudCapacity, "cloud", "cloud: %w", err)
@@ -288,12 +313,13 @@ func (c *CloudController) Reserve(tx Tx) (Grant, *slice.RejectionCause) {
 }
 
 // Commit implements Domain (the stack and vEPC registration are live at
-// Reserve; the boot timer is the engine's job via ActivationDelay).
-func (c *CloudController) Commit(g Grant) error { return nil }
+// Reserve; the boot timer is the engine's job via ActivationDelay; only an
+// armed fault can fail it).
+func (c *CloudController) Commit(g Grant) error { return c.commitFault("cloud") }
 
-// Abort implements Domain.
+// Abort implements Domain. Idempotent per grant.
 func (c *CloudController) Abort(g Grant) {
-	if cg, ok := g.(*cloudGrant); ok {
+	if cg, ok := g.(*cloudGrant); ok && cg.aborted.CompareAndSwap(false, true) {
 		c.mu.Lock()
 		delete(c.bySlice, cg.id)
 		c.mu.Unlock()
@@ -302,8 +328,10 @@ func (c *CloudController) Abort(g Grant) {
 }
 
 // Resize implements Domain: vEPC stacks are sized to the contract and are
-// not resized by the overbooking loop.
-func (c *CloudController) Resize(tx Tx, mbps float64) (Grant, error) { return nil, nil }
+// not resized by the overbooking loop (only an armed fault can fail it).
+func (c *CloudController) Resize(tx Tx, mbps float64) (Grant, error) {
+	return nil, c.resizeFault("cloud")
+}
 
 // Release implements Domain.
 func (c *CloudController) Release(id slice.ID, p slice.PLMN) {
@@ -324,6 +352,7 @@ func (c *CloudController) Release(id slice.ID, p slice.PLMN) {
 // the Domain surface is pluggable: the orchestrator core drives it through
 // the generic engine exactly like the three original domains.
 type MECController struct {
+	FaultArm
 	pool *mec.Pool
 }
 
@@ -341,7 +370,8 @@ func appID(id slice.ID) string { return string(id) + "/app" }
 
 // mecGrant is the MEC domain's reservation.
 type mecGrant struct {
-	app mec.App
+	app     mec.App
+	aborted atomic.Bool
 }
 
 func (g *mecGrant) Domain() string                 { return "mec" }
@@ -371,6 +401,9 @@ func (c *MECController) Feasible(tx Tx) *slice.RejectionCause {
 
 // Reserve implements Domain.
 func (c *MECController) Reserve(tx Tx) (Grant, *slice.RejectionCause) {
+	if cause := c.reserveFault("mec"); cause != nil {
+		return nil, cause
+	}
 	app, err := c.pool.Place(appID(tx.Slice), tx.Slice, mec.CPUForMbps(tx.SLA.ThroughputMbps))
 	if err != nil {
 		return nil, slice.Rejectf(slice.RejectMECCapacity, "mec", "mec: %w", err)
@@ -378,12 +411,12 @@ func (c *MECController) Reserve(tx Tx) (Grant, *slice.RejectionCause) {
 	return &mecGrant{app: app}, nil
 }
 
-// Commit implements Domain.
-func (c *MECController) Commit(g Grant) error { return nil }
+// Commit implements Domain (only an armed fault can fail it).
+func (c *MECController) Commit(g Grant) error { return c.commitFault("mec") }
 
-// Abort implements Domain.
+// Abort implements Domain. Idempotent per grant.
 func (c *MECController) Abort(g Grant) {
-	if mg, ok := g.(*mecGrant); ok {
+	if mg, ok := g.(*mecGrant); ok && mg.aborted.CompareAndSwap(false, true) {
 		c.pool.Remove(mg.app.ID)
 	}
 }
@@ -391,6 +424,9 @@ func (c *MECController) Abort(g Grant) {
 // Resize implements Domain: the app's CPU share follows the slice's
 // (possibly overbooked) throughput allocation.
 func (c *MECController) Resize(tx Tx, mbps float64) (Grant, error) {
+	if err := c.resizeFault("mec"); err != nil {
+		return nil, err
+	}
 	return nil, c.pool.Resize(appID(tx.Slice), mec.CPUForMbps(mbps))
 }
 

@@ -177,6 +177,76 @@ func (p *Pool) Remove(id string) {
 	}
 }
 
+// SetHostCapacity rescales the named host's CPU capacity — the chaos model
+// of a MEC-host brownout. Shrinks are clamped at the host's current usage
+// (only spare capacity can be lost; placed apps are never stranded), so the
+// pool's conservation invariants hold throughout. It returns the capacity
+// actually applied.
+func (p *Pool) SetHostCapacity(name string, cpus float64) (float64, error) {
+	if cpus <= 0 {
+		return 0, fmt.Errorf("mec: host capacity %.2f must be positive", cpus)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, h := range p.hosts {
+		if h.name != name {
+			continue
+		}
+		if cpus < h.used {
+			cpus = h.used
+		}
+		h.cap = cpus
+		return cpus, nil
+	}
+	return 0, fmt.Errorf("mec: unknown host %q", name)
+}
+
+// HostNames returns the pool's host names in first-fit (sorted) order.
+func (p *Pool) HostNames() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.hosts))
+	for _, h := range p.hosts {
+		out = append(out, h.name)
+	}
+	return out
+}
+
+// AuditConservation cross-checks the pool's CPU books against ground truth
+// and returns one message per discrepancy (empty when the books balance):
+// each host's used counter must equal the sum over its placed apps, free
+// capacity must never go negative, and every app must name a registered
+// host.
+func (p *Pool) AuditConservation() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []string
+	perHost := make(map[string]float64, len(p.hosts))
+	for id, a := range p.apps {
+		if a.CPU <= 0 {
+			out = append(out, fmt.Sprintf("mec app %q: non-positive CPU share %.2f", id, a.CPU))
+		}
+		perHost[a.Host] += a.CPU
+	}
+	known := make(map[string]bool, len(p.hosts))
+	for _, h := range p.hosts {
+		known[h.name] = true
+		if d := h.used - perHost[h.name]; d > 1e-6 || d < -1e-6 {
+			out = append(out, fmt.Sprintf("mec %s: used counter %.3f != sum over apps %.3f", h.name, h.used, perHost[h.name]))
+		}
+		if h.cap-h.used < -1e-9 {
+			out = append(out, fmt.Sprintf("mec %s: negative slack (%.2f used of %.2f)", h.name, h.used, h.cap))
+		}
+	}
+	for id, a := range p.apps {
+		if !known[a.Host] {
+			out = append(out, fmt.Sprintf("mec app %q: placed on unknown host %q", id, a.Host))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // App returns the placed app by ID.
 func (p *Pool) App(id string) (App, bool) {
 	p.mu.RLock()

@@ -1,0 +1,173 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+)
+
+// The monitor-ring edge cases the chaos/invariant PR pins down: exact-
+// capacity wraparound (the per-slice rings are bounded at 512 samples and
+// the epoch engine fills them one batch per epoch), empty-series reads, and
+// RecordBatchSized batches that exceed or duplicate into a single ring.
+// (The `at` time helper is shared with monitor_test.go.)
+
+// TestRingWraparoundAtExactCapacity fills a 512-ring to exactly its
+// capacity, then one past it, checking both boundaries sample by sample.
+func TestRingWraparoundAtExactCapacity(t *testing.T) {
+	const cap = 512
+	s := NewSeries("x", cap)
+	for i := 0; i < cap; i++ {
+		s.Add(at(i), float64(i))
+	}
+	if s.Len() != cap {
+		t.Fatalf("Len %d at exact capacity, want %d", s.Len(), cap)
+	}
+	w := s.Window(0)
+	if len(w) != cap || w[0].Value != 0 || w[cap-1].Value != cap-1 {
+		t.Fatalf("window [%v..%v] of %d at exact capacity", w[0].Value, w[len(w)-1].Value, len(w))
+	}
+	// The 513th sample evicts exactly the oldest.
+	s.Add(at(cap), float64(cap))
+	if s.Len() != cap {
+		t.Fatalf("Len %d after wraparound, want %d", s.Len(), cap)
+	}
+	w = s.Window(0)
+	if w[0].Value != 1 || w[cap-1].Value != cap {
+		t.Fatalf("window [%v..%v] after wraparound, want [1..%d]", w[0].Value, w[cap-1].Value, cap)
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i].Value != w[i-1].Value+1 {
+			t.Fatalf("window not contiguous at %d: %v -> %v", i, w[i-1].Value, w[i].Value)
+		}
+	}
+	if last, ok := s.Last(); !ok || last.Value != cap || !last.At.Equal(at(cap)) {
+		t.Fatalf("Last %+v ok=%v after wraparound", last, ok)
+	}
+}
+
+// TestEmptyAndDegenerateSeries: every read path on a series with no samples
+// (and on minimum-capacity rings) is well-defined.
+func TestEmptyAndDegenerateSeries(t *testing.T) {
+	s := NewSeries("empty", 512)
+	if s.Len() != 0 {
+		t.Fatal("fresh series not empty")
+	}
+	if _, ok := s.Last(); ok {
+		t.Fatal("Last on empty series reported a sample")
+	}
+	if w := s.Window(0); len(w) != 0 {
+		t.Fatalf("Window(0) on empty series: %v", w)
+	}
+	if w := s.Window(10); len(w) != 0 {
+		t.Fatalf("Window(10) on empty series: %v", w)
+	}
+	if v := s.Values(5); len(v) != 0 {
+		t.Fatalf("Values on empty series: %v", v)
+	}
+	if since := s.Since(at(0)); len(since) != 0 {
+		t.Fatalf("Since on empty series: %v", since)
+	}
+	st := s.WindowStats(0)
+	if st.N != 0 || st.Mean != 0 || st.P99 != 0 {
+		t.Fatalf("stats on empty series: %+v", st)
+	}
+
+	// Requested capacity <= 0 clamps to 1, and the 1-ring keeps the newest.
+	tiny := NewSeries("tiny", 0)
+	if tiny.Capacity() != 1 {
+		t.Fatalf("capacity %d, want clamp to 1", tiny.Capacity())
+	}
+	tiny.Add(at(1), 1)
+	tiny.Add(at(2), 2)
+	if last, _ := tiny.Last(); last.Value != 2 || tiny.Len() != 1 {
+		t.Fatalf("1-ring kept %+v (len %d)", last, tiny.Len())
+	}
+}
+
+// TestRecordBatchSizedOverflow: one batch larger than the ring capacity
+// must land like the equivalent Record sequence — the ring retains the
+// batch's tail — and a batch writing the same series twice appends twice.
+func TestRecordBatchSizedOverflow(t *testing.T) {
+	st := NewStore(1024)
+	batch := make([]BatchSample, 8)
+	for i := range batch {
+		batch[i] = BatchSample{Name: "over", Value: float64(i)}
+	}
+	st.RecordBatchSized(at(1), batch, 4) // ring half the batch size
+	s := st.Series("over")
+	if s.Capacity() != 4 {
+		t.Fatalf("capacity %d, want the sized 4", s.Capacity())
+	}
+	vals := s.Values(0)
+	want := []float64{4, 5, 6, 7}
+	if len(vals) != len(want) {
+		t.Fatalf("values %v, want %v", vals, want)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("values %v, want %v", vals, want)
+		}
+	}
+
+	// Duplicate names in one batch hit the same ring in order, and an
+	// existing series keeps its original capacity on later sized batches.
+	st.RecordBatchSized(at(2), []BatchSample{
+		{Name: "over", Value: 100},
+		{Name: "over", Value: 101},
+		{Name: "fresh", Value: 1},
+	}, 9)
+	vals = st.Series("over").Values(0)
+	if vals[len(vals)-2] != 100 || vals[len(vals)-1] != 101 {
+		t.Fatalf("duplicate-name batch landed as %v", vals)
+	}
+	if c := st.Series("over").Capacity(); c != 4 {
+		t.Fatalf("existing ring resized to %d", c)
+	}
+	if c := st.Series("fresh").Capacity(); c != 9 {
+		t.Fatalf("new ring capacity %d, want 9", c)
+	}
+
+	// Empty batches are a no-op.
+	st.RecordBatchSized(at(3), nil, 4)
+	if got := len(st.Series("over").Values(0)); got != 4 {
+		t.Fatalf("empty batch changed the ring: %d values", got)
+	}
+}
+
+// TestRecordBatchConcurrentWithReads hammers batch writes against window
+// reads; the race detector owns the verdict, the final length check the
+// bookkeeping.
+func TestRecordBatchConcurrentWithReads(t *testing.T) {
+	st := NewStore(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				st.RecordBatchSized(at(i), []BatchSample{
+					{Name: "shared", Value: float64(i)},
+					{Name: "shared", Value: float64(i) + 0.5},
+				}, 32)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = st.Series("shared").Window(0)
+				_ = st.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	// Whoever touched the name first fixed the ring capacity (32 from the
+	// sized batch, 64 from a reader's default-capacity lookup); either way
+	// far more samples than capacity landed, so the ring must be full.
+	s := st.Series("shared")
+	if s.Len() != s.Capacity() {
+		t.Fatalf("ring length %d after concurrent batches, want full %d", s.Len(), s.Capacity())
+	}
+}

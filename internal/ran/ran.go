@@ -210,12 +210,18 @@ func (e *ENB) FreePRBs() int {
 
 func (e *ENB) freeLocked() int { return e.TotalPRBs() - e.used }
 
-// MeanCQI returns the configured average channel quality.
-func (e *ENB) MeanCQI() float64 { return e.cfg.MeanCQI }
+// MeanCQI returns the configured average channel quality. Guarded by the
+// cell mutex because SetMeanCQI (chaos fade injection) may rescale it at
+// runtime.
+func (e *ENB) MeanCQI() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cfg.MeanCQI
+}
 
 // CapacityMbps returns the cell capacity at the mean CQI.
 func (e *ENB) CapacityMbps() float64 {
-	return float64(e.TotalPRBs()) * PRBThroughputMbps(int(math.Round(e.cfg.MeanCQI)))
+	return float64(e.TotalPRBs()) * PRBThroughputMbps(int(math.Round(e.MeanCQI())))
 }
 
 // PRBsForThroughput converts a required throughput into a PRB budget at the
@@ -225,13 +231,13 @@ func (e *ENB) PRBsForThroughput(mbps float64) int {
 	if mbps <= 0 {
 		return 0
 	}
-	per := PRBThroughputMbps(int(math.Round(e.cfg.MeanCQI)))
+	per := PRBThroughputMbps(int(math.Round(e.MeanCQI())))
 	return int(math.Ceil(mbps / per))
 }
 
 // ThroughputForPRBs is the inverse sizing function at mean CQI.
 func (e *ENB) ThroughputForPRBs(prbs int) float64 {
-	return float64(prbs) * PRBThroughputMbps(int(math.Round(e.cfg.MeanCQI)))
+	return float64(prbs) * PRBThroughputMbps(int(math.Round(e.MeanCQI())))
 }
 
 // Reserve dedicates prbs to the PLMN, adding it to the MOCN broadcast list.
@@ -297,6 +303,61 @@ func (e *ENB) Release(p slice.PLMN) {
 	}
 }
 
+// SetMeanCQI rescales the cell's channel quality (clamped to 1..15) — the
+// chaos model of eNB capacity loss: a deep fade or interference event cuts
+// the throughput every PRB sustains, shrinking CapacityMbps and the
+// orchestrator's overbooking budget while existing PRB reservations stay
+// intact. Admission tightens and resizes re-quantize at the new CQI; no
+// reservation is invalidated, so the books stay conserved throughout.
+func (e *ENB) SetMeanCQI(cqi float64) {
+	if cqi < 1 {
+		cqi = 1
+	}
+	if cqi > 15 {
+		cqi = 15
+	}
+	e.mu.Lock()
+	e.cfg.MeanCQI = cqi
+	e.mu.Unlock()
+}
+
+// AuditConservation cross-checks the cell's incremental PRB accounting
+// against ground truth and returns one message per discrepancy (empty when
+// the books balance): the used counter must equal the sum of per-PLMN
+// reservations, free PRBs must never go negative, every reservation must be
+// positive, and the broadcast-list order must mirror the reservation map.
+// It is the radio half of the invariant auditor's conservation sweep.
+func (e *ENB) AuditConservation() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	sum := 0
+	for p, n := range e.reserved {
+		if n <= 0 {
+			out = append(out, fmt.Sprintf("ran %s: PLMN %s holds non-positive reservation %d", e.cfg.Name, p, n))
+		}
+		sum += n
+	}
+	if sum != e.used {
+		out = append(out, fmt.Sprintf("ran %s: used counter %d != sum of reservations %d", e.cfg.Name, e.used, sum))
+	}
+	if e.freeLocked() < 0 {
+		out = append(out, fmt.Sprintf("ran %s: negative slack (%d free of %d)", e.cfg.Name, e.freeLocked(), e.TotalPRBs()))
+	}
+	if len(e.order) != len(e.reserved) {
+		out = append(out, fmt.Sprintf("ran %s: broadcast list has %d entries, reservation map %d", e.cfg.Name, len(e.order), len(e.reserved)))
+	}
+	for _, p := range e.order {
+		if _, ok := e.reserved[p]; !ok {
+			out = append(out, fmt.Sprintf("ran %s: broadcast list entry %s has no reservation", e.cfg.Name, p))
+		}
+	}
+	if len(e.reserved) > e.cfg.MaxPLMNs {
+		out = append(out, fmt.Sprintf("ran %s: %d PLMNs exceed MOCN list bound %d", e.cfg.Name, len(e.reserved), e.cfg.MaxPLMNs))
+	}
+	return out
+}
+
 // Reservation returns the PRBs currently dedicated to the PLMN.
 func (e *ENB) Reservation(p slice.PLMN) (int, bool) {
 	e.mu.Lock()
@@ -315,7 +376,7 @@ func (e *ENB) BroadcastList() []slice.PLMN {
 
 // drawCQI samples the epoch CQI for one slice's UE population.
 func (e *ENB) drawCQI() int {
-	cqi := e.cfg.MeanCQI
+	cqi := e.MeanCQI()
 	if e.rng != nil && e.cfg.CQIStdDev > 0 {
 		cqi += e.rng.NormFloat64() * e.cfg.CQIStdDev
 	}

@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestChaosScenariosInvariantClean runs every canned chaos scenario (C1–C6)
+// with core.Config.Audit enabled and asserts that not one invariant tripped
+// — capacity-ledger conservation, leak-freedom after every abort and
+// teardown, event-sequence gap-freeness, per-slice state legality, epoch
+// monotonicity — while proving the auditor and the timeline actually ran.
+// CI runs this under -race.
+func TestChaosScenariosInvariantClean(t *testing.T) {
+	for _, name := range ChaosNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := ChaosScenario(name, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != 0 {
+				for _, v := range res.Violations {
+					t.Errorf("invariant violated: %s", v)
+				}
+				t.Fatalf("%s (%s): %d invariant violations", name, res.Title, len(res.Violations))
+			}
+			if res.AuditStats.Sweeps < 50 {
+				t.Fatalf("auditor barely swept: %+v", res.AuditStats)
+			}
+			if res.AuditStats.Events < 100 {
+				t.Fatalf("auditor saw too few events: %+v", res.AuditStats)
+			}
+			if len(res.Steps) == 0 {
+				t.Fatal("no chaos step fired")
+			}
+			if res.Result.Offered == 0 || res.Result.Gain.Admitted == 0 {
+				t.Fatalf("degenerate workload: %+v", res.Result.Gain)
+			}
+		})
+	}
+}
+
+// TestChaosScenarioShapes pins per-scenario expectations: the chaos machinery
+// demonstrably did what each timeline scripts.
+func TestChaosScenarioShapes(t *testing.T) {
+	t.Run("c3-squeeze-storm", func(t *testing.T) {
+		t.Parallel()
+		res, err := ChaosScenario("c3", 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Result.Gain.ViolationEpochs == 0 {
+			t.Fatal("mispredicting forecasts caused no SLA violation")
+		}
+		if res.Result.Gain.Reconfigurations == 0 {
+			t.Fatal("squeeze storm caused no reconfiguration")
+		}
+	})
+	t.Run("c5-typed-fault-rejections", func(t *testing.T) {
+		t.Parallel()
+		res, err := ChaosScenario("c5", 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Result.Gain.RejectReasons["fault-injected"] == 0 {
+			t.Fatalf("no fault-injected rejection surfaced: %v", res.Result.Gain.RejectReasons)
+		}
+	})
+	t.Run("c6-churn", func(t *testing.T) {
+		t.Parallel()
+		res, err := ChaosScenario("c6", 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deleted := 0
+		for _, sn := range res.Result.Slices {
+			if sn.State == "terminated" && sn.Reason == "deleted by tenant" {
+				deleted++
+			}
+		}
+		if deleted < 10 {
+			t.Fatalf("churn waves deleted only %d slices", deleted)
+		}
+	})
+}
+
+// TestChaosShardEquivalence is the chaos extension of the PR 4 equivalence
+// proof: a fixed-seed chaos scenario — churn waves, link failures, fades,
+// injected domain faults all firing — must produce identical slice
+// outcomes, a bit-identical GainReport and bit-identical telemetry at
+// Shards=1 and Shards=16, with zero invariant violations in both runs.
+// Chaos randomness is seeded separately from the workload and victim
+// selection walks slices in submission order, so shard count changes
+// contention only, never outcomes.
+func TestChaosShardEquivalence(t *testing.T) {
+	for _, name := range []string{"c2", "c6"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := ChaosScenarioSharded(name, 42, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipelined, err := ChaosScenarioSharded(name, 42, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(serial.Violations) != 0 || len(pipelined.Violations) != 0 {
+				t.Fatalf("invariant violations: serial %v, pipelined %v", serial.Violations, pipelined.Violations)
+			}
+			if !reflect.DeepEqual(serial.Result.Gain, pipelined.Result.Gain) {
+				t.Errorf("gain report diverged:\n shards=1:  %+v\n shards=16: %+v", serial.Result.Gain, pipelined.Result.Gain)
+			}
+			if !reflect.DeepEqual(serial.Result.Slices, pipelined.Result.Slices) {
+				t.Errorf("slice outcomes diverged (%d vs %d snapshots)", len(serial.Result.Slices), len(pipelined.Result.Slices))
+			}
+			if serial.Result.Offered != pipelined.Result.Offered {
+				t.Errorf("offered diverged: %d vs %d", serial.Result.Offered, pipelined.Result.Offered)
+			}
+			if !reflect.DeepEqual(serial.Steps, pipelined.Steps) {
+				t.Errorf("fired chaos steps diverged:\n shards=1:  %v\n shards=16: %v", serial.Steps, pipelined.Steps)
+			}
+			if serial.AuditStats.Events != pipelined.AuditStats.Events {
+				t.Errorf("event counts diverged: %d vs %d", serial.AuditStats.Events, pipelined.AuditStats.Events)
+			}
+		})
+	}
+}

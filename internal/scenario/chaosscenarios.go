@@ -1,0 +1,220 @@
+package scenario
+
+// The canned chaos scenarios C1–C6: scripted failure timelines
+// (internal/chaos) run against the standard workload with the cross-domain
+// invariant auditor (internal/invariant) always on. Each scenario is a
+// verification artifact first and an experiment second — the chaos suite in
+// CI runs all six under -race and fails on any invariant violation, making
+// scenario diversity itself the regression net every scaling PR runs
+// against (DESIGN.md §8).
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/forecast"
+	"repro/internal/invariant"
+	"repro/internal/testbed"
+)
+
+// ChaosResult condenses one chaos scenario run.
+type ChaosResult struct {
+	// Name is the scenario key ("c1".."c6"); Title the human description.
+	Name  string `json:"name"`
+	Title string `json:"title"`
+	// Result is the standard workload summary.
+	Result Result `json:"result"`
+	// Steps lists the timeline steps that fired, in execution order.
+	Steps []chaos.FiredStep `json:"steps"`
+	// AuditStats proves how much the invariant auditor checked.
+	AuditStats invariant.Stats `json:"audit_stats"`
+	// Violations is every invariant breach detected (empty == proof the
+	// run kept the books exact).
+	Violations []invariant.Violation `json:"violations"`
+}
+
+// chaosSpec couples a scenario's options with its timeline builder.
+type chaosSpec struct {
+	title    string
+	opts     func(seed int64) Options
+	timeline func(seed int64) *chaos.Timeline
+}
+
+// chaosBaseOptions is the shared chassis: overloaded arrivals, overbooking
+// on, audit on.
+func chaosBaseOptions(seed int64, dur time.Duration, ia time.Duration) Options {
+	return Options{
+		Seed:             seed,
+		Duration:         dur,
+		MeanInterarrival: ia,
+		Orchestrator: core.Config{
+			Overbook:  true,
+			Risk:      0.9,
+			PLMNLimit: 64,
+			Audit:     true,
+		},
+		Testbed: testbed.Config{MaxPLMNs: 64, RedundantTransport: true},
+	}
+}
+
+// chaosSpecs defines C1–C6.
+var chaosSpecs = map[string]chaosSpec{
+	"c1": {
+		title: "flash-crowd: demand spikes on half the tenants mid-run",
+		opts: func(seed int64) Options {
+			return chaosBaseOptions(seed, 4*time.Hour, 5*time.Minute)
+		},
+		timeline: func(seed int64) *chaos.Timeline {
+			return chaos.NewTimeline(seed).
+				At(1*time.Hour, "crowd-50pct", chaos.FlashCrowd(0.5, 60, 30*time.Minute)).
+				At(150*time.Minute, "crowd-80pct", chaos.FlashCrowd(0.8, 100, 30*time.Minute))
+		},
+	},
+	"c2": {
+		title: "rolling-link-failure: wireless hops fail, degrade and repair mid-epoch",
+		opts: func(seed int64) Options {
+			return chaosBaseOptions(seed, 4*time.Hour, 5*time.Minute)
+		},
+		timeline: func(seed int64) *chaos.Timeline {
+			return chaos.NewTimeline(seed).
+				At(60*time.Minute, "fail-enb1-uplink", chaos.LinkFail(testbed.ENBName(0), testbed.Switch)).
+				At(80*time.Minute, "repair-enb1-uplink", chaos.LinkRestore(testbed.ENBName(0), testbed.Switch)).
+				At(100*time.Minute, "fail-enb2-uplink", chaos.LinkFail(testbed.ENBName(1), testbed.Switch)).
+				At(120*time.Minute, "repair-enb2-uplink", chaos.LinkRestore(testbed.ENBName(1), testbed.Switch)).
+				At(140*time.Minute, "rain-fade-enb1", chaos.LinkDegrade(testbed.ENBName(0), testbed.Switch, 120)).
+				At(170*time.Minute, "rain-clears-enb1", chaos.LinkDegrade(testbed.ENBName(0), testbed.Switch, 1000)).
+				At(190*time.Minute, "fade-cell-2", chaos.CellFade(1, 7)).
+				At(210*time.Minute, "cell-2-recovers", chaos.CellFade(1, 12))
+		},
+	},
+	"c3": {
+		title: "squeeze-storm: overload bursts force repeated whole-registry squeezes under mispredicting forecasts",
+		opts: func(seed int64) Options {
+			o := chaosBaseOptions(seed, 4*time.Hour, 2*time.Minute)
+			o.Orchestrator.Risk = 0.75
+			// Forecaster misprediction injection: every 4th forecast comes
+			// in 40% low, so provisioning under-shoots and the squeeze +
+			// violation machinery works overtime.
+			o.Orchestrator.NewForecaster = chaos.MispredictFactory(
+				func() forecast.Forecaster { return forecast.NewEWMA(0.3) }, 4, 0.6)
+			return o
+		},
+		timeline: func(seed int64) *chaos.Timeline {
+			return chaos.NewTimeline(seed).
+				Every(30*time.Minute, 30*time.Minute, 6, "burst", chaos.BurstSubmit(10))
+		},
+	},
+	"c4": {
+		title: "MEC-brownout: edge compute hosts lose capacity, then recover",
+		opts: func(seed int64) Options {
+			o := chaosBaseOptions(seed, 4*time.Hour, 4*time.Minute)
+			o.Testbed.MECHosts = 2
+			o.Testbed.MECHostCPUs = 12
+			return o
+		},
+		timeline: func(seed int64) *chaos.Timeline {
+			return chaos.NewTimeline(seed).
+				At(60*time.Minute, "brownout-h1", chaos.MECBrownout(0, 1)).
+				At(90*time.Minute, "brownout-h2", chaos.MECBrownout(1, 1)).
+				At(150*time.Minute, "recover-h1", chaos.MECRecover(0, 12)).
+				At(160*time.Minute, "recover-h2", chaos.MECRecover(1, 12))
+		},
+	},
+	"c5": {
+		title: "commit-fault-soak: rotating reserve/commit/resize faults across all four domains",
+		opts: func(seed int64) Options {
+			o := chaosBaseOptions(seed, 4*time.Hour, 4*time.Minute)
+			o.Testbed.MECHosts = 1
+			o.Testbed.MECHostCPUs = 64
+			return o
+		},
+		timeline: func(seed int64) *chaos.Timeline {
+			t := chaos.NewTimeline(seed)
+			domains := []string{"ran", "transport", "cloud", "mec"}
+			for i, d := range domains {
+				base := time.Duration(30+40*i) * time.Minute
+				t.At(base, "arm-"+d+"-commit", chaos.InjectFault(d, ctrl.FaultCommit, 3)).
+					At(base+10*time.Minute, "arm-"+d+"-reserve", chaos.InjectFault(d, ctrl.FaultReserve, 2)).
+					At(base+20*time.Minute, "arm-"+d+"-resize", chaos.InjectFault(d, ctrl.FaultResize, 4)).
+					At(base+30*time.Minute, "clear-"+d, chaos.ClearFaults(d))
+			}
+			return t
+		},
+	},
+	"c6": {
+		title: "churn-soak: sustained burst-submit/mass-delete churn for six hours",
+		opts: func(seed int64) Options {
+			return chaosBaseOptions(seed, 6*time.Hour, 3*time.Minute)
+		},
+		timeline: func(seed int64) *chaos.Timeline {
+			return chaos.NewTimeline(seed).
+				Every(30*time.Minute, 30*time.Minute, 11, "delete-wave", chaos.MassDelete(0.4)).
+				Every(45*time.Minute, 30*time.Minute, 10, "submit-wave", chaos.BurstSubmit(8))
+		},
+	},
+}
+
+// ChaosNames lists the canned scenarios in order.
+func ChaosNames() []string {
+	names := make([]string, 0, len(chaosSpecs))
+	for n := range chaosSpecs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ChaosTitle returns the scenario's human description.
+func ChaosTitle(name string) string { return chaosSpecs[name].title }
+
+// ChaosScenario runs one canned chaos scenario (c1..c6) with the invariant
+// auditor attached and returns the workload summary plus the audit verdict.
+// The run is deterministic from the seed: the timeline's randomness is
+// seeded separately from the workload's, and neither depends on the shard
+// count.
+func ChaosScenario(name string, seed int64) (ChaosResult, error) {
+	return ChaosScenarioSharded(name, seed, 0)
+}
+
+// ChaosScenarioSharded is ChaosScenario with an explicit shard count (0 =
+// default) — the handle the shard-equivalence proof uses.
+func ChaosScenarioSharded(name string, seed int64, shards int) (ChaosResult, error) {
+	spec, ok := chaosSpecs[name]
+	if !ok {
+		return ChaosResult{}, fmt.Errorf("scenario: unknown chaos scenario %q (have %v)", name, ChaosNames())
+	}
+	opts := spec.opts(seed)
+	if shards > 0 {
+		opts.Orchestrator.Shards = shards
+	}
+	r, err := NewRunner(opts)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	env := &chaos.Env{
+		Sim:    r.Sim,
+		Orch:   r.Orch,
+		TB:     r.TB,
+		Submit: func() { _, _ = r.SubmitNow() },
+	}
+	spec.timeline(opts.Seed).Install(env)
+	r.StartArrivals()
+	if err := r.Sim.RunFor(opts.Duration); err != nil {
+		return ChaosResult{}, err
+	}
+	res := ChaosResult{
+		Name:   name,
+		Title:  spec.title,
+		Result: r.Collect(),
+		Steps:  env.Log(),
+	}
+	if a := r.Orch.Auditor(); a != nil {
+		res.AuditStats = a.Stats()
+		res.Violations = a.Violations()
+	}
+	return res, nil
+}

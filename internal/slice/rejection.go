@@ -37,6 +37,14 @@ const (
 	// RejectRevenuePolicy: the revenue-maximization policy turned the
 	// request down (density floor, penalty-aware check, batch admission).
 	RejectRevenuePolicy RejectCode = "revenue-policy"
+	// RejectFaultInjected: a chaos-armed fault (ctrl.FaultInjector) failed a
+	// domain's transactional verb. Chaos scenarios assert on this bucket to
+	// prove scripted faults reject through the normal taxonomy.
+	RejectFaultInjected RejectCode = "fault-injected"
+	// RejectInternal: a domain panicked mid-transaction (double-release or
+	// substrate corruption); the engine recovered and converted the panic to
+	// a typed rejection instead of crashing the orchestrator.
+	RejectInternal RejectCode = "internal"
 	// RejectOther: unclassified (fault-injection wrappers, future domains
 	// without a dedicated code).
 	RejectOther RejectCode = "other"

@@ -10,6 +10,7 @@ package slice
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
@@ -75,8 +76,23 @@ type SLA struct {
 	EdgeCompute bool
 }
 
-// Validate reports the first problem with the SLA, or nil.
+// Validate reports the first problem with the SLA, or nil. Non-finite
+// numbers are rejected outright: a NaN throughput passes every `<= 0` gate
+// yet poisons the capacity ledger, so finiteness is checked first.
 func (s SLA) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"throughput", s.ThroughputMbps},
+		{"max latency", s.MaxLatencyMs},
+		{"price", s.PriceEUR},
+		{"penalty", s.PenaltyEUR},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("slice: %s %v must be finite", f.name, f.v)
+		}
+	}
 	switch {
 	case s.ThroughputMbps <= 0:
 		return fmt.Errorf("slice: throughput %.2f Mbps must be positive", s.ThroughputMbps)

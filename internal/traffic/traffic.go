@@ -21,7 +21,11 @@ import (
 // Implementations must be deterministic given the *rand.Rand they were
 // constructed with.
 type Demand interface {
-	// Sample returns the offered load (Mbps) at time t.
+	// Sample returns the offered load (Mbps) at time t. Implementations
+	// must return a finite, non-negative rate no matter how hostile their
+	// configured parameters are (NaN rates, negative swings, infinite
+	// jitter) — the orchestrator feeds samples straight into forecasters
+	// and the capacity ledger, where one NaN poisons everything.
 	Sample(t time.Time) float64
 	// Mean returns the long-run average demand (Mbps), used by capacity
 	// planning in experiments.
@@ -164,7 +168,7 @@ func (f *FlashCrowd) Sample(t time.Time) float64 {
 	if !t.Before(f.Start) && t.Before(f.Start.Add(f.Duration)) {
 		v += f.ExtraMbps
 	}
-	return v
+	return clampNonNeg(v)
 }
 
 // Mean implements Demand.
@@ -200,7 +204,7 @@ func (tr *Trace) Sample(t time.Time) float64 {
 	if idx < 0 {
 		idx += len(tr.Values)
 	}
-	return tr.Values[idx]
+	return clampNonNeg(tr.Values[idx])
 }
 
 // Mean implements Demand.
@@ -215,8 +219,14 @@ func (tr *Trace) Mean() float64 {
 // Name implements Demand.
 func (tr *Trace) Name() string { return "trace(" + tr.label + ")" }
 
+// clampNonNeg sanitizes a demand sample: negative rates clamp to zero, and
+// non-finite values (NaN from hostile parameters, ±Inf from overflowed
+// arithmetic) collapse to zero outright — a single NaN sample would
+// otherwise poison the forecasters, the capacity ledger and every
+// telemetry aggregate downstream. Every Demand implementation routes its
+// samples through here, which is the contract the traffic fuzz targets pin.
 func clampNonNeg(v float64) float64 {
-	if v < 0 {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 		return 0
 	}
 	return v
@@ -322,12 +332,19 @@ func NewRequestGenerator(profiles []Profile, meanInterarrival time.Duration, rng
 	return &RequestGenerator{Profiles: profiles, MeanInterarrival: meanInterarrival, rng: rng}
 }
 
-// NextInterarrival draws the gap to the next request.
+// NextInterarrival draws the gap to the next request. The draw saturates at
+// MaxInt64 nanoseconds: an exponential tail sample times a large mean
+// overflows time.Duration and would wrap negative, re-arming the arrival
+// timer in the past forever.
 func (g *RequestGenerator) NextInterarrival() time.Duration {
 	if g.rng == nil {
 		return g.MeanInterarrival
 	}
-	return time.Duration(g.rng.ExpFloat64() * float64(g.MeanInterarrival))
+	d := g.rng.ExpFloat64() * float64(g.MeanInterarrival)
+	if d < 0 || d >= float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(d)
 }
 
 // Generated pairs a request with the demand process the slice will offer if

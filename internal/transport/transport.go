@@ -443,6 +443,74 @@ func (n *Network) Reservation(pathID string) (Reservation, bool) {
 	return cp, true
 }
 
+// Reservations returns a copy of every path reservation, sorted by ID —
+// the leak-check enumeration the invariant auditor maps back onto live
+// slices.
+func (n *Network) Reservations() []Reservation {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]Reservation, 0, len(n.paths))
+	for _, r := range n.paths {
+		cp := *r
+		cp.Hops = append([]string(nil), r.Hops...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AuditConservation cross-checks the per-link bandwidth books against
+// ground truth and returns one message per discrepancy (empty when the
+// books balance): each link's reserved counter must equal the sum of its
+// per-path entries, per-path entries must belong to registered paths, every
+// registered path must hold an entry on each of its links, and reserved
+// bandwidth must never go negative. Links whose reservations exceed a
+// (degraded) capacity are not flagged — SetLinkCapacity documents that
+// oversubscription as legitimate until the orchestrator reacts.
+func (n *Network) AuditConservation() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []string
+	keys := make([]string, 0, len(n.links))
+	for k := range n.links {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		l := n.links[k]
+		sum := 0.0
+		for id, mbps := range l.byPath {
+			if _, ok := n.paths[id]; !ok {
+				out = append(out, fmt.Sprintf("transport %s: per-path entry %q has no registered reservation", k, id))
+			}
+			if mbps <= 0 {
+				out = append(out, fmt.Sprintf("transport %s: path %q reserves non-positive %.3f Mbps", k, id, mbps))
+			}
+			sum += mbps
+		}
+		if d := l.reservedMbps - sum; d > 1e-6 || d < -1e-6 {
+			out = append(out, fmt.Sprintf("transport %s: reserved counter %.3f != sum of path entries %.3f", k, l.reservedMbps, sum))
+		}
+		if l.reservedMbps < -1e-9 {
+			out = append(out, fmt.Sprintf("transport %s: negative reserved bandwidth %.3f", k, l.reservedMbps))
+		}
+	}
+	for id, r := range n.paths {
+		links, err := n.pathLinksLocked(r.Hops)
+		if err != nil {
+			out = append(out, fmt.Sprintf("transport path %q: hops no longer resolve: %v", id, err))
+			continue
+		}
+		for _, l := range links {
+			if _, ok := l.byPath[id]; !ok {
+				out = append(out, fmt.Sprintf("transport path %q: link %s holds no entry for it", id, l.key()))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // FlowTable returns a copy of the switch's flow entries.
 func (n *Network) FlowTable(node string) []FlowEntry {
 	n.mu.RLock()
