@@ -5,18 +5,29 @@
 //
 // Usage:
 //
-//	orchestrator [-addr :8080] [-overbook] [-risk 0.95] [-epoch 10s] [-seed 42]
+//	orchestrator [-addr :8080] [-overbook] [-risk 0.95] [-epoch 10s] [-seed 42] [-data-dir /var/lib/orch]
+//
+// With -data-dir the daemon keeps a write-ahead log: every admission,
+// resize, teardown and control epoch is durable, and a restart rebuilds the
+// slice registry by deterministic crash recovery (DESIGN.md §9) before
+// serving — GET /api/v2/recovery reports the outcome. On SIGINT/SIGTERM the
+// daemon publishes the terminal shutdown event to draining subscribers,
+// flushes the log and exits cleanly.
 //
 // Then open http://localhost:8080/ for the dashboard, or drive it with
 // slicectl (see cmd/slicectl).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	overbook "repro"
@@ -36,6 +47,7 @@ func main() {
 		plmnMax = flag.Int("plmn-limit", 6, "MOCN broadcast list size (max simultaneous slices)")
 		mec     = flag.Int("mec-hosts", 0, "enable the edge MEC compute domain with this many hosts (0 = off)")
 		audit   = flag.Bool("audit", false, "attach the cross-domain invariant auditor (DESIGN.md §8); violations are logged")
+		dataDir = flag.String("data-dir", "", "write-ahead-log directory; enables durability and crash recovery (DESIGN.md §9)")
 	)
 	flag.Parse()
 
@@ -51,16 +63,34 @@ func main() {
 			log.Printf("INVARIANT VIOLATION: %s", v)
 		}
 	}
-	sys, err := overbook.NewLive(overbook.Options{
+	opts := overbook.Options{
 		Seed:         *seed,
 		Orchestrator: &cfg,
 		// MaxPLMNs follows the allocator limit so raising -plmn-limit
 		// actually lifts the per-cell MOCN broadcast bound too.
 		Testbed: overbook.TestbedConfig{ENBs: *enbs, MaxPLMNs: *plmnMax, MECHosts: *mec},
-	})
+	}
+	var (
+		sys *overbook.System
+		err error
+	)
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "orchestrator:", err)
+			os.Exit(1)
+		}
+		sys, err = overbook.NewLiveDurable(opts, *dataDir)
+	} else {
+		sys, err = overbook.NewLive(opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "orchestrator:", err)
 		os.Exit(1)
+	}
+	if st := sys.Orchestrator.PersistStatus(); st.Recovered && st.Recovery != nil {
+		log.Printf("recovered from %s: snapshot seq %d, %d records replayed, %d live slices (torn_tail=%v clean_shutdown=%v)",
+			*dataDir, st.Recovery.SnapshotSeq, st.Recovery.Replayed, st.Recovery.LiveSlices,
+			st.Recovery.TornTail, st.Recovery.CleanShutdown)
 	}
 	sys.Orchestrator.Start()
 
@@ -71,10 +101,33 @@ func main() {
 	mux.Handle("/healthz", api)
 	mux.Handle("/", dashboard.New(sys.Orchestrator))
 
-	log.Printf("end-to-end slicing orchestrator listening on %s (overbook=%v risk=%.2f epoch=%v)",
-		*addr, *doOver, *risk, *epoch)
+	log.Printf("end-to-end slicing orchestrator listening on %s (overbook=%v risk=%.2f epoch=%v durable=%v)",
+		*addr, *doOver, *risk, *epoch, *dataDir != "")
 	log.Printf("dashboard: http://localhost%s/  API: http://localhost%s/api/v1/slices  events: http://localhost%s/api/v2/events", *addr, *addr, *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
 		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("%s: shutting down", sig)
+	}
+	// Ordering matters: publish the terminal EventShutdown and flush the WAL
+	// first — in-flight SSE drains observe the clean end of stream before
+	// the server closes their connections — then stop accepting traffic.
+	if ev, err := sys.Shutdown(); err != nil {
+		log.Printf("shutdown: wal close: %v", err)
+	} else {
+		log.Printf("shutdown event seq %d published, wal flushed", ev.Seq)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: http: %v", err)
 	}
 }

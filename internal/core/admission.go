@@ -63,10 +63,13 @@ func (o *Orchestrator) admit(req slice.Request) (*slice.RejectionCause, float64)
 	}
 
 	// Per-domain feasibility: at least one data center must pass every
-	// registered domain's dry run (latency budget, compute fit, ...).
+	// registered domain's dry run (latency budget, compute fit, ...). The
+	// released amount is returned alongside the cause: float addition is
+	// not exactly invertible, so the WAL reject record mirrors this
+	// reserve-then-release round trip to keep the ledger bit-reproducible.
 	if _, cause := o.chooseDataCenter(sla); cause != nil {
 		o.ledger.Release(newLoad)
-		return cause, 0
+		return cause, newLoad
 	}
 	return nil, newLoad
 }

@@ -125,6 +125,20 @@ func (o *Orchestrator) auditSweepAllLocked() {
 // alters orchestrator behavior.
 func (o *Orchestrator) Auditor() *invariant.Auditor { return o.audit }
 
+// AuditSweep runs one full conservation/leak sweep immediately, outside the
+// epoch barrier. The crash-recovery harness calls it right after Recover to
+// prove the rebuilt state keeps the books exact. No-op without Config.Audit.
+func (o *Orchestrator) AuditSweep() {
+	if o.audit == nil {
+		return
+	}
+	o.epochMu.Lock()
+	defer o.epochMu.Unlock()
+	o.lockAll()
+	defer o.unlockAll()
+	o.auditSweepAllLocked()
+}
+
 // WrapDemand atomically replaces the slice's simulated demand process with
 // wrap(current). Chaos timelines use it to overlay flash crowds or other
 // adversarial load shapes on a running slice; the wrapped process is

@@ -115,13 +115,14 @@ func (o *Orchestrator) SubmitBatchCtx(ctx context.Context, items []BatchItem, po
 		if err != nil {
 			return nil, err
 		}
-		o.publish(EventSubmitted, sl, "")
+		subEv := o.publish(EventSubmitted, sl, "")
 		sh := o.shardFor(id)
 		sh.mu.Lock()
 		evicted := o.rejectLocked(sh, sl, slice.Rejectf(slice.RejectRevenuePolicy, "",
-			"revenue policy: not selected by %s batch admission", policy))
+			"revenue policy: not selected by %s batch admission", policy), subEv, 0)
 		sh.mu.Unlock()
 		o.dropFinished(evicted)
+		o.commitPersist()
 		out[i] = sl
 	}
 	return out, nil

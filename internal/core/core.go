@@ -145,6 +145,15 @@ type Config struct {
 	// AuditOnViolation, when set with Audit, is called synchronously for
 	// every detected violation (tests fail fast through it).
 	AuditOnViolation func(invariant.Violation)
+	// Persist, when set, write-ahead logs every state transition to the
+	// sink before the operation's durability boundary (commit = fsync) and
+	// checkpoints full state every SnapshotEvery epochs, enabling
+	// deterministic crash recovery via Recover (DESIGN.md §9). Leave nil to
+	// run without durability.
+	Persist Sink
+	// SnapshotEvery is the checkpoint cadence in control epochs
+	// (default 16). Only meaningful with Persist set.
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -191,6 +200,9 @@ func (c Config) withDefaults() Config {
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 1024
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 16
+	}
 	return c
 }
 
@@ -225,6 +237,9 @@ type managedSlice struct {
 	haveDemand bool
 	// ledgerMbps is this slice's entry in the shared capacity ledger.
 	ledgerMbps float64
+	// activateAt is the scheduled vEPC-boot completion instant (recovery
+	// re-arms the activation timer from it).
+	activateAt time.Time
 	// Cached telemetry series names ("slice/<id>/demand_mbps", ...), built
 	// lazily on the slice's first epoch so the monitoring flush does not
 	// re-format three names per slice per epoch.
@@ -272,6 +287,15 @@ type Orchestrator struct {
 	seq    atomic.Int64 // slice ID sequence
 	epochs atomic.Int64 // control-loop passes
 
+	// Durability plane (persist.go): persistMu is a leaf mutex guarding the
+	// sink, the WAL sequence counter and the latched error, so records can
+	// be appended from under shard locks and epochMu.
+	persist    Sink
+	persistMu  sync.Mutex
+	walSeq     uint64
+	persistErr error
+	recovery   *RecoveryReport
+
 	loopMu sync.Mutex
 	loop   *sim.Event
 }
@@ -294,6 +318,7 @@ func New(cfg Config, tb *testbed.Testbed, clock sim.Scheduler, store *monitor.St
 		history:   finishedHistory{limit: cfg.HistoryLimit},
 		bus:       NewEventBus(cfg.EventBuffer),
 		acc:       newGainAccumulator(),
+		persist:   cfg.Persist,
 	}
 	for i := range o.shards {
 		o.shards[i] = newShard()
@@ -408,7 +433,7 @@ func (o *Orchestrator) SubmitCtx(ctx context.Context, req slice.Request, demand 
 	// grants that are registered nowhere yet.
 	auditDone := o.auditPendingBegin(id)
 	defer auditDone()
-	o.publish(EventSubmitted, s, "")
+	subEv := o.publish(EventSubmitted, s, "")
 	sh := o.shardFor(id)
 	sh.mu.Lock()
 
@@ -416,9 +441,13 @@ func (o *Orchestrator) SubmitCtx(ctx context.Context, req slice.Request, demand 
 	// reservation for the newcomer's estimated radio load.
 	cause, reserved := o.admit(req)
 	if cause != nil {
-		evicted := o.rejectLocked(sh, s, cause)
+		// On rejection, reserved is the amount admit reserved-then-released
+		// on the ledger (non-zero only when the radio check passed but a
+		// later domain failed); the reject record mirrors that round trip.
+		evicted := o.rejectLocked(sh, s, cause, subEv, reserved)
 		sh.mu.Unlock()
 		o.dropFinished(evicted)
+		o.commitPersist()
 		return s, nil
 	}
 
@@ -429,21 +458,29 @@ func (o *Orchestrator) SubmitCtx(ctx context.Context, req slice.Request, demand 
 		o.auditSliceReleased(id) // rollback must leave nothing behind
 		var rej errReject
 		if errors.As(err, &rej) {
-			evicted := o.rejectLocked(sh, s, rej.cause)
+			evicted := o.rejectLocked(sh, s, rej.cause, subEv, reserved)
 			sh.mu.Unlock()
 			o.dropFinished(evicted)
+			o.commitPersist()
 			return s, nil
 		}
 		sh.mu.Unlock()
+		// The squeeze may have appended resize records before the failure;
+		// they are real committed outcomes and must become durable.
+		o.commitPersist()
 		return nil, err
 	}
 	sh.admitted.Add(1)
 	o.acc.admit(req.SLA.PriceEUR, req.SLA.ThroughputMbps, s.AllocatedMbps())
-	o.publish(EventAdmitted, s, "")
+	admitEv := o.publish(EventAdmitted, s, "")
+	if o.persist != nil {
+		o.appendAdmit(sh.slices[id], reserved, subEv.Time, subEv, admitEv)
+	}
 	if o.audit != nil {
 		o.auditSliceInstalled(sh.slices[id]) // commit must hold what it recorded
 	}
 	sh.mu.Unlock()
+	o.commitPersist()
 	return s, nil
 }
 
@@ -452,12 +489,22 @@ func (o *Orchestrator) SubmitCtx(ctx context.Context, req slice.Request, demand 
 // — never on the free-form detail string, which would give every rejection
 // its own bucket — and returns any finished slices evicted from the bounded
 // history, which the caller must drop after releasing the shard lock.
-func (o *Orchestrator) rejectLocked(sh *shard, s *slice.Slice, cause *slice.RejectionCause) []slice.ID {
+// subEv is the submission event (embedded in the WAL record alongside the
+// rejection event); mirrorMbps is the ledger reserve the admission path
+// released before failing (0 when it never reserved).
+func (o *Orchestrator) rejectLocked(sh *shard, s *slice.Slice, cause *slice.RejectionCause, subEv Event, mirrorMbps float64) []slice.ID {
 	s.Reject(cause)
 	sh.rejected.Add(1)
 	o.acc.reject(string(cause.Code))
 	sh.slices[s.ID()] = &managedSlice{s: s, sh: sh}
-	o.publish(EventRejected, s, cause.Detail)
+	rejEv := o.publish(EventRejected, s, cause.Detail)
+	if o.persist != nil {
+		o.appendRecord(recReject, rejectRecord{
+			Slice:        s.Persist(),
+			ReservedMbps: mirrorMbps,
+			Events:       []Event{subEv, rejEv},
+		})
+	}
 	return o.history.Push(s.ID())
 }
 
@@ -480,6 +527,7 @@ func (o *Orchestrator) Delete(id slice.ID) error {
 	o.auditSliceReleased(id)
 	sh.mu.Unlock()
 	o.dropFinished(evicted)
+	o.commitPersist()
 	return nil
 }
 

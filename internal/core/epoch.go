@@ -62,6 +62,11 @@ type epochItem struct {
 	live     bool // still Active when its shard worker reached it
 	violated bool
 	target   float64
+	// WAL capture (persist.go): whether the commit phase actually charged
+	// the violation and rolled the ledger, and to what value.
+	charged       bool
+	ledgerUpdated bool
+	ledgerTo      float64
 }
 
 // RunEpoch executes one pass of the Fig. 1 closed loop:
@@ -88,6 +93,15 @@ type epochItem struct {
 // so a fixed-seed run is bit-identical at any shard count. See the file
 // comment for the full phase/locking contract.
 func (o *Orchestrator) RunEpoch() {
+	o.runEpoch()
+	// The durability boundary: fsync the epoch's records with no lock held
+	// (test sinks read the state digest from inside Committed).
+	o.commitPersist()
+}
+
+// runEpoch is RunEpoch's body; it holds epochMu for the duration and leaves
+// the WAL commit to the caller.
+func (o *Orchestrator) runEpoch() {
 	o.epochMu.Lock()
 	defer o.epochMu.Unlock()
 	now := o.clock.Now()
@@ -129,6 +143,7 @@ func (o *Orchestrator) RunEpoch() {
 	// submission order, each under its shard lock so a concurrent Delete
 	// serializes against the charge — a slice torn down since P3 is
 	// dropped, never billed or announced after its EventDeleted...
+	var epochEvents []Event
 	for i := range items {
 		it := &items[i]
 		if !it.violated {
@@ -139,8 +154,10 @@ func (o *Orchestrator) RunEpoch() {
 		if m.s.State() == slice.StateActive {
 			m.sh.violations.Add(1)
 			o.acc.penalty(m.s.SLA().PenaltyEUR)
-			o.publish(EventViolation, m.s,
+			ev := o.publish(EventViolation, m.s,
 				fmt.Sprintf("served %.1f of %.1f Mbps demanded", it.served, it.demand))
+			it.charged = true
+			epochEvents = append(epochEvents, ev)
 		}
 		m.sh.mu.Unlock()
 	}
@@ -161,6 +178,8 @@ func (o *Orchestrator) RunEpoch() {
 			o.resizeLocked(m, it.target)
 			o.ledger.Update(m.ledgerMbps, it.target)
 			m.ledgerMbps = it.target
+			it.ledgerUpdated = true
+			it.ledgerTo = it.target
 			allocBatch = append(allocBatch, monitor.BatchSample{
 				Name: m.seriesAlloc, Value: m.s.Allocation().AllocatedMbps})
 		}
@@ -185,13 +204,42 @@ func (o *Orchestrator) RunEpoch() {
 	o.store.Record("orchestrator/penalties_eur", now, g.PenaltyTotalEUR)
 	o.store.Record("orchestrator/net_revenue_eur", now, g.NetRevenueEUR)
 	o.store.Record("orchestrator/active_slices", now, float64(len(items)))
-	o.lastEpoch.Store(&EpochSnapshot{
+	snap := EpochSnapshot{
 		Epoch:          int(o.epochs.Load()),
 		At:             now,
 		MeasuredSlices: len(items),
 		RANUtilization: ranUtil,
 		Gain:           g,
-	})
+	}
+	o.lastEpoch.Store(&snap)
+
+	// WAL: one epoch record carrying every per-slice outcome (demand and
+	// served samples, charges, ledger rolls) and the published snapshot
+	// verbatim. The epoch's resize outcomes precede it as their own records
+	// in commit order.
+	if o.persist != nil {
+		rec := epochRecord{
+			Epoch:    o.epochs.Load(),
+			At:       now,
+			RANUtil:  ranUtil,
+			Snapshot: snap,
+			Events:   epochEvents,
+			Items:    make([]epochItemRecord, 0, len(items)),
+		}
+		for i := range items {
+			it := &items[i]
+			rec.Items = append(rec.Items, epochItemRecord{
+				Slice:         it.m.s.ID(),
+				Demand:        it.demand,
+				Served:        it.served,
+				Counted:       it.live,
+				Charged:       it.charged,
+				LedgerUpdated: it.ledgerUpdated,
+				LedgerTo:      it.ledgerTo,
+			})
+		}
+		o.appendRecord(recEpoch, rec)
+	}
 
 	// Audit barrier: snapshot monotonicity plus the full conservation/leak
 	// sweep under a momentary all-shard quiesce — the same cut discipline
@@ -201,6 +249,12 @@ func (o *Orchestrator) RunEpoch() {
 		o.lockAll()
 		o.auditSweepAllLocked()
 		o.unlockAll()
+	}
+
+	// Checkpoint cadence: fold the log into a full-state snapshot every
+	// SnapshotEvery epochs, anchored at the epoch record's sequence.
+	if o.persist != nil && o.epochs.Load()%int64(o.cfg.SnapshotEvery) == 0 {
+		o.checkpoint()
 	}
 }
 

@@ -66,6 +66,10 @@ const (
 	// this subscriber (slow consumer, or a Since older than the replay
 	// ring). Re-List current state and keep consuming.
 	EventResync EventType = "resync"
+	// EventShutdown is the terminal event of a clean daemon shutdown: the
+	// stream ends here on purpose, subscribers should not expect more
+	// events until the orchestrator recovers under a new run.
+	EventShutdown EventType = "shutdown"
 )
 
 // Event is one ordered slice-lifecycle event. Seq is a global, strictly
@@ -176,6 +180,36 @@ func (b *EventBus) Publish(ev Event) int64 {
 	// unlock cannot miss a waiter.
 	b.cond.Broadcast()
 	return ev.Seq
+}
+
+// Restore advances the bus's next sequence number to at least next. It is
+// the recovery primitive restoring the sequence space from a checkpoint;
+// it never rewinds (replayed events re-published out of the log keep their
+// original numbering via Republish).
+func (b *EventBus) Restore(next int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if next > b.next {
+		b.next = next
+	}
+}
+
+// Republish re-inserts a logged event into the replay ring under its
+// original sequence number — the log-replay primitive. Unlike Publish it
+// assigns nothing, and it deliberately bypasses the tap: the invariant
+// auditor is primed with the post-recovery state once replay finishes,
+// rather than observing the historical stream twice.
+func (b *EventBus) Republish(ev Event) {
+	if ev.Seq <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.ring[(ev.Seq-1)%int64(len(b.ring))] = ev
+	if ev.Seq >= b.next {
+		b.next = ev.Seq + 1
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
 }
 
 // SetTap installs the synchronous event observer (nil clears it). It must
@@ -320,7 +354,9 @@ func (o *Orchestrator) Watch(ctx context.Context, opts WatchOptions) <-chan Even
 
 // publish emits a slice-scoped lifecycle event. Callers may hold shard
 // locks: the bus mutex is a leaf and Publish never blocks on subscribers.
-func (o *Orchestrator) publish(typ EventType, s *slice.Slice, detail string) {
+// The published event (with its assigned sequence number) is returned so
+// mutation paths can embed it in their write-ahead records.
+func (o *Orchestrator) publish(typ EventType, s *slice.Slice, detail string) Event {
 	ev := Event{
 		Time:   o.clock.Now(),
 		Type:   typ,
@@ -333,10 +369,14 @@ func (o *Orchestrator) publish(typ EventType, s *slice.Slice, detail string) {
 	if c, ok := s.Cause(); ok {
 		ev.RejectCode = c.Code
 	}
-	o.bus.Publish(ev)
+	ev.Seq = o.bus.Publish(ev)
+	return ev
 }
 
-// publishLink emits a transport-link event.
-func (o *Orchestrator) publishLink(typ EventType, link, detail string) {
-	o.bus.Publish(Event{Time: o.clock.Now(), Type: typ, Link: link, Detail: detail})
+// publishLink emits a transport-link event and returns it with its
+// assigned sequence number.
+func (o *Orchestrator) publishLink(typ EventType, link, detail string) Event {
+	ev := Event{Time: o.clock.Now(), Type: typ, Link: link, Detail: detail}
+	ev.Seq = o.bus.Publish(ev)
+	return ev
 }

@@ -94,6 +94,7 @@ func (o *Orchestrator) install(sh *shard, s *slice.Slice, demand traffic.Demand,
 	pathsAt := radioAt.Add(o.cfg.PathSetupDelay)
 	stackAt := pathsAt.Add(o.cfg.StackCreateDelay)
 	activeAt := stackAt.Add(bootDelay)
+	m.activateAt = activeAt
 
 	if err := s.BeginInstall(); err != nil {
 		return err
@@ -131,6 +132,7 @@ func (o *Orchestrator) activate(id slice.ID) {
 		o.auditSliceReleased(id)
 		sh.mu.Unlock()
 		o.dropFinished(evicted)
+		o.commitPersist()
 		return
 	}
 	if err := m.s.Activate(now); err != nil {
@@ -141,7 +143,21 @@ func (o *Orchestrator) activate(id slice.ID) {
 	if tl, ok := sh.timelines[id]; ok {
 		tl.Active = now
 	}
-	o.publish(EventInstalled, m.s, "")
+	instEv := o.publish(EventInstalled, m.s, "")
+	if o.persist != nil {
+		o.appendRecord(recActivate, activateRecord{Slice: id, At: now, Events: []Event{instEv}})
+	}
+	o.armExpiry(m)
+	sh.mu.Unlock()
+	o.commitPersist()
+}
+
+// armExpiry schedules the slice's contracted-expiry teardown. Called with
+// the shard lock held (activation) or from the single-threaded recovery
+// pass (rearmTimers).
+func (o *Orchestrator) armExpiry(m *managedSlice) {
+	sh := m.sh
+	id := m.s.ID()
 	m.expiry = o.clock.At(m.s.Expiry(), string(id)+"/expiry", func() {
 		sh.mu.Lock()
 		mm, ok := sh.slices[id]
@@ -162,8 +178,8 @@ func (o *Orchestrator) activate(id slice.ID) {
 		o.auditSliceReleased(id)
 		sh.mu.Unlock()
 		o.dropFinished(evicted)
+		o.commitPersist()
 	})
-	sh.mu.Unlock()
 }
 
 // teardownLocked releases every domain's resources (reverse acquisition
@@ -199,7 +215,10 @@ func (o *Orchestrator) teardownLocked(sh *shard, m *managedSlice, reason string,
 		sh.active.Add(-1)
 	}
 	m.s.Terminate(reason)
-	o.publish(typ, m.s, reason)
+	ev := o.publish(typ, m.s, reason)
+	if o.persist != nil {
+		o.appendRecord(recTeardown, teardownRecord{Slice: m.s.ID(), Reason: reason, Events: []Event{ev}})
+	}
 	return o.history.Push(m.s.ID())
 }
 
@@ -284,6 +303,18 @@ func (o *Orchestrator) resizeLocked(m *managedSlice, targetMbps float64) bool {
 	// Publish after the Reconfiguring -> Active transition completes so the
 	// event carries the post-transition state.
 	endReconfigure()
-	o.publish(EventResized, m.s, "")
+	ev := o.publish(EventResized, m.s, "")
+	if o.persist != nil {
+		// The engine threads the radio-quantized throughput into transport
+		// and MEC, so the post-apply allocation is what every domain saw.
+		o.appendRecord(recResize, resizeRecord{
+			Slice:       m.s.ID(),
+			Mbps:        alloc.AllocatedMbps,
+			PRBs:        alloc.PRBs,
+			MECMbps:     alloc.AllocatedMbps,
+			ResizePaths: true,
+			Events:      []Event{ev},
+		})
+	}
 	return true
 }

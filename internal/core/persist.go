@@ -1,0 +1,524 @@
+package core
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/slice"
+	"repro/internal/wal"
+)
+
+// This file is the orchestrator side of the durable write-ahead log
+// (DESIGN.md §9). The framing layer (internal/wal) is payload-agnostic; the
+// record schema below is the orchestration-level redo log: every record
+// carries the full logged *outcome* of a state transition (PRBs per eNB,
+// path hops and bandwidth, MEC host, money and ledger movements), so replay
+// imposes recorded decisions instead of re-deriving them — the environment
+// that shaped the original decision (CQI fades, MEC brownouts) is not
+// durable, and re-running the decision logic against a rebuilt default
+// environment could diverge.
+//
+// Hook discipline: records are appended inside the mutating operation's
+// critical section (appendRecord takes only the leaf persistMu, so it is
+// safe under shard locks and epochMu), and each top-level operation ends
+// with one commitPersist() — the fsync boundary — called with no shard lock
+// and no epochMu held. Durability is therefore batched per operation: a
+// crash between an append and its commit may lose that operation entirely,
+// but can never surface a torn prefix of it as recovered state.
+
+// Sink receives the orchestrator's write-ahead records. The production
+// implementation wraps *wal.Writer (see WALSink); crash-point tests
+// substitute an in-memory sink that snapshots digests at commit boundaries.
+//
+// Append may be called under shard locks and epochMu (it must only buffer).
+// Committed and Snapshot are only ever invoked with no orchestrator lock
+// held except the persistence mutex, so a Sink whose Committed reads back
+// orchestrator state (List, Gain, StateDigest) is safe under a
+// single-driver clock; such read-back sinks are for deterministic tests
+// only, not for live concurrent deployments.
+type Sink interface {
+	// Append buffers one record. Sequence numbers are contiguous from 1.
+	Append(rec wal.Record) error
+	// Committed marks the operation boundary: everything appended so far
+	// must become durable (fsync for the file-backed sink).
+	Committed() error
+	// Snapshot durably checkpoints a full-state blob anchored at record
+	// sequence seq; records up to and including seq are folded into it.
+	Snapshot(seq uint64, blob []byte) error
+}
+
+// walSink adapts *wal.Writer to the Sink interface.
+type walSink struct{ w *wal.Writer }
+
+func (s walSink) Append(rec wal.Record) error         { return s.w.Append(rec) }
+func (s walSink) Committed() error                    { return s.w.Sync() }
+func (s walSink) Snapshot(seq uint64, b []byte) error { return s.w.Snapshot(seq, b) }
+
+// WALSink wraps a write-ahead-log writer as the orchestrator's persistence
+// sink: Committed maps to the batched fsync, Snapshot to the atomic
+// checkpoint rename.
+func WALSink(w *wal.Writer) Sink { return walSink{w} }
+
+// Record type tags of the orchestration redo log.
+const (
+	recAdmit    = "admit"
+	recReject   = "reject"
+	recActivate = "activate"
+	recTeardown = "teardown"
+	recResize   = "resize"
+	recReroute  = "reroute"
+	recEpoch    = "epoch"
+	recLink     = "link"
+	recShutdown = "shutdown"
+)
+
+// pathRecord is one transport path outcome: the exact hops and bandwidth
+// the original run reserved, so replay re-imposes the same route even if
+// the (unlogged) topology weather would steer a fresh computation elsewhere.
+type pathRecord struct {
+	ID      string   `json:"id"`
+	Hops    []string `json:"hops"`
+	Mbps    float64  `json:"mbps"`
+	DelayMs float64  `json:"delay_ms"`
+}
+
+// admitRecord logs a successful admission: the slice's full durable image
+// (state Installing, allocation populated) plus every substrate outcome the
+// install transaction produced.
+type admitRecord struct {
+	Slice        slice.Persisted `json:"slice"`
+	ReservedMbps float64         `json:"reserved_mbps"`
+	Paths        []pathRecord    `json:"paths,omitempty"`
+	MECHost      string          `json:"mec_host,omitempty"`
+	MECCPU       float64         `json:"mec_cpu,omitempty"`
+	SubmittedAt  time.Time       `json:"submitted_at"`
+	ActivateAt   time.Time       `json:"activate_at"`
+	Events       []Event         `json:"events"`
+}
+
+// rejectRecord logs a rejection. ReservedMbps mirrors a capacity-ledger
+// reserve-then-release the admission path performed before failing (zero
+// when admission failed before the radio check): float addition is not
+// exactly invertible, so replay must repeat the round trip to reproduce the
+// ledger's bits.
+type rejectRecord struct {
+	Slice        slice.Persisted `json:"slice"`
+	ReservedMbps float64         `json:"reserved_mbps,omitempty"`
+	Events       []Event         `json:"events"`
+}
+
+// activateRecord logs the vEPC-boot completion that turned a slice Active.
+type activateRecord struct {
+	Slice  slice.ID  `json:"slice"`
+	At     time.Time `json:"at"`
+	Events []Event   `json:"events"`
+}
+
+// teardownRecord logs a teardown from any live state (tenant delete,
+// expiry, EPC boot failure, unrecoverable link failure). The event carries
+// the taxonomy type (deleted/expired) and post-transition state.
+type teardownRecord struct {
+	Slice  slice.ID `json:"slice"`
+	Reason string   `json:"reason"`
+	Events []Event  `json:"events"`
+}
+
+// resizeRecord logs a multi-domain reallocation outcome. Mbps and PRBs are
+// the post-resize radio allocation; MECMbps is the throughput the MEC app
+// was sized from (the radio-quantized value on engine resizes, the raw fair
+// share on degradation shrinks). ResizePaths records whether transport
+// reservations were resized to Mbps (engine resizes) or left to a preceding
+// reroute record (degradation shrinks).
+type resizeRecord struct {
+	Slice       slice.ID       `json:"slice"`
+	Mbps        float64        `json:"mbps"`
+	PRBs        map[string]int `json:"prbs"`
+	MECMbps     float64        `json:"mec_mbps"`
+	ResizePaths bool           `json:"resize_paths"`
+	Events      []Event        `json:"events"`
+}
+
+// rerouteRecord logs a restoration re-route: the replacement paths at their
+// reserved bandwidth. Events is empty for the degradation shrink's interim
+// re-route (the following resizeRecord carries the EventResized).
+type rerouteRecord struct {
+	Slice        slice.ID     `json:"slice"`
+	Paths        []pathRecord `json:"paths"`
+	WorstDelayMs float64      `json:"worst_delay_ms"`
+	Events       []Event      `json:"events,omitempty"`
+}
+
+// epochItemRecord is one measured slice's epoch outcome. Counted mirrors
+// whether the analysis phase reached the slice alive (RecordEpoch and the
+// forecaster observation ran); Charged whether the commit phase actually
+// billed the violation; LedgerUpdated/LedgerTo the capacity-ledger roll.
+type epochItemRecord struct {
+	Slice         slice.ID `json:"slice"`
+	Demand        float64  `json:"demand"`
+	Served        float64  `json:"served"`
+	Counted       bool     `json:"counted,omitempty"`
+	Charged       bool     `json:"charged,omitempty"`
+	LedgerUpdated bool     `json:"ledger_updated,omitempty"`
+	LedgerTo      float64  `json:"ledger_to,omitempty"`
+}
+
+// epochRecord logs one control-epoch pass. Resize outcomes of the epoch are
+// separate resizeRecords appended (in commit order) before this record;
+// Snapshot is the published EpochSnapshot verbatim — including gain fields
+// derived from the unlogged radio environment — so recovery restores the
+// read plane bit-identically.
+type epochRecord struct {
+	Epoch    int64             `json:"epoch"`
+	At       time.Time         `json:"at"`
+	RANUtil  float64           `json:"ran_util"`
+	Items    []epochItemRecord `json:"items,omitempty"`
+	Snapshot EpochSnapshot     `json:"snapshot"`
+	Events   []Event           `json:"events,omitempty"`
+}
+
+// linkRecord logs a transport-link transition driven through the
+// orchestrator (failure, degradation, restoration). Per-victim outcomes
+// follow as their own records in WAL order.
+type linkRecord struct {
+	Kind         string  `json:"kind"` // "fail" | "degrade" | "restore"
+	From         string  `json:"from"`
+	To           string  `json:"to"`
+	CapacityMbps float64 `json:"capacity_mbps,omitempty"`
+	Events       []Event `json:"events"`
+}
+
+// shutdownRecord logs a clean daemon shutdown: recovery knows the previous
+// run ended at a commit boundary, and subscribers that were draining when
+// the process died can observe the terminal event after restart.
+type shutdownRecord struct {
+	At     time.Time `json:"at"`
+	Events []Event   `json:"events"`
+}
+
+// appendRecord marshals payload and buffers it on the sink under the next
+// WAL sequence. It takes only the leaf persistMu, so callers may hold shard
+// locks and epochMu. The first sink or marshal error latches: persistence
+// is disabled from that point (surfaced via PersistStatus) rather than
+// crashing the control plane mid-operation.
+func (o *Orchestrator) appendRecord(typ string, payload any) {
+	if o.persist == nil {
+		return
+	}
+	o.persistMu.Lock()
+	defer o.persistMu.Unlock()
+	if o.persistErr != nil {
+		return
+	}
+	b, err := json.Marshal(payload)
+	if err == nil {
+		o.walSeq++
+		err = o.persist.Append(wal.Record{Seq: o.walSeq, Type: typ, Payload: b})
+	}
+	if err != nil {
+		o.persistErr = err
+	}
+}
+
+// commitPersist is the durability boundary: every record appended by the
+// operation becomes durable (fsync in the file-backed sink). It must be
+// called with no shard lock and no epochMu held — test sinks read the
+// orchestrator's state digest from inside Committed.
+func (o *Orchestrator) commitPersist() {
+	if o.persist == nil {
+		return
+	}
+	o.persistMu.Lock()
+	defer o.persistMu.Unlock()
+	if o.persistErr != nil {
+		return
+	}
+	if err := o.persist.Committed(); err != nil {
+		o.persistErr = err
+	}
+}
+
+// pathRecords captures the current transport reservations of the given
+// path IDs (leaf substrate read locks only — safe under shard locks).
+func (o *Orchestrator) pathRecords(pids []string) []pathRecord {
+	out := make([]pathRecord, 0, len(pids))
+	for _, pid := range pids {
+		if r, ok := o.tb.Transport.Reservation(pid); ok {
+			out = append(out, pathRecord{ID: r.ID, Hops: r.Hops, Mbps: r.Mbps, DelayMs: r.DelayMs})
+		}
+	}
+	return out
+}
+
+// appendAdmit logs a successful admission with every substrate outcome.
+// The caller holds the slice's shard lock.
+func (o *Orchestrator) appendAdmit(m *managedSlice, reservedMbps float64, submittedAt time.Time, events ...Event) {
+	if o.persist == nil {
+		return
+	}
+	alloc := m.s.Allocation()
+	rec := admitRecord{
+		Slice:        m.s.Persist(),
+		ReservedMbps: reservedMbps,
+		Paths:        o.pathRecords(alloc.PathIDs),
+		SubmittedAt:  submittedAt,
+		ActivateAt:   m.activateAt,
+		Events:       events,
+	}
+	if alloc.MECAppID != "" {
+		if app, ok := o.tb.MEC.App(alloc.MECAppID); ok {
+			rec.MECHost, rec.MECCPU = app.Host, app.CPU
+		}
+	}
+	o.appendRecord(recAdmit, rec)
+}
+
+// PersistStatus reports the durability plane's health.
+type PersistStatus struct {
+	// Enabled reports whether a persistence sink is attached.
+	Enabled bool `json:"enabled"`
+	// LastSeq is the sequence of the most recently appended WAL record.
+	LastSeq uint64 `json:"last_seq"`
+	// Error carries the latched persistence error ("" while healthy).
+	// Persistence disables itself on the first sink failure; the
+	// orchestrator keeps running without durability.
+	Error string `json:"error,omitempty"`
+	// Recovered reports whether this orchestrator was built by Recover.
+	Recovered bool `json:"recovered"`
+	// Recovery summarises the recovery pass when Recovered.
+	Recovery *RecoveryReport `json:"recovery,omitempty"`
+}
+
+// PersistStatus returns the durability plane's current status.
+func (o *Orchestrator) PersistStatus() PersistStatus {
+	st := PersistStatus{Enabled: o.persist != nil, Recovery: o.recovery, Recovered: o.recovery != nil}
+	o.persistMu.Lock()
+	st.LastSeq = o.walSeq
+	if o.persistErr != nil {
+		st.Error = o.persistErr.Error()
+	}
+	o.persistMu.Unlock()
+	return st
+}
+
+// Shutdown stops the control loop, publishes the terminal EventShutdown on
+// the bus (so draining subscribers observe a clean end of stream instead of
+// a silent cut) and flushes the write-ahead log. The orchestrator remains
+// readable afterwards; the caller closes the underlying WAL writer.
+func (o *Orchestrator) Shutdown() Event {
+	o.Stop()
+	ev := Event{Time: o.clock.Now(), Type: EventShutdown, Detail: "orchestrator shutting down"}
+	ev.Seq = o.bus.Publish(ev)
+	o.appendRecord(recShutdown, shutdownRecord{At: ev.Time, Events: []Event{ev}})
+	o.commitPersist()
+	return ev
+}
+
+// checkpointState is the full-state checkpoint blob (snapshot payload):
+// everything recovery needs to rebuild the orchestrator without replaying
+// the log from its beginning. Not captured — and documented as such in
+// DESIGN.md §9 — are forecaster internals (re-driven from tail epoch
+// records only), the monitoring store, and environment perturbations (CQI,
+// MEC host capacities); recovered slices re-impose their logged outcomes
+// onto a default-environment testbed.
+type checkpointState struct {
+	// EventNext is the bus's next sequence number.
+	EventNext int64 `json:"event_next"`
+	// Epochs is the control-loop pass counter.
+	Epochs int64 `json:"epochs"`
+	// SeqCounter is the slice-ID sequence counter.
+	SeqCounter int64 `json:"seq_counter"`
+	// LastEpoch is the published epoch snapshot, verbatim.
+	LastEpoch *EpochSnapshot `json:"last_epoch,omitempty"`
+	// LedgerLoad is the capacity ledger's running float sum, bit-exact.
+	LedgerLoad float64         `json:"ledger_load"`
+	PLMN       slice.PLMNState `json:"plmn"`
+	Acc        accState        `json:"acc"`
+	// Counters are the global sums of the per-shard dashboard counters;
+	// restore folds them into shard 0 (only sums are ever read).
+	Counters counterState `json:"counters"`
+	// History is the bounded finished-slice eviction queue, in order.
+	History []slice.ID `json:"history,omitempty"`
+	// Links is the transport topology's per-link up/capacity state.
+	Links []linkState `json:"links,omitempty"`
+	// Slices are the registry's slices in submission order, each with its
+	// substrate outcomes for re-imposition.
+	Slices []persistedSlice `json:"slices,omitempty"`
+}
+
+// accState is the gain accumulator's durable image (order-sensitive float
+// aggregates, captured and restored bit-exactly).
+type accState struct {
+	RevenueEUR     float64        `json:"revenue_eur"`
+	PenaltyEUR     float64        `json:"penalty_eur"`
+	ContractedMbps float64        `json:"contracted_mbps"`
+	AllocatedMbps  float64        `json:"allocated_mbps"`
+	Live           int            `json:"live"`
+	RejectReasons  map[string]int `json:"reject_reasons,omitempty"`
+}
+
+// counterState sums the per-shard dashboard counters.
+type counterState struct {
+	Admitted         int64 `json:"admitted"`
+	Rejected         int64 `json:"rejected"`
+	Violations       int64 `json:"violations"`
+	Reconfigurations int64 `json:"reconfigurations"`
+	Active           int64 `json:"active"`
+}
+
+// linkState is one transport link's durable state.
+type linkState struct {
+	From         string  `json:"from"`
+	To           string  `json:"to"`
+	Up           bool    `json:"up"`
+	CapacityMbps float64 `json:"capacity_mbps"`
+}
+
+// persistedSlice is one registry entry in the checkpoint: the slice's full
+// durable image plus the orchestrator-level bookkeeping and substrate
+// outcomes that live outside the slice.
+type persistedSlice struct {
+	Slice      slice.Persisted `json:"slice"`
+	LedgerMbps float64         `json:"ledger_mbps,omitempty"`
+	// Paths / MECHost / MECCPU capture substrate outcomes for live slices
+	// (empty for rejected/terminated entries kept only for the dashboard).
+	Paths      []pathRecord     `json:"paths,omitempty"`
+	MECHost    string           `json:"mec_host,omitempty"`
+	MECCPU     float64          `json:"mec_cpu,omitempty"`
+	ActivateAt time.Time        `json:"activate_at,omitempty"`
+	LastDemand float64          `json:"last_demand,omitempty"`
+	HaveDemand bool             `json:"have_demand,omitempty"`
+	Timeline   *InstallTimeline `json:"timeline,omitempty"`
+}
+
+// buildCheckpointLocked assembles the checkpoint blob. The caller holds
+// epochMu and every shard lock, so the cut is consistent.
+func (o *Orchestrator) buildCheckpointLocked() ([]byte, error) {
+	st := checkpointState{
+		EventNext:  o.bus.LastSeq() + 1,
+		Epochs:     o.epochs.Load(),
+		SeqCounter: o.seq.Load(),
+		LedgerLoad: o.ledger.Load(),
+		PLMN:       o.plmns.Export(),
+	}
+	if le := o.lastEpoch.Load(); le != nil {
+		snap := *le
+		st.LastEpoch = &snap
+	}
+	o.acc.mu.Lock()
+	st.Acc = accState{
+		RevenueEUR:     o.acc.revenueEUR,
+		PenaltyEUR:     o.acc.penaltyEUR,
+		ContractedMbps: o.acc.contractedMbps,
+		AllocatedMbps:  o.acc.allocatedMbps,
+		Live:           o.acc.live,
+		RejectReasons:  make(map[string]int, len(o.acc.rejectReasons)),
+	}
+	for k, v := range o.acc.rejectReasons {
+		st.Acc.RejectReasons[k] = v
+	}
+	o.acc.mu.Unlock()
+	for _, sh := range o.shards {
+		st.Counters.Admitted += sh.admitted.Load()
+		st.Counters.Rejected += sh.rejected.Load()
+		st.Counters.Violations += sh.violations.Load()
+		st.Counters.Reconfigurations += sh.reconfigurations.Load()
+		st.Counters.Active += sh.active.Load()
+	}
+	o.history.mu.Lock()
+	st.History = append([]slice.ID(nil), o.history.ids...)
+	o.history.mu.Unlock()
+	for _, ls := range o.tb.Transport.Snapshot() {
+		st.Links = append(st.Links, linkState{From: ls.From, To: ls.To, Up: ls.Up, CapacityMbps: ls.CapacityMbps})
+	}
+	for _, m := range o.orderedSlicesAllLocked() {
+		ps := persistedSlice{
+			Slice:      m.s.Persist(),
+			LedgerMbps: m.ledgerMbps,
+			ActivateAt: m.activateAt,
+			LastDemand: m.lastDemand,
+			HaveDemand: m.haveDemand,
+		}
+		switch m.s.State() {
+		case slice.StateAdmitted, slice.StateInstalling, slice.StateActive, slice.StateReconfiguring:
+			alloc := m.s.Allocation()
+			ps.Paths = o.pathRecords(alloc.PathIDs)
+			if alloc.MECAppID != "" {
+				if app, ok := o.tb.MEC.App(alloc.MECAppID); ok {
+					ps.MECHost, ps.MECCPU = app.Host, app.CPU
+				}
+			}
+		}
+		if tl, ok := m.sh.timelines[m.s.ID()]; ok {
+			cp := *tl
+			ps.Timeline = &cp
+		}
+		st.Slices = append(st.Slices, ps)
+	}
+	return json.Marshal(st)
+}
+
+// checkpoint writes a full-state snapshot anchored at the current WAL
+// sequence. Called from the epoch tail with epochMu held and no shard lock;
+// it quiesces the shards itself for the consistent cut.
+func (o *Orchestrator) checkpoint() {
+	if o.persist == nil {
+		return
+	}
+	o.lockAll()
+	blob, err := o.buildCheckpointLocked()
+	o.unlockAll()
+	o.persistMu.Lock()
+	defer o.persistMu.Unlock()
+	if o.persistErr != nil {
+		return
+	}
+	if err == nil {
+		err = o.persist.Snapshot(o.walSeq, blob)
+	}
+	if err != nil {
+		o.persistErr = err
+	}
+}
+
+// StateDigest returns a canonical JSON image of every externally observable
+// outcome the recovery contract promises to reproduce bit-identically: the
+// gain report, every slice snapshot in submission order, the published
+// epoch snapshot, the capacity ledger's float bits, the event sequence head
+// and the epoch counter. Crash-point tests compare digests between an
+// uncrashed run and a crash-recovered one at commit boundaries.
+//
+// Fields derived live from the radio environment (physical capacity at the
+// current mean CQI, and the overbooking ratio computed from it) are
+// excluded: chaos-injected CQI fades are deliberately not durable, so a
+// recovered orchestrator measures default-environment capacity. The
+// epoch-aligned values inside LastEpoch are restored verbatim from the log
+// and do compare exactly.
+func (o *Orchestrator) StateDigest() []byte {
+	g := o.Gain()
+	g.CapacityMbps = 0
+	g.OverbookingRatio = 0
+	var last *EpochSnapshot
+	if snap, ok := o.LastEpoch(); ok {
+		last = &snap
+	}
+	d := struct {
+		Gain         GainReport       `json:"gain"`
+		Slices       []slice.Snapshot `json:"slices"`
+		LastEpoch    *EpochSnapshot   `json:"last_epoch,omitempty"`
+		LedgerMbps   float64          `json:"ledger_mbps"`
+		LastEventSeq int64            `json:"last_event_seq"`
+		Epochs       int64            `json:"epochs"`
+	}{
+		Gain:         g,
+		Slices:       o.List(),
+		LastEpoch:    last,
+		LedgerMbps:   o.ledger.Load(),
+		LastEventSeq: o.bus.LastSeq(),
+		Epochs:       o.epochs.Load(),
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		return []byte("digest-error: " + err.Error())
+	}
+	return b
+}

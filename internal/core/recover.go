@@ -1,0 +1,650 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/forecast"
+	"repro/internal/invariant"
+	"repro/internal/mec"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/slice"
+	"repro/internal/testbed"
+	"repro/internal/wal"
+)
+
+// This file is deterministic crash recovery (DESIGN.md §9): Recover loads
+// the latest checkpoint snapshot plus the write-ahead log tail from disk and
+// rebuilds an orchestrator whose externally observable state — gain report,
+// slice registry, published epoch snapshot, event sequence, capacity-ledger
+// float bits — is bit-identical to the crashed run's state at its last
+// commit boundary.
+//
+// Replay never re-decides: every log record carries the original run's full
+// outcome (PRBs per eNB, path hops and bandwidth, MEC host, money and ledger
+// movements), and the appliers below impose those outcomes onto the rebuilt
+// substrates. Environment perturbations (CQI fades, MEC brownouts) are
+// deliberately not durable — they bypass the orchestrator and only lower
+// capacity below the defaults, so imposed outcomes always fit a
+// default-environment testbed.
+//
+// The whole pass is single-threaded: no API goroutine, timer or subscriber
+// runs until Recover returns, so the appliers touch shard maps and counters
+// without taking the locks the live paths require.
+
+// RecoveryReport summarises one crash-recovery pass.
+type RecoveryReport struct {
+	// SnapshotSeq is the WAL sequence the loaded checkpoint was anchored at
+	// (0 when recovery replayed the log from its beginning).
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Replayed counts the log records applied after the checkpoint.
+	Replayed int `json:"replayed"`
+	// LastSeq is the last durable WAL sequence; appending resumes after it.
+	LastSeq uint64 `json:"last_seq"`
+	// TornTail reports that the log ended mid-record (the crash hit the
+	// fsync window); the torn fragment was discarded and truncated.
+	TornTail bool `json:"torn_tail,omitempty"`
+	// CleanShutdown reports that the log ended with a shutdown record — the
+	// previous run exited cleanly rather than crashing.
+	CleanShutdown bool `json:"clean_shutdown,omitempty"`
+	// LiveSlices counts recovered slices in a live state (admitted,
+	// installing, active or reconfiguring).
+	LiveSlices int `json:"live_slices"`
+}
+
+// Recover rebuilds an orchestrator from the WAL directory: load the newest
+// usable checkpoint and the log tail, replay, truncate any torn tail, and
+// re-attach a writer so new operations append after the recovered sequence.
+// An empty or absent directory degenerates to a fresh orchestrator with
+// persistence enabled. cfg.Persist is ignored — the attached sink is always
+// the directory's WAL writer. The caller owns closing the returned writer.
+func Recover(cfg Config, tb *testbed.Testbed, clock sim.Scheduler, store *monitor.Store, dir string) (*Orchestrator, *wal.Writer, error) {
+	rec, err := wal.Load(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	o, _, err := RecoverFromWAL(cfg, tb, clock, store, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.TornTail {
+		// The writer appends; a torn fragment left in place would corrupt
+		// the record stream for the next recovery.
+		if err := wal.Repair(dir, rec.LogBytes); err != nil {
+			return nil, nil, err
+		}
+	}
+	w, err := wal.Create(dir, rec.LastSeq)
+	if err != nil {
+		return nil, nil, err
+	}
+	o.AttachSink(WALSink(w), rec.LastSeq)
+	return o, w, nil
+}
+
+// RecoverFromWAL rebuilds an orchestrator from an already-loaded WAL image:
+// restore the checkpoint, replay the log tail in order, re-arm the pending
+// activation and expiry timers on the clock, and re-attach the invariant
+// auditor primed with the recovered state. The returned orchestrator has no
+// persistence sink attached (see AttachSink); crash-point tests recover
+// against in-memory images without touching disk.
+func RecoverFromWAL(cfg Config, tb *testbed.Testbed, clock sim.Scheduler, store *monitor.Store, rec *wal.Recovered) (*Orchestrator, *RecoveryReport, error) {
+	base := cfg
+	base.Persist = nil
+	base.Audit = false
+	base.AuditOnViolation = nil
+	o := New(base, tb, clock, store)
+
+	rep := &RecoveryReport{SnapshotSeq: rec.SnapshotSeq, LastSeq: rec.LastSeq, TornTail: rec.TornTail}
+	if rec.Snapshot != nil {
+		if err := o.restoreSnapshot(rec.Snapshot); err != nil {
+			return nil, nil, fmt.Errorf("core: restore checkpoint at seq %d: %w", rec.SnapshotSeq, err)
+		}
+	}
+	for _, r := range rec.Records {
+		if err := o.applyRecord(r); err != nil {
+			return nil, nil, fmt.Errorf("core: replay record %d (%s): %w", r.Seq, r.Type, err)
+		}
+		rep.Replayed++
+		rep.CleanShutdown = r.Type == recShutdown
+	}
+	o.rearmTimers()
+	for _, sh := range o.shards {
+		for _, m := range sh.slices {
+			switch m.s.State() {
+			case slice.StateAdmitted, slice.StateInstalling, slice.StateActive, slice.StateReconfiguring:
+				rep.LiveSlices++
+			}
+		}
+	}
+
+	// Re-attach the auditor only now: it must not observe the historical
+	// stream twice (Republish bypasses the tap), and its state starts where
+	// the recovered orchestrator's does.
+	if cfg.Audit {
+		o.cfg.Audit = true
+		o.cfg.AuditOnViolation = cfg.AuditOnViolation
+		o.audit = invariant.New(invariant.Options{OnViolation: cfg.AuditOnViolation})
+		o.bus.SetTap(o.auditObserveEvent)
+		states := make(map[slice.ID]string)
+		for _, sh := range o.shards {
+			for id, m := range sh.slices {
+				// Only live slices: terminal states forbid successors and
+				// are dropped from the auditor's tracking on observation.
+				switch m.s.State() {
+				case slice.StateAdmitted, slice.StateInstalling:
+					states[id] = "installing"
+				case slice.StateActive, slice.StateReconfiguring:
+					states[id] = "active"
+				}
+			}
+		}
+		o.audit.Prime(o.bus.LastSeq(), states, int(o.epochs.Load()), clock.Now())
+	}
+	o.recovery = rep
+	return o, rep, nil
+}
+
+// AttachSink wires a persistence sink into a recovered orchestrator, with
+// appends resuming after lastSeq. It must be called before any concurrent
+// operation starts (Recover and the crash-point harness call it immediately
+// after RecoverFromWAL returns).
+func (o *Orchestrator) AttachSink(sink Sink, lastSeq uint64) {
+	o.persistMu.Lock()
+	o.persist = sink
+	o.walSeq = lastSeq
+	o.persistMu.Unlock()
+}
+
+// restoreSnapshot rebuilds the orchestrator from a checkpoint blob: global
+// counters and accumulators bit-exactly, then every registry slice with its
+// substrate outcomes re-imposed.
+func (o *Orchestrator) restoreSnapshot(blob []byte) error {
+	var st checkpointState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return err
+	}
+	o.seq.Store(st.SeqCounter)
+	o.epochs.Store(st.Epochs)
+	if st.LastEpoch != nil {
+		snap := *st.LastEpoch
+		o.lastEpoch.Store(&snap)
+	}
+	o.bus.Restore(st.EventNext)
+	o.ledger.mu.Lock()
+	o.ledger.load = st.LedgerLoad
+	o.ledger.mu.Unlock()
+	// Restore replaces the whole allocator state — snapshot slices' PLMNs
+	// are already in its in-use set, so they are not re-imposed per slice.
+	o.plmns.Restore(st.PLMN)
+	o.acc.mu.Lock()
+	o.acc.revenueEUR = st.Acc.RevenueEUR
+	o.acc.penaltyEUR = st.Acc.PenaltyEUR
+	o.acc.contractedMbps = st.Acc.ContractedMbps
+	o.acc.allocatedMbps = st.Acc.AllocatedMbps
+	o.acc.live = st.Acc.Live
+	o.acc.rejectReasons = make(map[string]int, len(st.Acc.RejectReasons))
+	for k, v := range st.Acc.RejectReasons {
+		o.acc.rejectReasons[k] = v
+	}
+	o.acc.mu.Unlock()
+	// The checkpoint stores global counter sums; only sums are ever read,
+	// so they all land in shard 0.
+	sh0 := o.shards[0]
+	sh0.admitted.Store(st.Counters.Admitted)
+	sh0.rejected.Store(st.Counters.Rejected)
+	sh0.violations.Store(st.Counters.Violations)
+	sh0.reconfigurations.Store(st.Counters.Reconfigurations)
+	sh0.active.Store(st.Counters.Active)
+	o.history.mu.Lock()
+	o.history.ids = append([]slice.ID(nil), st.History...)
+	o.history.mu.Unlock()
+	for _, ls := range st.Links {
+		if err := o.tb.Transport.SetLinkCapacity(ls.From, ls.To, ls.CapacityMbps); err != nil {
+			return err
+		}
+		if err := o.tb.Transport.SetLinkUp(ls.From, ls.To, ls.Up); err != nil {
+			return err
+		}
+	}
+	for i := range st.Slices {
+		if err := o.restoreSlice(&st.Slices[i]); err != nil {
+			return fmt.Errorf("slice %s: %w", st.Slices[i].Slice.ID, err)
+		}
+	}
+	return nil
+}
+
+// restoreSlice registers one checkpointed slice, re-imposing its substrate
+// outcomes when it is in a live state.
+func (o *Orchestrator) restoreSlice(ps *persistedSlice) error {
+	s := slice.Rehydrate(ps.Slice)
+	id := s.ID()
+	sh := o.shardFor(id)
+	m := &managedSlice{
+		s: s, sh: sh,
+		ledgerMbps: ps.LedgerMbps,
+		activateAt: ps.ActivateAt,
+		lastDemand: ps.LastDemand,
+		haveDemand: ps.HaveDemand,
+	}
+	switch s.State() {
+	case slice.StateAdmitted, slice.StateInstalling, slice.StateActive, slice.StateReconfiguring:
+		m.prov = forecast.NewProvisioner(o.cfg.NewForecaster(), o.cfg.effectiveRisk(), o.cfg.FloorMbps)
+		if err := o.imposeSubstrate(s, ps.Paths, ps.MECHost, ps.MECCPU); err != nil {
+			return err
+		}
+		switch s.State() {
+		case slice.StateActive, slice.StateReconfiguring:
+			if err := o.tb.Ctrl.Cloud.MarkEPCRunning(s.Allocation().EPCID, ps.Slice.Starts); err != nil {
+				return err
+			}
+		}
+	}
+	sh.slices[id] = m
+	if ps.Timeline != nil {
+		tl := *ps.Timeline
+		sh.timelines[id] = &tl
+	}
+	return nil
+}
+
+// imposeSubstrate re-creates a live slice's logged substrate outcomes on the
+// rebuilt testbed: per-eNB PRB reservations, transport paths at their
+// recorded hops and bandwidth, the vEPC deployment (deterministic IDs), and
+// the MEC app on its recorded host. The slice's PLMN must already be owned
+// (allocator Restore or Impose).
+func (o *Orchestrator) imposeSubstrate(s *slice.Slice, paths []pathRecord, mecHost string, mecCPU float64) error {
+	alloc := s.Allocation()
+	id := s.ID()
+	enbs := make([]string, 0, len(alloc.PRBs))
+	for name := range alloc.PRBs {
+		enbs = append(enbs, name)
+	}
+	sort.Strings(enbs)
+	for _, name := range enbs {
+		e, ok := o.tb.RAN.Get(name)
+		if !ok {
+			return fmt.Errorf("unknown eNB %q", name)
+		}
+		if err := e.Reserve(alloc.PLMN, alloc.PRBs[name]); err != nil {
+			return fmt.Errorf("radio impose on %s: %w", name, err)
+		}
+	}
+	pids := make([]string, 0, len(paths))
+	for _, pr := range paths {
+		if _, err := o.tb.Transport.Reserve(pr.ID, pr.Hops, pr.Mbps); err != nil {
+			return fmt.Errorf("transport impose %s: %w", pr.ID, err)
+		}
+		pids = append(pids, pr.ID)
+	}
+	o.tb.Ctrl.Transport.ImportPaths(id, pids)
+	if alloc.StackID != "" {
+		dep, err := o.tb.Ctrl.Cloud.DeployEPC(id, alloc.DataCenter, alloc.PLMN, s.SLA().ThroughputMbps, s.SLA().Class)
+		if err != nil {
+			return fmt.Errorf("cloud impose: %w", err)
+		}
+		o.tb.Ctrl.Cloud.RestoreDeployment(id, dep)
+	}
+	if alloc.MECAppID != "" && o.tb.MEC != nil {
+		if _, err := o.tb.MEC.PlaceAt(alloc.MECAppID, id, mecCPU, mecHost); err != nil {
+			return fmt.Errorf("mec impose: %w", err)
+		}
+	}
+	return nil
+}
+
+// applyRecord dispatches one log record to its applier.
+func (o *Orchestrator) applyRecord(r wal.Record) error {
+	switch r.Type {
+	case recAdmit:
+		var ar admitRecord
+		if err := json.Unmarshal(r.Payload, &ar); err != nil {
+			return err
+		}
+		return o.applyAdmit(ar)
+	case recReject:
+		var rr rejectRecord
+		if err := json.Unmarshal(r.Payload, &rr); err != nil {
+			return err
+		}
+		return o.applyReject(rr)
+	case recActivate:
+		var ar activateRecord
+		if err := json.Unmarshal(r.Payload, &ar); err != nil {
+			return err
+		}
+		return o.applyActivate(ar)
+	case recTeardown:
+		var tr teardownRecord
+		if err := json.Unmarshal(r.Payload, &tr); err != nil {
+			return err
+		}
+		return o.applyTeardown(tr)
+	case recResize:
+		var rr resizeRecord
+		if err := json.Unmarshal(r.Payload, &rr); err != nil {
+			return err
+		}
+		return o.applyResize(rr)
+	case recReroute:
+		var rr rerouteRecord
+		if err := json.Unmarshal(r.Payload, &rr); err != nil {
+			return err
+		}
+		return o.applyReroute(rr)
+	case recEpoch:
+		var er epochRecord
+		if err := json.Unmarshal(r.Payload, &er); err != nil {
+			return err
+		}
+		return o.applyEpoch(er)
+	case recLink:
+		var lr linkRecord
+		if err := json.Unmarshal(r.Payload, &lr); err != nil {
+			return err
+		}
+		return o.applyLink(lr)
+	case recShutdown:
+		var sr shutdownRecord
+		if err := json.Unmarshal(r.Payload, &sr); err != nil {
+			return err
+		}
+		o.republish(sr.Events)
+		return nil
+	default:
+		return fmt.Errorf("unknown record type %q", r.Type)
+	}
+}
+
+// republish re-inserts logged events into the replay ring under their
+// original sequence numbers.
+func (o *Orchestrator) republish(events []Event) {
+	for _, ev := range events {
+		o.bus.Republish(ev)
+	}
+}
+
+// bumpSeq advances the slice-ID counter past a replayed slice's number.
+func (o *Orchestrator) bumpSeq(id slice.ID) {
+	if n := int64(seqOf(id)); n > o.seq.Load() {
+		o.seq.Store(n)
+	}
+}
+
+// applyAdmit registers a logged admission: the slice image as of the admit
+// boundary, its substrate outcomes imposed, the ledger reservation repeated
+// and the deterministic installation timeline stamped. Stage-timer stamps
+// are written directly (the stages complete at fixed config offsets from
+// submission — exactly what the uncrashed run's timers record); only the
+// activation timer is re-armed afterwards (rearmTimers).
+func (o *Orchestrator) applyAdmit(ar admitRecord) error {
+	s := slice.Rehydrate(ar.Slice)
+	id := s.ID()
+	o.bumpSeq(id)
+	alloc := s.Allocation()
+	if err := o.plmns.Impose(alloc.PLMN, id); err != nil {
+		return err
+	}
+	if err := o.imposeSubstrate(s, ar.Paths, ar.MECHost, ar.MECCPU); err != nil {
+		return err
+	}
+	o.ledger.Update(0, ar.ReservedMbps)
+	sh := o.shardFor(id)
+	sh.slices[id] = &managedSlice{
+		s: s, sh: sh,
+		prov:       forecast.NewProvisioner(o.cfg.NewForecaster(), o.cfg.effectiveRisk(), o.cfg.FloorMbps),
+		ledgerMbps: ar.ReservedMbps,
+		activateAt: ar.ActivateAt,
+	}
+	sh.admitted.Add(1)
+	o.acc.admit(s.SLA().PriceEUR, s.SLA().ThroughputMbps, alloc.AllocatedMbps)
+	radioAt := ar.SubmittedAt.Add(o.cfg.RadioConfigDelay)
+	pathsAt := radioAt.Add(o.cfg.PathSetupDelay)
+	sh.timelines[id] = &InstallTimeline{
+		Submitted: ar.SubmittedAt,
+		RadioDone: radioAt,
+		PathsDone: pathsAt,
+		StackDone: pathsAt.Add(o.cfg.StackCreateDelay),
+	}
+	o.republish(ar.Events)
+	return nil
+}
+
+// applyReject registers a logged rejection, repeating the admission path's
+// ledger reserve-then-release round trip when it happened — float addition
+// is not exactly invertible, so skipping it would change the ledger's bits.
+func (o *Orchestrator) applyReject(rr rejectRecord) error {
+	s := slice.Rehydrate(rr.Slice)
+	id := s.ID()
+	o.bumpSeq(id)
+	sh := o.shardFor(id)
+	sh.slices[id] = &managedSlice{s: s, sh: sh}
+	sh.rejected.Add(1)
+	if cause, ok := s.Cause(); ok {
+		o.acc.reject(string(cause.Code))
+	}
+	if rr.ReservedMbps > 0 {
+		o.ledger.Update(0, rr.ReservedMbps)
+		o.ledger.Release(rr.ReservedMbps)
+	}
+	o.dropFinished(o.history.Push(id))
+	o.republish(rr.Events)
+	return nil
+}
+
+// applyActivate replays a vEPC-boot completion.
+func (o *Orchestrator) applyActivate(ar activateRecord) error {
+	sh := o.shardFor(ar.Slice)
+	m, ok := sh.slices[ar.Slice]
+	if !ok {
+		return fmt.Errorf("unknown slice")
+	}
+	if err := o.tb.Ctrl.Cloud.MarkEPCRunning(m.s.Allocation().EPCID, ar.At); err != nil {
+		return err
+	}
+	if err := m.s.Activate(ar.At); err != nil {
+		return err
+	}
+	sh.active.Add(1)
+	if tl, ok := sh.timelines[ar.Slice]; ok {
+		tl.Active = ar.At
+	}
+	o.republish(ar.Events)
+	return nil
+}
+
+// applyTeardown replays a teardown from any live state — teardownLocked's
+// bookkeeping minus publication.
+func (o *Orchestrator) applyTeardown(tr teardownRecord) error {
+	sh := o.shardFor(tr.Slice)
+	m, ok := sh.slices[tr.Slice]
+	if !ok {
+		return fmt.Errorf("unknown slice")
+	}
+	st := m.s.State()
+	alloc := m.s.Allocation()
+	o.releaseAll(tr.Slice, alloc.PLMN)
+	o.plmns.Release(alloc.PLMN)
+	o.ledger.Release(m.ledgerMbps)
+	m.ledgerMbps = 0
+	switch st {
+	case slice.StateAdmitted, slice.StateInstalling, slice.StateActive, slice.StateReconfiguring:
+		o.acc.release(m.s.SLA().ThroughputMbps, alloc.AllocatedMbps)
+	}
+	switch st {
+	case slice.StateActive, slice.StateReconfiguring:
+		sh.active.Add(-1)
+	}
+	if err := m.s.Terminate(tr.Reason); err != nil {
+		return err
+	}
+	o.dropFinished(o.history.Push(tr.Slice))
+	o.republish(tr.Events)
+	return nil
+}
+
+// applyResize imposes a logged reallocation outcome: the recorded per-eNB
+// PRBs, the transport paths resized to the new aggregate when the original
+// operation did so (engine resizes — degradation shrinks leave transport to
+// their preceding reroute record), and the MEC app at its recorded sizing
+// input. Reconfiguration counting mirrors the original paths: engine resizes
+// count one; the shrink's count came from its reroute.
+func (o *Orchestrator) applyResize(rr resizeRecord) error {
+	sh := o.shardFor(rr.Slice)
+	m, ok := sh.slices[rr.Slice]
+	if !ok {
+		return fmt.Errorf("unknown slice")
+	}
+	alloc := m.s.Allocation()
+	before := alloc.AllocatedMbps
+	enbs := make([]string, 0, len(rr.PRBs))
+	for name := range rr.PRBs {
+		enbs = append(enbs, name)
+	}
+	sort.Strings(enbs)
+	for _, name := range enbs {
+		e, ok := o.tb.RAN.Get(name)
+		if !ok {
+			return fmt.Errorf("unknown eNB %q", name)
+		}
+		if err := e.Resize(alloc.PLMN, rr.PRBs[name]); err != nil {
+			return fmt.Errorf("radio resize on %s: %w", name, err)
+		}
+	}
+	if rr.ResizePaths && len(alloc.PathIDs) > 0 {
+		if err := o.tb.Ctrl.Transport.ResizePaths(rr.Slice, rr.Mbps); err != nil {
+			return err
+		}
+	}
+	if alloc.MECAppID != "" && o.tb.MEC != nil {
+		if err := o.tb.MEC.Resize(alloc.MECAppID, mec.CPUForMbps(rr.MECMbps)); err != nil {
+			return err
+		}
+	}
+	alloc.AllocatedMbps = rr.Mbps
+	alloc.PRBs = make(map[string]int, len(rr.PRBs))
+	for k, v := range rr.PRBs {
+		alloc.PRBs[k] = v
+	}
+	m.s.SetAllocation(alloc)
+	o.acc.allocDelta(rr.Mbps - before)
+	if rr.ResizePaths {
+		sh.reconfigurations.Add(1)
+	}
+	o.republish(rr.Events)
+	return nil
+}
+
+// applyReroute rebuilds a slice's transport paths from a logged restoration
+// outcome.
+func (o *Orchestrator) applyReroute(rr rerouteRecord) error {
+	sh := o.shardFor(rr.Slice)
+	m, ok := sh.slices[rr.Slice]
+	if !ok {
+		return fmt.Errorf("unknown slice")
+	}
+	o.tb.Ctrl.Transport.ReleasePaths(rr.Slice)
+	pids := make([]string, 0, len(rr.Paths))
+	for _, pr := range rr.Paths {
+		if _, err := o.tb.Transport.Reserve(pr.ID, pr.Hops, pr.Mbps); err != nil {
+			return fmt.Errorf("transport impose %s: %w", pr.ID, err)
+		}
+		pids = append(pids, pr.ID)
+	}
+	o.tb.Ctrl.Transport.ImportPaths(rr.Slice, pids)
+	alloc := m.s.Allocation()
+	alloc.PathIDs = pids
+	alloc.PathLatencyMs = rr.WorstDelayMs
+	m.s.SetAllocation(alloc)
+	sh.reconfigurations.Add(1)
+	o.republish(rr.Events)
+	return nil
+}
+
+// applyEpoch replays a control epoch's per-slice outcomes. The epoch's
+// resizes preceded this record as their own records, so only the analysis
+// results (demand samples, violation counting, forecaster observations),
+// the charges and the ledger rolls happen here — each phase in the logged
+// item order, preserving every accumulator's float-addition order.
+func (o *Orchestrator) applyEpoch(er epochRecord) error {
+	o.epochs.Store(er.Epoch)
+	for _, it := range er.Items {
+		m, ok := o.shardFor(it.Slice).slices[it.Slice]
+		if !ok {
+			continue
+		}
+		m.lastDemand = it.Demand
+		m.haveDemand = true
+		if it.Counted {
+			m.s.RecordEpoch(it.Demand, it.Served)
+			m.prov.Observe(it.Demand)
+		}
+	}
+	for _, it := range er.Items {
+		if !it.Charged {
+			continue
+		}
+		if m, ok := o.shardFor(it.Slice).slices[it.Slice]; ok {
+			m.sh.violations.Add(1)
+			o.acc.penalty(m.s.SLA().PenaltyEUR)
+		}
+	}
+	for _, it := range er.Items {
+		if !it.LedgerUpdated {
+			continue
+		}
+		if m, ok := o.shardFor(it.Slice).slices[it.Slice]; ok {
+			o.ledger.Update(m.ledgerMbps, it.LedgerTo)
+			m.ledgerMbps = it.LedgerTo
+		}
+	}
+	snap := er.Snapshot
+	o.lastEpoch.Store(&snap)
+	o.republish(er.Events)
+	return nil
+}
+
+// applyLink replays a transport-link transition; per-victim outcomes follow
+// as their own records.
+func (o *Orchestrator) applyLink(lr linkRecord) error {
+	var err error
+	switch lr.Kind {
+	case "fail":
+		err = o.tb.Transport.SetLinkUp(lr.From, lr.To, false)
+	case "degrade":
+		err = o.tb.Transport.SetLinkCapacity(lr.From, lr.To, lr.CapacityMbps)
+	case "restore":
+		err = o.tb.Transport.SetLinkUp(lr.From, lr.To, true)
+	default:
+		err = fmt.Errorf("unknown link record kind %q", lr.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	o.republish(lr.Events)
+	return nil
+}
+
+// rearmTimers re-schedules the clock work the crashed run had pending:
+// installing slices' activation timers (the stage stamps are already
+// written — see applyAdmit) and active slices' contracted-expiry teardowns.
+// A scheduled instant already in the past fires on the clock's next step
+// (sim.At clamps), preserving the sim's deterministic event order.
+func (o *Orchestrator) rearmTimers() {
+	o.lockAll()
+	ordered := o.orderedSlicesAllLocked()
+	o.unlockAll()
+	for _, m := range ordered {
+		switch m.s.State() {
+		case slice.StateInstalling:
+			id := m.s.ID()
+			m.timers = append(m.timers,
+				o.clock.At(m.activateAt, string(id)+"/activate", func() { o.activate(id) }))
+		case slice.StateActive, slice.StateReconfiguring:
+			o.armExpiry(m)
+		}
+	}
+}

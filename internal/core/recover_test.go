@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/slice"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+	"repro/internal/wal"
+)
+
+// durableEnv builds a simulator + orchestrator writing a real WAL under dir.
+func durableEnv(t *testing.T, cfg Config, dir string) (*sim.Simulator, *Orchestrator, *wal.Writer) {
+	t.Helper()
+	s := sim.NewSimulator(1)
+	tb, err := testbed.New(testbed.Default(), s.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wal.Create(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Persist = WALSink(w)
+	o := New(cfg, tb, s, monitor.NewStore(512))
+	return s, o, w
+}
+
+// recoverDir recovers an orchestrator from dir onto a fresh testbed.
+func recoverDir(t *testing.T, cfg Config, dir string) (*Orchestrator, *wal.Writer) {
+	t.Helper()
+	s := sim.NewSimulator(2)
+	tb, err := testbed.New(testbed.Default(), s.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, w, err := Recover(cfg, tb, s, monitor.NewStore(512), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, w
+}
+
+// TestShutdownRecoverZeroLoss is the daemon kill-and-recover regression: a
+// clean shutdown must leave a log from which every admitted slice is
+// rebuilt, with the terminal shutdown event both delivered to in-flight
+// subscriber drains and durable for post-restart replay.
+func TestShutdownRecoverZeroLoss(t *testing.T) {
+	dir := t.TempDir()
+	s, o, w := durableEnv(t, Config{Overbook: true, Risk: 0.9, PLMNLimit: 8}, dir)
+
+	// A draining subscriber: must observe EventShutdown as its last event
+	// instead of a silent cut.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sub := o.Watch(ctx, WatchOptions{Buffer: 256})
+
+	var admitted []slice.ID
+	for i := 0; i < 4; i++ {
+		sl, err := o.Submit(req("tenant", 20, 50, time.Hour, 100), traffic.NewConstant(12, 0, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sl.State() == slice.StateRejected {
+			t.Fatalf("slice %d rejected: %s", i, sl.Reason())
+		}
+		admitted = append(admitted, sl.ID())
+	}
+	s.RunFor(10 * time.Second) // through the install pipeline: all Active
+
+	ev := o.Shutdown()
+	if ev.Type != EventShutdown || ev.Seq == 0 {
+		t.Fatalf("shutdown event %+v", ev)
+	}
+	var sawShutdown bool
+	for !sawShutdown {
+		select {
+		case got, ok := <-sub:
+			if !ok {
+				t.Fatal("subscriber channel closed before the terminal shutdown event")
+			}
+			sawShutdown = got.Type == EventShutdown
+		case <-ctx.Done():
+			t.Fatal("subscriber never saw the terminal shutdown event")
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	o2, w2 := recoverDir(t, Config{Overbook: true, Risk: 0.9, PLMNLimit: 8}, dir)
+	defer w2.Close()
+	st := o2.PersistStatus()
+	if !st.Enabled || !st.Recovered || st.Recovery == nil {
+		t.Fatalf("persist status after recovery: %+v", st)
+	}
+	if !st.Recovery.CleanShutdown {
+		t.Fatalf("recovery did not see the clean shutdown: %+v", st.Recovery)
+	}
+	if st.Recovery.LiveSlices != len(admitted) {
+		t.Fatalf("recovered %d live slices, admitted %d", st.Recovery.LiveSlices, len(admitted))
+	}
+	for _, id := range admitted {
+		got, ok := o2.Get(id)
+		if !ok {
+			t.Fatalf("slice %s lost across kill-and-recover", id)
+		}
+		if got.State() != slice.StateActive {
+			t.Fatalf("slice %s recovered in state %v", id, got.State())
+		}
+	}
+	// The durable shutdown event replays for post-restart subscribers.
+	replay := o2.Watch(ctx, WatchOptions{Since: ev.Seq - 1, Buffer: 16})
+	got := <-replay
+	if got.Type != EventShutdown || got.Seq != ev.Seq {
+		t.Fatalf("replayed terminal event %+v, want shutdown seq %d", got, ev.Seq)
+	}
+}
+
+// TestRecoverResumesAppending proves the recovered writer appends after the
+// recovered sequence and a second recovery sees both generations.
+func TestRecoverResumesAppending(t *testing.T) {
+	dir := t.TempDir()
+	s, o, w := durableEnv(t, Config{PLMNLimit: 8}, dir)
+	if _, err := o.Submit(req("gen1", 20, 50, time.Hour, 100), nil); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(10 * time.Second)
+	o.Shutdown()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	firstSeq := w.LastSeq()
+
+	o2, w2 := recoverDir(t, Config{PLMNLimit: 8}, dir)
+	if got := w2.LastSeq(); got != firstSeq {
+		t.Fatalf("recovered writer resumes at %d, want %d", got, firstSeq)
+	}
+	if _, err := o2.Submit(req("gen2", 20, 50, time.Hour, 100), nil); err != nil {
+		t.Fatal(err)
+	}
+	if w2.LastSeq() <= firstSeq {
+		t.Fatal("second generation appended nothing")
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	o3, w3 := recoverDir(t, Config{PLMNLimit: 8}, dir)
+	defer w3.Close()
+	if got := len(o3.List()); got != 2 {
+		t.Fatalf("third generation sees %d slices, want 2", got)
+	}
+}
+
+// TestRecoverTornTailTruncates proves a torn final record is discarded on
+// recovery, the log file is repaired, and the next recovery loads cleanly.
+func TestRecoverTornTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	s, o, w := durableEnv(t, Config{PLMNLimit: 8}, dir)
+	if _, err := o.Submit(req("t", 20, 50, time.Hour, 100), nil); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(10 * time.Second)
+	o.Shutdown()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: append half a record's worth of garbage.
+	logPath := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(logPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x21, 0, 0, 0, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o2, w2 := recoverDir(t, Config{PLMNLimit: 8}, dir)
+	st := o2.PersistStatus()
+	if !st.Recovery.TornTail {
+		t.Fatalf("recovery did not flag the torn tail: %+v", st.Recovery)
+	}
+	if got := len(o2.List()); got != 1 {
+		t.Fatalf("recovered %d slices, want 1", got)
+	}
+	after, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	o3, w3 := recoverDir(t, Config{PLMNLimit: 8}, dir)
+	defer w3.Close()
+	if o3.PersistStatus().Recovery.TornTail {
+		t.Fatal("second recovery still sees a torn tail after repair")
+	}
+}

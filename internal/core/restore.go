@@ -39,6 +39,14 @@ type RestorationReport struct {
 // with no feasible alternative are terminated (the tenant's SLA failed
 // outright — shown on the dashboard). Safe for concurrent use.
 func (o *Orchestrator) HandleLinkFailure(from, to string) (RestorationReport, error) {
+	rep, err := o.handleLinkFailure(from, to)
+	o.commitPersist()
+	return rep, err
+}
+
+// handleLinkFailure is HandleLinkFailure's body; it holds epochMu and the
+// shard locks for the duration and leaves the WAL commit to the caller.
+func (o *Orchestrator) handleLinkFailure(from, to string) (RestorationReport, error) {
 	o.epochMu.Lock()
 	defer o.epochMu.Unlock()
 	o.lockAll()
@@ -49,7 +57,10 @@ func (o *Orchestrator) HandleLinkFailure(from, to string) (RestorationReport, er
 		o.unlockAll()
 		return rep, err
 	}
-	o.publishLink(EventLinkFailed, rep.Link, "")
+	linkEv := o.publishLink(EventLinkFailed, rep.Link, "")
+	if o.persist != nil {
+		o.appendRecord(recLink, linkRecord{Kind: "fail", From: from, To: to, Events: []Event{linkEv}})
+	}
 	if len(victims) == 0 {
 		o.unlockAll()
 		return rep, nil
@@ -70,7 +81,8 @@ func (o *Orchestrator) HandleLinkFailure(from, to string) (RestorationReport, er
 		}
 		if o.rerouteLocked(m, m.s.Allocation().AllocatedMbps) {
 			rep.Restored = append(rep.Restored, id)
-			o.publish(EventRestored, m.s, "re-routed around "+rep.Link)
+			ev := o.publish(EventRestored, m.s, "re-routed around "+rep.Link)
+			o.appendReroute(m, ev)
 		} else {
 			evicted = append(evicted, o.teardownLocked(m.sh, m, fmt.Sprintf("transport link %s failed, no feasible restoration path", rep.Link), EventDeleted)...)
 			rep.Dropped = append(rep.Dropped, id)
@@ -80,6 +92,22 @@ func (o *Orchestrator) HandleLinkFailure(from, to string) (RestorationReport, er
 	o.auditSweepAllLocked() // restoration is a whole-registry mutation: sweep before unlocking
 	o.unlockAll()
 	return rep, nil
+}
+
+// appendReroute logs the slice's freshly rebuilt transport paths (the
+// outcome of a successful rerouteLocked). The caller holds the shard locks;
+// events may be empty for the degradation shrink's interim re-route.
+func (o *Orchestrator) appendReroute(m *managedSlice, events ...Event) {
+	if o.persist == nil {
+		return
+	}
+	alloc := m.s.Allocation()
+	o.appendRecord(recReroute, rerouteRecord{
+		Slice:        m.s.ID(),
+		Paths:        o.pathRecords(alloc.PathIDs),
+		WorstDelayMs: alloc.PathLatencyMs,
+		Events:       events,
+	})
 }
 
 // victimSliceIDs maps path IDs ("<sliceID>/<enb>-><dc>") onto their unique
@@ -109,7 +137,11 @@ func (o *Orchestrator) RestoreLink(from, to string) error {
 	if err := o.tb.Transport.SetLinkUp(from, to, true); err != nil {
 		return err
 	}
-	o.publishLink(EventLinkRestored, from+"->"+to, "")
+	ev := o.publishLink(EventLinkRestored, from+"->"+to, "")
+	if o.persist != nil {
+		o.appendRecord(recLink, linkRecord{Kind: "restore", From: from, To: to, Events: []Event{ev}})
+	}
+	o.commitPersist()
 	return nil
 }
 
@@ -121,6 +153,15 @@ func (o *Orchestrator) RestoreLink(from, to string) error {
 // monitoring loop's problem); a slice that cannot even keep the floor is
 // dropped. Safe for concurrent use.
 func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps float64) (RestorationReport, error) {
+	rep, err := o.handleLinkDegradation(from, to, newCapacityMbps)
+	o.commitPersist()
+	return rep, err
+}
+
+// handleLinkDegradation is HandleLinkDegradation's body; it holds epochMu
+// and the shard locks for the duration and leaves the WAL commit to the
+// caller.
+func (o *Orchestrator) handleLinkDegradation(from, to string, newCapacityMbps float64) (RestorationReport, error) {
 	o.epochMu.Lock()
 	defer o.epochMu.Unlock()
 	o.lockAll()
@@ -130,7 +171,10 @@ func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps fl
 		o.unlockAll()
 		return rep, err
 	}
-	o.publishLink(EventLinkDegraded, rep.Link, fmt.Sprintf("capacity rescaled to %.1f Mbps", newCapacityMbps))
+	linkEv := o.publishLink(EventLinkDegraded, rep.Link, fmt.Sprintf("capacity rescaled to %.1f Mbps", newCapacityMbps))
+	if o.persist != nil {
+		o.appendRecord(recLink, linkRecord{Kind: "degrade", From: from, To: to, CapacityMbps: newCapacityMbps, Events: []Event{linkEv}})
+	}
 	over := o.tb.Transport.OversubscribedPaths()
 	if len(over) == 0 {
 		o.unlockAll()
@@ -156,7 +200,8 @@ func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps fl
 		// degraded link and shrink the radio side to match.
 		if o.rerouteLocked(m, m.s.Allocation().AllocatedMbps) {
 			rep.Restored = append(rep.Restored, id)
-			o.publish(EventRestored, m.s, "re-routed around degraded "+rep.Link)
+			ev := o.publish(EventRestored, m.s, "re-routed around degraded "+rep.Link)
+			o.appendReroute(m, ev)
 			continue
 		}
 		target := share
@@ -165,6 +210,9 @@ func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps fl
 			rep.Dropped = append(rep.Dropped, id)
 			continue
 		}
+		// The interim re-route at the fair share is its own WAL record (no
+		// event — the EventResized below announces the shrink).
+		o.appendReroute(m)
 		// The re-route just rebuilt the paths at the fair share; shrink the
 		// rest of the allocation to match. The chain head's quantized grant
 		// records the new throughput, and every concurrent-group domain
@@ -186,7 +234,22 @@ func (o *Orchestrator) HandleLinkDegradation(from, to string, newCapacityMbps fl
 		m.s.SetAllocation(alloc)
 		o.acc.allocDelta(alloc.AllocatedMbps - before)
 		rep.Restored = append(rep.Restored, id)
-		o.publish(EventResized, m.s, fmt.Sprintf("shrunk to fair share of degraded %s", rep.Link))
+		ev := o.publish(EventResized, m.s, fmt.Sprintf("shrunk to fair share of degraded %s", rep.Link))
+		if o.persist != nil {
+			// Unlike an engine resize, the shrink re-sizes no transport
+			// paths (the re-route above already rebuilt them at the share)
+			// and feeds the MEC app the raw share rather than the radio-
+			// quantized value; PRBs capture the radio's final state even
+			// when its resize failed and only AllocatedMbps moved.
+			o.appendRecord(recResize, resizeRecord{
+				Slice:       id,
+				Mbps:        alloc.AllocatedMbps,
+				PRBs:        alloc.PRBs,
+				MECMbps:     target,
+				ResizePaths: false,
+				Events:      []Event{ev},
+			})
+		}
 	}
 	o.dropFinishedAllLocked(evicted)
 	o.auditSweepAllLocked()

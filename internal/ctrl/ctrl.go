@@ -305,6 +305,16 @@ func (c *TransportController) ReleasePaths(id slice.ID) {
 	}
 }
 
+// ImportPaths restores the slice→path-ID index after crash recovery. The
+// underlying transport reservations are re-imposed separately (recorded
+// hops at recorded bandwidth); this only rebuilds the controller's lookup
+// table that resize and release consult.
+func (c *TransportController) ImportPaths(id slice.ID, pids []string) {
+	c.mu.Lock()
+	c.bySlice[id] = append([]string(nil), pids...)
+	c.mu.Unlock()
+}
+
 // FeasibleDelay returns the minimum worst-case eNB→DC delay achievable for
 // the bandwidth, without reserving — admission control's transport check.
 func (c *TransportController) FeasibleDelay(dc string, mbps float64) (float64, error) {
@@ -405,6 +415,17 @@ func (c *CloudController) DeployEPC(id slice.ID, dcName string, p slice.PLMN, th
 		EPCID:      epcID,
 		BootDelay:  epc.BootDelayFor(throughputMbps),
 	}, nil
+}
+
+// RestoreDeployment re-registers a slice's live deployment after crash
+// recovery. DeployEPC recreates the stack and vEPC instance, but the
+// controller's per-slice deployment index is normally written by the
+// transaction engine's commit path — recovery bypasses that engine, so it
+// restores the index here for release/teardown to find.
+func (c *CloudController) RestoreDeployment(id slice.ID, dep Deployment) {
+	c.mu.Lock()
+	c.bySlice[id] = dep
+	c.mu.Unlock()
 }
 
 // MarkEPCRunning flips the instance to Running (called when the boot timer

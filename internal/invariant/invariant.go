@@ -226,6 +226,24 @@ func (a *Auditor) ObserveEvent(seq int64, sliceID slice.ID, typ, state string) {
 	a.record("state-machine", "slice %s: illegal announced transition %q -> %q (event %s)", sliceID, prev, state, typ)
 }
 
+// Prime seeds the event-stream and epoch state after crash recovery: the
+// next observed event must carry seq+1, and each listed live slice's next
+// event is checked against its recovered state rather than being mistaken
+// for a missing submission. Without priming, a recovered auditor would
+// flag every pre-crash slice's first post-recovery event as "first event
+// must announce pending".
+func (a *Auditor) Prime(seq int64, states map[slice.ID]string, epoch int, at time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lastSeq = seq
+	a.lastState = make(map[slice.ID]string, len(states))
+	for id, st := range states {
+		a.lastState[id] = st
+	}
+	a.lastEpoch = epoch
+	a.lastAt = at
+}
+
 // ObserveEpoch feeds one published epoch snapshot (the P4 barrier).
 func (a *Auditor) ObserveEpoch(epoch int, at time.Time) {
 	a.mu.Lock()

@@ -131,6 +131,35 @@ func (p *Pool) Place(id string, owner slice.ID, cpu float64) (App, error) {
 	return App{}, fmt.Errorf("%w: %.1f CPUs for %s", ErrNoCapacity, cpu, owner)
 }
 
+// PlaceAt pins an app of cpu CPUs onto the named host, bypassing first-fit
+// selection — the crash-recovery primitive. Replaying a write-ahead log
+// must land every app exactly where the original run placed it (an
+// unlogged brownout may have steered first-fit differently), otherwise a
+// later Resize, which grows in place on the app's host, could diverge.
+func (p *Pool) PlaceAt(id string, owner slice.ID, cpu float64, hostName string) (App, error) {
+	if cpu <= 0 {
+		return App{}, fmt.Errorf("mec: app %q needs positive CPU, got %.2f", id, cpu)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.apps[id]; ok {
+		return App{}, fmt.Errorf("%w: %s", ErrDuplicateApp, id)
+	}
+	for _, h := range p.hosts {
+		if h.name != hostName {
+			continue
+		}
+		if h.cap-h.used < cpu-1e-9 {
+			return App{}, fmt.Errorf("%w: %.1f CPUs for %s on pinned host %s", ErrNoCapacity, cpu, owner, hostName)
+		}
+		h.used += cpu
+		a := &App{ID: id, Slice: owner, CPU: cpu, Host: h.name}
+		p.apps[id] = a
+		return *a, nil
+	}
+	return App{}, fmt.Errorf("mec: unknown host %q", hostName)
+}
+
 // Resize changes the app's CPU share in place on its host. Growing fails
 // when the host's free capacity does not cover the increase.
 func (p *Pool) Resize(id string, cpu float64) error {

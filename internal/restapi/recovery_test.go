@@ -1,0 +1,93 @@
+package restapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/wal"
+)
+
+// TestV2RecoveryStatus checks GET /api/v2/recovery on a daemon without
+// persistence (enabled=false) and on one rebuilt by crash recovery.
+func TestV2RecoveryStatus(t *testing.T) {
+	c, _ := apiEnv(t)
+	resp, err := http.Get(c.BaseURL + "/api/v2/recovery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var st core.PersistStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Enabled || st.Recovered {
+		t.Fatalf("ephemeral daemon reports %+v", st)
+	}
+
+	resp, err = http.Post(c.BaseURL+"/api/v2/recovery", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestV2RecoveryStatusAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := sim.NewSimulator(1)
+	tb, err := testbed.New(testbed.Default(), s.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wal.Create(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Overbook: true, Risk: 0.9, Persist: core.WALSink(w)}
+	orch := core.New(cfg, tb, s, monitor.NewStore(256))
+	orch.Shutdown()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := sim.NewSimulator(2)
+	tb2, err := testbed.New(testbed.Default(), s2.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Persist = nil
+	orch2, w2, err := core.Recover(cfg, tb2, s2, monitor.NewStore(256), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	srv := httptest.NewServer(NewServer(orch2))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/v2/recovery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st core.PersistStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Enabled || !st.Recovered || st.Recovery == nil {
+		t.Fatalf("recovered daemon reports %+v", st)
+	}
+	if !st.Recovery.CleanShutdown {
+		t.Fatalf("recovery report misses the clean shutdown: %+v", st.Recovery)
+	}
+}

@@ -162,6 +162,8 @@ func NewServer(orch *core.Orchestrator) *Server {
 	s.mux.HandleFunc("/api/v2/events", methodNotAllowed("restapi: use GET"))
 	s.mux.HandleFunc("GET /api/v2/epoch", s.handleEpochV2)
 	s.mux.HandleFunc("/api/v2/epoch", methodNotAllowed("restapi: use GET"))
+	s.mux.HandleFunc("GET /api/v2/recovery", s.handleRecovery)
+	s.mux.HandleFunc("/api/v2/recovery", methodNotAllowed("restapi: use GET"))
 	s.mux.HandleFunc("/api/v2/slices/", s.slicesSubtreeFallback("/api/v2/slices/"))
 	return s
 }

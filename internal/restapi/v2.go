@@ -59,6 +59,15 @@ func (s *Server) handleEpochV2(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snap)
 }
 
+// handleRecovery serves GET /api/v2/recovery: the durability plane's status
+// — whether a write-ahead log is attached, the last appended sequence, any
+// latched persistence error, and (after a restart) the crash-recovery
+// report of the boot (DESIGN.md §9). Always 200: a daemon without -data-dir
+// reports {"enabled": false}.
+func (s *Server) handleRecovery(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.orch.PersistStatus())
+}
+
 // handleSubmitV2 serves POST /api/v2/slices: v1 submission semantics (202
 // installing, 200 in-band rejection, 400 validation, 5xx internal) plus
 // Idempotency-Key dedup — the first request with a key submits, concurrent

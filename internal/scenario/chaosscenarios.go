@@ -183,6 +183,17 @@ func ChaosScenario(name string, seed int64) (ChaosResult, error) {
 // ChaosScenarioSharded is ChaosScenario with an explicit shard count (0 =
 // default) — the handle the shard-equivalence proof uses.
 func ChaosScenarioSharded(name string, seed int64, shards int) (ChaosResult, error) {
+	return ChaosScenarioCustom(name, seed, shards, nil, nil)
+}
+
+// ChaosScenarioCustom runs a canned chaos scenario with two optional hooks:
+// mutate edits the spec's Options after its defaults are applied (the
+// crash-recovery harness attaches its persistence sink and snapshot cadence
+// here, and can copy the final Options out for its replay runs), and ready
+// sees the built Runner before the timeline is installed and arrivals start
+// (the harness binds its sink's digest probe to r.Orch there). Either hook
+// may be nil.
+func ChaosScenarioCustom(name string, seed int64, shards int, mutate func(*Options), ready func(*Runner)) (ChaosResult, error) {
 	spec, ok := chaosSpecs[name]
 	if !ok {
 		return ChaosResult{}, fmt.Errorf("scenario: unknown chaos scenario %q (have %v)", name, ChaosNames())
@@ -191,9 +202,15 @@ func ChaosScenarioSharded(name string, seed int64, shards int) (ChaosResult, err
 	if shards > 0 {
 		opts.Orchestrator.Shards = shards
 	}
+	if mutate != nil {
+		mutate(&opts)
+	}
 	r, err := NewRunner(opts)
 	if err != nil {
 		return ChaosResult{}, err
+	}
+	if ready != nil {
+		ready(r)
 	}
 	env := &chaos.Env{
 		Sim:    r.Sim,

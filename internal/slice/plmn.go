@@ -115,6 +115,80 @@ func (a *PLMNAllocator) InUse() []PLMN {
 	return out
 }
 
+// PLMNAssignment is one in-use entry of an exported allocator state.
+type PLMNAssignment struct {
+	PLMN  PLMN `json:"plmn"`
+	Owner ID   `json:"owner"`
+}
+
+// PLMNState is the allocator's durable state for checkpoint snapshots.
+// Free preserves stack order (Allocate pops the tail), so a restored
+// allocator recycles identifiers in exactly the original order.
+type PLMNState struct {
+	Next  int              `json:"next"`
+	Free  []PLMN           `json:"free,omitempty"`
+	InUse []PLMNAssignment `json:"in_use,omitempty"`
+}
+
+// Export captures the allocator state for a snapshot. InUse is sorted by
+// PLMN for a canonical encoding; Free keeps its stack order.
+func (a *PLMNAllocator) Export() PLMNState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := PLMNState{Next: a.next, Free: append([]PLMN(nil), a.free...)}
+	for p, id := range a.inUse {
+		st.InUse = append(st.InUse, PLMNAssignment{PLMN: p, Owner: id})
+	}
+	sort.Slice(st.InUse, func(i, j int) bool {
+		if st.InUse[i].PLMN.MCC != st.InUse[j].PLMN.MCC {
+			return st.InUse[i].PLMN.MCC < st.InUse[j].PLMN.MCC
+		}
+		return st.InUse[i].PLMN.MNC < st.InUse[j].PLMN.MNC
+	})
+	return st
+}
+
+// Restore replaces the allocator state with an exported snapshot.
+func (a *PLMNAllocator) Restore(st PLMNState) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.next = st.Next
+	a.free = append([]PLMN(nil), st.Free...)
+	a.inUse = make(map[PLMN]ID, len(st.InUse))
+	for _, e := range st.InUse {
+		a.inUse[e.PLMN] = e.Owner
+	}
+}
+
+// Impose assigns a specific PLMN to the slice — the log-replay primitive.
+// Where Allocate picks the next identifier itself, replay must reproduce
+// the exact PLMN the original run assigned: the identifier is removed from
+// the free stack if recycled, or the fresh-numbering counter is advanced
+// past it.
+func (a *PLMNAllocator) Impose(p PLMN, owner ID) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if cur, ok := a.inUse[p]; ok {
+		return fmt.Errorf("slice: PLMN %s already assigned to %s", p, cur)
+	}
+	if len(a.inUse) >= a.limit {
+		return fmt.Errorf("%w: %d in use", ErrPLMNExhausted, len(a.inUse))
+	}
+	for i := len(a.free) - 1; i >= 0; i-- {
+		if a.free[i] == p {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+			a.inUse[p] = owner
+			return nil
+		}
+	}
+	var n int
+	if _, err := fmt.Sscanf(p.MNC, "%d", &n); err == nil && n > a.next {
+		a.next = n
+	}
+	a.inUse[p] = owner
+	return nil
+}
+
 // Available reports how many more PLMNs can be assigned.
 func (a *PLMNAllocator) Available() int {
 	a.mu.Lock()

@@ -447,6 +447,79 @@ func (s *Slice) Accounting() Accounting {
 	return a
 }
 
+// Persisted is the complete durable image of a slice — every private
+// field the lifecycle and accounting machinery maintains — used by the
+// write-ahead-log checkpoint. Unlike Snapshot (a lossy API view), a
+// Persisted round-trips: Rehydrate reconstructs a Slice that behaves
+// identically to the original.
+type Persisted struct {
+	ID              ID              `json:"id"`
+	Request         Request         `json:"request"`
+	State           State           `json:"state"`
+	Reason          string          `json:"reason,omitempty"`
+	Cause           *RejectionCause `json:"cause,omitempty"`
+	Created         time.Time       `json:"created"`
+	Starts          time.Time       `json:"starts,omitempty"`
+	Expires         time.Time       `json:"expires,omitempty"`
+	Allocation      Allocation      `json:"allocation"`
+	ViolationEpochs int             `json:"violation_epochs,omitempty"`
+	ServedEpochs    int             `json:"served_epochs,omitempty"`
+	PenaltyEUR      float64         `json:"penalty_eur,omitempty"`
+	DemandMbps      float64         `json:"demand_mbps,omitempty"`
+	ServedMbps      float64         `json:"served_mbps,omitempty"`
+}
+
+// Persist captures the slice's full durable image atomically.
+func (s *Slice) Persist() Persisted {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := Persisted{
+		ID:              s.id,
+		Request:         s.req,
+		State:           s.state,
+		Reason:          s.reason,
+		Created:         s.created,
+		Starts:          s.starts,
+		Expires:         s.expires,
+		Allocation:      s.alloc.Clone(),
+		ViolationEpochs: s.violationEpochs,
+		ServedEpochs:    s.servedEpochs,
+		PenaltyEUR:      s.penaltyEUR,
+		DemandMbps:      s.demandMbps,
+		ServedMbps:      s.servedMbps,
+	}
+	if s.cause != nil {
+		c := *s.cause
+		p.Cause = &c
+	}
+	return p
+}
+
+// Rehydrate reconstructs a slice from its durable image, bypassing the
+// transition machinery — recovery restores the recorded state directly.
+func Rehydrate(p Persisted) *Slice {
+	s := &Slice{
+		id:              p.ID,
+		req:             p.Request,
+		state:           p.State,
+		reason:          p.Reason,
+		created:         p.Created,
+		starts:          p.Starts,
+		expires:         p.Expires,
+		alloc:           p.Allocation.Clone(),
+		violationEpochs: p.ViolationEpochs,
+		servedEpochs:    p.ServedEpochs,
+		penaltyEUR:      p.PenaltyEUR,
+		demandMbps:      p.DemandMbps,
+		servedMbps:      p.ServedMbps,
+	}
+	if p.Cause != nil {
+		c := *p.Cause
+		s.cause = &c
+	}
+	return s
+}
+
 // Snapshot is an immutable view of a slice for APIs and the dashboard.
 type Snapshot struct {
 	ID     ID     `json:"id"`

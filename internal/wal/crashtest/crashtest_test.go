@@ -1,0 +1,128 @@
+package crashtest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// Crash-point caps per scenario/shard pairing. The full run kills at every
+// record prefix — every commit boundary, every snapshot anchor and every
+// mid-operation append (a crash inside the fsync window); -short strides
+// the points down evenly. Frequent checkpoints keep each recovery's replay
+// tail short, so even full enumeration stays in seconds.
+func crashPointCaps() (maxBoundary, maxMidOp int) {
+	if testing.Short() {
+		return 40, 12
+	}
+	return 0, 0 // 0 = unlimited
+}
+
+// TestCrashRecoveryEquivalence is the acceptance test of the durability
+// plane (DESIGN.md §9): for every chaos scenario C1–C6, at shard counts 1
+// and 16, kill the run after every sampled WAL-record prefix and recover
+// from the captured image onto a fresh testbed. At commit boundaries the
+// recovered state digest must be bit-identical to the uncrashed run's; at
+// mid-operation prefixes recovery must succeed and the invariant auditor's
+// full sweep must come back clean.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	shardCounts := []int{1, 16}
+	if testing.Short() {
+		shardCounts = []int{1}
+	}
+	for _, name := range scenario.ChaosNames() {
+		for _, shards := range shardCounts {
+			name, shards := name, shards
+			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
+				t.Parallel()
+				ref, err := RunReference(name, 42, shards)
+				if err != nil {
+					t.Fatalf("reference run: %v", err)
+				}
+				if n := len(ref.Result.Violations); n != 0 {
+					t.Fatalf("reference run not invariant-clean: %d violations, first: %+v",
+						n, ref.Result.Violations[0])
+				}
+				if len(ref.Sink.Records) == 0 || len(ref.Sink.Boundaries) == 0 {
+					t.Fatalf("reference run persisted nothing (records=%d boundaries=%d)",
+						len(ref.Sink.Records), len(ref.Sink.Boundaries))
+				}
+				if len(ref.Sink.Snapshots) == 0 {
+					t.Fatalf("reference run took no checkpoint snapshot (SnapshotEvery=%d)", snapshotEvery)
+				}
+
+				points, boundary := ref.CrashPoints(crashPointCaps())
+				var atBoundary, midOp int
+				for _, n := range points {
+					o, rep, err := ref.Recover(n)
+					if err != nil {
+						t.Fatalf("crash after %d records: recover: %v", n, err)
+					}
+					if rep.LastSeq != uint64(n) {
+						t.Fatalf("crash after %d records: recovered LastSeq %d", n, rep.LastSeq)
+					}
+					o.AuditSweep()
+					if v := o.Auditor().Violations(); len(v) != 0 {
+						t.Fatalf("crash after %d records: recovered state fails audit (%d violations), first: %+v",
+							n, len(v), v[0])
+					}
+					if b, ok := boundary[n]; ok {
+						atBoundary++
+						if b.Digest == nil {
+							t.Fatalf("boundary at %d records has no reference digest", n)
+						}
+						if got := o.StateDigest(); !bytes.Equal(got, b.Digest) {
+							t.Fatalf("crash at commit boundary (%d records): recovered digest diverged\nreference: %s\nrecovered: %s",
+								n, b.Digest, got)
+						}
+					} else {
+						midOp++
+					}
+				}
+				if atBoundary == 0 || midOp == 0 {
+					t.Fatalf("crash-point sampling degenerate: %d boundary, %d mid-op points", atBoundary, midOp)
+				}
+				t.Logf("%s shards=%d: %d records, %d boundaries, %d snapshots; verified %d boundary + %d mid-op crash points",
+					name, shards, len(ref.Sink.Records), len(ref.Sink.Boundaries), len(ref.Sink.Snapshots), atBoundary, midOp)
+			})
+		}
+	}
+}
+
+// TestRecoverAtEveryEpochAnchor recovers from each captured checkpoint with
+// an empty tail and with the full tail to the end of the run, proving
+// snapshots of every vintage are usable anchors.
+func TestRecoverAtEveryEpochAnchor(t *testing.T) {
+	ref, err := RunReference("c2", 7, 4)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	last := ref.Sink.Boundaries[len(ref.Sink.Boundaries)-1]
+	final, refDigest := last.Records, last.Digest
+	for _, sn := range ref.Sink.Snapshots {
+		// Empty tail: the state at the snapshot anchor must be recoverable
+		// and audit-clean.
+		o, _, err := ref.Recover(sn.Records)
+		if err != nil {
+			t.Fatalf("recover at snapshot seq %d: %v", sn.Seq, err)
+		}
+		o.AuditSweep()
+		if v := o.Auditor().Violations(); len(v) != 0 {
+			t.Fatalf("recover at snapshot seq %d: %d violations, first: %+v", sn.Seq, len(v), v[0])
+		}
+
+		// Full tail from this anchor: must converge on the final digest.
+		img := ref.Image(final)
+		img.SnapshotSeq, img.Snapshot = sn.Seq, sn.Blob
+		img.Records = ref.Sink.Records[int(sn.Seq):final]
+		o2, _, err := recoverImage(ref, img)
+		if err != nil {
+			t.Fatalf("recover full tail from snapshot seq %d: %v", sn.Seq, err)
+		}
+		if got := o2.StateDigest(); !bytes.Equal(got, refDigest) {
+			t.Fatalf("full tail from snapshot seq %d diverged from final digest", sn.Seq)
+		}
+	}
+}

@@ -1,0 +1,422 @@
+// Package wal implements the orchestrator's durable write-ahead log: an
+// append-only stream of typed, length-prefixed, CRC32-guarded records plus
+// periodically checkpointed snapshot files. The package is deliberately
+// payload-agnostic — record payloads and snapshot blobs are opaque byte
+// slices whose schema belongs to the caller (internal/core) — so the
+// framing layer can be tested and fuzzed in isolation and never imports
+// orchestration code.
+//
+// On-disk layout inside a data directory:
+//
+//	wal.log              append-only record stream
+//	snapshot-<seq>.snap  checkpoint anchored at record sequence <seq>
+//
+// A record envelope is
+//
+//	u32 body length | u32 CRC32(body) | body
+//
+// where body is
+//
+//	u64 sequence | u8 type length | type | payload
+//
+// all integers little-endian. Sequence numbers start at 1 and increase by
+// exactly one per record; Load rejects gaps and duplicates with ErrBadSeq.
+// A partially written record at the end of the log (torn write on crash)
+// decodes as ErrTruncated and is tolerated by Load — the stream simply
+// ends there. A record whose declared body is fully present but fails its
+// CRC is ErrCorrupt and rejected outright, even at the tail: the length
+// prefix was durable, so the damage is not a torn write.
+//
+// Snapshot files carry their own magic, sequence anchor and CRC and are
+// written to a temporary name then atomically renamed, so a crash during
+// checkpointing never yields a half-written snapshot under the final name.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Typed decode errors. Callers distinguish a tolerable torn tail
+// (ErrTruncated) from unrecoverable damage (ErrCorrupt) and ordering bugs
+// (ErrBadSeq) with errors.Is.
+var (
+	// ErrTruncated reports a record or snapshot whose declared bytes run
+	// past the end of the input — the torn-write signature of a crash
+	// mid-append. Load tolerates it at the log tail.
+	ErrTruncated = errors.New("wal: truncated record")
+	// ErrCorrupt reports framing damage other than simple truncation: a
+	// CRC mismatch over a fully present body, an implausible length, a
+	// malformed body, or a bad snapshot magic.
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrBadSeq reports a sequence gap or duplicate in the record stream.
+	ErrBadSeq = errors.New("wal: sequence out of order")
+)
+
+const (
+	logName     = "wal.log"
+	snapSuffix  = ".snap"
+	snapPrefix  = "snapshot-"
+	headerBytes = 8 // u32 length + u32 crc
+	// maxBody bounds a single record body (and snapshot payload). Real
+	// records are a few KiB; anything larger is framing damage, and the
+	// bound keeps a corrupted length prefix from driving a giant
+	// allocation during decode.
+	maxBody = 1 << 26
+
+	snapMagic       = "OWS1"
+	snapHeaderBytes = 4 + 8 + 4 + 4 // magic + u64 seq + u32 length + u32 crc
+)
+
+// Record is one typed log entry. Payload is opaque to this package.
+type Record struct {
+	Seq     uint64
+	Type    string
+	Payload []byte
+}
+
+// AppendRecord encodes rec and appends the framed bytes to dst.
+func AppendRecord(dst []byte, rec Record) ([]byte, error) {
+	if len(rec.Type) == 0 || len(rec.Type) > 255 {
+		return dst, fmt.Errorf("wal: record type length %d out of range [1,255]", len(rec.Type))
+	}
+	bodyLen := 8 + 1 + len(rec.Type) + len(rec.Payload)
+	if bodyLen > maxBody {
+		return dst, fmt.Errorf("wal: record body %d exceeds limit %d", bodyLen, maxBody)
+	}
+	body := make([]byte, 0, bodyLen)
+	body = binary.LittleEndian.AppendUint64(body, rec.Seq)
+	body = append(body, byte(len(rec.Type)))
+	body = append(body, rec.Type...)
+	body = append(body, rec.Payload...)
+
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(bodyLen))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(body))
+	return append(dst, body...), nil
+}
+
+// DecodeRecord decodes one framed record from the front of b, returning
+// the record and the number of bytes consumed. Missing bytes relative to
+// the declared length yield ErrTruncated; everything else wrong is
+// ErrCorrupt.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < headerBytes {
+		return Record{}, 0, ErrTruncated
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(b[0:4]))
+	if bodyLen < 9 || bodyLen > maxBody {
+		return Record{}, 0, fmt.Errorf("%w: implausible body length %d", ErrCorrupt, bodyLen)
+	}
+	if len(b) < headerBytes+bodyLen {
+		return Record{}, 0, ErrTruncated
+	}
+	wantCRC := binary.LittleEndian.Uint32(b[4:8])
+	body := b[headerBytes : headerBytes+bodyLen]
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return Record{}, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	seq := binary.LittleEndian.Uint64(body[0:8])
+	tl := int(body[8])
+	if tl == 0 || 9+tl > bodyLen {
+		return Record{}, 0, fmt.Errorf("%w: type length %d outside body", ErrCorrupt, tl)
+	}
+	rec := Record{
+		Seq:     seq,
+		Type:    string(body[9 : 9+tl]),
+		Payload: append([]byte(nil), body[9+tl:]...),
+	}
+	return rec, headerBytes + bodyLen, nil
+}
+
+// DecodeStream decodes every record in b, enforcing contiguous sequence
+// numbers. It stops cleanly at a truncated tail (returning truncated=true)
+// but surfaces ErrCorrupt and ErrBadSeq as hard errors.
+func DecodeStream(b []byte) (recs []Record, truncated bool, err error) {
+	var prev uint64
+	for len(b) > 0 {
+		rec, n, err := DecodeRecord(b)
+		if errors.Is(err, ErrTruncated) {
+			return recs, true, nil
+		}
+		if err != nil {
+			return recs, false, err
+		}
+		if len(recs) > 0 && rec.Seq != prev+1 {
+			return recs, false, fmt.Errorf("%w: record %d follows %d", ErrBadSeq, rec.Seq, prev)
+		}
+		prev = rec.Seq
+		recs = append(recs, rec)
+		b = b[n:]
+	}
+	return recs, false, nil
+}
+
+// EncodeSnapshot frames a snapshot blob anchored at record sequence seq.
+func EncodeSnapshot(seq uint64, payload []byte) ([]byte, error) {
+	if len(payload) > maxBody {
+		return nil, fmt.Errorf("wal: snapshot payload %d exceeds limit %d", len(payload), maxBody)
+	}
+	out := make([]byte, 0, snapHeaderBytes+len(payload))
+	out = append(out, snapMagic...)
+	out = binary.LittleEndian.AppendUint64(out, seq)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...), nil
+}
+
+// DecodeSnapshot validates a framed snapshot file and returns its anchor
+// sequence and payload. Short input is ErrTruncated; bad magic, CRC
+// mismatch, implausible length or trailing garbage is ErrCorrupt.
+func DecodeSnapshot(b []byte) (seq uint64, payload []byte, err error) {
+	if len(b) < snapHeaderBytes {
+		return 0, nil, ErrTruncated
+	}
+	if string(b[0:4]) != snapMagic {
+		return 0, nil, fmt.Errorf("%w: bad snapshot magic %q", ErrCorrupt, b[0:4])
+	}
+	seq = binary.LittleEndian.Uint64(b[4:12])
+	n := int(binary.LittleEndian.Uint32(b[12:16]))
+	if n > maxBody {
+		return 0, nil, fmt.Errorf("%w: implausible snapshot length %d", ErrCorrupt, n)
+	}
+	if len(b) < snapHeaderBytes+n {
+		return 0, nil, ErrTruncated
+	}
+	if len(b) != snapHeaderBytes+n {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes after snapshot", ErrCorrupt, len(b)-snapHeaderBytes-n)
+	}
+	wantCRC := binary.LittleEndian.Uint32(b[16:20])
+	payload = append([]byte(nil), b[20:20+n]...)
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return 0, nil, fmt.Errorf("%w: snapshot CRC mismatch", ErrCorrupt)
+	}
+	return seq, payload, nil
+}
+
+// Writer appends records to wal.log in a data directory with batched
+// fsync: Append buffers in memory, Sync writes the batch and fsyncs. It is
+// not safe for concurrent use; internal/core serializes access.
+type Writer struct {
+	dir  string
+	f    *os.File
+	pend []byte
+	seq  uint64
+}
+
+// Create opens (creating if needed) the write-ahead log in dir for
+// appending. lastSeq is the sequence of the last record already present —
+// 0 for a fresh directory, or Recovered.LastSeq when resuming after
+// recovery.
+func Create(dir string, lastSeq uint64) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open log: %w", err)
+	}
+	return &Writer{dir: dir, f: f, seq: lastSeq}, nil
+}
+
+// LastSeq returns the sequence of the most recently appended record.
+func (w *Writer) LastSeq() uint64 { return w.seq }
+
+// Append buffers one record. The sequence must be exactly LastSeq()+1.
+func (w *Writer) Append(rec Record) error {
+	if rec.Seq != w.seq+1 {
+		return fmt.Errorf("%w: append %d after %d", ErrBadSeq, rec.Seq, w.seq)
+	}
+	out, err := AppendRecord(w.pend, rec)
+	if err != nil {
+		return err
+	}
+	w.pend = out
+	w.seq = rec.Seq
+	return nil
+}
+
+// Sync writes all buffered records to the log and fsyncs — the batch
+// commit point. A no-op when nothing is pending.
+func (w *Writer) Sync() error {
+	if len(w.pend) == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(w.pend); err != nil {
+		return fmt.Errorf("wal: write batch: %w", err)
+	}
+	w.pend = w.pend[:0]
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Snapshot durably writes a checkpoint anchored at record sequence seq:
+// the framed blob goes to a temporary file, is fsynced, and is atomically
+// renamed to snapshot-<seq>.snap. Pending records are synced first so the
+// snapshot never anchors ahead of the durable log.
+func (w *Writer) Snapshot(seq uint64, payload []byte) error {
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	framed, err := EncodeSnapshot(seq, payload)
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(w.dir, fmt.Sprintf("%s%d%s", snapPrefix, seq, snapSuffix))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create snapshot: %w", err)
+	}
+	if _, err := f.Write(framed); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: fsync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	return nil
+}
+
+// Close syncs pending records and closes the log file.
+func (w *Writer) Close() error {
+	if err := w.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Recovered is the durable state Load reconstructs from a data directory.
+type Recovered struct {
+	// SnapshotSeq anchors the snapshot: all records with Seq <=
+	// SnapshotSeq are folded into it. Zero when no snapshot exists.
+	SnapshotSeq uint64
+	// Snapshot is the raw checkpoint blob (nil without a snapshot).
+	Snapshot []byte
+	// Records is the log tail to replay, strictly after SnapshotSeq.
+	Records []Record
+	// LastSeq is the last durable record sequence (snapshot anchor when
+	// the tail is empty).
+	LastSeq uint64
+	// TornTail reports that the log ended in a partially written record,
+	// which was discarded.
+	TornTail bool
+	// LogBytes is the byte length of the log's valid prefix (the whole
+	// file unless TornTail). Repair truncates to it before re-appending.
+	LogBytes int64
+}
+
+// Repair truncates wal.log in dir to validBytes, discarding a torn tail so
+// a new Writer's appends continue the valid record stream. Call it with
+// Recovered.LogBytes when Recovered.TornTail is set, before Create.
+func Repair(dir string, validBytes int64) error {
+	if err := os.Truncate(filepath.Join(dir, logName), validBytes); err != nil {
+		return fmt.Errorf("wal: repair log: %w", err)
+	}
+	return nil
+}
+
+// Load reads the latest usable snapshot plus the log tail from dir. A
+// missing directory or empty log yields an empty Recovered, not an error.
+// The newest snapshot wins; if its file is damaged, older snapshots are
+// tried before falling back to full-log replay. Log damage other than a
+// torn tail is a hard error.
+func Load(dir string) (*Recovered, error) {
+	out := &Recovered{}
+
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return out, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+
+	var snapSeqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		snapSeqs = append(snapSeqs, n)
+	}
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] > snapSeqs[j] })
+	for _, n := range snapSeqs {
+		raw, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("%s%d%s", snapPrefix, n, snapSuffix)))
+		if err != nil {
+			continue
+		}
+		seq, payload, err := DecodeSnapshot(raw)
+		if err != nil || seq != n {
+			continue // damaged checkpoint: fall back to an older one
+		}
+		out.SnapshotSeq = seq
+		out.Snapshot = payload
+		break
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, logName))
+	if errors.Is(err, os.ErrNotExist) {
+		out.LastSeq = out.SnapshotSeq
+		return out, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: read log: %w", err)
+	}
+	recs, torn, err := DecodeStream(raw)
+	if err != nil {
+		return nil, err
+	}
+	out.TornTail = torn
+	out.LogBytes = int64(len(raw))
+	if torn {
+		// Re-walk to find where the valid prefix ends: a new Writer must
+		// not append after the torn fragment (Repair truncates to here).
+		valid := 0
+		for b := raw; len(b) > 0; {
+			_, n, err := DecodeRecord(b)
+			if err != nil {
+				break
+			}
+			valid += n
+			b = b[n:]
+		}
+		out.LogBytes = int64(valid)
+	}
+	out.LastSeq = out.SnapshotSeq
+	for _, rec := range recs {
+		if rec.Seq <= out.SnapshotSeq {
+			continue
+		}
+		if rec.Seq != out.LastSeq+1 {
+			return nil, fmt.Errorf("%w: tail record %d after snapshot anchor %d", ErrBadSeq, rec.Seq, out.LastSeq)
+		}
+		out.Records = append(out.Records, rec)
+		out.LastSeq = rec.Seq
+	}
+	return out, nil
+}

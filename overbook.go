@@ -52,6 +52,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/slice"
 	"repro/internal/testbed"
+	"repro/internal/wal"
 )
 
 // Re-exported core types, so typical users import only this package.
@@ -87,6 +88,11 @@ type (
 	ListOptions = core.ListOptions
 	// ListPage is one page of filtered slice snapshots.
 	ListPage = core.ListPage
+	// PersistStatus reports the durability plane's health
+	// (GET /api/v2/recovery).
+	PersistStatus = core.PersistStatus
+	// RecoveryReport summarises a crash-recovery boot (DESIGN.md §9).
+	RecoveryReport = core.RecoveryReport
 )
 
 // The slice-lifecycle event taxonomy, re-exported from internal/core. A
@@ -106,6 +112,7 @@ const (
 	EventLinkDegraded = core.EventLinkDegraded
 	EventLinkRestored = core.EventLinkRestored
 	EventResync       = core.EventResync
+	EventShutdown     = core.EventShutdown
 )
 
 // The stable rejection taxonomy, re-exported from internal/slice.
@@ -153,6 +160,26 @@ type System struct {
 	Testbed *testbed.Testbed
 	// Orchestrator is the system under control.
 	Orchestrator *core.Orchestrator
+
+	// walWriter is the durable log of a NewLiveDurable system (nil
+	// otherwise); Shutdown owns closing it.
+	walWriter *wal.Writer
+}
+
+// Shutdown stops the control loop, publishes the terminal EventShutdown on
+// the event bus — so draining Watch/SSE subscribers observe a clean end of
+// stream instead of a silent cut — flushes the write-ahead log and closes
+// it. The returned event is the published terminal marker. Safe on systems
+// without persistence; the System stays readable afterwards.
+func (s *System) Shutdown() (Event, error) {
+	ev := s.Orchestrator.Shutdown()
+	if s.walWriter != nil {
+		if err := s.walWriter.Close(); err != nil {
+			return ev, err
+		}
+		s.walWriter = nil
+	}
+	return ev, nil
 }
 
 func (o Options) orchConfig() core.Config {
@@ -185,4 +212,24 @@ func NewLive(opts Options) (*System, error) {
 	}
 	orch := core.New(opts.orchConfig(), tb, clock, monitor.NewStore(8192))
 	return &System{Clock: clock, Testbed: tb, Orchestrator: orch}, nil
+}
+
+// NewLiveDurable is NewLive with a write-ahead log under dataDir
+// (DESIGN.md §9): when the directory holds a previous run's log, the
+// orchestrator is rebuilt by deterministic crash recovery — checkpoint plus
+// log-tail replay — before serving; an empty directory starts fresh with
+// durability on. Orchestrator.PersistStatus reports the recovery outcome
+// (also served at GET /api/v2/recovery). Call System.Shutdown to flush and
+// close the log on exit.
+func NewLiveDurable(opts Options, dataDir string) (*System, error) {
+	clock := sim.NewRealtimeClock()
+	tb, err := testbed.New(opts.Testbed, rand.New(rand.NewSource(opts.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	orch, w, err := core.Recover(opts.orchConfig(), tb, clock, monitor.NewStore(8192), dataDir)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Clock: clock, Testbed: tb, Orchestrator: orch, walWriter: w}, nil
 }
