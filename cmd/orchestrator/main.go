@@ -117,17 +117,20 @@ func main() {
 	case sig := <-sigCh:
 		log.Printf("%s: shutting down", sig)
 	}
-	// Ordering matters: publish the terminal EventShutdown and flush the WAL
-	// first — in-flight SSE drains observe the clean end of stream before
-	// the server closes their connections — then stop accepting traffic.
-	if ev, err := sys.Shutdown(); err != nil {
-		log.Printf("shutdown: wal close: %v", err)
-	} else {
-		log.Printf("shutdown event seq %d published, wal flushed", ev.Seq)
-	}
+	// Ordering matters: publish the terminal EventShutdown and flush it
+	// first — in-flight SSE drains observe the clean end of stream while
+	// their connections are still up — then drain the HTTP server with the
+	// WAL still open, so an in-flight mutation that is acknowledged with a
+	// 200 is durably logged rather than lost to an already-closed file, and
+	// close the log only once no handler can still be appending.
+	ev := sys.Orchestrator.Shutdown()
+	log.Printf("shutdown event seq %d published, wal flushed", ev.Seq)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: http: %v", err)
+	}
+	if err := sys.CloseWAL(); err != nil {
+		log.Printf("shutdown: wal close: %v", err)
 	}
 }

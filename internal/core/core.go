@@ -288,13 +288,18 @@ type Orchestrator struct {
 	epochs atomic.Int64 // control-loop passes
 
 	// Durability plane (persist.go): persistMu is a leaf mutex guarding the
-	// sink, the WAL sequence counter and the latched error, so records can
-	// be appended from under shard locks and epochMu.
-	persist    Sink
-	persistMu  sync.Mutex
-	walSeq     uint64
-	persistErr error
-	recovery   *RecoveryReport
+	// WAL sequence counter, the latched error and the closed flag, so
+	// records can be appended from under shard locks and epochMu. The sink
+	// pointer itself is immutable once operations run (set by New or
+	// AttachSink before anything concurrent starts) — the unguarded
+	// `o.persist != nil` fast paths rely on that; detachment is the guarded
+	// persistClosed flag, not a pointer write.
+	persist       Sink
+	persistMu     sync.Mutex
+	walSeq        uint64
+	persistErr    error
+	persistClosed bool
+	recovery      *RecoveryReport
 
 	loopMu sync.Mutex
 	loop   *sim.Event

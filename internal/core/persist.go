@@ -206,7 +206,7 @@ func (o *Orchestrator) appendRecord(typ string, payload any) {
 	}
 	o.persistMu.Lock()
 	defer o.persistMu.Unlock()
-	if o.persistErr != nil {
+	if o.persistErr != nil || o.persistClosed {
 		return
 	}
 	b, err := json.Marshal(payload)
@@ -229,7 +229,7 @@ func (o *Orchestrator) commitPersist() {
 	}
 	o.persistMu.Lock()
 	defer o.persistMu.Unlock()
-	if o.persistErr != nil {
+	if o.persistErr != nil || o.persistClosed {
 		return
 	}
 	if err := o.persist.Committed(); err != nil {
@@ -293,6 +293,9 @@ func (o *Orchestrator) PersistStatus() PersistStatus {
 	st := PersistStatus{Enabled: o.persist != nil, Recovery: o.recovery, Recovered: o.recovery != nil}
 	o.persistMu.Lock()
 	st.LastSeq = o.walSeq
+	if o.persistClosed {
+		st.Enabled = false
+	}
 	if o.persistErr != nil {
 		st.Error = o.persistErr.Error()
 	}
@@ -303,7 +306,9 @@ func (o *Orchestrator) PersistStatus() PersistStatus {
 // Shutdown stops the control loop, publishes the terminal EventShutdown on
 // the bus (so draining subscribers observe a clean end of stream instead of
 // a silent cut) and flushes the write-ahead log. The orchestrator remains
-// readable afterwards; the caller closes the underlying WAL writer.
+// readable — and the sink remains attached, so late mutations stay durable
+// while a server drains — until the caller closes the WAL writer via
+// ClosePersist.
 func (o *Orchestrator) Shutdown() Event {
 	o.Stop()
 	ev := Event{Time: o.clock.Now(), Type: EventShutdown, Detail: "orchestrator shutting down"}
@@ -311,6 +316,25 @@ func (o *Orchestrator) Shutdown() Event {
 	o.appendRecord(recShutdown, shutdownRecord{At: ev.Time, Events: []Event{ev}})
 	o.commitPersist()
 	return ev
+}
+
+// ClosePersist retires the persistence sink and runs closeFn (the WAL
+// writer's Close) under the persistence mutex, so it can never race a
+// concurrent appendRecord/commitPersist against the writer's internals.
+// The sink pointer stays in place (the lock-free `o.persist != nil` fast
+// paths depend on it being immutable); the guarded persistClosed flag makes
+// every subsequent append and commit a no-op rather than latching an error
+// on a closed file — so a daemon closes the log only after its server has
+// drained (see cmd/orchestrator). Safe to call without a sink attached and
+// more than once; closeFn may be nil.
+func (o *Orchestrator) ClosePersist(closeFn func() error) error {
+	o.persistMu.Lock()
+	defer o.persistMu.Unlock()
+	o.persistClosed = true
+	if closeFn == nil {
+		return nil
+	}
+	return closeFn()
 }
 
 // checkpointState is the full-state checkpoint blob (snapshot payload):
@@ -457,23 +481,34 @@ func (o *Orchestrator) buildCheckpointLocked() ([]byte, error) {
 	return json.Marshal(st)
 }
 
-// checkpoint writes a full-state snapshot anchored at the current WAL
-// sequence. Called from the epoch tail with epochMu held and no shard lock;
-// it quiesces the shards itself for the consistent cut.
+// checkpoint writes a full-state snapshot anchored at the WAL sequence
+// current while the shards are quiesced. Called from the epoch tail with
+// epochMu held and no shard lock; it quiesces the shards itself for the
+// consistent cut.
+//
+// The anchor must be captured inside the lockAll window: the moment the
+// shard locks drop, a concurrent operation (SubmitCtx, an activation timer,
+// Delete) can append records and advance walSeq, and a snapshot anchored
+// past records whose effects are not in the blob would make recovery skip
+// them — silently losing the operations. persistMu nests inside shard locks
+// everywhere (appendRecord), so acquiring it here preserves lock order, and
+// holding it through Snapshot pins anchor == last appended record at the
+// checkpoint's fsync.
 func (o *Orchestrator) checkpoint() {
 	if o.persist == nil {
 		return
 	}
 	o.lockAll()
 	blob, err := o.buildCheckpointLocked()
-	o.unlockAll()
 	o.persistMu.Lock()
+	anchor := o.walSeq
+	o.unlockAll()
 	defer o.persistMu.Unlock()
-	if o.persistErr != nil {
+	if o.persistErr != nil || o.persistClosed {
 		return
 	}
 	if err == nil {
-		err = o.persist.Snapshot(o.walSeq, blob)
+		err = o.persist.Snapshot(anchor, blob)
 	}
 	if err != nil {
 		o.persistErr = err

@@ -33,6 +33,20 @@ import (
 // The whole pass is single-threaded: no API goroutine, timer or subscriber
 // runs until Recover returns, so the appliers touch shard maps and counters
 // without taking the locks the live paths require.
+//
+// Scope of the bit-identical contract: it holds for single-driver runs (the
+// deterministic sim driver, the crash-point harness, a daemon with one
+// mutating client). Under live concurrency, records are sequenced by
+// persistMu inside each shard's critical section, but the global float
+// accumulators (capacity ledger, gain accumulator) are guarded by their own
+// mutexes — two operations on different shards can mutate an accumulator in
+// one order while their WAL records land in the other. Replay applies in
+// WAL order, so a recovered concurrent run is semantically equivalent
+// (every slice, event, counter and euro is exact) while the low-order bits
+// of those float sums may differ by association order. Digest comparisons
+// (StateDigest) and the §8 auditor's strict ledger-equality sweep are
+// therefore deterministic-driver tools; DESIGN.md §9.3 records the same
+// caveat.
 
 // RecoveryReport summarises one crash-recovery pass.
 type RecoveryReport struct {

@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -120,6 +122,133 @@ func TestShutdownRecoverZeroLoss(t *testing.T) {
 	got := <-replay
 	if got.Type != EventShutdown || got.Seq != ev.Seq {
 		t.Fatalf("replayed terminal event %+v, want shutdown seq %d", got, ev.Seq)
+	}
+}
+
+// TestCheckpointAnchorUnderConcurrency is the checkpoint anchor-race
+// regression: a snapshot cut while other goroutines submit must be anchored
+// at the WAL sequence current *inside* the quiesced window — an anchor read
+// after the shard locks drop can cover records whose effects are not in the
+// blob, and recovery (which skips every record at or below the anchor)
+// silently loses those operations. No checkpoint runs after the submitters
+// finish, so the last snapshot is always one that raced.
+func TestCheckpointAnchorUnderConcurrency(t *testing.T) {
+	dir := t.TempDir()
+	_, o, w := durableEnv(t, Config{Overbook: true, Risk: 0.9, PLMNLimit: 8}, dir)
+
+	const submitters, perG = 4, 12
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		admitted []slice.ID
+	)
+	wg.Add(submitters)
+	done := make(chan struct{})
+	for g := 0; g < submitters; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sl, err := o.Submit(req(fmt.Sprintf("t%d-%d", g, i), 5, 50, time.Hour, 100), nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if sl.State() != slice.StateRejected {
+					mu.Lock()
+					admitted = append(admitted, sl.ID())
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	go func() { wg.Wait(); close(done) }()
+	for checkpoints := 0; ; checkpoints++ {
+		select {
+		case <-done:
+			if checkpoints == 0 {
+				t.Fatal("no checkpoint raced the submitters")
+			}
+			goto drained
+		default:
+			o.checkpoint()
+		}
+	}
+drained:
+	if st := o.PersistStatus(); st.Error != "" {
+		t.Fatalf("persistence latched an error: %s", st.Error)
+	}
+	before := make(map[slice.ID]bool)
+	for _, sn := range o.List() {
+		before[sn.ID] = true
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	o2, w2 := recoverDir(t, Config{Overbook: true, Risk: 0.9, PLMNLimit: 8}, dir)
+	defer w2.Close()
+	for _, id := range admitted {
+		got, ok := o2.Get(id)
+		if !ok {
+			t.Fatalf("admitted slice %s lost: checkpoint anchored past its records", id)
+		}
+		if st := got.State(); st == slice.StateRejected || st == slice.StateTerminated {
+			t.Fatalf("admitted slice %s recovered in state %v", id, st)
+		}
+	}
+	after := make(map[slice.ID]bool)
+	for _, sn := range o2.List() {
+		after[sn.ID] = true
+	}
+	if len(after) != len(before) {
+		t.Fatalf("recovered registry has %d slices, crashed run had %d", len(after), len(before))
+	}
+	for id := range before {
+		if !after[id] {
+			t.Fatalf("registry entry %s lost across recovery", id)
+		}
+	}
+}
+
+// TestClosePersistDuringMutations is the shutdown-ordering regression: the
+// WAL writer's Close must be serialized with in-flight appends through the
+// persistence mutex (closing it bare races the writer's buffer and fd), and
+// mutations that land after the close must proceed without durability
+// instead of latching an error on a closed file.
+func TestClosePersistDuringMutations(t *testing.T) {
+	dir := t.TempDir()
+	_, o, w := durableEnv(t, Config{PLMNLimit: 8}, dir)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for g := 0; g < 2; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := o.Submit(req(fmt.Sprintf("c%d-%d", g, i), 5, 50, time.Hour, 100), nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	if err := o.ClosePersist(w.Close); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	st := o.PersistStatus()
+	if st.Enabled {
+		t.Fatal("sink still attached after ClosePersist")
+	}
+	if st.Error != "" {
+		t.Fatalf("append after close latched an error: %s", st.Error)
+	}
+	if _, err := o.Submit(req("late", 5, 50, time.Hour, 100), nil); err != nil {
+		t.Fatalf("mutation after ClosePersist: %v", err)
+	}
+	if err := o.ClosePersist(nil); err != nil {
+		t.Fatalf("second ClosePersist: %v", err)
 	}
 }
 

@@ -262,6 +262,15 @@ func (w *Writer) Sync() error {
 // the framed blob goes to a temporary file, is fsynced, and is atomically
 // renamed to snapshot-<seq>.snap. Pending records are synced first so the
 // snapshot never anchors ahead of the durable log.
+//
+// After the checkpoint is durable the directory is compacted, keeping one
+// fallback generation: snapshots older than the previous checkpoint are
+// deleted and the log is rewritten without the records folded into that
+// previous checkpoint. If the newest snapshot file is later found damaged,
+// Load still recovers from the previous one plus the retained tail; until a
+// second checkpoint exists the full log is kept as the fallback. Disk usage
+// is therefore bounded by roughly two checkpoint intervals instead of the
+// full history.
 func (w *Writer) Snapshot(seq uint64, payload []byte) error {
 	if err := w.Sync(); err != nil {
 		return err
@@ -294,6 +303,111 @@ func (w *Writer) Snapshot(seq uint64, payload []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("wal: publish snapshot: %w", err)
 	}
+	return w.compact(seq)
+}
+
+// snapshotSeqs lists the anchors of the snapshot files present in dir,
+// newest first.
+func snapshotSeqs(dir string) []uint64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, n)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	return seqs
+}
+
+// compact garbage-collects the directory after a successful checkpoint at
+// anchor newest: every snapshot older than the previous checkpoint is
+// deleted, and the log is atomically rewritten without the records the
+// previous checkpoint folded in (they can never be replayed again — even
+// the fallback path starts at the previous anchor). The rewrite is
+// tmp+fsync+rename; a crash at any point leaves either the old or the new
+// log, both valid. Compaction is an optimization, so a dirty log (torn
+// tail, decode anomaly) skips it rather than failing the checkpoint; only
+// losing the writer's own file handle after the rename is a hard error.
+func (w *Writer) compact(newest uint64) error {
+	var prev uint64
+	for _, n := range snapshotSeqs(w.dir) {
+		if n < newest && n > prev {
+			prev = n
+		}
+	}
+	if prev == 0 {
+		return nil // first checkpoint: the full log is the only fallback
+	}
+	for _, n := range snapshotSeqs(w.dir) {
+		if n < prev {
+			os.Remove(filepath.Join(w.dir, fmt.Sprintf("%s%d%s", snapPrefix, n, snapSuffix)))
+		}
+	}
+
+	path := filepath.Join(w.dir, logName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	recs, torn, err := DecodeStream(raw)
+	if err != nil || torn {
+		return nil
+	}
+	var out []byte
+	dropped := false
+	for _, rec := range recs {
+		if rec.Seq <= prev {
+			dropped = true
+			continue
+		}
+		if out, err = AppendRecord(out, rec); err != nil {
+			return nil
+		}
+	}
+	if !dropped {
+		return nil
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil
+	}
+	if _, err := f.Write(out); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil
+	}
+	// The writer's handle still points at the replaced inode; appends must
+	// land in the rewritten log.
+	nf, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopen compacted log: %w", err)
+	}
+	w.f.Close()
+	w.f = nf
 	return nil
 }
 
@@ -344,28 +458,13 @@ func Repair(dir string, validBytes int64) error {
 func Load(dir string) (*Recovered, error) {
 	out := &Recovered{}
 
-	entries, err := os.ReadDir(dir)
-	if errors.Is(err, os.ErrNotExist) {
+	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
 		return out, nil
-	}
-	if err != nil {
+	} else if err != nil {
 		return nil, fmt.Errorf("wal: read dir: %w", err)
 	}
 
-	var snapSeqs []uint64
-	for _, e := range entries {
-		name := e.Name()
-		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
-			continue
-		}
-		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 10, 64)
-		if err != nil {
-			continue
-		}
-		snapSeqs = append(snapSeqs, n)
-	}
-	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] > snapSeqs[j] })
-	for _, n := range snapSeqs {
+	for _, n := range snapshotSeqs(dir) {
 		raw, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("%s%d%s", snapPrefix, n, snapSuffix)))
 		if err != nil {
 			continue

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 )
 
@@ -241,6 +242,116 @@ func TestWriterResumesAfterRecovery(t *testing.T) {
 	}
 	if rec2.LastSeq != 2 || len(rec2.Records) != 2 {
 		t.Fatalf("resume: last=%d records=%d", rec2.LastSeq, len(rec2.Records))
+	}
+}
+
+// snapFiles lists the snapshot file names present in dir, sorted.
+func snapFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == snapSuffix {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestSnapshotCompactsLog proves checkpointing bounds the directory: each
+// snapshot after the first garbage-collects snapshots older than the
+// previous generation and rewrites the log without the records that
+// previous generation folded in, while the retained generation still
+// backstops a damaged newest snapshot.
+func TestSnapshotCompactsLog(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 4; seq++ {
+		mustAppend(t, w, seq, "op", "x")
+	}
+	if err := w.Snapshot(4, []byte("gen1")); err != nil {
+		t.Fatal(err)
+	}
+	// First checkpoint: the full log is the only fallback, nothing dropped.
+	raw, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs, _, err := DecodeStream(raw); err != nil || len(recs) != 4 {
+		t.Fatalf("after first snapshot: %d records, err %v (want full log)", len(recs), err)
+	}
+
+	for seq := uint64(5); seq <= 8; seq++ {
+		mustAppend(t, w, seq, "op", "y")
+	}
+	if err := w.Snapshot(8, []byte("gen2")); err != nil {
+		t.Fatal(err)
+	}
+	// Second checkpoint: records folded into gen1 are dropped from the log.
+	raw, err = os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs, _, err := DecodeStream(raw); err != nil || len(recs) != 4 || recs[0].Seq != 5 {
+		t.Fatalf("after second snapshot: %d records starting %d, err %v (want 4 from seq 5)", len(recs), recs[0].Seq, err)
+	}
+
+	for seq := uint64(9); seq <= 10; seq++ {
+		mustAppend(t, w, seq, "op", "z")
+	}
+	if err := w.Snapshot(10, []byte("gen3")); err != nil {
+		t.Fatal(err)
+	}
+	// Third checkpoint: gen1 is older than the retained generation — gone.
+	if got := snapFiles(t, dir); len(got) != 2 || got[0] != "snapshot-10.snap" || got[1] != "snapshot-8.snap" {
+		t.Fatalf("snapshots after GC: %v, want [snapshot-10.snap snapshot-8.snap]", got)
+	}
+
+	// The writer's handle follows the rewritten file: post-compaction
+	// appends must be visible to the next Load.
+	mustAppend(t, w, 11, "op", "tail")
+	mustAppend(t, w, 12, "op", "tail")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotSeq != 10 || string(rec.Snapshot) != "gen3" {
+		t.Fatalf("newest: seq=%d blob=%q", rec.SnapshotSeq, rec.Snapshot)
+	}
+	if len(rec.Records) != 2 || rec.Records[0].Seq != 11 || rec.LastSeq != 12 {
+		t.Fatalf("tail: %+v last=%d", rec.Records, rec.LastSeq)
+	}
+
+	// Damage the newest snapshot: the retained previous generation plus the
+	// compacted log still recover the full tail.
+	path := filepath.Join(dir, "snapshot-10.snap")
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotSeq != 8 || string(rec.Snapshot) != "gen2" {
+		t.Fatalf("fallback: seq=%d blob=%q", rec.SnapshotSeq, rec.Snapshot)
+	}
+	if len(rec.Records) != 4 || rec.Records[0].Seq != 9 || rec.LastSeq != 12 {
+		t.Fatalf("fallback tail: %+v last=%d", rec.Records, rec.LastSeq)
 	}
 }
 

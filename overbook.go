@@ -171,15 +171,28 @@ type System struct {
 // stream instead of a silent cut — flushes the write-ahead log and closes
 // it. The returned event is the published terminal marker. Safe on systems
 // without persistence; the System stays readable afterwards.
+//
+// A daemon that is still draining an HTTP server should not use this
+// one-shot form: call Orchestrator.Shutdown first, drain the server while
+// the log is still open (late mutations that are acknowledged stay
+// durable), then CloseWAL — see cmd/orchestrator.
 func (s *System) Shutdown() (Event, error) {
 	ev := s.Orchestrator.Shutdown()
-	if s.walWriter != nil {
-		if err := s.walWriter.Close(); err != nil {
-			return ev, err
-		}
-		s.walWriter = nil
+	return ev, s.CloseWAL()
+}
+
+// CloseWAL detaches the persistence sink and closes the write-ahead log.
+// The close is serialized against in-flight appends by the orchestrator's
+// persistence mutex; mutations arriving afterwards proceed without
+// durability instead of failing. A no-op on systems without persistence,
+// and on second and later calls.
+func (s *System) CloseWAL() error {
+	if s.walWriter == nil {
+		return nil
 	}
-	return ev, nil
+	w := s.walWriter
+	s.walWriter = nil
+	return s.Orchestrator.ClosePersist(w.Close)
 }
 
 func (o Options) orchConfig() core.Config {
