@@ -1,0 +1,94 @@
+package overbook
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/slice"
+)
+
+// TestFastRejectZeroAllocs is the allocation regression guard for the
+// SubmitFast fast-reject path: after the cause pool is warm, a rejection
+// storm must allocate nothing — causes come from and return to the pool,
+// and the headroom/feasibility caches answer without building state.
+func TestFastRejectZeroAllocs(t *testing.T) {
+	sys := saturatedSystem(t)
+	req := saturatedReq()
+	// Warm the cause pool and the headroom cache.
+	for i := 0; i < 16; i++ {
+		cause := sys.Orchestrator.SubmitFast(req)
+		if cause == nil {
+			t.Fatal("saturated system accepted a fast-path request")
+		}
+		slice.RecycleRejection(cause)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		cause := sys.Orchestrator.SubmitFast(req)
+		if cause == nil {
+			t.Error("saturated system accepted a fast-path request")
+			return
+		}
+		slice.RecycleRejection(cause)
+	})
+	if allocs != 0 {
+		t.Fatalf("fast-reject path allocates: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAdmitAllocCeiling pins the allocation budget of the full pooled
+// admit → install → delete cycle. The PR 6 baseline spent 435 allocs per
+// cycle; the pooled engine runs it in ~107. The ceiling leaves slack for
+// map-growth jitter but fails loudly if pooling regresses — revisit the
+// number only alongside a deliberate hot-path change.
+func TestAdmitAllocCeiling(t *testing.T) {
+	const ceiling = 130
+	cfg := core.Config{
+		Overbook:            true,
+		Risk:                0.9,
+		AdmissionLoadFactor: 0.5,
+		PLMNLimit:           4096,
+		HistoryLimit:        256,
+		Shards:              16,
+	}
+	sys, err := NewLive(Options{
+		Orchestrator: &cfg,
+		Testbed: TestbedConfig{
+			ENBs: 4, MaxPLMNs: 4096, CoreHosts: 32, EdgeHosts: 16,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := benchReq(0)
+	req.SLA.ThroughputMbps = 2
+	// Warm every pool on the cycle.
+	for i := 0; i < 8; i++ {
+		sl, err := sys.Orchestrator.Submit(req, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sl.State() == slice.StateRejected {
+			t.Fatalf("admit guard request rejected: %s", sl.Reason())
+		}
+		if err := sys.Orchestrator.Delete(sl.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sl, err := sys.Orchestrator.Submit(req, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if sl.State() == slice.StateRejected {
+			t.Errorf("admit guard request rejected: %s", sl.Reason())
+			return
+		}
+		if err := sys.Orchestrator.Delete(sl.ID()); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs > ceiling {
+		t.Fatalf("pooled admit cycle allocates %.1f allocs/op, ceiling %d", allocs, ceiling)
+	}
+}

@@ -51,6 +51,7 @@ func benchReq(i int) slice.Request {
 func BenchmarkOrchestrationCycle(b *testing.B) {
 	for _, n := range []int{2, 6, 12, 24} {
 		b.Run(fmt.Sprintf("slices=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			r, err := scenario.LoadedRunner(1, n)
 			if err != nil {
 				b.Fatal(err)
@@ -67,6 +68,7 @@ func BenchmarkOrchestrationCycle(b *testing.B) {
 // BenchmarkSliceInstallation (F2) measures the full multi-domain install +
 // teardown of a slice: admission, PLMN, PRBs, paths, Heat stack, vEPC.
 func BenchmarkSliceInstallation(b *testing.B) {
+	b.ReportAllocs()
 	sys, err := NewSimulated(Options{Seed: 1, Overbook: true})
 	if err != nil {
 		b.Fatal(err)
@@ -100,6 +102,7 @@ func BenchmarkInstallTransaction(b *testing.B) {
 			name = "domains=4"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			sys, err := NewSimulated(Options{
 				Seed:     1,
 				Overbook: true,
@@ -126,17 +129,20 @@ func BenchmarkInstallTransaction(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelAdmission (F3) measures concurrent admission throughput
-// of the sharded engine: every goroutine submits and immediately deletes
-// small slices for its own tenant on a wall-clock System, so the full
-// admit → multi-domain install → teardown cycle runs in parallel. The
+// BenchmarkParallelAdmission (F3) is the admit-heavy concurrent-admission
+// benchmark of the sharded engine: every goroutine submits and immediately
+// deletes small slices for its own tenant on a wall-clock System, so the
+// full admit → multi-domain install → teardown cycle runs in parallel. The
 // shards=1 case serializes the whole cycle (the pre-sharding engine); the
 // 4- and 16-shard cases let independent tenants proceed concurrently, and
 // ops/sec should scale with cores (DESIGN.md §4, claim F3: ≥2× at 16
-// shards vs 1 on a multi-core runner).
+// shards vs 1 on a multi-core runner). The reject-heavy counterpart is
+// BenchmarkParallelAdmissionReject (the name here is kept stable so the
+// BENCH_*.json trajectory stays comparable across PRs).
 func BenchmarkParallelAdmission(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := core.Config{
 				Overbook:            true,
 				Risk:                0.9,
@@ -189,6 +195,75 @@ func BenchmarkParallelAdmission(b *testing.B) {
 	}
 }
 
+// saturatedSystem builds a peak-provisioned live system whose capacity
+// ledger is filled to the brim, so every further request is a certain
+// rejection — the fixture for the reject-heavy benchmarks and the
+// zero-allocation fast-reject guard.
+func saturatedSystem(tb testing.TB) *System {
+	tb.Helper()
+	cfg := core.Config{
+		PLMNLimit:    4096,
+		HistoryLimit: 256,
+		Shards:       16,
+	}
+	sys, err := NewLive(Options{
+		Orchestrator: &cfg,
+		Testbed: TestbedConfig{
+			ENBs: 4, MaxPLMNs: 4096, CoreHosts: 32, EdgeHosts: 16,
+		},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Fill the ledger: keep admitting 100-Mbps slices until one bounces.
+	for i := 0; ; i++ {
+		if i > 10000 {
+			tb.Fatal("saturation never reached")
+		}
+		req := benchReq(i)
+		req.SLA.ThroughputMbps = 100
+		sl, err := sys.Orchestrator.Submit(req, nil)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if sl.State() == slice.StateRejected {
+			break
+		}
+	}
+	return sys
+}
+
+// saturatedReq is a request a saturated system must certainly reject: its
+// contract alone exceeds the whole testbed's headroom.
+func saturatedReq() slice.Request {
+	req := benchReq(0)
+	req.SLA.ThroughputMbps = 1 << 20
+	return req
+}
+
+// BenchmarkParallelAdmissionReject (F3) is the reject-heavy counterpart of
+// BenchmarkParallelAdmission: an overload storm against a saturated system,
+// answered by the SubmitFast zero-allocation fast-reject path. Steady state
+// must report 0 allocs/op — every rejection cause comes from and returns to
+// the pool, and the headroom/feasibility caches answer without touching the
+// WAL, the event bus or the slice registry.
+func BenchmarkParallelAdmissionReject(b *testing.B) {
+	sys := saturatedSystem(b)
+	req := saturatedReq()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			cause := sys.Orchestrator.SubmitFast(req)
+			if cause == nil {
+				b.Error("saturated system accepted a fast-path request")
+				return
+			}
+			slice.RecycleRejection(cause)
+		}
+	})
+}
+
 // BenchmarkWatchFanout (F4) measures concurrent admission throughput while
 // 1/64/1024 subscribers consume the lifecycle event stream — the proof
 // that event publication stays off the sharded hot path: ops/sec at any
@@ -198,6 +273,7 @@ func BenchmarkParallelAdmission(b *testing.B) {
 func BenchmarkWatchFanout(b *testing.B) {
 	for _, subs := range []int{1, 64, 1024} {
 		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := core.Config{
 				Overbook:            true,
 				Risk:                0.9,
@@ -332,6 +408,7 @@ func BenchmarkEpoch(b *testing.B) {
 	for _, n := range []int{64, 1024, 8192} {
 		for _, shards := range []int{1, 16} {
 			b.Run(fmt.Sprintf("slices=%d/shards=%d", n, shards), func(b *testing.B) {
+				b.ReportAllocs()
 				sys := epochLoadedSystem(b, n, shards)
 				if got := sys.Orchestrator.ActiveCount(); got != n {
 					b.Fatalf("loaded %d active slices, want %d", got, n)
@@ -349,6 +426,7 @@ func BenchmarkEpoch(b *testing.B) {
 // sharded engine is busy admitting and tearing down slices — the read plane
 // must not stall admission (and vice versa).
 func BenchmarkGainUnderLoad(b *testing.B) {
+	b.ReportAllocs()
 	cfg := core.Config{
 		Overbook:            true,
 		Risk:                0.9,
@@ -419,6 +497,7 @@ func BenchmarkGainUnderLoad(b *testing.B) {
 // BenchmarkAdmissionControl (D1) measures the admission decision itself on
 // a loaded system, including the multi-domain feasibility checks.
 func BenchmarkAdmissionControl(b *testing.B) {
+	b.ReportAllocs()
 	r, err := scenario.LoadedRunner(1, 12)
 	if err != nil {
 		b.Fatal(err)
@@ -455,6 +534,7 @@ func BenchmarkAdmissionKnapsack(b *testing.B) {
 			}
 		}
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				core.MaxRevenueSubset(reqs, 500)
 			}
@@ -465,6 +545,7 @@ func BenchmarkAdmissionKnapsack(b *testing.B) {
 // BenchmarkGainTracking (D2) measures producing the gains-vs-penalties
 // dashboard report on a loaded system.
 func BenchmarkGainTracking(b *testing.B) {
+	b.ReportAllocs()
 	r, err := scenario.LoadedRunner(1, 12)
 	if err != nil {
 		b.Fatal(err)
@@ -495,6 +576,7 @@ func BenchmarkForecasters(b *testing.B) {
 	}
 	for name, ctor := range mk {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			f := ctor()
 			for i := 0; i < b.N; i++ {
 				f.Observe(series[i%len(series)])
@@ -510,6 +592,7 @@ func BenchmarkForecasters(b *testing.B) {
 func BenchmarkOverbookingSweep(b *testing.B) {
 	for _, risk := range []float64{1.0, 0.95, 0.7} {
 		b.Run(fmt.Sprintf("risk=%.2f", risk), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				scenario.MustRun(scenario.Options{
 					Seed:             1,
@@ -527,6 +610,7 @@ func BenchmarkOverbookingSweep(b *testing.B) {
 // BenchmarkDomainUtilization (D5) measures one full telemetry push across
 // the three domain controllers.
 func BenchmarkDomainUtilization(b *testing.B) {
+	b.ReportAllocs()
 	r, err := scenario.LoadedRunner(1, 12)
 	if err != nil {
 		b.Fatal(err)
@@ -549,6 +633,7 @@ func BenchmarkEmbedding(b *testing.B) {
 	}
 	req := transport.PathRequest{From: testbed.ENBName(0), To: testbed.CoreDC, MinMbps: 20, MaxDelayMs: 50}
 	b.Run("shortest-path", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := tb.Transport.ShortestPath(req); err != nil {
 				b.Fatal(err)
@@ -556,6 +641,7 @@ func BenchmarkEmbedding(b *testing.B) {
 		}
 	})
 	b.Run("k-shortest-3", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := tb.Transport.KShortestPaths(req, 3); err != nil {
 				b.Fatal(err)
@@ -579,6 +665,7 @@ func BenchmarkScheduler(b *testing.B) {
 	}
 	for _, share := range []bool{false, true} {
 		b.Run(fmt.Sprintf("share=%v", share), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				r.TB.Ctrl.RAN.ScheduleEpoch(demand, share)
 			}
@@ -598,6 +685,7 @@ func BenchmarkDemandSampling(b *testing.B) {
 	}
 	for name, g := range gens {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				g.Sample(at)
 			}

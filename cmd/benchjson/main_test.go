@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const transcript = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkInstallTransaction/domains=3         	     300	     11718 ns/op	    5519 B/op	      85 allocs/op
+BenchmarkParallelAdmission/shards=16-4        	     300	     14908 ns/op	    6443 B/op	     107 allocs/op
+BenchmarkParallelAdmissionReject              	   10000	        68.37 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWatchFanout/subs=64                  	     100	     52000 ns/op	        3.01 events/op	   12000 B/op	     210 allocs/op
+PASS
+ok  	repro	0.031s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(transcript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[1]
+	if b.Name != "BenchmarkParallelAdmission/shards=16" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", b.Name)
+	}
+	if b.NsPerOp != 14908 || b.AllocsPerOp != 107 || b.BytesPerOp != 6443 {
+		t.Fatalf("values: %+v", b)
+	}
+	if got := b.OpsPerSec; got < 67000 || got > 68000 {
+		t.Fatalf("ops/sec: %v", got)
+	}
+	if rep.Benchmarks[2].NsPerOp != 68.37 {
+		t.Fatalf("fractional ns/op: %+v", rep.Benchmarks[2])
+	}
+	if rep.Benchmarks[3].Extra["events/op"] != 3.01 {
+		t.Fatalf("extra metric: %+v", rep.Benchmarks[3])
+	}
+}
+
+func TestApplyBaseline(t *testing.T) {
+	rep, err := Parse(strings.NewReader(transcript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkParallelAdmission/shards=16", NsPerOp: 88824, AllocsPerOp: 436},
+	}}
+	ApplyBaseline(&rep, prev, "BENCH_6.json")
+	b := rep.Benchmarks[1]
+	if b.Baseline == nil {
+		t.Fatal("no baseline delta")
+	}
+	if b.Baseline.Speedup < 5.9 || b.Baseline.Speedup > 6.0 {
+		t.Fatalf("speedup: %v", b.Baseline.Speedup)
+	}
+	if b.Baseline.AllocReduction < 0.75 {
+		t.Fatalf("alloc reduction: %v", b.Baseline.AllocReduction)
+	}
+	if rep.Benchmarks[0].Baseline != nil {
+		t.Fatal("unmatched benchmark got a baseline")
+	}
+}

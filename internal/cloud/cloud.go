@@ -11,10 +11,13 @@
 package cloud
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Flavor is a VM size, mirroring Nova flavors.
@@ -147,9 +150,32 @@ type DataCenter struct {
 
 	mu     sync.Mutex
 	hosts  map[string]*Host
+	byName []*Host // hosts sorted by name, maintained on AddHost
 	stacks map[string]*Stack
 	vmSeq  int
+
+	// orderScratch/fitScratch are per-DC working arrays reused across
+	// hostOrder and CanFit calls (both run under mu), so the admission
+	// dry-run and placement loops allocate nothing in steady state.
+	orderScratch []*Host
+	fitScratch   []hostFree
+
+	// ver counts every state change that can flip a CanFit answer:
+	// AddHost, CreateStack, DeleteStack. Memoized feasibility outcomes
+	// keyed by this value stay exact.
+	ver atomic.Uint64
 }
+
+// hostFree is the dry-run copy of one host's free capacity.
+type hostFree struct {
+	vcpus float64
+	ram   int
+	disk  int
+}
+
+// Version returns a counter bumped by every capacity-affecting mutation;
+// equal versions guarantee equal CanFit answers.
+func (dc *DataCenter) Version() uint64 { return dc.ver.Load() }
 
 // NewDataCenter returns a data center with the given placement policy.
 func NewDataCenter(name, kind string, policy PlacementPolicy) *DataCenter {
@@ -178,29 +204,30 @@ func (dc *DataCenter) AddHost(name string, vcpus float64, ramMB, diskGB int) err
 	if _, ok := dc.hosts[name]; ok {
 		return fmt.Errorf("cloud: duplicate host %q in %s", name, dc.name)
 	}
-	dc.hosts[name] = &Host{Name: name, VCPUs: vcpus, RAMMB: ramMB, DiskGB: diskGB, vms: map[string]*VM{}}
+	h := &Host{Name: name, VCPUs: vcpus, RAMMB: ramMB, DiskGB: diskGB, vms: map[string]*VM{}}
+	dc.hosts[name] = h
+	i := sort.Search(len(dc.byName), func(i int) bool { return dc.byName[i].Name >= name })
+	dc.byName = append(dc.byName, nil)
+	copy(dc.byName[i+1:], dc.byName[i:])
+	dc.byName[i] = h
+	dc.ver.Add(1)
 	return nil
 }
 
-// hostOrder returns host names in scheduling order for the policy.
+// hostOrder returns hosts in scheduling order for the policy: name order as
+// the stable base, then a stable free-vCPU sort for Best/WorstFit. The
+// returned slice is dc.orderScratch (valid under dc.mu until the next call).
 func (dc *DataCenter) hostOrder(f Flavor) []*Host {
-	names := make([]string, 0, len(dc.hosts))
-	for n := range dc.hosts {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	hosts := make([]*Host, 0, len(names))
-	for _, n := range names {
-		hosts = append(hosts, dc.hosts[n])
-	}
+	hosts := append(dc.orderScratch[:0], dc.byName...)
+	dc.orderScratch = hosts
 	switch dc.policy {
 	case BestFit:
-		sort.SliceStable(hosts, func(i, j int) bool {
-			return hosts[i].VCPUs-hosts[i].usedVCPUs < hosts[j].VCPUs-hosts[j].usedVCPUs
+		slices.SortStableFunc(hosts, func(a, b *Host) int {
+			return cmp.Compare(a.VCPUs-a.usedVCPUs, b.VCPUs-b.usedVCPUs)
 		})
 	case WorstFit:
-		sort.SliceStable(hosts, func(i, j int) bool {
-			return hosts[i].VCPUs-hosts[i].usedVCPUs > hosts[j].VCPUs-hosts[j].usedVCPUs
+		slices.SortStableFunc(hosts, func(a, b *Host) int {
+			return cmp.Compare(b.VCPUs-b.usedVCPUs, a.VCPUs-a.usedVCPUs)
 		})
 	}
 	_ = f
@@ -224,15 +251,17 @@ func (t Template) Validate() error {
 	if len(t.Resources) == 0 {
 		return errors.New("cloud: template has no resources")
 	}
-	seen := map[string]bool{}
-	for _, r := range t.Resources {
+	// Duplicate detection by pairwise scan: templates are a handful of VMs,
+	// and this keeps validation allocation-free on the admission hot path.
+	for i, r := range t.Resources {
 		if r.Name == "" {
 			return errors.New("cloud: template resource needs a name")
 		}
-		if seen[r.Name] {
-			return fmt.Errorf("cloud: duplicate resource %q", r.Name)
+		for j := 0; j < i; j++ {
+			if t.Resources[j].Name == r.Name {
+				return fmt.Errorf("cloud: duplicate resource %q", r.Name)
+			}
 		}
-		seen[r.Name] = true
 		if err := r.Flavor.Validate(); err != nil {
 			return err
 		}
@@ -299,6 +328,7 @@ func (dc *DataCenter) CreateStack(id string, tmpl Template) (*Stack, error) {
 		stack.VMs = append(stack.VMs, vm)
 	}
 	dc.stacks[id] = stack
+	dc.ver.Add(1)
 	return stack, nil
 }
 
@@ -316,6 +346,7 @@ func (dc *DataCenter) DeleteStack(id string) {
 		}
 	}
 	delete(dc.stacks, id)
+	dc.ver.Add(1)
 }
 
 // Stack returns the named stack.
@@ -416,23 +447,20 @@ func (dc *DataCenter) CanFit(tmpl Template) bool {
 	}
 	dc.mu.Lock()
 	defer dc.mu.Unlock()
-	// Dry-run against copies of the free capacities.
-	type free struct {
-		vcpus float64
-		ram   int
-		disk  int
+	// Dry-run against copies of the free capacities, scanning hosts in name
+	// order exactly as before — but over the maintained sorted host slice
+	// and a pooled scratch array instead of a fresh map + sort per call.
+	if cap(dc.fitScratch) < len(dc.byName) {
+		dc.fitScratch = make([]hostFree, len(dc.byName))
 	}
-	frees := map[string]*free{}
-	names := make([]string, 0, len(dc.hosts))
-	for n, h := range dc.hosts {
-		frees[n] = &free{vcpus: h.VCPUs - h.usedVCPUs, ram: h.RAMMB - h.usedRAMMB, disk: h.DiskGB - h.usedDiskGB}
-		names = append(names, n)
+	frees := dc.fitScratch[:len(dc.byName)]
+	for i, h := range dc.byName {
+		frees[i] = hostFree{vcpus: h.VCPUs - h.usedVCPUs, ram: h.RAMMB - h.usedRAMMB, disk: h.DiskGB - h.usedDiskGB}
 	}
-	sort.Strings(names)
 	for _, res := range tmpl.Resources {
 		placed := false
-		for _, n := range names {
-			f := frees[n]
+		for i := range frees {
+			f := &frees[i]
 			if f.vcpus >= res.Flavor.VCPUs-1e-9 && f.ram >= res.Flavor.RAMMB && f.disk >= res.Flavor.DiskGB {
 				f.vcpus -= res.Flavor.VCPUs
 				f.ram -= res.Flavor.RAMMB
@@ -491,6 +519,7 @@ func (dc *DataCenter) Utilization() float64 {
 type Region struct {
 	mu  sync.RWMutex
 	dcs map[string]*DataCenter
+	ver atomic.Uint64 // bumped when the DC set changes
 }
 
 // NewRegion returns an empty region.
@@ -504,8 +533,13 @@ func (r *Region) Add(dc *DataCenter) error {
 		return fmt.Errorf("cloud: duplicate data center %q", dc.Name())
 	}
 	r.dcs[dc.Name()] = dc
+	r.ver.Add(1)
 	return nil
 }
+
+// Version returns a counter bumped when the data-center set changes;
+// callers may cache the DC list keyed by it.
+func (r *Region) Version() uint64 { return r.ver.Load() }
 
 // Get returns the named data center.
 func (r *Region) Get(name string) (*DataCenter, bool) {

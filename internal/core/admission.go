@@ -23,7 +23,10 @@ import (
 // degenerates to classic peak-provisioning admission. The sum is maintained
 // incrementally by the ledger, so the check is O(1) and atomic under
 // concurrent admissions on other shards.
-func (o *Orchestrator) admit(req slice.Request) (*slice.RejectionCause, float64) {
+//
+// On admission the chosen data center is returned alongside, so install
+// never re-runs the placement scan the admission dry runs already paid for.
+func (o *Orchestrator) admit(req slice.Request) (*slice.RejectionCause, float64, string) {
 	sla := req.SLA
 
 	// Revenue policy: EUR per Mbps·hour must clear the configured bar.
@@ -31,7 +34,7 @@ func (o *Orchestrator) admit(req slice.Request) (*slice.RejectionCause, float64)
 		density := sla.PriceEUR / (sla.ThroughputMbps * sla.Duration.Hours())
 		if density < o.cfg.MinRevenueDensity {
 			return slice.Rejectf(slice.RejectRevenuePolicy, "",
-				"revenue density %.3f EUR/(Mbps·h) below policy %.3f", density, o.cfg.MinRevenueDensity), 0
+				"revenue density %.3f EUR/(Mbps·h) below policy %.3f", density, o.cfg.MinRevenueDensity), 0, ""
 		}
 	}
 
@@ -43,23 +46,23 @@ func (o *Orchestrator) admit(req slice.Request) (*slice.RejectionCause, float64)
 		if expected := o.expectedPenaltyEUR(sla); expected >= sla.PriceEUR {
 			return slice.Rejectf(slice.RejectRevenuePolicy, "",
 				"revenue: expected penalty %.2f EUR >= price %.2f EUR at risk %.2f",
-				expected, sla.PriceEUR, o.cfg.effectiveRisk()), 0
+				expected, sla.PriceEUR, o.cfg.effectiveRisk()), 0, ""
 		}
 	}
 
 	// PLMN slot (MOCN broadcast list).
 	if o.plmns.Available() == 0 {
-		return slice.Rejectf(slice.RejectPLMNExhausted, "", "PLMN broadcast list full"), 0
+		return slice.Rejectf(slice.RejectPLMNExhausted, "", "PLMN broadcast list full"), 0, ""
 	}
 
 	// Radio capacity (overbooking-aware estimate): atomic two-phase
 	// reservation against the shared ledger.
-	capacity := o.tb.RadioCapacityMbps() * o.cfg.UtilizationCap
+	capacity := o.radioCapacityMbps() * o.cfg.UtilizationCap
 	newLoad := o.admissionEstimate(sla)
 	ok, load := o.ledger.TryReserve(newLoad, capacity)
 	if !ok {
 		return slice.Rejectf(slice.RejectRadioCapacity, "ran",
-			"radio capacity: estimated load %.1f+%.1f Mbps exceeds %.1f", load, newLoad, capacity), 0
+			"radio capacity: estimated load %.1f+%.1f Mbps exceeds %.1f", load, newLoad, capacity), 0, ""
 	}
 
 	// Per-domain feasibility: at least one data center must pass every
@@ -67,11 +70,12 @@ func (o *Orchestrator) admit(req slice.Request) (*slice.RejectionCause, float64)
 	// released amount is returned alongside the cause: float addition is
 	// not exactly invertible, so the WAL reject record mirrors this
 	// reserve-then-release round trip to keep the ledger bit-reproducible.
-	if _, cause := o.chooseDataCenter(sla); cause != nil {
+	dc, cause := o.chooseDataCenter(sla)
+	if cause != nil {
 		o.ledger.Release(newLoad)
-		return cause, newLoad
+		return cause, newLoad, ""
 	}
-	return nil, newLoad
+	return nil, newLoad, dc
 }
 
 // expectedPenaltyEUR estimates the SLA penalties the operator will owe the
@@ -100,10 +104,7 @@ func (o *Orchestrator) admissionEstimate(sla slice.SLA) float64 {
 // typed rejection cause. It reads only the (internally synchronized) domain
 // controllers, so it needs no shard lock.
 func (o *Orchestrator) chooseDataCenter(sla slice.SLA) (string, *slice.RejectionCause) {
-	names := []string{testbed.CoreDC, testbed.EdgeDC} // prefer core when both fit
-	if sla.EdgeCompute {
-		names = []string{testbed.EdgeDC}
-	}
+	names := dcCandidates(sla)
 	est := o.admissionEstimate(sla)
 	var last *slice.RejectionCause
 	for _, dc := range names {
@@ -123,6 +124,22 @@ func (o *Orchestrator) chooseDataCenter(sla slice.SLA) (string, *slice.Rejection
 		last = slice.Rejectf(slice.RejectOther, "", "no data center available")
 	}
 	return "", last
+}
+
+// Candidate placement lists as package-level arrays: slicing them hands the
+// hot path a ready view with no per-request allocation.
+var (
+	dcCandidatesBoth = [2]string{testbed.CoreDC, testbed.EdgeDC} // prefer core when both fit
+	dcCandidatesEdge = [1]string{testbed.EdgeDC}
+)
+
+// dcCandidates returns the data centers eligible for the SLA, in preference
+// order. The returned slice views a shared array and must not be mutated.
+func dcCandidates(sla slice.SLA) []string {
+	if sla.EdgeCompute {
+		return dcCandidatesEdge[:]
+	}
+	return dcCandidatesBoth[:]
 }
 
 // KnapsackRequest pairs a request with its estimated radio load for the

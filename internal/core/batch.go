@@ -53,8 +53,9 @@ type BatchItem struct {
 // chosen requests through the normal installation path; the others are
 // registered as rejected with a batch-policy reason. Returned slices are
 // positionally aligned with items. Safe for concurrent use; the budget is
-// read from the capacity ledger in one atomic step. It is a thin wrapper
-// over SubmitBatchCtx with a background context.
+// read from the capacity ledger in one atomic step, and the whole batch is
+// made durable with a single WAL fsync at the batch edge instead of one per
+// item. It is a thin wrapper over SubmitBatchCtx with a background context.
 func (o *Orchestrator) SubmitBatch(items []BatchItem, policy BatchPolicy) ([]*slice.Slice, error) {
 	return o.SubmitBatchCtx(context.Background(), items, policy)
 }
@@ -67,8 +68,9 @@ func (o *Orchestrator) SubmitBatchCtx(ctx context.Context, items []BatchItem, po
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// Budget: remaining estimated radio capacity.
-	budget := o.tb.RadioCapacityMbps()*o.cfg.UtilizationCap - o.ledger.Load()
+	// Budget: remaining estimated radio capacity — one ledger read and one
+	// (cached) capacity read decide the whole batch's feasibility sweep.
+	budget := o.radioCapacityMbps()*o.cfg.UtilizationCap - o.ledger.Load()
 	if budget < 0 {
 		budget = 0
 	}
@@ -95,14 +97,43 @@ func (o *Orchestrator) SubmitBatchCtx(ctx context.Context, items []BatchItem, po
 		take[i] = true
 	}
 
+	// Apply the decision in strict submission order. WAL records buffer as
+	// each item lands and a single commitPersist at the end makes the whole
+	// batch durable with one fsync — per-item streams and states are
+	// unchanged, only the durability boundary moves to the batch edge.
+	//
+	// Consecutive losers on the same shard keep that shard's lock across
+	// items (curSh); the lock is dropped before any winner installs (the
+	// install path takes shard locks itself) and before the deferred fsync.
+	var (
+		curSh   *shard
+		evicted []slice.ID
+	)
+	flush := func() {
+		if curSh != nil {
+			curSh.mu.Unlock()
+			curSh = nil
+		}
+		if len(evicted) > 0 {
+			o.dropFinished(evicted)
+			evicted = evicted[:0]
+		}
+	}
+	defer func() {
+		flush()
+		o.commitPersist()
+	}()
+
 	out := make([]*slice.Slice, len(items))
 	for i, it := range items {
 		if take[i] {
+			flush()
 			// Deliberately not threading ctx further: the batch was decided
 			// jointly, so once committed it installs to completion — a cancel
 			// racing the loop must not strand half the winners installed with
-			// the caller never receiving their handles.
-			sl, err := o.Submit(it.Request, it.Demand)
+			// the caller never receiving their handles. syncPersist is off:
+			// the batch-edge fsync covers the winner's records.
+			sl, err := o.submitCtx(context.Background(), it.Request, it.Demand, false)
 			if err != nil {
 				return nil, err
 			}
@@ -110,19 +141,19 @@ func (o *Orchestrator) SubmitBatchCtx(ctx context.Context, items []BatchItem, po
 			continue
 		}
 		// Register the loser as a rejected slice so the dashboard shows it.
-		id := slice.ID(fmt.Sprintf("s-%d", o.seq.Add(1)))
+		id := o.nextID()
 		sl, err := slice.New(id, it.Request)
 		if err != nil {
 			return nil, err
 		}
 		subEv := o.publish(EventSubmitted, sl, "")
-		sh := o.shardFor(id)
-		sh.mu.Lock()
-		evicted := o.rejectLocked(sh, sl, slice.Rejectf(slice.RejectRevenuePolicy, "",
-			"revenue policy: not selected by %s batch admission", policy), subEv, 0)
-		sh.mu.Unlock()
-		o.dropFinished(evicted)
-		o.commitPersist()
+		if sh := o.shardFor(id); sh != curSh {
+			flush()
+			sh.mu.Lock()
+			curSh = sh
+		}
+		evicted = append(evicted, o.rejectLocked(curSh, sl, slice.Rejectf(slice.RejectRevenuePolicy, "",
+			"revenue policy: not selected by %s batch admission", policy), subEv, 0)...)
 		out[i] = sl
 	}
 	return out, nil

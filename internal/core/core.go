@@ -265,6 +265,12 @@ type Orchestrator struct {
 	history   finishedHistory
 	bus       *EventBus
 
+	// feas holds the per-domain feasibility memos (feascache.go); radioHead
+	// caches the per-cell radio headroom summary the fast-reject path probes
+	// (fastpath.go). Both are exact version-keyed caches.
+	feas      []feasMemo
+	radioHead atomic.Pointer[radioHeadroom]
+
 	// audit is the invariant auditor (nil unless Config.Audit); pendingTx
 	// tracks slice IDs whose install transaction is in flight so the sweep
 	// never mistakes the squeeze window's unregistered grants for leaks
@@ -328,6 +334,7 @@ func New(cfg Config, tb *testbed.Testbed, clock sim.Scheduler, store *monitor.St
 	for i := range o.shards {
 		o.shards[i] = newShard()
 	}
+	o.feas = newFeasTable(o.domains)
 	if cfg.Audit {
 		o.audit = invariant.New(invariant.Options{OnViolation: cfg.AuditOnViolation})
 		o.bus.SetTap(o.auditObserveEvent)
@@ -422,13 +429,22 @@ func (o *Orchestrator) Submit(req slice.Request, demand traffic.Demand) (*slice.
 // then EventAdmitted or EventRejected, later EventInstalled when the
 // installation stages complete (see Watch).
 func (o *Orchestrator) SubmitCtx(ctx context.Context, req slice.Request, demand traffic.Demand) (*slice.Slice, error) {
+	return o.submitCtx(ctx, req, demand, true)
+}
+
+// submitCtx is the shared submission body. syncPersist selects the
+// durability boundary: the online path commits (fsyncs) the WAL records it
+// appended before returning; the batch path passes false and commits once
+// for the whole batch — same record stream, one fsync instead of one per
+// item.
+func (o *Orchestrator) submitCtx(ctx context.Context, req slice.Request, demand traffic.Demand, syncPersist bool) (*slice.Slice, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if req.Arrival.IsZero() {
 		req.Arrival = o.clock.Now()
 	}
-	id := slice.ID(fmt.Sprintf("s-%d", o.seq.Add(1)))
+	id := o.nextID()
 	s, err := slice.New(id, req)
 	if err != nil {
 		return nil, err
@@ -444,7 +460,7 @@ func (o *Orchestrator) SubmitCtx(ctx context.Context, req slice.Request, demand 
 
 	// Phase one: admission checks plus the atomic capacity-ledger
 	// reservation for the newcomer's estimated radio load.
-	cause, reserved := o.admit(req)
+	cause, reserved, dcName := o.admit(req)
 	if cause != nil {
 		// On rejection, reserved is the amount admit reserved-then-released
 		// on the ledger (non-zero only when the radio check passed but a
@@ -452,13 +468,15 @@ func (o *Orchestrator) SubmitCtx(ctx context.Context, req slice.Request, demand 
 		evicted := o.rejectLocked(sh, s, cause, subEv, reserved)
 		sh.mu.Unlock()
 		o.dropFinished(evicted)
-		o.commitPersist()
+		if syncPersist {
+			o.commitPersist()
+		}
 		return s, nil
 	}
 
 	// Phase two: the multi-domain transaction; any failure releases the
 	// ledger reservation and converts to a typed rejection.
-	if err := o.install(sh, s, demand, reserved); err != nil {
+	if err := o.install(sh, s, demand, reserved, dcName); err != nil {
 		o.ledger.Release(reserved)
 		o.auditSliceReleased(id) // rollback must leave nothing behind
 		var rej errReject
@@ -466,13 +484,17 @@ func (o *Orchestrator) SubmitCtx(ctx context.Context, req slice.Request, demand 
 			evicted := o.rejectLocked(sh, s, rej.cause, subEv, reserved)
 			sh.mu.Unlock()
 			o.dropFinished(evicted)
-			o.commitPersist()
+			if syncPersist {
+				o.commitPersist()
+			}
 			return s, nil
 		}
 		sh.mu.Unlock()
 		// The squeeze may have appended resize records before the failure;
 		// they are real committed outcomes and must become durable.
-		o.commitPersist()
+		if syncPersist {
+			o.commitPersist()
+		}
 		return nil, err
 	}
 	sh.admitted.Add(1)
@@ -485,8 +507,16 @@ func (o *Orchestrator) SubmitCtx(ctx context.Context, req slice.Request, demand 
 		o.auditSliceInstalled(sh.slices[id]) // commit must hold what it recorded
 	}
 	sh.mu.Unlock()
-	o.commitPersist()
+	if syncPersist {
+		o.commitPersist()
+	}
 	return s, nil
+}
+
+// nextID burns the next slice ID. The concatenation is byte-identical to the
+// fmt.Sprintf("s-%d", ...) it replaced, minus the formatting machinery.
+func (o *Orchestrator) nextID() slice.ID {
+	return slice.ID("s-" + strconv.FormatInt(o.seq.Add(1), 10))
 }
 
 // rejectLocked registers a rejected request in the shard (so the dashboard

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/ctrl"
 	"repro/internal/slice"
 )
@@ -64,13 +66,19 @@ func safeAbort(d ctrl.Domain, g ctrl.Grant) {
 // txEngine is the orchestrator's compiled execution plan.
 type txEngine struct {
 	chain []ctrl.Domain // sequential, throughput-threaded
-	async []ctrl.Domain // concurrent with the chain, joined in order
+	async []ctrl.Domain // independent of the chain, joined in order
 	all   []ctrl.Domain // chain then async — the logical acquisition order
 	// fixedLatencyMs sums the fixed processing contributions of every
 	// registered domain (ctrl.LatencyContributor — a capability query,
 	// not an identity branch); the engine deducts it from every latency
 	// budget it hands out.
 	fixedLatencyMs float64
+	// recycle enables returning grants to the ctrl pools at the engine's
+	// exclusive-ownership points. It is off when a Wrap decoration is
+	// installed: a decorator (chaos, tracing) may legitimately retain grant
+	// references past abort/commit, and recycling a retained grant would let
+	// its single-shot abort latch fire against an unrelated slice.
+	recycle bool
 }
 
 func newTxEngine(set ctrl.Set) txEngine {
@@ -78,7 +86,7 @@ func newTxEngine(set ctrl.Set) txEngine {
 	all := make([]ctrl.Domain, 0, len(chain)+len(async))
 	all = append(all, chain...)
 	all = append(all, async...)
-	e := txEngine{chain: chain, async: async, all: all}
+	e := txEngine{chain: chain, async: async, all: all, recycle: set.Wrap == nil}
 	for _, d := range all {
 		if lc, ok := d.(ctrl.LatencyContributor); ok {
 			e.fixedLatencyMs += lc.ProcessingLatencyMs()
@@ -101,6 +109,42 @@ type domainGrant struct {
 	g ctrl.Grant
 }
 
+// grantsPool recycles the per-transaction grant list (install and resize
+// both build one per request on the hot path). The pool stores slice
+// pointers so a Put never re-allocates the header.
+var grantsPool = sync.Pool{New: func() any {
+	s := make([]domainGrant, 0, 8)
+	return &s
+}}
+
+func getGrants() *[]domainGrant { return grantsPool.Get().(*[]domainGrant) }
+
+// putGrants clears and returns the grant list to the pool. The caller must
+// have recycled or abandoned the grants themselves first.
+func putGrants(gs *[]domainGrant) {
+	for i := range *gs {
+		(*gs)[i] = domainGrant{}
+	}
+	*gs = (*gs)[:0]
+	grantsPool.Put(gs)
+}
+
+// recycleGrants hands every grant back to the ctrl pools — callable only at
+// points where the engine provably holds the last reference (after a full
+// commit+apply, or after a reverse-order abort) and only when no Wrap
+// decoration could have retained a grant (txEngine.recycle).
+func (o *Orchestrator) recycleGrants(gs []domainGrant) {
+	if !o.domains.recycle {
+		return
+	}
+	for i := range gs {
+		if gs[i].g != nil {
+			ctrl.RecycleGrant(gs[i].g)
+			gs[i].g = nil
+		}
+	}
+}
+
 // abortGrants rolls back in reverse acquisition order. Each abort is
 // panic-contained (safeAbort): one misbehaving domain must not strand the
 // grants behind it.
@@ -110,12 +154,13 @@ func abortGrants(grants []domainGrant) {
 	}
 }
 
-// reserveAll runs phase one of the install transaction: every
-// concurrent-group domain reserves in parallel with the sequential chain.
-// On success the returned grants are in logical acquisition order (chain,
-// then concurrent group in registration order); on failure everything
-// already granted has been aborted in reverse order and the first failure
-// (chain before concurrent group, both in registration order) is returned.
+// reserveAll runs phase one of the install transaction across the chain and
+// the concurrent group. On success the returned (pooled) grant list is in
+// logical acquisition order (chain, then concurrent group in registration
+// order) and the caller must hand it back via putGrants; on failure
+// everything already granted has been aborted in reverse order and the first
+// failure (chain before concurrent group, both in registration order) is
+// returned.
 //
 // The caller holds sh.mu. When the head of the chain — the bottleneck
 // domain the overbooking budget governs — cannot fit the request at face
@@ -126,47 +171,33 @@ func abortGrants(grants []domainGrant) {
 // requests" (Section 3). The squeeze locks every shard, so the caller's
 // shard lock is released around it (the newcomer is unpublished; nothing
 // observes the gap) and re-acquired before retrying.
-func (o *Orchestrator) reserveAll(sh *shard, tx ctrl.Tx, fallbackMbps float64) ([]domainGrant, *slice.RejectionCause) {
+func (o *Orchestrator) reserveAll(sh *shard, tx ctrl.Tx, fallbackMbps float64) (*[]domainGrant, *slice.RejectionCause) {
+	// The concurrent group reserves inline at its dispatch point. It used to
+	// run on per-request goroutines overlapping the chain; the group's
+	// substrates (cloud compute, MEC pool) are disjoint from the chain's
+	// (radio, transport), and the old join always completed before the
+	// squeeze and before any failure handling, so "group first, then chain"
+	// is one legal schedule of that concurrent program — outcomes are
+	// bit-identical — without the goroutine+channel cost on every install.
 	type asyncResult struct {
 		g     ctrl.Grant
 		cause *slice.RejectionCause
 	}
-	chans := make([]chan asyncResult, len(o.domains.async))
-	for i, d := range o.domains.async {
-		ch := make(chan asyncResult, 1)
-		chans[i] = ch
+	var joinedBuf [4]asyncResult
+	joined := joinedBuf[:0]
+	for _, d := range o.domains.async {
 		// tx goes by value: concurrent-group domains size off the contract
 		// while the chain loop below threads effective throughput through
 		// its own copy.
-		go func(d ctrl.Domain, tx ctrl.Tx) {
-			g, cause := safeReserve(d, tx)
-			ch <- asyncResult{g, cause}
-		}(d, tx)
+		g, cause := safeReserve(d, tx)
+		joined = append(joined, asyncResult{g, cause})
 	}
 
-	// join drains every concurrent-group reservation exactly once. It is
-	// forced before the squeeze: the squeeze resizes every live slice
-	// across every domain, so no in-flight reservation may race it —
-	// outcomes must depend on the domain state, never on goroutine
-	// scheduling.
-	joined := make([]asyncResult, len(chans))
-	haveJoined := false
-	join := func() {
-		if haveJoined {
-			return
-		}
-		for i, ch := range chans {
-			joined[i] = <-ch
-		}
-		haveJoined = true
-	}
-
-	var grants []domainGrant
+	gs := getGrants()
 	var failure *slice.RejectionCause
 	for i, d := range o.domains.chain {
 		g, cause := safeReserve(d, tx)
 		if cause != nil && i == 0 && o.cfg.effectiveRisk() < 0.9995 {
-			join()
 			sh.mu.Unlock()
 			o.squeezeAll()
 			sh.mu.Lock()
@@ -183,29 +214,30 @@ func (o *Orchestrator) reserveAll(sh *shard, tx ctrl.Tx, fallbackMbps float64) (
 			failure = cause
 			break
 		}
-		grants = append(grants, domainGrant{d: d, g: g})
+		*gs = append(*gs, domainGrant{d: d, g: g})
 		if m := g.EffectiveMbps(); m > 0 {
 			tx.Mbps = m
 		}
 	}
 
-	// Join the concurrent group in registration order. A chain failure
+	// Fold in the concurrent group in registration order. A chain failure
 	// outranks any concurrent-group failure (matching the order of the
 	// admission checks); among the group, the first registered wins.
-	join()
 	for i, res := range joined {
 		switch {
 		case res.cause == nil:
-			grants = append(grants, domainGrant{d: o.domains.async[i], g: res.g})
+			*gs = append(*gs, domainGrant{d: o.domains.async[i], g: res.g})
 		case failure == nil:
 			failure = res.cause
 		}
 	}
 	if failure != nil {
-		abortGrants(grants)
+		abortGrants(*gs)
+		o.recycleGrants(*gs)
+		putGrants(gs)
 		return nil, failure
 	}
-	return grants, nil
+	return gs, nil
 }
 
 // commitGrants runs phase two in acquisition order. A failing commit aborts
@@ -233,36 +265,30 @@ func (o *Orchestrator) releaseAll(id slice.ID, p slice.PLMN) {
 // order, threading each grant's effective throughput into the next stage
 // exactly like installation does. On any failure the already-resized
 // domains are restored to prev in reverse order and false is returned; on
-// success the returned grants (some may be nil) record the allocation
-// changes for the caller to apply.
-func (o *Orchestrator) resizeAll(tx ctrl.Tx, target, prev float64) ([]domainGrant, bool) {
-	grants := make([]domainGrant, 0, len(o.domains.all))
+// success the returned (pooled) grant list (entries may hold nil grants)
+// records the allocation changes for the caller to apply and then return
+// via putGrants.
+func (o *Orchestrator) resizeAll(tx ctrl.Tx, target, prev float64) (*[]domainGrant, bool) {
+	gs := getGrants()
 	carried := target
 	for i, d := range o.domains.all {
 		g, err := d.Resize(tx, carried)
 		if err != nil {
 			for j := i - 1; j >= 0; j-- {
-				o.domains.all[j].Resize(tx, prev)
+				rg, rerr := o.domains.all[j].Resize(tx, prev)
+				if rerr == nil && rg != nil && o.domains.recycle {
+					ctrl.RecycleGrant(rg) // restoration grants are never applied
+				}
 			}
+			putGrants(gs)
 			return nil, false
 		}
-		grants = append(grants, domainGrant{d: d, g: g})
+		*gs = append(*gs, domainGrant{d: d, g: g})
 		if g != nil {
 			if m := g.EffectiveMbps(); m > 0 {
 				carried = m
 			}
 		}
 	}
-	return grants, true
-}
-
-// feasibleAll runs every domain's admission dry run against tx in
-// acquisition order and returns the first failing domain's cause.
-func (o *Orchestrator) feasibleAll(tx ctrl.Tx) *slice.RejectionCause {
-	for _, d := range o.domains.all {
-		if cause := d.Feasible(tx); cause != nil {
-			return cause
-		}
-	}
-	return nil
+	return gs, true
 }

@@ -23,18 +23,14 @@ const epcProcMs = 0.5
 // converts to a typed rejection.
 //
 // The caller holds sh.mu (its shard's lock) and has already reserved
-// reservedMbps on the capacity ledger; install commits that reservation to
+// reservedMbps on the capacity ledger and chosen dcName at admission (the
+// placement scan is not repeated here); install commits that reservation to
 // the managed slice's bookkeeping on success (the caller releases it on
 // failure). The engine may briefly release and re-acquire sh.mu around the
 // overbooking squeeze — see reserveAll.
-func (o *Orchestrator) install(sh *shard, s *slice.Slice, demand traffic.Demand, reservedMbps float64) error {
+func (o *Orchestrator) install(sh *shard, s *slice.Slice, demand traffic.Demand, reservedMbps float64, dcName string) error {
 	sla := s.SLA()
 	now := o.clock.Now()
-
-	dcName, cause := o.chooseDataCenter(sla)
-	if cause != nil {
-		return errReject{cause}
-	}
 
 	// 1. PLMN — the slice's broadcast identity, acquired before the domain
 	// transaction and released after every grant on rollback.
@@ -52,18 +48,23 @@ func (o *Orchestrator) install(sh *shard, s *slice.Slice, demand traffic.Demand,
 		Mbps:            sla.ThroughputMbps,
 		LatencyBudgetMs: o.latencyBudget(sla),
 	}
-	grants, cause := o.reserveAll(sh, tx, o.admissionEstimate(sla))
+	gs, cause := o.reserveAll(sh, tx, o.admissionEstimate(sla))
 	if cause != nil {
 		o.plmns.Release(plmn)
 		return errReject{cause}
 	}
+	grants := *gs
 	if cause := commitGrants(grants); cause != nil {
+		o.recycleGrants(grants) // aborted by commitGrants; engine holds the last reference
+		putGrants(gs)
 		o.plmns.Release(plmn)
 		return errReject{cause}
 	}
 
 	if err := s.Admit(); err != nil {
 		abortGrants(grants)
+		o.recycleGrants(grants)
+		putGrants(gs)
 		o.plmns.Release(plmn)
 		return err
 	}
@@ -76,6 +77,10 @@ func (o *Orchestrator) install(sh *shard, s *slice.Slice, demand traffic.Demand,
 		}
 	}
 	s.SetAllocation(alloc)
+	// Applied grants surrendered their containers to the allocation; the
+	// engine holds the last reference and can hand them back to the pools.
+	o.recycleGrants(grants)
+	putGrants(gs)
 
 	m := &managedSlice{
 		s:          s,
@@ -287,17 +292,19 @@ func (o *Orchestrator) resizeLocked(m *managedSlice, targetMbps float64) bool {
 		LatencyBudgetMs: o.latencyBudget(sla),
 	}
 	before := alloc.AllocatedMbps
-	grants, ok := o.resizeAll(tx, targetMbps, alloc.AllocatedMbps)
+	gs, ok := o.resizeAll(tx, targetMbps, alloc.AllocatedMbps)
 	if !ok {
 		endReconfigure()
 		return false
 	}
-	for _, dg := range grants {
+	for _, dg := range *gs {
 		if dg.g != nil {
 			dg.g.Apply(&alloc)
 		}
 	}
 	m.s.SetAllocation(alloc)
+	o.recycleGrants(*gs) // applied; the engine holds the last reference
+	putGrants(gs)
 	o.acc.allocDelta(alloc.AllocatedMbps - before)
 	m.sh.reconfigurations.Add(1)
 	// Publish after the Reconfiguring -> Active transition completes so the

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cloud"
@@ -57,6 +58,27 @@ type Controller interface {
 type RANController struct {
 	FaultArm
 	net *ran.Network
+	// cellCache memoizes the sorted eNB list keyed by the RAN topology
+	// version, so the hot reserve/resize/schedule paths never rebuild it.
+	cellCache atomic.Pointer[ranCellCache]
+}
+
+// ranCellCache is one immutable snapshot of the sorted eNB list.
+type ranCellCache struct {
+	ver  uint64
+	enbs []*ran.ENB
+}
+
+// Cells returns the sorted eNB list, cached until the eNB set changes. The
+// returned slice is shared and must be treated as read-only.
+func (c *RANController) Cells() []*ran.ENB {
+	ver := c.net.Version()
+	if e := c.cellCache.Load(); e != nil && e.ver == ver {
+		return e.enbs
+	}
+	enbs := c.net.All()
+	c.cellCache.Store(&ranCellCache{ver: ver, enbs: enbs})
+	return enbs
 }
 
 // NewRANController wraps the RAN.
@@ -81,48 +103,69 @@ type RadioReservation struct {
 // across eNBs. On any per-eNB failure everything is rolled back, so the
 // radio domain never holds a partial slice.
 func (c *RANController) ReserveSlice(p slice.PLMN, mbps float64) (RadioReservation, error) {
-	enbs := c.net.All()
+	res := RadioReservation{PRBs: make(map[string]int)}
+	if err := c.reserveSliceInto(p, mbps, &res); err != nil {
+		return RadioReservation{}, err
+	}
+	return res, nil
+}
+
+// reserveSliceInto is ReserveSlice writing into a caller-owned reservation
+// (res.PRBs must be a non-nil empty map) so pooled grants can reuse their
+// map across slices.
+func (c *RANController) reserveSliceInto(p slice.PLMN, mbps float64, res *RadioReservation) error {
+	enbs := c.Cells()
 	if len(enbs) == 0 {
-		return RadioReservation{}, errors.New("ctrl: RAN has no eNBs")
+		return errors.New("ctrl: RAN has no eNBs")
 	}
 	share := mbps / float64(len(enbs))
-	res := RadioReservation{PRBs: make(map[string]int, len(enbs))}
-	done := make([]*ran.ENB, 0, len(enbs))
-	for _, e := range enbs {
+	res.TotalMbps = 0
+	for i, e := range enbs {
 		prbs := e.PRBsForThroughput(share)
 		if prbs == 0 {
 			prbs = 1 // every cell keeps the slice schedulable
 		}
 		if err := e.Reserve(p, prbs); err != nil {
-			for _, d := range done {
-				d.Release(p)
+			for j := 0; j < i; j++ {
+				enbs[j].Release(p)
 			}
-			return RadioReservation{}, fmt.Errorf("ctrl: radio reserve on %s: %w", e.Name(), err)
+			return fmt.Errorf("ctrl: radio reserve on %s: %w", e.Name(), err)
 		}
-		done = append(done, e)
 		res.PRBs[e.Name()] = prbs
 		res.TotalMbps += e.ThroughputForPRBs(prbs)
 	}
-	return res, nil
+	return nil
 }
 
 // ResizeSlice adjusts the PLMN's reservations for a new aggregate
 // throughput. Failures on one eNB restore the previous sizes everywhere.
 func (c *RANController) ResizeSlice(p slice.PLMN, mbps float64) (RadioReservation, error) {
-	enbs := c.net.All()
+	res := RadioReservation{PRBs: make(map[string]int)}
+	if err := c.resizeSliceInto(p, mbps, &res); err != nil {
+		return RadioReservation{}, err
+	}
+	return res, nil
+}
+
+// resizeSliceInto is ResizeSlice writing into a caller-owned reservation
+// (res.PRBs must be a non-nil empty map). The previous per-eNB sizes used
+// for rollback live in a small stack buffer at common cell counts.
+func (c *RANController) resizeSliceInto(p slice.PLMN, mbps float64, res *RadioReservation) error {
+	enbs := c.Cells()
 	if len(enbs) == 0 {
-		return RadioReservation{}, errors.New("ctrl: RAN has no eNBs")
+		return errors.New("ctrl: RAN has no eNBs")
 	}
 	share := mbps / float64(len(enbs))
-	prev := make(map[string]int, len(enbs))
+	var prevBuf [8]int
+	prev := prevBuf[:0]
 	for _, e := range enbs {
 		n, ok := e.Reservation(p)
 		if !ok {
-			return RadioReservation{}, fmt.Errorf("ctrl: resize: %s has no reservation for %s", e.Name(), p)
+			return fmt.Errorf("ctrl: resize: %s has no reservation for %s", e.Name(), p)
 		}
-		prev[e.Name()] = n
+		prev = append(prev, n)
 	}
-	res := RadioReservation{PRBs: make(map[string]int, len(enbs))}
+	res.TotalMbps = 0
 	for i, e := range enbs {
 		prbs := e.PRBsForThroughput(share)
 		if prbs == 0 {
@@ -130,19 +173,19 @@ func (c *RANController) ResizeSlice(p slice.PLMN, mbps float64) (RadioReservatio
 		}
 		if err := e.Resize(p, prbs); err != nil {
 			for j := 0; j < i; j++ {
-				enbs[j].Resize(p, prev[enbs[j].Name()])
+				enbs[j].Resize(p, prev[j])
 			}
-			return RadioReservation{}, fmt.Errorf("ctrl: radio resize on %s: %w", e.Name(), err)
+			return fmt.Errorf("ctrl: radio resize on %s: %w", e.Name(), err)
 		}
 		res.PRBs[e.Name()] = prbs
 		res.TotalMbps += e.ThroughputForPRBs(prbs)
 	}
-	return res, nil
+	return nil
 }
 
 // ReleaseSlice drops the PLMN from every eNB. Idempotent.
 func (c *RANController) ReleaseSlice(p slice.PLMN) {
-	for _, e := range c.net.All() {
+	for _, e := range c.Cells() {
 		e.Release(p)
 	}
 }
@@ -158,7 +201,7 @@ func (c *RANController) ReleaseSlice(p slice.PLMN) {
 // cell only reads it), so the pass is O(slices + slices·cells-in-scheduler)
 // rather than re-building a map per cell.
 func (c *RANController) ScheduleEpoch(demand map[slice.PLMN]float64, shareUnused bool) (map[slice.PLMN]float64, float64) {
-	enbs := c.net.All()
+	enbs := c.Cells()
 	served := make(map[slice.PLMN]float64, len(demand))
 	if len(enbs) == 0 {
 		return served, 0
@@ -182,7 +225,7 @@ func (c *RANController) ScheduleEpoch(demand map[slice.PLMN]float64, shareUnused
 
 // Utilization implements Controller (mean reserved-PRB fraction).
 func (c *RANController) Utilization() float64 {
-	enbs := c.net.All()
+	enbs := c.Cells()
 	if len(enbs) == 0 {
 		return 0
 	}
@@ -196,7 +239,7 @@ func (c *RANController) Utilization() float64 {
 // PushTelemetry implements Controller.
 func (c *RANController) PushTelemetry(store *monitor.Store, now time.Time) {
 	store.Record(monitor.DomainMetric("ran", "utilization"), now, c.Utilization())
-	for _, e := range c.net.All() {
+	for _, e := range c.Cells() {
 		store.Record(monitor.DomainMetric("ran", e.Name()+"/free_prbs"), now, float64(e.FreePRBs()))
 	}
 }
@@ -209,6 +252,29 @@ type TransportController struct {
 
 	mu      sync.RWMutex
 	bySlice map[slice.ID][]string // path IDs per slice
+
+	// enbCache memoizes the sorted eNB transport-port list keyed by the
+	// topology version, so path setup and feasibility checks never rebuild
+	// it per request.
+	enbCache atomic.Pointer[nodeListCache]
+}
+
+// nodeListCache is one immutable snapshot of a sorted node-name list.
+type nodeListCache struct {
+	ver   uint64
+	names []string
+}
+
+// enbNodes returns the sorted eNB node names, cached until the topology
+// changes. The returned slice is shared and must be treated as read-only.
+func (c *TransportController) enbNodes() []string {
+	ver := c.net.TopoVersion()
+	if e := c.enbCache.Load(); e != nil && e.ver == ver {
+		return e.names
+	}
+	names := c.net.NodesOfKind(transport.KindENB)
+	c.enbCache.Store(&nodeListCache{ver: ver, names: names})
+	return names
 }
 
 // NewTransportController wraps the transport network.
@@ -234,25 +300,37 @@ type PathSetup struct {
 // data-center gateway, each sized to the eNB's share of the slice
 // throughput. All-or-nothing.
 func (c *TransportController) SetupPaths(id slice.ID, dc string, mbps, maxDelayMs float64) (PathSetup, error) {
-	enbs := c.net.NodesOfKind(transport.KindENB)
+	var setup PathSetup
+	if err := c.setupPathsInto(id, dc, mbps, maxDelayMs, &setup); err != nil {
+		return PathSetup{}, err
+	}
+	return setup, nil
+}
+
+// setupPathsInto is SetupPaths writing into a caller-owned setup (its
+// PathIDs backing array is reused) so pooled grants can recycle it.
+func (c *TransportController) setupPathsInto(id slice.ID, dc string, mbps, maxDelayMs float64, setup *PathSetup) error {
+	enbs := c.enbNodes()
 	if len(enbs) == 0 {
-		return PathSetup{}, errors.New("ctrl: transport has no eNB nodes")
+		return errors.New("ctrl: transport has no eNB nodes")
 	}
 	share := mbps / float64(len(enbs))
-	var setup PathSetup
+	setup.PathIDs = setup.PathIDs[:0]
+	setup.WorstDelayMs = 0
 	rollback := func() {
 		for _, pid := range setup.PathIDs {
 			c.net.Release(pid)
 		}
+		setup.PathIDs = setup.PathIDs[:0]
 	}
 	for _, enb := range enbs {
-		pid := fmt.Sprintf("%s/%s->%s", id, enb, dc)
+		pid := string(id) + "/" + enb + "->" + dc
 		r, err := c.net.ReservePath(pid, transport.PathRequest{
 			From: enb, To: dc, MinMbps: share, MaxDelayMs: maxDelayMs,
 		})
 		if err != nil {
 			rollback()
-			return PathSetup{}, fmt.Errorf("ctrl: path %s->%s: %w", enb, dc, err)
+			return fmt.Errorf("ctrl: path %s->%s: %w", enb, dc, err)
 		}
 		setup.PathIDs = append(setup.PathIDs, pid)
 		if r.DelayMs > setup.WorstDelayMs {
@@ -262,7 +340,7 @@ func (c *TransportController) SetupPaths(id slice.ID, dc string, mbps, maxDelayM
 	c.mu.Lock()
 	c.bySlice[id] = append([]string(nil), setup.PathIDs...)
 	c.mu.Unlock()
-	return setup, nil
+	return nil
 }
 
 // ResizePaths changes every path of the slice to the new aggregate
@@ -317,20 +395,22 @@ func (c *TransportController) ImportPaths(id slice.ID, pids []string) {
 
 // FeasibleDelay returns the minimum worst-case eNB→DC delay achievable for
 // the bandwidth, without reserving — admission control's transport check.
+// It uses the delay-only path computation, so a feasibility probe never
+// materialises hop lists.
 func (c *TransportController) FeasibleDelay(dc string, mbps float64) (float64, error) {
-	enbs := c.net.NodesOfKind(transport.KindENB)
+	enbs := c.enbNodes()
 	if len(enbs) == 0 {
 		return 0, errors.New("ctrl: transport has no eNB nodes")
 	}
 	share := mbps / float64(len(enbs))
 	worst := 0.0
 	for _, enb := range enbs {
-		p, err := c.net.ShortestPath(transport.PathRequest{From: enb, To: dc, MinMbps: share})
+		d, err := c.net.PathDelay(transport.PathRequest{From: enb, To: dc, MinMbps: share})
 		if err != nil {
 			return 0, err
 		}
-		if p.DelayMs > worst {
-			worst = p.DelayMs
+		if d > worst {
+			worst = d
 		}
 	}
 	return worst, nil
@@ -358,6 +438,27 @@ type CloudController struct {
 
 	mu      sync.RWMutex
 	bySlice map[slice.ID]Deployment // live deployments per slice
+
+	// dcCache memoizes the sorted DC list keyed by the region version.
+	dcCache atomic.Pointer[dcListCache]
+}
+
+// dcListCache is one immutable snapshot of the sorted DC list.
+type dcListCache struct {
+	ver uint64
+	dcs []*cloud.DataCenter
+}
+
+// dcs returns the sorted data-center list, cached until the region's DC set
+// changes. The returned slice is shared and must be treated as read-only.
+func (c *CloudController) dcs() []*cloud.DataCenter {
+	ver := c.region.Version()
+	if e := c.dcCache.Load(); e != nil && e.ver == ver {
+		return e.dcs
+	}
+	dcs := c.region.All()
+	c.dcCache.Store(&dcListCache{ver: ver, dcs: dcs})
+	return dcs
 }
 
 // NewCloudController wraps the region with a fresh EPC registry.
@@ -399,11 +500,11 @@ func (c *CloudController) DeployEPC(id slice.ID, dcName string, p slice.PLMN, th
 	if !ok {
 		return Deployment{}, fmt.Errorf("ctrl: unknown data center %q", dcName)
 	}
-	stackID := fmt.Sprintf("%s/vepc", id)
+	stackID := string(id) + "/vepc"
 	if _, err := dc.CreateStack(stackID, epc.Template(throughputMbps)); err != nil {
 		return Deployment{}, fmt.Errorf("ctrl: heat stack for %s: %w", id, err)
 	}
-	epcID := fmt.Sprintf("%s/epc", id)
+	epcID := string(id) + "/epc"
 	inst := epc.NewInstance(epcID, p, dcName, stackID, class)
 	if err := c.epcs.Add(inst); err != nil {
 		dc.DeleteStack(stackID)
@@ -448,7 +549,7 @@ func (c *CloudController) Teardown(dcName, stackID, epcID string) {
 
 // Utilization implements Controller (mean DC vCPU utilization).
 func (c *CloudController) Utilization() float64 {
-	dcs := c.region.All()
+	dcs := c.dcs()
 	if len(dcs) == 0 {
 		return 0
 	}
@@ -462,7 +563,7 @@ func (c *CloudController) Utilization() float64 {
 // PushTelemetry implements Controller.
 func (c *CloudController) PushTelemetry(store *monitor.Store, now time.Time) {
 	store.Record(monitor.DomainMetric("cloud", "utilization"), now, c.Utilization())
-	for _, dc := range c.region.All() {
+	for _, dc := range c.dcs() {
 		cap := dc.Capacity()
 		store.Record(monitor.DomainMetric("cloud", dc.Name()+"/used_vcpus"), now, cap.UsedVCPUs)
 		store.Record(monitor.DomainMetric("cloud", dc.Name()+"/stacks"), now, float64(cap.Stacks))

@@ -115,6 +115,36 @@ type LatencyContributor interface {
 	ProcessingLatencyMs() float64
 }
 
+// FeasVersioner is an optional Domain capability: a monotonic version
+// counter covering every substrate state that can change the outcome of
+// Feasible. Equal versions guarantee equal Feasible answers for the same
+// transaction, so the orchestrator may memoize outcomes keyed by
+// (tx signature, version) — an exact cache, not a heuristic. Domains whose
+// Feasible consults mutable state implement it; wrappers that inject faults
+// deliberately do not, which switches memoization off under chaos. This is
+// a capability query, never a domain-identity branch.
+type FeasVersioner interface {
+	FeasVersion() uint64
+}
+
+// FeasVersion implements FeasVersioner: the transport feasibility answer is
+// a pure function of the network state covered by its feasibility version.
+func (c *TransportController) FeasVersion() uint64 { return c.net.Version() }
+
+// FeasVersion implements FeasVersioner: CanFit depends on the DC set and
+// each DC's capacity books. Every counter is monotonic, so the sum strictly
+// increases on any mutation.
+func (c *CloudController) FeasVersion() uint64 {
+	v := c.region.Version()
+	for _, dc := range c.dcs() {
+		v += dc.Version()
+	}
+	return v
+}
+
+// FeasVersion implements FeasVersioner for the MEC pool.
+func (c *MECController) FeasVersion() uint64 { return c.pool.Version() }
+
 // ---------------------------------------------------------------------------
 // Radio domain.
 
@@ -133,6 +163,9 @@ func (g *radioGrant) ActivationDelay() time.Duration { return 0 }
 func (g *radioGrant) Apply(a *slice.Allocation) {
 	a.AllocatedMbps = g.res.TotalMbps
 	a.PRBs = g.res.PRBs
+	// Ownership of the PRB map moves to the allocation; drop it so a later
+	// RecycleGrant can never alias live slice state.
+	g.res.PRBs = nil
 }
 
 // radioCause classifies a RAN substrate error: a full MOCN broadcast list is
@@ -155,11 +188,12 @@ func (c *RANController) Reserve(tx Tx) (Grant, *slice.RejectionCause) {
 	if cause := c.reserveFault("ran"); cause != nil {
 		return nil, cause
 	}
-	res, err := c.ReserveSlice(tx.PLMN, tx.Mbps)
-	if err != nil {
+	g := newRadioGrant(tx.PLMN)
+	if err := c.reserveSliceInto(tx.PLMN, tx.Mbps, &g.res); err != nil {
+		RecycleGrant(g)
 		return nil, radioCause(err)
 	}
-	return &radioGrant{plmn: tx.PLMN, res: res}, nil
+	return g, nil
 }
 
 // Commit implements Domain (PRB reservations are live at Reserve; only an
@@ -180,11 +214,12 @@ func (c *RANController) Resize(tx Tx, mbps float64) (Grant, error) {
 	if err := c.resizeFault("ran"); err != nil {
 		return nil, err
 	}
-	res, err := c.ResizeSlice(tx.PLMN, mbps)
-	if err != nil {
+	g := newRadioGrant(tx.PLMN)
+	if err := c.resizeSliceInto(tx.PLMN, mbps, &g.res); err != nil {
+		RecycleGrant(g)
 		return nil, err
 	}
-	return &radioGrant{plmn: tx.PLMN, res: res}, nil
+	return g, nil
 }
 
 // Release implements Domain.
@@ -206,6 +241,9 @@ func (g *pathGrant) ActivationDelay() time.Duration { return 0 }
 func (g *pathGrant) Apply(a *slice.Allocation) {
 	a.PathIDs = g.setup.PathIDs
 	a.PathLatencyMs = g.setup.WorstDelayMs
+	// Ownership of the path-ID slice moves to the allocation; drop it so a
+	// later RecycleGrant can never alias live slice state.
+	g.setup.PathIDs = nil
 }
 
 // transportCause classifies a transport substrate error: a missed delay
@@ -238,11 +276,12 @@ func (c *TransportController) Reserve(tx Tx) (Grant, *slice.RejectionCause) {
 	if cause := c.reserveFault("transport"); cause != nil {
 		return nil, cause
 	}
-	setup, err := c.SetupPaths(tx.Slice, tx.DataCenter, tx.Mbps, tx.LatencyBudgetMs)
-	if err != nil {
+	g := newPathGrant(tx.Slice)
+	if err := c.setupPathsInto(tx.Slice, tx.DataCenter, tx.Mbps, tx.LatencyBudgetMs, &g.setup); err != nil {
+		RecycleGrant(g)
 		return nil, transportCause(err, "transport: %w", err)
 	}
-	return &pathGrant{id: tx.Slice, setup: setup}, nil
+	return g, nil
 }
 
 // Commit implements Domain (flows are installed at Reserve; only an armed
@@ -309,7 +348,9 @@ func (c *CloudController) Reserve(tx Tx) (Grant, *slice.RejectionCause) {
 	c.mu.Lock()
 	c.bySlice[tx.Slice] = dep
 	c.mu.Unlock()
-	return &cloudGrant{id: tx.Slice, dep: dep}, nil
+	g := newCloudGrant(tx.Slice)
+	g.dep = dep
+	return g, nil
 }
 
 // Commit implements Domain (the stack and vEPC registration are live at
@@ -408,7 +449,9 @@ func (c *MECController) Reserve(tx Tx) (Grant, *slice.RejectionCause) {
 	if err != nil {
 		return nil, slice.Rejectf(slice.RejectMECCapacity, "mec", "mec: %w", err)
 	}
-	return &mecGrant{app: app}, nil
+	g := newMECGrant()
+	g.app = app
+	return g, nil
 }
 
 // Commit implements Domain (only an armed fault can fail it).

@@ -30,24 +30,35 @@ const (
 	CompPGW = "pgw"
 )
 
+// The three possible vEPC templates, precomputed so the admission hot path
+// never rebuilds them. Callers must treat the shared Resources as read-only
+// (CanFit and CreateStack only read them).
+var vepcTemplates = func() [3]cloud.Template {
+	var out [3]cloud.Template
+	for i, gw := range []cloud.Flavor{cloud.FlavorSmall, cloud.FlavorMedium, cloud.FlavorLarge} {
+		out[i] = cloud.Template{Resources: []cloud.TemplateResource{
+			{Name: CompMME, Flavor: cloud.FlavorSmall},
+			{Name: CompHSS, Flavor: cloud.FlavorSmall},
+			{Name: CompSGW, Flavor: gw},
+			{Name: CompPGW, Flavor: gw},
+		}}
+	}
+	return out
+}()
+
 // Template returns the Heat-style stack template for a vEPC serving the
 // given contracted throughput. Control-plane components (MME, HSS) are
 // fixed-size; user-plane gateways (SGW, PGW) scale one flavor step per
-// 50 Mbps, mirroring how the testbed dimensioned OpenEPC VMs.
+// 50 Mbps, mirroring how the testbed dimensioned OpenEPC VMs. The returned
+// template shares a precomputed read-only Resources slice.
 func Template(throughputMbps float64) cloud.Template {
-	gw := cloud.FlavorSmall
 	switch {
 	case throughputMbps > 100:
-		gw = cloud.FlavorLarge
+		return vepcTemplates[2]
 	case throughputMbps > 50:
-		gw = cloud.FlavorMedium
+		return vepcTemplates[1]
 	}
-	return cloud.Template{Resources: []cloud.TemplateResource{
-		{Name: CompMME, Flavor: cloud.FlavorSmall},
-		{Name: CompHSS, Flavor: cloud.FlavorSmall},
-		{Name: CompSGW, Flavor: gw},
-		{Name: CompPGW, Flavor: gw},
-	}}
+	return vepcTemplates[0]
 }
 
 // State is the vEPC instance lifecycle.

@@ -21,6 +21,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/slice"
 )
@@ -64,7 +65,15 @@ type Pool struct {
 	apps  map[string]*App
 
 	procDelayMs float64
+
+	// ver counts every state change that can flip a CanFit answer, so
+	// memoized feasibility outcomes keyed by it stay exact.
+	ver atomic.Uint64
 }
+
+// Version returns a counter bumped by every capacity-affecting mutation;
+// equal versions guarantee equal CanFit answers.
+func (p *Pool) Version() uint64 { return p.ver.Load() }
 
 // NewPool returns an empty pool whose apps contribute procDelayMs of
 // user-plane processing latency each.
@@ -93,6 +102,7 @@ func (p *Pool) AddHost(name string, cpus float64) error {
 	}
 	p.hosts = append(p.hosts, &host{name: name, cap: cpus})
 	sort.Slice(p.hosts, func(i, j int) bool { return p.hosts[i].name < p.hosts[j].name })
+	p.ver.Add(1)
 	return nil
 }
 
@@ -125,6 +135,7 @@ func (p *Pool) Place(id string, owner slice.ID, cpu float64) (App, error) {
 			h.used += cpu
 			a := &App{ID: id, Slice: owner, CPU: cpu, Host: h.name}
 			p.apps[id] = a
+			p.ver.Add(1)
 			return *a, nil
 		}
 	}
@@ -155,6 +166,7 @@ func (p *Pool) PlaceAt(id string, owner slice.ID, cpu float64, hostName string) 
 		h.used += cpu
 		a := &App{ID: id, Slice: owner, CPU: cpu, Host: h.name}
 		p.apps[id] = a
+		p.ver.Add(1)
 		return *a, nil
 	}
 	return App{}, fmt.Errorf("mec: unknown host %q", hostName)
@@ -181,6 +193,7 @@ func (p *Pool) Resize(id string, cpu float64) error {
 		}
 		h.used += cpu - a.CPU
 		a.CPU = cpu
+		p.ver.Add(1)
 		return nil
 	}
 	return fmt.Errorf("%w: host %q vanished", ErrUnknownApp, a.Host)
@@ -195,6 +208,7 @@ func (p *Pool) Remove(id string) {
 		return
 	}
 	delete(p.apps, id)
+	p.ver.Add(1)
 	for _, h := range p.hosts {
 		if h.name == a.Host {
 			h.used -= a.CPU
@@ -225,6 +239,7 @@ func (p *Pool) SetHostCapacity(name string, cpus float64) (float64, error) {
 			cpus = h.used
 		}
 		h.cap = cpus
+		p.ver.Add(1)
 		return cpus, nil
 	}
 	return 0, fmt.Errorf("mec: unknown host %q", name)

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/slice"
 )
@@ -168,7 +169,16 @@ type ENB struct {
 	used     int                // sum of reserved PRBs, kept incrementally so
 	// the free-PRB check on every reserve/resize is O(1) instead of a scan
 	// over all PLMNs (the control epoch resizes every slice every period).
+
+	// ver counts every state change that can flip a headroom answer —
+	// Reserve, Resize, Release, SetMeanCQI — so per-cell feasibility
+	// summaries can be cached and invalidated incrementally.
+	ver atomic.Uint64
 }
+
+// Version returns a counter bumped by every reservation or channel-quality
+// mutation; equal versions guarantee equal headroom answers.
+func (e *ENB) Version() uint64 { return e.ver.Load() }
 
 // NewENB validates cfg and returns the eNB. rng may be nil for a
 // deterministic (mean-CQI) channel.
@@ -259,6 +269,7 @@ func (e *ENB) Reserve(p slice.PLMN, prbs int) error {
 	e.reserved[p] = prbs
 	e.used += prbs
 	e.order = append(e.order, p)
+	e.ver.Add(1)
 	return nil
 }
 
@@ -281,6 +292,7 @@ func (e *ENB) Resize(p slice.PLMN, prbs int) error {
 	}
 	e.reserved[p] = prbs
 	e.used += delta
+	e.ver.Add(1)
 	return nil
 }
 
@@ -301,6 +313,7 @@ func (e *ENB) Release(p slice.PLMN) {
 			break
 		}
 	}
+	e.ver.Add(1)
 }
 
 // SetMeanCQI rescales the cell's channel quality (clamped to 1..15) — the
@@ -319,6 +332,7 @@ func (e *ENB) SetMeanCQI(cqi float64) {
 	e.mu.Lock()
 	e.cfg.MeanCQI = cqi
 	e.mu.Unlock()
+	e.ver.Add(1)
 }
 
 // AuditConservation cross-checks the cell's incremental PRB accounting
@@ -535,7 +549,12 @@ func (e *ENB) Snapshot() Snapshot {
 type Network struct {
 	mu   sync.RWMutex
 	enbs map[string]*ENB
+	ver  atomic.Uint64 // bumped when the eNB set changes
 }
+
+// Version returns a counter bumped when the eNB set changes; callers may
+// cache the cell list keyed by it.
+func (n *Network) Version() uint64 { return n.ver.Load() }
 
 // NewNetwork returns an empty RAN domain.
 func NewNetwork() *Network { return &Network{enbs: make(map[string]*ENB)} }
@@ -548,6 +567,7 @@ func (n *Network) Add(e *ENB) error {
 		return fmt.Errorf("ran: duplicate eNB %q", e.Name())
 	}
 	n.enbs[e.Name()] = e
+	n.ver.Add(1)
 	return nil
 }
 

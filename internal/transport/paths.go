@@ -1,10 +1,10 @@
 package transport
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // PathRequest describes the constraints of a path computation: minimum
@@ -28,26 +28,93 @@ type Path struct {
 	BottleneckMbps float64
 }
 
-// item for the Dijkstra priority queue.
-type pqItem struct {
-	node  string
+// heapNode is one priority-queue entry: a dense node index keyed by
+// tentative delay. Duplicates are allowed (lazy deletion, as before).
+type heapNode struct {
 	delay float64
-	index int
+	node  int32
 }
 
-type pq []*pqItem
+// heapUp/heapDown/heapPush/heapPop replicate container/heap's sift
+// algorithm exactly, with the same strict delay-only Less the old pointer
+// queue used. Equal-delay entries therefore pop in the identical order the
+// old implementation produced, which fixed-seed goldens depend on.
+func heapUp(h []heapNode, j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(h[j].delay < h[i].delay) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
 
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].delay < q[j].delay }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
-func (q *pq) Push(x any)        { it := x.(*pqItem); it.index = len(*q); *q = append(*q, it) }
-func (q *pq) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
+func heapDown(h []heapNode, i int) {
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].delay < h[j1].delay {
+			j = j2 // right child
+		}
+		if !(h[j].delay < h[i].delay) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+func heapPush(h *[]heapNode, x heapNode) {
+	*h = append(*h, x)
+	heapUp(*h, len(*h)-1)
+}
+
+func heapPop(h *[]heapNode) heapNode {
+	old := *h
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	heapDown(old[:n], 0)
+	*h = old[:n]
+	return old[n]
+}
+
+// dijkstraScratch holds the per-run working arrays of the path computation,
+// indexed by dense node index and recycled through a pool so steady-state
+// path queries allocate nothing.
+type dijkstraScratch struct {
+	dist    []float64
+	prevIdx []int32
+	prevLnk []*Link
+	visited []bool
+	heap    []heapNode
+}
+
+var dijkstraPool = sync.Pool{New: func() any { return new(dijkstraScratch) }}
+
+// reset sizes the arrays for n nodes and restores initial state.
+func (s *dijkstraScratch) reset(n int) {
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.prevIdx = make([]int32, n)
+		s.prevLnk = make([]*Link, n)
+		s.visited = make([]bool, n)
+	}
+	s.dist = s.dist[:n]
+	s.prevIdx = s.prevIdx[:n]
+	s.prevLnk = s.prevLnk[:n]
+	s.visited = s.visited[:n]
+	for i := 0; i < n; i++ {
+		s.dist[i] = math.Inf(1)
+		s.prevIdx[i] = -1
+		s.prevLnk[i] = nil
+		s.visited[i] = false
+	}
+	s.heap = s.heap[:0]
 }
 
 // ShortestPath computes the minimum-delay path satisfying the request's
@@ -64,70 +131,106 @@ func (n *Network) ShortestPath(req PathRequest) (Path, error) {
 
 // shortestPathLocked runs Dijkstra by delay. skipLinks/skipNodes support
 // Yen's algorithm. Neighbours are scanned in insertion order; ties resolve
-// deterministically via the (delay, insertion seq) queue ordering.
+// deterministically via the (delay, insertion seq) queue ordering. The
+// working arrays come from a pool; only the returned hop list allocates.
 func (n *Network) shortestPathLocked(req PathRequest, skipLinks map[string]bool, skipNodes map[string]bool) (Path, error) {
-	if _, ok := n.nodes[req.From]; !ok {
-		return Path{}, fmt.Errorf("%w: %q", ErrUnknownNode, req.From)
-	}
-	if _, ok := n.nodes[req.To]; !ok {
-		return Path{}, fmt.Errorf("%w: %q", ErrUnknownNode, req.To)
+	s := dijkstraPool.Get().(*dijkstraScratch)
+	defer dijkstraPool.Put(s)
+	d, to, err := n.dijkstraLocked(s, req, skipLinks, skipNodes)
+	if err != nil {
+		return Path{}, err
 	}
 
-	dist := map[string]float64{req.From: 0}
-	prev := map[string]string{}
-	visited := map[string]bool{}
-	q := &pq{}
-	heap.Push(q, &pqItem{node: req.From, delay: 0})
-
-	for q.Len() > 0 {
-		it := heap.Pop(q).(*pqItem)
-		if visited[it.node] {
-			continue
-		}
-		visited[it.node] = true
-		if it.node == req.To {
+	// Rebuild hop list from the predecessor chain, front-filled.
+	depth := 1
+	for at := to; s.prevIdx[at] >= 0; at = s.prevIdx[at] {
+		depth++
+	}
+	hops := make([]string, depth)
+	bott := math.Inf(1)
+	for at, i := to, depth-1; ; i-- {
+		hops[i] = n.names[at]
+		l := s.prevLnk[at]
+		if l == nil {
 			break
 		}
-		for _, l := range n.adj[it.node] {
-			if !l.Up || skipLinks[l.key()] || skipNodes[l.To] {
+		if r := l.ResidualMbps(); r < bott {
+			bott = r
+		}
+		at = s.prevIdx[at]
+	}
+	return Path{Hops: hops, DelayMs: d, BottleneckMbps: bott}, nil
+}
+
+// dijkstraLocked is the shared search core: it fills s with the shortest
+// delay tree from req.From and returns the delay and dense index of req.To.
+// It performs no allocations beyond scratch growth on first use.
+func (n *Network) dijkstraLocked(s *dijkstraScratch, req PathRequest, skipLinks map[string]bool, skipNodes map[string]bool) (float64, int32, error) {
+	from, ok := n.idx[req.From]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownNode, req.From)
+	}
+	to, ok := n.idx[req.To]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownNode, req.To)
+	}
+
+	s.reset(len(n.names))
+	s.dist[from] = 0
+	heapPush(&s.heap, heapNode{delay: 0, node: from})
+
+	for len(s.heap) > 0 {
+		it := heapPop(&s.heap)
+		if s.visited[it.node] {
+			continue
+		}
+		s.visited[it.node] = true
+		if it.node == to {
+			break
+		}
+		for _, l := range n.adjx[it.node] {
+			if !l.Up {
+				continue
+			}
+			if skipLinks != nil && skipLinks[l.key()] {
+				continue
+			}
+			if skipNodes != nil && skipNodes[l.To] {
 				continue
 			}
 			if l.ResidualMbps() < req.MinMbps-1e-9 {
 				continue
 			}
 			nd := it.delay + l.DelayMs
-			if cur, ok := dist[l.To]; !ok || nd < cur {
-				dist[l.To] = nd
-				prev[l.To] = it.node
-				heap.Push(q, &pqItem{node: l.To, delay: nd})
+			if nd < s.dist[l.toIdx] {
+				s.dist[l.toIdx] = nd
+				s.prevIdx[l.toIdx] = it.node
+				s.prevLnk[l.toIdx] = l
+				heapPush(&s.heap, heapNode{delay: nd, node: l.toIdx})
 			}
 		}
 	}
 
-	d, ok := dist[req.To]
-	if !ok {
-		return Path{}, fmt.Errorf("%w: %s -> %s at %.1f Mbps", ErrNoPath, req.From, req.To, req.MinMbps)
+	d := s.dist[to]
+	if math.IsInf(d, 1) {
+		return 0, 0, fmt.Errorf("%w: %s -> %s at %.1f Mbps", ErrNoPath, req.From, req.To, req.MinMbps)
 	}
 	if req.MaxDelayMs > 0 && d > req.MaxDelayMs+1e-9 {
-		return Path{}, fmt.Errorf("%w: best %.2f ms > budget %.2f ms", ErrDelayBudget, d, req.MaxDelayMs)
+		return 0, 0, fmt.Errorf("%w: best %.2f ms > budget %.2f ms", ErrDelayBudget, d, req.MaxDelayMs)
 	}
+	return d, to, nil
+}
 
-	// Rebuild hop list.
-	var hops []string
-	for at := req.To; ; at = prev[at] {
-		hops = append([]string{at}, hops...)
-		if at == req.From {
-			break
-		}
-	}
-	bott := math.Inf(1)
-	for i := 0; i+1 < len(hops); i++ {
-		l := n.links[hops[i]+"->"+hops[i+1]]
-		if r := l.ResidualMbps(); r < bott {
-			bott = r
-		}
-	}
-	return Path{Hops: hops, DelayMs: d, BottleneckMbps: bott}, nil
+// PathDelay computes the minimum feasible delay for the request without
+// materialising the hop list — the allocation-free form of ShortestPath for
+// feasibility checks that only need the delay answer.
+func (n *Network) PathDelay(req PathRequest) (float64, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	s := dijkstraPool.Get().(*dijkstraScratch)
+	defer dijkstraPool.Put(s)
+	d, _, err := n.dijkstraLocked(s, req, nil, nil)
+	return d, err
 }
 
 // KShortestPaths returns up to k loop-free minimum-delay paths satisfying

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // NodeKind classifies topology nodes.
@@ -84,6 +85,10 @@ type Link struct {
 
 	reservedMbps float64
 	byPath       map[string]float64
+	// fromIdx/toIdx are the dense node indices of From/To, assigned at
+	// AddLink time so path computation runs on int-indexed arrays instead
+	// of string-keyed maps.
+	fromIdx, toIdx int32
 }
 
 // key identifies the directed link.
@@ -130,10 +135,20 @@ type FlowEntry struct {
 type Network struct {
 	mu    sync.RWMutex
 	nodes map[string]NodeKind
+	names []string                // dense index -> node name, insertion order
+	idx   map[string]int32        // node name -> dense index
 	links map[string]*Link        // key: "a->b"
-	adj   map[string][]*Link      // outgoing links per node
+	adjx  [][]*Link               // outgoing links per dense node index
 	paths map[string]*Reservation // by path ID
 	flows map[string][]FlowEntry  // per-switch flow table
+
+	// topoVer counts node/link-set changes (AddNode, AddLink) and guards
+	// cached node-kind lists held by callers. feasVer counts every state
+	// change that can flip a feasibility answer — topology changes plus
+	// SetLinkUp, SetLinkCapacity, Reserve, Release, and Resize — and
+	// guards memoized Feasible outcomes. Both only ever increase.
+	topoVer atomic.Uint64
+	feasVer atomic.Uint64
 }
 
 // Reservation records one reserved path.
@@ -148,12 +163,22 @@ type Reservation struct {
 func NewNetwork() *Network {
 	return &Network{
 		nodes: make(map[string]NodeKind),
+		idx:   make(map[string]int32),
 		links: make(map[string]*Link),
-		adj:   make(map[string][]*Link),
 		paths: make(map[string]*Reservation),
 		flows: make(map[string][]FlowEntry),
 	}
 }
+
+// Version returns the feasibility version: a counter bumped by every state
+// change that can alter the outcome of a feasibility or path query. Callers
+// may memoize query results keyed by this value; equal versions guarantee
+// equal answers.
+func (n *Network) Version() uint64 { return n.feasVer.Load() }
+
+// TopoVersion returns the topology version: a counter bumped only when the
+// node or link set changes. Callers may cache node-kind lists keyed by it.
+func (n *Network) TopoVersion() uint64 { return n.topoVer.Load() }
 
 // AddNode registers a node; re-adding with the same kind is a no-op.
 func (n *Network) AddNode(name string, kind NodeKind) error {
@@ -162,10 +187,18 @@ func (n *Network) AddNode(name string, kind NodeKind) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if k, ok := n.nodes[name]; ok && k != kind {
-		return fmt.Errorf("transport: node %q already exists with kind %v", name, k)
+	if k, ok := n.nodes[name]; ok {
+		if k != kind {
+			return fmt.Errorf("transport: node %q already exists with kind %v", name, k)
+		}
+		return nil
 	}
 	n.nodes[name] = kind
+	n.idx[name] = int32(len(n.names))
+	n.names = append(n.names, name)
+	n.adjx = append(n.adjx, nil)
+	n.topoVer.Add(1)
+	n.feasVer.Add(1)
 	return nil
 }
 
@@ -182,12 +215,18 @@ func (n *Network) AddLink(from, to string, lt LinkType, capacityMbps, delayMs fl
 	if _, ok := n.nodes[to]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
 	}
-	l := &Link{From: from, To: to, Type: lt, CapacityMbps: capacityMbps, DelayMs: delayMs, Up: true, byPath: map[string]float64{}}
+	l := &Link{
+		From: from, To: to, Type: lt, CapacityMbps: capacityMbps, DelayMs: delayMs,
+		Up: true, byPath: map[string]float64{},
+		fromIdx: n.idx[from], toIdx: n.idx[to],
+	}
 	if _, ok := n.links[l.key()]; ok {
 		return fmt.Errorf("%w: %s", ErrLinkExists, l.key())
 	}
 	n.links[l.key()] = l
-	n.adj[from] = append(n.adj[from], l)
+	n.adjx[l.fromIdx] = append(n.adjx[l.fromIdx], l)
+	n.topoVer.Add(1)
+	n.feasVer.Add(1)
 	return nil
 }
 
@@ -211,6 +250,7 @@ func (n *Network) SetLinkUp(from, to string, up bool) error {
 		return fmt.Errorf("transport: no link %s->%s", from, to)
 	}
 	l.Up = up
+	n.feasVer.Add(1)
 	return nil
 }
 
@@ -232,6 +272,7 @@ func (n *Network) SetLinkCapacity(from, to string, capacityMbps float64) error {
 		return fmt.Errorf("transport: no link %s->%s", from, to)
 	}
 	l.CapacityMbps = capacityMbps
+	n.feasVer.Add(1)
 	return nil
 }
 
@@ -345,6 +386,7 @@ func (n *Network) Reserve(pathID string, hops []string, mbps float64) (*Reservat
 	r := &Reservation{ID: pathID, Hops: append([]string(nil), hops...), Mbps: mbps, DelayMs: delay}
 	n.paths[pathID] = r
 	n.installFlowsLocked(r)
+	n.feasVer.Add(1)
 	return r, nil
 }
 
@@ -399,6 +441,7 @@ func (n *Network) Release(pathID string) {
 	}
 	n.removeFlowsLocked(pathID)
 	delete(n.paths, pathID)
+	n.feasVer.Add(1)
 }
 
 // Resize changes the path's reservation to mbps, atomically.
@@ -427,6 +470,7 @@ func (n *Network) Resize(pathID string, mbps float64) error {
 		l.byPath[pathID] = mbps
 	}
 	r.Mbps = mbps
+	n.feasVer.Add(1)
 	return nil
 }
 
