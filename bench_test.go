@@ -692,3 +692,53 @@ func BenchmarkDemandSampling(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFederatedAdmission (PR 8) measures the federation-tier admission
+// hot path — deterministic placement over the hierarchical capacity ledger
+// plus the two-phase span install across member clusters — at growing
+// membership. The request is sized to 60% of the federated headroom, so at
+// clusters=1 it is a single-leg admission and at 2 and 4 it forces a
+// cross-cluster span (the reverse-order abort path is exercised by the
+// paired Delete, which keeps the books level across iterations).
+func BenchmarkFederatedAdmission(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("clusters=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			sys, err := NewSimulatedFederation(FederationOptions{
+				Seed:     1,
+				Clusters: DefaultFederationClusters(n),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fed := sys.Federation
+			var total float64
+			for _, in := range fed.ClusterInfos() {
+				total += in.HeadroomMbps
+			}
+			req := SpanRequest{
+				Tenant: "bench",
+				SLA: SLA{
+					ThroughputMbps: 0.6 * total,
+					MaxLatencyMs:   50,
+					Duration:       time.Hour,
+					PriceEUR:       100,
+					PenaltyEUR:     1,
+				},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := fed.Submit(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.State != "installed" {
+					b.Fatalf("span rejected: %+v", st)
+				}
+				if err := fed.Delete(st.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

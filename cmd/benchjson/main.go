@@ -8,8 +8,8 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem ./... | benchjson -label "PR 7" \
-//	    -baseline BENCH_6.json -out BENCH_7.json
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -label "PR 8" \
+//	    -baseline BENCH_7.json -out BENCH_8.json
 package main
 
 import (

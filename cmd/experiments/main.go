@@ -85,6 +85,54 @@ func main() {
 			expChaos(name, *seed)
 		}
 	}
+	for _, name := range scenario.FedChaosNames() {
+		if run(name) {
+			expFedChaos(name, *seed)
+		}
+	}
+}
+
+// expFedChaos runs one canned federated chaos scenario (c7, c8) — a
+// multi-cluster failure drill with both audit tiers attached — and reports
+// the federated workload outcome plus the merged audit verdict.
+func expFedChaos(name string, seed int64) {
+	header(strings.ToUpper(name), "federated chaos: "+scenario.FedChaosTitle(name))
+	res, err := scenario.FedChaosScenario(name, seed)
+	check(err)
+	w := tw()
+	fmt.Fprintf(w, "chaos steps fired\t%d\n", len(res.Steps))
+	fmt.Fprintf(w, "offered / spans installed / rejected\t%d / %d / %d\n",
+		res.Offered, res.Stats.SpansInstalled, res.Stats.SpansRejected)
+	fmt.Fprintf(w, "cross-cluster spans / live at end\t%d / %d\n",
+		res.Stats.SpansCrossCluster, res.Stats.SpansLive)
+	fmt.Fprintf(w, "federation barriers\t%d\n", res.Stats.Barriers)
+	fmt.Fprintf(w, "federated multiplexing gain\t%.2fx\n", res.Gain.MultiplexingGain)
+	fmt.Fprintf(w, "federated net revenue\t%.0f EUR\n", res.Gain.NetRevenueEUR)
+	for _, c := range res.Clusters {
+		state := "alive"
+		if c.Failed {
+			state = "FAILED"
+		} else if c.Partitioned {
+			state = "partitioned"
+		}
+		fmt.Fprintf(w, "member %s (%s)\t%s, headroom %.0f / advertised %.0f Mbps, %d active slices\n",
+			c.Name, c.Location, state, c.HeadroomMbps, c.AdvertisedMbps, c.ActiveSlices)
+	}
+	fmt.Fprintf(w, "audit sweeps / events checked\t%d / %d\n", res.AuditStats.Sweeps, res.AuditStats.Events)
+	w.Flush()
+	if len(res.Violations) == 0 {
+		fmt.Println("invariants: CLEAN (federation conservation + every member's cross-domain auditor)")
+		return
+	}
+	fmt.Printf("invariants: %d VIOLATION(S)\n", len(res.Violations))
+	for i, v := range res.Violations {
+		if i == 10 {
+			fmt.Printf("  ... and %d more\n", len(res.Violations)-i)
+			break
+		}
+		fmt.Printf("  %s\n", v)
+	}
+	os.Exit(1)
 }
 
 // expChaos runs one canned chaos scenario (c1..c6) with the invariant

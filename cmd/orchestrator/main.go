@@ -16,6 +16,13 @@
 //
 // Then open http://localhost:8080/ for the dashboard, or drive it with
 // slicectl (see cmd/slicectl).
+//
+// With -federation N the daemon instead runs the multi-cluster tier
+// (DESIGN.md §11): N full member orchestrators behind one hierarchical
+// capacity ledger, served under /api/v2/federation/ — cluster registry,
+// federated span submission with Idempotency-Key dedup, placement explain,
+// the merged member event stream and the aggregated gain report. Drive it
+// with slicectl clusters / request -federated / explain.
 package main
 
 import (
@@ -48,8 +55,14 @@ func main() {
 		mec     = flag.Int("mec-hosts", 0, "enable the edge MEC compute domain with this many hosts (0 = off)")
 		audit   = flag.Bool("audit", false, "attach the cross-domain invariant auditor (DESIGN.md §8); violations are logged")
 		dataDir = flag.String("data-dir", "", "write-ahead-log directory; enables durability and crash recovery (DESIGN.md §9)")
+		fedN    = flag.Int("federation", 0, "run the multi-cluster federation tier with this many member clusters (0 = single-cluster daemon)")
 	)
 	flag.Parse()
+
+	if *fedN > 0 {
+		runFederation(*addr, *fedN, *seed, *epoch, *audit)
+		return
+	}
 
 	cfg := overbook.OrchestratorConfig{
 		Overbook:  *doOver,

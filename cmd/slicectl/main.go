@@ -21,6 +21,17 @@
 // prints admissions, rejections, installs, overbooking resizes, SLA
 // violations, expiries and link failures as they happen, resuming from the
 // last seen sequence number across connection drops.
+//
+// Against a federated daemon (orchestrator -federation N) the multi-cluster
+// commands drive the /api/v2/federation/ surface:
+//
+//	clusters                          member registry and federation-tier books
+//	request -federated [-cluster C]   submit a federated span (prints its legs)
+//	explain -mbps N -latency MS       placement dry-run: per-member verdicts
+//	spans                             live spans with their legs
+//	get|delete f-<n>                  span IDs ("f-" prefix) route to the
+//	                                  federation endpoints automatically
+//	gain -federated                   aggregate + per-cluster gain reports
 package main
 
 import (
@@ -29,10 +40,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/federation"
 	"repro/internal/restapi"
 	"repro/internal/slice"
 )
@@ -53,13 +66,29 @@ func main() {
 	case "list":
 		err = cmdList(c)
 	case "get":
-		err = withID(args[1:], func(id slice.ID) error { return cmdGet(c, id) })
+		err = withID(args[1:], func(id slice.ID) error {
+			if isSpanID(id) {
+				return cmdGetSpan(c, id)
+			}
+			return cmdGet(c, id)
+		})
 	case "delete":
-		err = withID(args[1:], func(id slice.ID) error { return c.DeleteSlice(id) })
+		err = withID(args[1:], func(id slice.ID) error {
+			if isSpanID(id) {
+				return c.DeleteSpan(id)
+			}
+			return c.DeleteSlice(id)
+		})
 	case "demand":
 		err = cmdDemand(c, args[1:])
 	case "gain":
-		err = cmdGain(c)
+		err = cmdGain(c, args[1:])
+	case "clusters":
+		err = cmdClusters(c)
+	case "spans":
+		err = cmdSpans(c)
+	case "explain":
+		err = cmdExplain(c, args[1:])
 	case "topology":
 		err = cmdTopology(c)
 	case "watch":
@@ -77,12 +106,19 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: slicectl [-server URL] <request|list|get|delete|demand|gain|topology|watch|link> [args]
+	fmt.Fprintln(os.Stderr, `usage: slicectl [-server URL] <request|list|get|delete|demand|gain|topology|watch|link|clusters|spans|explain> [args]
   watch [-since SEQ] [-n N] [-timeout D] [-tenant NAME] [-type EVENT]
                                    stream lifecycle events (SSE, auto-resume)
   link fail <from> <to>            take a transport link down (slices re-route or drop)
   link restore <from> <to>         bring it back up
-  link degrade <from> <to> <mbps>  rain-fade the link to the given capacity`)
+  link degrade <from> <to> <mbps>  rain-fade the link to the given capacity
+federated daemon (orchestrator -federation N):
+  clusters                         member registry and federation-tier books
+  request -federated [-cluster C]  submit a federated span (prints its legs)
+  explain -mbps N -latency MS      placement dry-run: per-member verdicts
+  spans                            live spans with their legs
+  get|delete f-<n>                 span IDs route to the federation endpoints
+  gain -federated                  aggregate + per-cluster gain reports`)
 }
 
 func cmdWatch(c *restapi.Client, args []string) error {
@@ -191,17 +227,21 @@ func withID(args []string, fn func(slice.ID) error) error {
 func cmdRequest(c *restapi.Client, args []string) error {
 	fs := flag.NewFlagSet("request", flag.ExitOnError)
 	var (
-		tenant   = fs.String("tenant", "", "tenant name")
-		mbps     = fs.Float64("mbps", 20, "expected throughput (Mbps)")
-		latency  = fs.Float64("latency", 50, "maximum latency (ms)")
-		duration = fs.Duration("duration", time.Hour, "slice duration")
-		price    = fs.Float64("price", 100, "price willing to pay (EUR)")
-		penalty  = fs.Float64("penalty", 2, "penalty per SLA-violation epoch (EUR)")
-		class    = fs.String("class", "eMBB", "service class: eMBB|automotive|e-health|mMTC")
-		edge     = fs.Bool("edge", false, "require mobile-edge compute")
+		tenant    = fs.String("tenant", "", "tenant name")
+		mbps      = fs.Float64("mbps", 20, "expected throughput (Mbps)")
+		latency   = fs.Float64("latency", 50, "maximum latency (ms)")
+		duration  = fs.Duration("duration", time.Hour, "slice duration")
+		price     = fs.Float64("price", 100, "price willing to pay (EUR)")
+		penalty   = fs.Float64("penalty", 2, "penalty per SLA-violation epoch (EUR)")
+		class     = fs.String("class", "eMBB", "service class: eMBB|automotive|e-health|mMTC")
+		edge      = fs.Bool("edge", false, "require mobile-edge compute")
+		federated = fs.Bool("federated", false, "submit to the federation tier (orchestrator -federation)")
+		cluster   = fs.String("cluster", "", "pin the federated span to this member cluster (implies -federated)")
+		demand    = fs.Float64("demand", 0, "federated mean offered demand in Mbps (default 0.6 x -mbps)")
+		idemKey   = fs.String("idempotency-key", "", "Idempotency-Key header for the federated submit")
 	)
 	fs.Parse(args)
-	snap, err := c.SubmitSlice(restapi.SliceRequestBody{
+	body := restapi.SliceRequestBody{
 		Tenant:          *tenant,
 		ThroughputMbps:  *mbps,
 		MaxLatencyMs:    *latency,
@@ -210,7 +250,20 @@ func cmdRequest(c *restapi.Client, args []string) error {
 		PenaltyEUR:      *penalty,
 		Class:           *class,
 		EdgeCompute:     *edge,
-	})
+	}
+	if *federated || *cluster != "" {
+		st, err := c.SubmitSpan(restapi.FedSliceRequestBody{
+			SliceRequestBody: body,
+			Cluster:          *cluster,
+			MeanDemandMbps:   *demand,
+		}, *idemKey)
+		if err != nil {
+			return err
+		}
+		printSpan(st)
+		return nil
+	}
+	snap, err := c.SubmitSlice(body)
 	if err != nil {
 		return err
 	}
@@ -220,6 +273,120 @@ func cmdRequest(c *restapi.Client, args []string) error {
 	}
 	fmt.Printf("accepted %s: state=%s plmn=%s dc=%s\n",
 		snap.ID, snap.State, snap.Allocation.PLMN, snap.Allocation.DataCenter)
+	return nil
+}
+
+// isSpanID reports whether the ID names a federated span ("f-<seq>") rather
+// than a member-local slice ("s-<seq>"), so get/delete can route to the
+// right API surface without a flag.
+func isSpanID(id slice.ID) bool { return strings.HasPrefix(string(id), "f-") }
+
+func printSpan(st federation.SpanStatus) {
+	if st.State == "rejected" {
+		fmt.Printf("REJECTED %s [%s]: %s\n", st.ID, st.RejectCode, st.Reason)
+		return
+	}
+	fmt.Printf("accepted span %s: state=%s legs=%d expires=%s\n",
+		st.ID, st.State, len(st.Legs), st.Expires.Format(time.RFC3339))
+	for _, leg := range st.Legs {
+		fmt.Printf("  leg %-12s %8.1f Mbps  slice=%s\n", leg.Cluster, leg.Mbps, leg.Slice)
+	}
+}
+
+func cmdGetSpan(c *restapi.Client, id slice.ID) error {
+	st, err := c.GetSpan(id)
+	if err != nil {
+		return err
+	}
+	printSpan(st)
+	return nil
+}
+
+func cmdClusters(c *restapi.Client) error {
+	infos, err := c.FedClusters()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "CLUSTER\tLOCATION\tLATENCY\tSTATE\tADVERTISED\tHEADROOM\tRESERVED\tLEDGER\tEPOCH\tSLICES")
+	for _, ci := range infos {
+		state := "alive"
+		switch {
+		case ci.Failed:
+			state = "FAILED"
+		case ci.Partitioned:
+			state = "partitioned"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.1fms\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%d\t%d\n",
+			ci.Name, ci.Location, ci.LatencyMs, state,
+			ci.AdvertisedMbps, ci.HeadroomMbps, ci.ReservedMbps, ci.LedgerMbps,
+			ci.Epoch, ci.ActiveSlices)
+	}
+	return w.Flush()
+}
+
+func cmdSpans(c *restapi.Client) error {
+	spans, err := c.ListSpans()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "SPAN\tTENANT\tSTATE\tLEGS\tPLACEMENT\tEXPIRES")
+	for _, st := range spans {
+		placement := make([]string, 0, len(st.Legs))
+		for _, leg := range st.Legs {
+			placement = append(placement, fmt.Sprintf("%s:%.1f", leg.Cluster, leg.Mbps))
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%s\t%s\n",
+			st.ID, st.Tenant, st.State, len(st.Legs),
+			strings.Join(placement, " "), st.Expires.Format(time.RFC3339))
+	}
+	return w.Flush()
+}
+
+func cmdExplain(c *restapi.Client, args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	var (
+		mbps     = fs.Float64("mbps", 20, "expected throughput (Mbps)")
+		latency  = fs.Float64("latency", 50, "maximum latency (ms)")
+		duration = fs.Duration("duration", time.Hour, "slice duration")
+		price    = fs.Float64("price", 100, "price willing to pay (EUR)")
+		class    = fs.String("class", "eMBB", "service class: eMBB|automotive|e-health|mMTC")
+		cluster  = fs.String("cluster", "", "pin to this member cluster")
+	)
+	fs.Parse(args)
+	ex, err := c.ExplainPlacement(restapi.FedSliceRequestBody{
+		SliceRequestBody: restapi.SliceRequestBody{
+			ThroughputMbps:  *mbps,
+			MaxLatencyMs:    *latency,
+			DurationSeconds: duration.Seconds(),
+			PriceEUR:        *price,
+			Class:           *class,
+		},
+		Cluster: *cluster,
+	})
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "CLUSTER\tLOCATION\tLATENCY\tHEADROOM\tELIGIBLE\tREASON")
+	for _, cand := range ex.Candidates {
+		fmt.Fprintf(w, "%s\t%s\t%.1fms\t%.1f\t%v\t%s\n",
+			cand.Cluster, cand.Location, cand.LatencyMs, cand.HeadroomMbps,
+			cand.Eligible, cand.Reason)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if !ex.Placed {
+		fmt.Printf("NOT PLACEABLE [%s]: %s\n", ex.RejectCode, ex.Reason)
+		return nil
+	}
+	legs := make([]string, 0, len(ex.Legs))
+	for _, leg := range ex.Legs {
+		legs = append(legs, fmt.Sprintf("%s:%.1f Mbps", leg.Cluster, leg.Mbps))
+	}
+	fmt.Printf("placeable: %s\n", strings.Join(legs, " + "))
 	return nil
 }
 
@@ -268,7 +435,29 @@ func cmdDemand(c *restapi.Client, args []string) error {
 	return c.RecordDemand(slice.ID(args[0]), mbps)
 }
 
-func cmdGain(c *restapi.Client) error {
+func cmdGain(c *restapi.Client, args []string) error {
+	fs := flag.NewFlagSet("gain", flag.ExitOnError)
+	federated := fs.Bool("federated", false, "federation-wide aggregate + per-cluster reports")
+	fs.Parse(args)
+	if *federated {
+		rep, err := c.FedGain()
+		if err != nil {
+			return err
+		}
+		g := rep.Aggregate
+		fmt.Printf("federated multiplexing gain %.2fx  overbooking %.2fx (contracted %.1f / capacity %.1f Mbps)\n",
+			g.MultiplexingGain, g.OverbookingRatio, g.ContractedMbps, g.CapacityMbps)
+		fmt.Printf("slices %d active, %d admitted, %d rejected  net %.2f EUR\n",
+			g.Active, g.Admitted, g.Rejected, g.NetRevenueEUR)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "CLUSTER\tGAIN\tRATIO\tACTIVE\tADMITTED\tREJECTED\tNET€")
+		for _, cg := range rep.Clusters {
+			fmt.Fprintf(w, "%s\t%.2fx\t%.2fx\t%d\t%d\t%d\t%.2f\n",
+				cg.Cluster, cg.Gain.MultiplexingGain, cg.Gain.OverbookingRatio,
+				cg.Gain.Active, cg.Gain.Admitted, cg.Gain.Rejected, cg.Gain.NetRevenueEUR)
+		}
+		return w.Flush()
+	}
 	g, err := c.Gain()
 	if err != nil {
 		return err

@@ -45,6 +45,11 @@ type Env struct {
 	// generator (used by burst actions). May be nil when a timeline uses no
 	// submission actions.
 	Submit func()
+	// Fed is the federation under attack in multi-cluster scenarios (nil in
+	// single-cluster ones; the federation actions are then no-ops). Typed as
+	// a narrow surface so chaos keeps not importing the orchestration tiers
+	// it attacks.
+	Fed FederationTarget
 
 	// rng is the timeline's private randomness (victim selection); see the
 	// package comment for why it is separate from the simulation RNG.

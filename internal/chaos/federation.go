@@ -1,0 +1,46 @@
+package chaos
+
+// FederationTarget is the narrow federation surface the multi-cluster
+// actions drive — implemented by federation.Federation. An interface rather
+// than a concrete type so chaos stays import-acyclic with the tiers it
+// attacks, exactly like Env.Submit.
+type FederationTarget interface {
+	// Partition marks the named member unreachable (control-plane split).
+	Partition(name string) error
+	// Heal ends the named member's partition.
+	Heal(name string) error
+	// Fail kills the named member permanently.
+	Fail(name string) error
+}
+
+// PartitionCluster splits the named member cluster from the federation:
+// its summary freezes, placement excludes it, and every span with a leg on
+// it rolls back on the reachable members. No-op when the environment has no
+// federation.
+func PartitionCluster(name string) Action {
+	return func(env *Env) {
+		if env.Fed != nil {
+			_ = env.Fed.Partition(name)
+		}
+	}
+}
+
+// HealCluster ends the named member's partition: orphaned legs are deleted
+// exactly once and the member rejoins placement.
+func HealCluster(name string) Action {
+	return func(env *Env) {
+		if env.Fed != nil {
+			_ = env.Fed.Heal(name)
+		}
+	}
+}
+
+// FailCluster kills the named member permanently — the fail-over drill:
+// placement re-homes all new demand onto the survivors.
+func FailCluster(name string) Action {
+	return func(env *Env) {
+		if env.Fed != nil {
+			_ = env.Fed.Fail(name)
+		}
+	}
+}

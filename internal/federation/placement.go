@@ -1,0 +1,214 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ctrl"
+	"repro/internal/slice"
+)
+
+// legPlan is one placement decision: the owning cluster and the throughput
+// share it carries.
+type legPlan struct {
+	cluster *Cluster
+	mbps    float64
+}
+
+// ExplainCandidate is the placement engine's per-member verdict for one
+// request: why the member was or wasn't eligible, with the books it was
+// judged against.
+type ExplainCandidate struct {
+	Cluster      string  `json:"cluster"`
+	Location     string  `json:"location,omitempty"`
+	LatencyMs    float64 `json:"latency_ms"`
+	HeadroomMbps float64 `json:"headroom_mbps"`
+	Alive        bool    `json:"alive"`
+	Eligible     bool    `json:"eligible"`
+	Reason       string  `json:"reason,omitempty"`
+}
+
+// ExplainLeg is one leg of the chosen placement.
+type ExplainLeg struct {
+	Cluster string  `json:"cluster"`
+	Mbps    float64 `json:"mbps"`
+}
+
+// PlacementExplain is the dry-run trace of one placement decision — every
+// candidate's verdict plus either the chosen legs or the typed rejection.
+type PlacementExplain struct {
+	Placed     bool               `json:"placed"`
+	RejectCode slice.RejectCode   `json:"reject_code,omitempty"`
+	Reason     string             `json:"reason,omitempty"`
+	Candidates []ExplainCandidate `json:"candidates"`
+	Legs       []ExplainLeg       `json:"legs,omitempty"`
+}
+
+// Explain dry-runs placement for the request without reserving anything:
+// the same deterministic engine Submit uses, with its per-candidate
+// reasoning exposed. A concurrent Submit may still change the books before
+// a follow-up Submit, exactly like the engine's Feasible contract.
+func (f *Federation) Explain(req Request) (PlacementExplain, error) {
+	if err := req.SLA.Validate(); err != nil {
+		return PlacementExplain{}, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var ex PlacementExplain
+	f.placeLocked(req, &ex)
+	return ex, nil
+}
+
+// minLegMbps floors a leg share: placement never creates a sliver leg whose
+// contract would round to nothing on the member.
+const minLegMbps = 1e-6
+
+// placeLocked maps the request onto owning clusters against the current
+// federation books. Strategy: prefer the single eligible cluster with the
+// lowest federation latency that fits the whole contract (ties broken by
+// name); otherwise split greedily across eligible clusters by descending
+// headroom (ties by name) — a cross-cluster span. Deterministic: members are
+// iterated in name order and every tie-break is by name. Caller holds f.mu;
+// when ex is non-nil the full per-candidate trace is recorded.
+func (f *Federation) placeLocked(req Request, ex *PlacementExplain) ([]legPlan, *slice.RejectionCause) {
+	need := req.SLA.ThroughputMbps
+	eps := 1e-9 * (1 + need)
+
+	reject := func(cause *slice.RejectionCause) ([]legPlan, *slice.RejectionCause) {
+		if ex != nil {
+			ex.RejectCode = cause.Code
+			ex.Reason = cause.Detail
+		}
+		return nil, cause
+	}
+
+	if req.Cluster != "" {
+		if _, ok := f.byName[req.Cluster]; !ok {
+			return reject(slice.Rejectf(slice.RejectClusterUnavailable, "federation",
+				"unknown cluster %q", req.Cluster))
+		}
+	}
+
+	var eligible []*Cluster
+	latencyBlocked, unreachable := 0, 0
+	for _, c := range f.members {
+		cand := ExplainCandidate{
+			Cluster:      c.cfg.Name,
+			Location:     c.cfg.Location,
+			LatencyMs:    c.cfg.LatencyMs,
+			HeadroomMbps: c.headroom,
+			Alive:        c.alive(),
+		}
+		switch {
+		case req.Cluster != "" && c.cfg.Name != req.Cluster:
+			cand.Reason = "not the pinned cluster"
+		case !c.alive():
+			unreachable++
+			cand.Reason = "unreachable (partitioned or failed)"
+		case req.SLA.MaxLatencyMs > 0 && c.cfg.LatencyMs >= req.SLA.MaxLatencyMs:
+			latencyBlocked++
+			cand.Reason = fmt.Sprintf("federation latency %.1f ms leaves no budget out of %.1f ms",
+				c.cfg.LatencyMs, req.SLA.MaxLatencyMs)
+		default:
+			cand.Eligible = true
+			eligible = append(eligible, c)
+		}
+		if ex != nil {
+			ex.Candidates = append(ex.Candidates, cand)
+		}
+	}
+
+	if len(eligible) == 0 {
+		switch {
+		case latencyBlocked > 0 && unreachable == 0 && req.Cluster == "":
+			return reject(slice.Rejectf(slice.RejectLatencyUnmeetable, "federation",
+				"no cluster within the %.1f ms latency budget", req.SLA.MaxLatencyMs))
+		case req.Cluster != "" && latencyBlocked > 0:
+			return reject(slice.Rejectf(slice.RejectLatencyUnmeetable, "federation",
+				"pinned cluster %q cannot meet the %.1f ms latency budget", req.Cluster, req.SLA.MaxLatencyMs))
+		default:
+			return reject(slice.Rejectf(slice.RejectClusterUnavailable, "federation",
+				"no reachable cluster for the request"))
+		}
+	}
+
+	// Single-cluster pass: lowest-latency member that fits the whole
+	// contract. eligible is name-sorted, so a strict < keeps the
+	// lexicographically first member on latency ties.
+	var best *Cluster
+	for _, c := range eligible {
+		if c.headroom+eps >= need && (best == nil || c.cfg.LatencyMs < best.cfg.LatencyMs) {
+			best = c
+		}
+	}
+	if best != nil {
+		plan := []legPlan{{cluster: best, mbps: need}}
+		if ex != nil {
+			ex.Placed = true
+			ex.Legs = []ExplainLeg{{Cluster: best.cfg.Name, Mbps: need}}
+		}
+		return plan, nil
+	}
+
+	// Split pass: a cross-cluster span, greedy by descending headroom so the
+	// span touches as few clusters as possible.
+	split := append([]*Cluster(nil), eligible...)
+	sort.SliceStable(split, func(i, j int) bool {
+		if split[i].headroom != split[j].headroom {
+			return split[i].headroom > split[j].headroom
+		}
+		return split[i].cfg.Name < split[j].cfg.Name
+	})
+	var plan []legPlan
+	remaining := need
+	total := 0.0
+	for _, c := range split {
+		total += c.headroom
+		take := c.headroom
+		if take > remaining {
+			take = remaining
+		}
+		if take < minLegMbps {
+			continue
+		}
+		plan = append(plan, legPlan{cluster: c, mbps: take})
+		remaining -= take
+		if remaining <= eps {
+			remaining = 0
+			break
+		}
+	}
+	if remaining > eps {
+		return reject(slice.Rejectf(slice.RejectRadioCapacity, "federation",
+			"%.1f Mbps requested, %.1f Mbps federated headroom across %d eligible clusters",
+			need, total, len(eligible)))
+	}
+	if ex != nil {
+		ex.Placed = true
+		for _, lp := range plan {
+			ex.Legs = append(ex.Legs, ExplainLeg{Cluster: lp.cluster.cfg.Name, Mbps: lp.mbps})
+		}
+	}
+	return plan, nil
+}
+
+// legFeasible answers a leg's admission dry run from federation-tier state
+// only — the member's reachability and its headroom book — both of which
+// change only under f.mu with a version bump, making the FeasVersioner
+// contract exact: equal versions guarantee equal answers. The member's real
+// admission runs at Reserve; losing that race rolls back through the engine,
+// which the Feasible contract explicitly allows.
+func (f *Federation) legFeasible(c *Cluster, tx ctrl.Tx) *slice.RejectionCause {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !c.alive() {
+		return slice.Rejectf(slice.RejectClusterUnavailable, c.domain.Domain(),
+			"cluster %s unreachable", c.cfg.Name)
+	}
+	if tx.Mbps > c.headroom+1e-9 {
+		return slice.Rejectf(slice.RejectRadioCapacity, c.domain.Domain(),
+			"leg %.1f Mbps exceeds cluster %s federated headroom %.1f Mbps",
+			tx.Mbps, c.cfg.Name, c.headroom)
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package restapi
+
+// The /api/v2/federation/ surface: the HTTP front of one federation tier
+// (DESIGN.md §11). FederationServer is the multi-cluster counterpart of
+// Server — same JSON envelopes, same error mapping, same Idempotency-Key
+// dedup on submission — serving the cluster registry, federated span
+// submission/teardown, the placement dry-run (explain), the aggregated
+// member event stream and the federation-wide gain report.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/slice"
+)
+
+// FedSliceRequestBody is the JSON payload of POST /api/v2/federation/slices
+// and /placement/explain: the dashboard's slice form plus the federation
+// knobs (an optional cluster pin and the mean offered demand).
+type FedSliceRequestBody struct {
+	SliceRequestBody
+	// Cluster optionally pins the whole slice to one named member.
+	Cluster string `json:"cluster,omitempty"`
+	// MeanDemandMbps is the mean offered load driven through the span's legs
+	// (default 0.6 × ThroughputMbps).
+	MeanDemandMbps float64 `json:"mean_demand_mbps,omitempty"`
+}
+
+// FedRequest converts the body into the federation request type.
+func (b FedSliceRequestBody) FedRequest() (federation.Request, error) {
+	req, err := b.SliceRequestBody.Request()
+	if err != nil {
+		return federation.Request{}, err
+	}
+	return federation.Request{
+		Tenant:         req.Tenant,
+		SLA:            req.SLA,
+		Cluster:        b.Cluster,
+		MeanDemandMbps: b.MeanDemandMbps,
+	}, nil
+}
+
+// FederationServer is the HTTP front of one federation tier.
+type FederationServer struct {
+	fed  *federation.Federation
+	mux  *http.ServeMux
+	idem *idemStore[federation.SpanStatus]
+	// submit performs the span submission; a seam so tests can inject
+	// internal failures (defaults to fed.Submit).
+	submit func(federation.Request) (federation.SpanStatus, error)
+}
+
+// NewFederationServer builds the federation API server.
+func NewFederationServer(fed *federation.Federation) *FederationServer {
+	s := &FederationServer{
+		fed:  fed,
+		mux:  http.NewServeMux(),
+		idem: newIdemStore[federation.SpanStatus](1024),
+	}
+	s.submit = fed.Submit
+
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+
+	// Method patterns with bare-path JSON-405 fallbacks, exactly like the
+	// single-cluster surface. The /slices/ subtree fallback catches paths the
+	// patterns reject (empty ID, extra segments); the /federation/ root
+	// fallback answers unknown endpoints with the JSON 404 envelope.
+	s.mux.HandleFunc("GET /api/v2/federation/clusters", s.handleClusters)
+	s.mux.HandleFunc("/api/v2/federation/clusters", methodNotAllowed("restapi: use GET"))
+	s.mux.HandleFunc("GET /api/v2/federation/slices", s.handleListSpans)
+	s.mux.HandleFunc("POST /api/v2/federation/slices", s.handleSubmitSpan)
+	s.mux.HandleFunc("/api/v2/federation/slices", methodNotAllowed("restapi: use GET or POST"))
+	s.mux.HandleFunc("GET /api/v2/federation/slices/{id}", s.handleGetSpan)
+	s.mux.HandleFunc("DELETE /api/v2/federation/slices/{id}", s.handleDeleteSpan)
+	s.mux.HandleFunc("/api/v2/federation/slices/{id}", methodNotAllowed("restapi: use GET or DELETE"))
+	s.mux.HandleFunc("/api/v2/federation/slices/", s.spansSubtreeFallback)
+	s.mux.HandleFunc("POST /api/v2/federation/placement/explain", s.handleExplain)
+	s.mux.HandleFunc("/api/v2/federation/placement/explain", methodNotAllowed("restapi: use POST"))
+	s.mux.HandleFunc("GET /api/v2/federation/events", s.handleFedEvents)
+	s.mux.HandleFunc("/api/v2/federation/events", methodNotAllowed("restapi: use GET"))
+	s.mux.HandleFunc("GET /api/v2/federation/gain", s.handleFedGain)
+	s.mux.HandleFunc("/api/v2/federation/gain", methodNotAllowed("restapi: use GET"))
+	s.mux.HandleFunc("GET /api/v2/federation/stats", s.handleFedStats)
+	s.mux.HandleFunc("/api/v2/federation/stats", methodNotAllowed("restapi: use GET"))
+	s.mux.HandleFunc("/api/v2/federation/", s.handleUnknown)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *FederationServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *FederationServer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "mode": "federation"})
+}
+
+func (s *FederationServer) handleUnknown(w http.ResponseWriter, r *http.Request) {
+	writeErr(w, http.StatusNotFound, fmt.Errorf("restapi: unknown federation endpoint %s", r.URL.Path))
+}
+
+// handleClusters serves GET /api/v2/federation/clusters: the registry view —
+// every member's location, latency, reachability and federation-tier books.
+func (s *FederationServer) handleClusters(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.fed.ClusterInfos())
+}
+
+// handleListSpans serves GET /api/v2/federation/slices: the live spans in
+// submission order.
+func (s *FederationServer) handleListSpans(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.fed.Spans())
+}
+
+// decodeFedBody parses and validates a federated submission, reporting any
+// problem as a 400. The false return means the response is written.
+func (s *FederationServer) decodeFedBody(w http.ResponseWriter, r *http.Request) (federation.Request, bool) {
+	var body FedSliceRequestBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad JSON: %w", err))
+		return federation.Request{}, false
+	}
+	req, err := body.FedRequest()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return federation.Request{}, false
+	}
+	if err := (slice.Request{Tenant: req.Tenant, SLA: req.SLA}).Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return federation.Request{}, false
+	}
+	return req, true
+}
+
+// spanStatusCode maps a span outcome to the HTTP status: 202 for an
+// installed span (legs are converging on the members), 200 for an in-band
+// business rejection — the same mapping the single-cluster submit uses.
+func spanStatusCode(st federation.SpanStatus) int {
+	if st.State == "rejected" {
+		return http.StatusOK
+	}
+	return http.StatusAccepted
+}
+
+// handleSubmitSpan serves POST /api/v2/federation/slices: validation
+// failures are the tenant's fault (400), placement and member rejections are
+// in-band outcomes (200 with the typed cause), anything else is internal
+// (500). Idempotency-Key dedup matches /api/v2/slices: the first request
+// with a key submits, duplicates replay its outcome with
+// Idempotency-Replay: true; failed submissions are not cached.
+func (s *FederationServer) handleSubmitSpan(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeFedBody(w, r)
+	if !ok {
+		return
+	}
+	key := r.Header.Get("Idempotency-Key")
+	if key == "" {
+		st, err := s.submit(req)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, spanStatusCode(st), st)
+		return
+	}
+	e := s.idem.entry(key)
+	fresh := false
+	e.once.Do(func() {
+		fresh = true
+		st, err := s.submit(req)
+		if err != nil {
+			e.err = err
+			s.idem.drop(key)
+			return
+		}
+		e.id = st.ID
+		e.status = spanStatusCode(st)
+		e.snap = st
+	})
+	if e.err != nil {
+		writeErr(w, http.StatusInternalServerError, e.err)
+		return
+	}
+	st := e.snap
+	if cur, ok := s.fed.Get(e.id); ok {
+		st = cur // replay with the span's current state
+	}
+	if !fresh {
+		w.Header().Set("Idempotency-Replay", "true")
+	}
+	writeJSON(w, e.status, st)
+}
+
+// handleGetSpan serves GET /api/v2/federation/slices/{id}.
+func (s *FederationServer) handleGetSpan(w http.ResponseWriter, r *http.Request) {
+	s.getSpan(w, slice.ID(r.PathValue("id")))
+}
+
+func (s *FederationServer) getSpan(w http.ResponseWriter, id slice.ID) {
+	st, ok := s.fed.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("restapi: span %s not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleDeleteSpan serves DELETE /api/v2/federation/slices/{id}: the span
+// transaction aborts in reverse order, releasing every member leg.
+func (s *FederationServer) handleDeleteSpan(w http.ResponseWriter, r *http.Request) {
+	s.deleteSpan(w, slice.ID(r.PathValue("id")))
+}
+
+func (s *FederationServer) deleteSpan(w http.ResponseWriter, id slice.ID) {
+	if err := s.fed.Delete(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "terminated"})
+}
+
+// spansSubtreeFallback answers /api/v2/federation/slices/ paths no pattern
+// claims — empty ID or extra segments — with the standard parse-and-dispatch.
+func (s *FederationServer) spansSubtreeFallback(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v2/federation/slices/")
+	id := slice.ID(strings.SplitN(rest, "/", 2)[0])
+	switch r.Method {
+	case http.MethodGet:
+		s.getSpan(w, id)
+	case http.MethodDelete:
+		s.deleteSpan(w, id)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("restapi: use GET or DELETE"))
+	}
+}
+
+// handleExplain serves POST /api/v2/federation/placement/explain: the
+// placement dry-run — every candidate member's verdict plus the chosen legs
+// or the typed rejection, without reserving anything. Tenant is optional
+// here; only the SLA is judged.
+func (s *FederationServer) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var body FedSliceRequestBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad JSON: %w", err))
+		return
+	}
+	req, err := body.FedRequest()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ex, err := s.fed.Explain(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ex)
+}
+
+// handleFedEvents serves GET /api/v2/federation/events: the members'
+// retained lifecycle events merged into one cluster-tagged stream ordered by
+// time. ?limit bounds the result (default 256).
+func (s *FederationServer) handleFedEvents(w http.ResponseWriter, r *http.Request) {
+	limit := 256
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	evs := s.fed.RecentEvents(limit)
+	if evs == nil {
+		evs = []federation.ClusterEvent{}
+	}
+	writeJSON(w, http.StatusOK, evs)
+}
+
+// handleFedGain serves GET /api/v2/federation/gain: every member's
+// gains-vs-penalties report folded into the federation-wide aggregate, plus
+// the per-member reports in name order.
+func (s *FederationServer) handleFedGain(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, FedGainResponse{
+		Aggregate: s.fed.Gain(),
+		Clusters:  s.fed.ClusterGains(),
+	})
+}
+
+// FedGainResponse is the payload of GET /api/v2/federation/gain.
+type FedGainResponse struct {
+	Aggregate core.GainReport          `json:"aggregate"`
+	Clusters  []federation.ClusterGain `json:"clusters"`
+}
+
+// handleFedStats serves GET /api/v2/federation/stats: the federation-tier
+// placement counters.
+func (s *FederationServer) handleFedStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.fed.Stats())
+}

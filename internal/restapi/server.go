@@ -110,7 +110,7 @@ type errorBody struct {
 type Server struct {
 	orch *core.Orchestrator
 	mux  *http.ServeMux
-	idem *idemStore
+	idem *idemStore[slice.Snapshot]
 	// submit performs the slice submission; a seam so tests can inject
 	// internal failures (defaults to orch.Submit).
 	submit func(slice.Request) (*slice.Slice, error)
@@ -118,7 +118,7 @@ type Server struct {
 
 // NewServer builds the API server serving both /api/v1/ and /api/v2/.
 func NewServer(orch *core.Orchestrator) *Server {
-	s := &Server{orch: orch, mux: http.NewServeMux(), idem: newIdemStore(1024)}
+	s := &Server{orch: orch, mux: http.NewServeMux(), idem: newIdemStore[slice.Snapshot](1024)}
 	s.submit = func(req slice.Request) (*slice.Slice, error) { return orch.Submit(req, nil) }
 
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -422,37 +422,39 @@ func (s *Server) handleEPCs(w http.ResponseWriter, r *http.Request) {
 // request with a key performs the submission, concurrent and later
 // duplicates replay its outcome instead of creating another slice. The
 // store is bounded (oldest keys evicted) so a long-running daemon stays
-// flat; failed submissions are not cached, so retries re-attempt.
-type idemStore struct {
+// flat; failed submissions are not cached, so retries re-attempt. Generic
+// over the cached outcome: slice.Snapshot for /api/v2/slices,
+// federation.SpanStatus for /api/v2/federation/slices.
+type idemStore[T any] struct {
 	mu      sync.Mutex
 	limit   int
 	order   []string
-	entries map[string]*idemEntry
+	entries map[string]*idemEntry[T]
 }
 
 // idemEntry is one key's outcome. once gates the actual submission:
 // concurrent duplicates block on it and then replay.
-type idemEntry struct {
+type idemEntry[T any] struct {
 	once   sync.Once
 	id     slice.ID
 	status int
-	snap   slice.Snapshot
+	snap   T
 	err    error
 }
 
-func newIdemStore(limit int) *idemStore {
-	return &idemStore{limit: limit, entries: make(map[string]*idemEntry)}
+func newIdemStore[T any](limit int) *idemStore[T] {
+	return &idemStore[T]{limit: limit, entries: make(map[string]*idemEntry[T])}
 }
 
 // entry returns the entry for key, creating it when absent (evicting the
 // oldest key beyond the bound).
-func (st *idemStore) entry(key string) *idemEntry {
+func (st *idemStore[T]) entry(key string) *idemEntry[T] {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if e, ok := st.entries[key]; ok {
 		return e
 	}
-	e := &idemEntry{}
+	e := &idemEntry[T]{}
 	st.entries[key] = e
 	st.order = append(st.order, key)
 	if len(st.order) > st.limit {
@@ -463,7 +465,7 @@ func (st *idemStore) entry(key string) *idemEntry {
 }
 
 // drop removes a failed key so a retry re-attempts the submission.
-func (st *idemStore) drop(key string) {
+func (st *idemStore[T]) drop(key string) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	delete(st.entries, key)

@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFedChaosScenariosInvariantClean runs the federated chaos scenarios
+// (C7–C8) with both audit tiers on — every member's cross-domain auditor
+// plus the federation conservation sweep at every barrier — and asserts not
+// one invariant tripped, while proving the auditors and timelines actually
+// ran. CI runs this under -race.
+func TestFedChaosScenariosInvariantClean(t *testing.T) {
+	for _, name := range FedChaosNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := FedChaosScenario(name, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != 0 {
+				for _, v := range res.Violations {
+					t.Errorf("invariant violated: %s", v)
+				}
+				t.Fatalf("%s (%s): %d invariant violations", name, res.Title, len(res.Violations))
+			}
+			if res.AuditStats.Sweeps < 50 {
+				t.Fatalf("auditors barely swept: %+v", res.AuditStats)
+			}
+			if res.AuditStats.Events < 100 {
+				t.Fatalf("auditors saw too few events: %+v", res.AuditStats)
+			}
+			if len(res.Steps) == 0 {
+				t.Fatal("no chaos step fired")
+			}
+			if res.Offered == 0 || res.Stats.SpansInstalled == 0 {
+				t.Fatalf("degenerate federated workload: %+v", res.Stats)
+			}
+			if res.Stats.SpansCrossCluster == 0 {
+				t.Fatalf("no cross-cluster span occurred: %+v", res.Stats)
+			}
+		})
+	}
+}
+
+// TestFedChaosScenarioShapes pins per-scenario expectations: the partition
+// drill heals back to full membership, the fail-over drill ends with the
+// victim dead and the survivors carrying new demand.
+func TestFedChaosScenarioShapes(t *testing.T) {
+	t.Run("c7-partition-heals", func(t *testing.T) {
+		t.Parallel()
+		res, err := FedChaosScenario("c7", 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range res.Clusters {
+			if !c.Alive {
+				t.Fatalf("member %s still unreachable after the heals: %+v", c.Name, c)
+			}
+		}
+		if res.Stats.SpansLive == 0 {
+			t.Fatalf("no span survived the run: %+v", res.Stats)
+		}
+	})
+	t.Run("c8-failover-rehomes", func(t *testing.T) {
+		t.Parallel()
+		res, err := FedChaosScenario("c8", 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dead, alive int
+		for _, c := range res.Clusters {
+			if c.Name == "north" {
+				if !c.Failed {
+					t.Fatalf("north should be failed: %+v", c)
+				}
+				dead++
+				continue
+			}
+			if !c.Alive {
+				t.Fatalf("survivor %s not alive: %+v", c.Name, c)
+			}
+			alive++
+		}
+		if dead != 1 || alive != 2 {
+			t.Fatalf("membership after fail-over: %+v", res.Clusters)
+		}
+		// The survivors carried demand after the failure: their member
+		// admissions keep growing, so live spans exist at the end even
+		// though every pre-failure span on north was rolled back.
+		if res.Stats.SpansLive == 0 {
+			t.Fatalf("no live span on the survivors: %+v", res.Stats)
+		}
+	})
+}
+
+// TestFedChaosDeterminism: the same federated scenario at the same seed is
+// bit-identical — outcomes, steps, books and the aggregated gain report.
+func TestFedChaosDeterminism(t *testing.T) {
+	a, err := FedChaosScenario("c7", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FedChaosScenario("c7", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("federated chaos run not deterministic:\n a: %+v\n b: %+v", a.Stats, b.Stats)
+	}
+}

@@ -42,6 +42,9 @@ const (
 	// domain's transactional verb. Chaos scenarios assert on this bucket to
 	// prove scripted faults reject through the normal taxonomy.
 	RejectFaultInjected RejectCode = "fault-injected"
+	// RejectClusterUnavailable: the federation tier cannot place the request
+	// because a required member cluster is partitioned, failed, or unknown.
+	RejectClusterUnavailable RejectCode = "cluster-unavailable"
 	// RejectInternal: a domain panicked mid-transaction (double-release or
 	// substrate corruption); the engine recovered and converted the panic to
 	// a typed rejection instead of crashing the orchestrator.
