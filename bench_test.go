@@ -693,6 +693,157 @@ func BenchmarkDemandSampling(b *testing.B) {
 	}
 }
 
+// durableSystem builds a wall-clock System persisting every mutation to a
+// fresh file-backed WAL — the fixture for the durable-path benchmarks.
+// perOp selects the PR 6 baseline (every operation fsyncs its own records
+// under the persistence lock) versus the group-commit pipeline (DESIGN.md
+// §12, the default).
+func durableSystem(b *testing.B, shards int, perOp bool) *System {
+	b.Helper()
+	cfg := core.Config{
+		Overbook:            true,
+		Risk:                0.9,
+		AdmissionLoadFactor: 0.5,
+		PLMNLimit:           4096,
+		HistoryLimit:        256,
+		Shards:              shards,
+		CommitPerOp:         perOp,
+	}
+	sys, err := NewLiveDurable(Options{
+		Orchestrator: &cfg,
+		Testbed: TestbedConfig{
+			ENBs: 4, MaxPLMNs: 4096, CoreHosts: 32, EdgeHosts: 16,
+		},
+	}, b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := sys.CloseWAL(); err != nil {
+			b.Error(err)
+		}
+	})
+	return sys
+}
+
+// BenchmarkDurableAdmission measures the durable admit→teardown cycle — the
+// F3 hot path with every operation's records fsynced before Submit/Delete
+// return — under group commit versus the per-operation-fsync baseline. The
+// writers axis is the group-commit story: at writers=1 the pipeline
+// degenerates to a synchronous group of one (price of the protocol ≈ 0);
+// at writers=64 concurrent committers share fsyncs, and the reported
+// fsyncs/op metric (fsyncs per durable commit, from the orchestrator's
+// persistence counters) collapses toward 1/groupsize while the per-op
+// baseline stays pinned at 1. DESIGN.md §12 claim: shards=16/writers=64
+// group mode ≥5× the per-op baseline ops/sec with fsyncs/op < 0.1.
+func BenchmarkDurableAdmission(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		perOp bool
+	}{{"group", false}, {"perop", true}} {
+		for _, shards := range []int{1, 16} {
+			for _, writers := range []int{1, 64} {
+				b.Run(fmt.Sprintf("mode=%s/shards=%d/writers=%d", mode.name, shards, writers), func(b *testing.B) {
+					b.ReportAllocs()
+					sys := durableSystem(b, shards, mode.perOp)
+					before := sys.Orchestrator.PersistStatus()
+					var next atomic.Int64
+					var wg sync.WaitGroup
+					b.ResetTimer()
+					for w := 0; w < writers; w++ {
+						wg.Add(1)
+						go func(w int) {
+							defer wg.Done()
+							tenant := fmt.Sprintf("durable-%d", w)
+							for next.Add(1) <= int64(b.N) {
+								sl, err := sys.Orchestrator.Submit(slice.Request{
+									Tenant: tenant,
+									SLA: slice.SLA{
+										ThroughputMbps: 2,
+										MaxLatencyMs:   50,
+										Duration:       time.Hour,
+										PriceEUR:       10,
+										PenaltyEUR:     1,
+									},
+								}, nil)
+								if err != nil {
+									b.Error(err)
+									return
+								}
+								if sl.State() == slice.StateRejected {
+									b.Errorf("bench request rejected: %s", sl.Reason())
+									return
+								}
+								if err := sys.Orchestrator.Delete(sl.ID()); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}(w)
+					}
+					wg.Wait()
+					b.StopTimer()
+					after := sys.Orchestrator.PersistStatus()
+					if ops := after.CommitOps - before.CommitOps; ops > 0 {
+						b.ReportMetric(float64(after.Fsyncs-before.Fsyncs)/float64(ops), "fsyncs/op")
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkDurableBatch measures durable batch admission: SubmitBatch makes
+// the whole batch durable with a single commit at the batch edge, so the
+// per-item fsync share falls with batch size even from a single driver —
+// the static counterpart of the dynamic grouping BenchmarkDurableAdmission
+// measures across concurrent submitters.
+func BenchmarkDurableBatch(b *testing.B) {
+	for _, size := range []int{8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			sys := durableSystem(b, 16, false)
+			before := sys.Orchestrator.PersistStatus()
+			items := make([]core.BatchItem, size)
+			b.ResetTimer()
+			var ops int
+			for i := 0; i < b.N; i++ {
+				for j := range items {
+					items[j] = core.BatchItem{Request: slice.Request{
+						Tenant: fmt.Sprintf("batch-%d", j),
+						SLA: slice.SLA{
+							ThroughputMbps: 2,
+							MaxLatencyMs:   50,
+							Duration:       time.Hour,
+							PriceEUR:       10,
+							PenaltyEUR:     1,
+						},
+					}}
+				}
+				sls, err := sys.Orchestrator.SubmitBatch(items, core.BatchFCFS)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ops += len(sls)
+				for _, sl := range sls {
+					if sl.State() == slice.StateRejected {
+						b.Fatalf("batch item rejected: %s", sl.Reason())
+					}
+					if err := sys.Orchestrator.Delete(sl.ID()); err != nil {
+						b.Fatal(err)
+					}
+					ops++
+				}
+			}
+			b.StopTimer()
+			after := sys.Orchestrator.PersistStatus()
+			if ops > 0 {
+				b.ReportMetric(float64(after.Fsyncs-before.Fsyncs)/float64(ops), "fsyncs/item")
+			}
+		})
+	}
+}
+
 // BenchmarkFederatedAdmission (PR 8) measures the federation-tier admission
 // hot path — deterministic placement over the hierarchical capacity ledger
 // plus the two-phase span install across member clusters — at growing

@@ -51,13 +51,21 @@ type BaselineDelta struct {
 
 // Report is the whole BENCH_*.json document.
 type Report struct {
-	Label        string      `json:"label,omitempty"`
-	Goos         string      `json:"goos,omitempty"`
-	Goarch       string      `json:"goarch,omitempty"`
-	Pkg          string      `json:"pkg,omitempty"`
-	CPU          string      `json:"cpu,omitempty"`
-	BaselineFrom string      `json:"baseline_from,omitempty"`
-	Benchmarks   []Benchmark `json:"benchmarks"`
+	Label        string `json:"label,omitempty"`
+	Goos         string `json:"goos,omitempty"`
+	Goarch       string `json:"goarch,omitempty"`
+	Pkg          string `json:"pkg,omitempty"`
+	CPU          string `json:"cpu,omitempty"`
+	BaselineFrom string `json:"baseline_from,omitempty"`
+	// Notes carries human context for this trajectory point: regression
+	// verdicts, shared-runner caveats, measurement methodology.
+	Notes []string `json:"notes,omitempty"`
+	// GateThreshold and Regressions record the CI regression gate: any
+	// benchmark whose speedup against the baseline fell below
+	// 1-GateThreshold is listed in Regressions (and fails the build).
+	GateThreshold float64     `json:"gate_threshold,omitempty"`
+	Regressions   []string    `json:"regressions,omitempty"`
+	Benchmarks    []Benchmark `json:"benchmarks"`
 }
 
 // parseLine parses one benchmark result line; ok is false for headers,
@@ -154,11 +162,37 @@ func ApplyBaseline(rep *Report, prev Report, from string) {
 	}
 }
 
+// Gate returns the names of benchmarks whose speedup against the baseline
+// fell below 1-threshold, i.e. regressed by more than the allowed fraction.
+// Benchmarks without a baseline entry are never gated (new benchmarks must
+// not fail the build that introduces them).
+func Gate(rep Report, threshold float64) []string {
+	if threshold <= 0 {
+		return nil
+	}
+	var out []string
+	for _, b := range rep.Benchmarks {
+		if b.Baseline != nil && b.Baseline.Speedup > 0 && b.Baseline.Speedup < 1-threshold {
+			out = append(out, b.Name)
+		}
+	}
+	return out
+}
+
+// noteList collects repeated -note flags.
+type noteList []string
+
+func (n *noteList) String() string     { return strings.Join(*n, "; ") }
+func (n *noteList) Set(v string) error { *n = append(*n, v); return nil }
+
 func main() {
 	in := flag.String("in", "-", "bench transcript to read (- for stdin)")
 	out := flag.String("out", "-", "JSON file to write (- for stdout)")
 	label := flag.String("label", "", "trajectory label recorded in the report (e.g. \"PR 7\")")
 	baseline := flag.String("baseline", "", "previous BENCH_*.json to diff against")
+	gate := flag.Float64("gate", 0, "fail (exit 2) when any baselined benchmark slows down by more than this fraction (e.g. 0.25); the report is still written first")
+	var notes noteList
+	flag.Var(&notes, "note", "free-form note recorded in the report (repeatable)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -189,6 +223,9 @@ func main() {
 		}
 		ApplyBaseline(&rep, prev, *baseline)
 	}
+	rep.Notes = notes
+	rep.GateThreshold = *gate
+	rep.Regressions = Gate(rep, *gate)
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -197,10 +234,18 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
+	}
+	// Gate AFTER the report is on disk: a failing build must still leave
+	// the trajectory point for the regression investigation.
+	if len(rep.Regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% vs %s:\n",
+			len(rep.Regressions), *gate*100, rep.BaselineFrom)
+		for _, name := range rep.Regressions {
+			fmt.Fprintln(os.Stderr, "  ", name)
+		}
+		os.Exit(2)
 	}
 }
 

@@ -69,3 +69,22 @@ func TestApplyBaseline(t *testing.T) {
 		t.Fatal("unmatched benchmark got a baseline")
 	}
 }
+
+func TestGate(t *testing.T) {
+	rep := Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFast", Baseline: &BaselineDelta{Speedup: 1.4}},
+		{Name: "BenchmarkNoisy", Baseline: &BaselineDelta{Speedup: 0.80}},
+		{Name: "BenchmarkRegressed", Baseline: &BaselineDelta{Speedup: 0.70}},
+		{Name: "BenchmarkNew"}, // no baseline: must never gate
+	}}
+	if got := Gate(rep, 0.25); len(got) != 1 || got[0] != "BenchmarkRegressed" {
+		t.Fatalf("gate at 25%%: %v", got)
+	}
+	// A 0.80 speedup is a 20% slowdown: inside a 25% gate, outside a 10% one.
+	if got := Gate(rep, 0.10); len(got) != 2 {
+		t.Fatalf("gate at 10%%: %v", got)
+	}
+	if got := Gate(rep, 0); got != nil {
+		t.Fatalf("disabled gate flagged %v", got)
+	}
+}

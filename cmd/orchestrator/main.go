@@ -32,8 +32,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiler endpoints on the -pprof listener's DefaultServeMux
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -56,8 +58,32 @@ func main() {
 		audit   = flag.Bool("audit", false, "attach the cross-domain invariant auditor (DESIGN.md §8); violations are logged")
 		dataDir = flag.String("data-dir", "", "write-ahead-log directory; enables durability and crash recovery (DESIGN.md §9)")
 		fedN    = flag.Int("federation", 0, "run the multi-cluster federation tier with this many member clusters (0 = single-cluster daemon)")
+
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+		mutexFrac = flag.Int("pprof-mutex", 0, "mutex contention profile sampling fraction (runtime.SetMutexProfileFraction; 0 = off)")
+		blockRate = flag.Int("pprof-block", 0, "blocking profile sampling rate in ns (runtime.SetBlockProfileRate; 0 = off)")
 	)
 	flag.Parse()
+
+	// Profiling listener first so startup stalls (slow recovery, big WALs)
+	// are themselves observable. Served on its own listener: the API address
+	// can be exposed while the profiler stays on localhost. The group-commit
+	// pipeline is diagnosed with the mutex and block profiles — followers
+	// block on the commit ticket, the leader on fsync.
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof: listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 
 	if *fedN > 0 {
 		runFederation(*addr, *fedN, *seed, *epoch, *audit)

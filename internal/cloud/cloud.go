@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -296,13 +297,7 @@ func (dc *DataCenter) CreateStack(id string, tmpl Template) (*Stack, error) {
 	if _, ok := dc.stacks[id]; ok {
 		return nil, fmt.Errorf("%w: %s in %s", ErrDuplicateStack, id, dc.name)
 	}
-	stack := &Stack{ID: id}
-	placed := make([]*VM, 0, len(tmpl.Resources))
-	rollback := func() {
-		for _, vm := range placed {
-			dc.hosts[vm.Host].evict(vm)
-		}
-	}
+	stack := &Stack{ID: id, VMs: make([]*VM, 0, len(tmpl.Resources))}
 	for _, res := range tmpl.Resources {
 		var target *Host
 		for _, h := range dc.hostOrder(res.Flavor) {
@@ -312,19 +307,20 @@ func (dc *DataCenter) CreateStack(id string, tmpl Template) (*Stack, error) {
 			}
 		}
 		if target == nil {
-			rollback()
+			for _, vm := range stack.VMs { // Heat create-rollback: all or none
+				dc.hosts[vm.Host].evict(vm)
+			}
 			return nil, fmt.Errorf("%w: %s (%.1f vCPU) in %s", ErrNoCapacity, res.Flavor.Name, res.Flavor.VCPUs, dc.name)
 		}
 		dc.vmSeq++
 		vm := &VM{
-			ID:     fmt.Sprintf("%s/vm-%d", dc.name, dc.vmSeq),
+			ID:     dc.name + "/vm-" + strconv.Itoa(dc.vmSeq),
 			Name:   res.Name,
 			Flavor: res.Flavor,
 			Host:   target.Name,
 			Stack:  id,
 		}
 		target.place(vm)
-		placed = append(placed, vm)
 		stack.VMs = append(stack.VMs, vm)
 	}
 	dc.stacks[id] = stack

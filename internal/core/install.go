@@ -92,29 +92,22 @@ func (o *Orchestrator) install(sh *shard, s *slice.Slice, demand traffic.Demand,
 	sh.slices[s.ID()] = m
 
 	// Installation stage timeline (Fig. 2 workflow). Resources are already
-	// committed; the stages model configuration latency.
-	tl := &InstallTimeline{Submitted: now}
-	sh.timelines[s.ID()] = tl
+	// committed; the stages model configuration latency, so their completion
+	// times are the scheduled offsets, recorded up front exactly as recovery
+	// rebuilds them — only the activation transition needs a real timer.
 	radioAt := now.Add(o.cfg.RadioConfigDelay)
 	pathsAt := radioAt.Add(o.cfg.PathSetupDelay)
 	stackAt := pathsAt.Add(o.cfg.StackCreateDelay)
 	activeAt := stackAt.Add(bootDelay)
 	m.activateAt = activeAt
+	sh.timelines[s.ID()] = &InstallTimeline{
+		Submitted: now, RadioDone: radioAt, PathsDone: pathsAt, StackDone: stackAt,
+	}
 
 	if err := s.BeginInstall(); err != nil {
 		return err
 	}
-	stamp := func(set func(*InstallTimeline)) func() {
-		return func() {
-			sh.mu.Lock()
-			defer sh.mu.Unlock()
-			set(tl)
-		}
-	}
 	m.timers = append(m.timers,
-		o.clock.At(radioAt, string(s.ID())+"/radio", stamp(func(t *InstallTimeline) { t.RadioDone = o.clock.Now() })),
-		o.clock.At(pathsAt, string(s.ID())+"/paths", stamp(func(t *InstallTimeline) { t.PathsDone = o.clock.Now() })),
-		o.clock.At(stackAt, string(s.ID())+"/stack", stamp(func(t *InstallTimeline) { t.StackDone = o.clock.Now() })),
 		o.clock.At(activeAt, string(s.ID())+"/activate", func() { o.activate(s.ID()) }),
 	)
 	return nil
@@ -205,6 +198,19 @@ func (o *Orchestrator) teardownLocked(sh *shard, m *managedSlice, reason string,
 	}
 	st := m.s.State()
 	alloc := m.s.Allocation()
+	m.s.Terminate(reason)
+	ev := o.publish(typ, m.s, reason)
+	// The teardown record must be sequenced BEFORE any substrate resource is
+	// released: the allocators (PLMN, eNB PRBs, transport) are global, so
+	// the instant a resource is freed a concurrent admission on another
+	// shard can take it and append its admit record — and if that admit
+	// sequenced ahead of this teardown, replay would impose the same
+	// exclusive resource twice and fail recovery. Appending first pins the
+	// WAL order: any reuse is logged strictly after the release that made
+	// it possible.
+	if o.persist != nil {
+		o.appendRecord(recTeardown, teardownRecord{Slice: m.s.ID(), Reason: reason, Events: []Event{ev}})
+	}
 	o.releaseAll(m.s.ID(), alloc.PLMN)
 	o.plmns.Release(alloc.PLMN)
 	o.ledger.Release(m.ledgerMbps)
@@ -218,11 +224,6 @@ func (o *Orchestrator) teardownLocked(sh *shard, m *managedSlice, reason string,
 	switch st {
 	case slice.StateActive, slice.StateReconfiguring:
 		sh.active.Add(-1)
-	}
-	m.s.Terminate(reason)
-	ev := o.publish(typ, m.s, reason)
-	if o.persist != nil {
-		o.appendRecord(recTeardown, teardownRecord{Slice: m.s.ID(), Reason: reason, Events: []Event{ev}})
 	}
 	return o.history.Push(m.s.ID())
 }

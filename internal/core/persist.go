@@ -2,6 +2,8 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
+	"sync"
 	"time"
 
 	"repro/internal/slice"
@@ -21,10 +23,22 @@ import (
 // Hook discipline: records are appended inside the mutating operation's
 // critical section (appendRecord takes only the leaf persistMu, so it is
 // safe under shard locks and epochMu), and each top-level operation ends
-// with one commitPersist() — the fsync boundary — called with no shard lock
-// and no epochMu held. Durability is therefore batched per operation: a
-// crash between an append and its commit may lose that operation entirely,
-// but can never surface a torn prefix of it as recovered state.
+// with one commitPersist() — the durability boundary — called with no shard
+// lock and no epochMu held. A crash between an append and its commit may
+// lose that operation entirely, but can never surface a torn prefix of it
+// as recovered state.
+//
+// Since PR 9 the boundary is group-committed (DESIGN.md §12): instead of
+// each operation fsyncing its own records, concurrent committers elect one
+// leader that performs a single fsync covering every record appended so
+// far; the rest block until a completed fsync's coverage reaches their last
+// record. The durability contract is unchanged — commitPersist still does
+// not return while the operation's records are only buffered — but the
+// fsync cost is amortized across however many operations were in flight,
+// and because the file write + fsync run outside persistMu (StagedSink),
+// appends keep flowing while the disk works. A lone committer degenerates
+// to the old synchronous per-op fsync, so single-driver simulations and the
+// §9.2 crashtest harness see byte- and boundary-identical behaviour.
 
 // Sink receives the orchestrator's write-ahead records. The production
 // implementation wraps *wal.Writer (see WALSink); crash-point tests
@@ -47,12 +61,27 @@ type Sink interface {
 	Snapshot(seq uint64, blob []byte) error
 }
 
+// StagedSink is the optional fast path a Sink can provide for group commit:
+// StageCommit is called under the persistence mutex and must capture
+// everything appended so far, returning a step that makes the capture
+// durable. The step runs outside the persistence mutex — concurrent
+// operations keep appending while the disk works — and the commit-group
+// leadership protocol guarantees at most one staged step is in flight at a
+// time, issued in capture order, with Snapshot/Close quiesced around it.
+// Sinks without StageCommit (the crashtest digest probes) are committed
+// under the persistence mutex exactly as before group commit.
+type StagedSink interface {
+	Sink
+	StageCommit() func() error
+}
+
 // walSink adapts *wal.Writer to the Sink interface.
 type walSink struct{ w *wal.Writer }
 
 func (s walSink) Append(rec wal.Record) error         { return s.w.Append(rec) }
 func (s walSink) Committed() error                    { return s.w.Sync() }
 func (s walSink) Snapshot(seq uint64, b []byte) error { return s.w.Snapshot(seq, b) }
+func (s walSink) StageCommit() func() error           { return s.w.StageSync() }
 
 // WALSink wraps a write-ahead-log writer as the orchestrator's persistence
 // sink: Committed maps to the batched fsync, Snapshot to the atomic
@@ -204,12 +233,17 @@ func (o *Orchestrator) appendRecord(typ string, payload any) {
 	if o.persist == nil {
 		return
 	}
+	// Marshal before taking persistMu: the payload is built from data the
+	// caller owns (its shard lock is still held), so encoding it needs no
+	// persistence state, and keeping it outside shrinks the append critical
+	// section every other shard serializes on.
+	b, merr := marshalRecord(payload)
 	o.persistMu.Lock()
 	defer o.persistMu.Unlock()
 	if o.persistErr != nil || o.persistClosed {
 		return
 	}
-	b, err := json.Marshal(payload)
+	err := merr
 	if err == nil {
 		o.walSeq++
 		err = o.persist.Append(wal.Record{Seq: o.walSeq, Type: typ, Payload: b})
@@ -219,22 +253,248 @@ func (o *Orchestrator) appendRecord(typ string, payload any) {
 	}
 }
 
-// commitPersist is the durability boundary: every record appended by the
-// operation becomes durable (fsync in the file-backed sink). It must be
-// called with no shard lock and no epochMu held — test sinks read the
-// orchestrator's state digest from inside Committed.
+// errPersistClosed is the commit-group outcome for operations whose
+// durability boundary was reached after ClosePersist retired the sink; it
+// deliberately never latches into persistErr (closing is not a failure).
+var errPersistClosed = errors.New("core: persistence closed")
+
+// commitGroup is the group-commit state machine (DESIGN.md §12). Its mutex
+// is independent of persistMu and never held while acquiring it: the
+// per-operation path goes persistMu → release → commit.mu, and the leader's
+// flush goes commit.mu → release → persistMu → flush.
+type commitGroup struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	// durable is the highest WAL sequence covered by a completed fsync;
+	// an operation whose last record is at or below it is durable.
+	durable uint64
+	// flushing marks a flush (group leader, checkpoint, or close) in
+	// flight; at most one at a time, so staged WAL writes land in order.
+	flushing bool
+	// cur is the commit group gathering for the next flush, nil when none.
+	// Its first member is the designated leader (the only goroutine parked
+	// on cond waiting for the in-flight flush); later arrivals join the
+	// ticket and sleep on its done channel, so a completed group wakes its
+	// members with one channel close instead of a Broadcast herd that
+	// re-acquires mu once per member.
+	cur *commitTicket
+	// err is the latched flush failure: every current and future group
+	// member observes it (a follower must not report durable success
+	// because only the leader saw the fsync fail).
+	err error
+	// closed mirrors persistClosed so blocked members wake and return
+	// instead of waiting for a flush that will never come.
+	closed bool
+	// barrier counts checkpoints waiting to take leadership. While it is
+	// non-zero no new group leader is elected, so a checkpoint cannot be
+	// starved by committers re-electing leaders faster than it can observe
+	// flushing==false; commits queued behind the barrier are covered by
+	// the checkpoint's own sync (its anchor is at or past their targets).
+	barrier int
+
+	// Telemetry (PersistStatus): completed fsync barriers, operations that
+	// reached their durability boundary, and the largest group one fsync
+	// covered.
+	fsyncs    uint64
+	commitOps uint64
+	maxGroup  int
+}
+
+// commitTicket is one gathering commit group. members and maxTarget are
+// guarded by commitGroup.mu; done is closed exactly once, by the leader,
+// after every member's durability outcome is decided.
+type commitTicket struct {
+	members   int
+	maxTarget uint64
+	done      chan struct{}
+}
+
+// commitPersist is the durability boundary: it returns only once every
+// record appended by the operation is covered by a completed fsync (or
+// persistence has failed/closed, which latches and disables durability
+// rather than crashing the control plane). It must be called with no shard
+// lock and no epochMu held — test sinks read the orchestrator's state
+// digest from inside Committed.
+//
+// Group commit: the first operation to reach the boundary while no flush is
+// in flight becomes the leader and fsyncs once for every record appended so
+// far — its own and those of any operation still on its way here. Later
+// arrivals find a flush in flight, block, and are covered either by that
+// fsync (if their records made the capture) or by the next group's, whose
+// leader is elected among them when the current flush completes. A lone
+// committer flushes immediately and synchronously. With Config.CommitPerOp
+// the PR 6 behaviour is kept: every operation fsyncs its own records under
+// persistMu, serializing all durable operations (the benchmark baseline).
 func (o *Orchestrator) commitPersist() {
 	if o.persist == nil {
 		return
 	}
 	o.persistMu.Lock()
-	defer o.persistMu.Unlock()
 	if o.persistErr != nil || o.persistClosed {
+		o.persistMu.Unlock()
 		return
 	}
-	if err := o.persist.Committed(); err != nil {
+	target := o.walSeq
+	if o.cfg.CommitPerOp {
+		err := o.persist.Committed()
+		if err != nil {
+			o.persistErr = err
+		}
+		o.persistMu.Unlock()
+		g := &o.commit
+		g.mu.Lock()
+		g.commitOps++
+		if err == nil {
+			g.fsyncs++
+			if target > g.durable {
+				g.durable = target
+			}
+			if g.maxGroup < 1 {
+				g.maxGroup = 1
+			}
+		}
+		g.mu.Unlock()
+		return
+	}
+	o.persistMu.Unlock()
+	o.commitWait(target)
+}
+
+// commitWait blocks until a completed fsync covers target. The first
+// arrival while no group is gathering opens a ticket and leads it: it waits
+// out any in-flight flush (parked on cond), then fsyncs once for every
+// member that joined meanwhile. Joiners sleep on the ticket's channel and
+// are woken by one close — their records were appended before they arrived
+// here, so the leader's capture necessarily includes them.
+func (o *Orchestrator) commitWait(target uint64) {
+	g := &o.commit
+	g.mu.Lock()
+	g.commitOps++
+	if g.err != nil || g.closed || g.durable >= target {
+		g.mu.Unlock()
+		return
+	}
+	if t := g.cur; t != nil {
+		t.members++
+		if target > t.maxTarget {
+			t.maxTarget = target
+		}
+		g.mu.Unlock()
+		<-t.done
+		return
+	}
+	t := &commitTicket{members: 1, maxTarget: target, done: make(chan struct{})}
+	g.cur = t
+	for (g.flushing || g.barrier > 0) && !g.closed && g.err == nil {
+		g.cond.Wait()
+		if g.cur != t {
+			// A checkpoint completed this ticket while its leader was
+			// parked: every member (this goroutine included) is already
+			// covered by the snapshot's sync.
+			g.mu.Unlock()
+			return
+		}
+	}
+	if g.closed || g.err != nil || g.durable >= t.maxTarget {
+		// Persistence ended, failed, or the flush just waited out (a prior
+		// group, a checkpoint) already captured every member's records —
+		// nothing left to fsync for this ticket.
+		g.cur = nil
+		g.mu.Unlock()
+		close(t.done)
+		return
+	}
+	g.flushing = true
+	members := t.members
+
+	// Grouping window: with other writers already queued, the leader may
+	// linger up to CommitMaxDelay for more to arrive, capped at
+	// CommitMaxBatch members; the ticket stays joinable until just before
+	// the flush. A lone writer never waits — the synchronous fallback that
+	// keeps single-threaded latency at the per-op cost. The window trades
+	// bounded latency for fewer fsyncs on devices whose sync is too fast
+	// for natural batching to build groups.
+	if d := o.cfg.CommitMaxDelay; d > 0 && members > 1 {
+		g.mu.Unlock()
+		deadline := time.Now().Add(d)
+		for members < o.cfg.CommitMaxBatch {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				break
+			}
+			if step := 50 * time.Microsecond; remain > step {
+				remain = step
+			}
+			time.Sleep(remain)
+			g.mu.Lock()
+			members = t.members
+			g.mu.Unlock()
+		}
+		g.mu.Lock()
+	}
+	g.cur = nil
+	members = t.members
+	g.mu.Unlock()
+
+	covered, err := o.flushCommit()
+
+	g.mu.Lock()
+	g.flushing = false
+	if err != nil {
+		if !errors.Is(err, errPersistClosed) {
+			g.err = err
+		}
+	} else {
+		g.fsyncs++
+		if covered > g.durable {
+			g.durable = covered
+		}
+		if members > g.maxGroup {
+			g.maxGroup = members
+		}
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	close(t.done)
+}
+
+// flushCommit performs one durability barrier covering every record
+// appended so far, returning the covered sequence. For a StagedSink the
+// capture happens under persistMu but the write+fsync runs outside it, so
+// concurrent operations keep appending records while the disk works; the
+// caller's leadership (commitGroup.flushing) guarantees staged steps are
+// serialized in capture order. Failures latch persistErr exactly as the
+// per-op path always has.
+func (o *Orchestrator) flushCommit() (uint64, error) {
+	o.persistMu.Lock()
+	if o.persistErr != nil || o.persistClosed {
+		err := o.persistErr
+		o.persistMu.Unlock()
+		if err == nil {
+			err = errPersistClosed
+		}
+		return 0, err
+	}
+	covered := o.walSeq
+	if ss, ok := o.persist.(StagedSink); ok {
+		step := ss.StageCommit()
+		o.persistMu.Unlock()
+		err := step()
+		if err != nil {
+			o.persistMu.Lock()
+			if o.persistErr == nil {
+				o.persistErr = err
+			}
+			o.persistMu.Unlock()
+		}
+		return covered, err
+	}
+	err := o.persist.Committed()
+	if err != nil {
 		o.persistErr = err
 	}
+	o.persistMu.Unlock()
+	return covered, err
 }
 
 // pathRecords captures the current transport reservations of the given
@@ -286,6 +546,17 @@ type PersistStatus struct {
 	Recovered bool `json:"recovered"`
 	// Recovery summarises the recovery pass when Recovered.
 	Recovery *RecoveryReport `json:"recovery,omitempty"`
+	// DurableSeq is the highest WAL sequence covered by a completed fsync;
+	// LastSeq minus DurableSeq is the buffered, not-yet-durable tail.
+	DurableSeq uint64 `json:"durable_seq"`
+	// Fsyncs counts completed durability barriers (group-commit fsyncs,
+	// per-op commits under CommitPerOp, and checkpoints). CommitOps counts
+	// operations that reached their durability boundary; CommitOps/Fsyncs
+	// is the realized group-commit amortization.
+	Fsyncs    uint64 `json:"fsyncs"`
+	CommitOps uint64 `json:"commit_ops"`
+	// MaxGroup is the largest number of operations one fsync covered.
+	MaxGroup int `json:"max_group,omitempty"`
 }
 
 // PersistStatus returns the durability plane's current status.
@@ -300,6 +571,13 @@ func (o *Orchestrator) PersistStatus() PersistStatus {
 		st.Error = o.persistErr.Error()
 	}
 	o.persistMu.Unlock()
+	g := &o.commit
+	g.mu.Lock()
+	st.DurableSeq = g.durable
+	st.Fsyncs = g.fsyncs
+	st.CommitOps = g.commitOps
+	st.MaxGroup = g.maxGroup
+	g.mu.Unlock()
 	return st
 }
 
@@ -327,14 +605,40 @@ func (o *Orchestrator) Shutdown() Event {
 // on a closed file — so a daemon closes the log only after its server has
 // drained (see cmd/orchestrator). Safe to call without a sink attached and
 // more than once; closeFn may be nil.
+//
+// Group-commit interaction: closing first waits out any in-flight flush and
+// takes commit leadership, so a staged WAL write can never race the
+// writer's Close (an operation whose commit completed before ClosePersist
+// stays durable). Operations still blocked waiting for a flush are then
+// woken by the closed flag and return non-durable — acknowledged-but-
+// unflushed tails are the caller's responsibility, which is why the daemon
+// drains its server and runs Shutdown (whose commit completes) first.
 func (o *Orchestrator) ClosePersist(closeFn func() error) error {
-	o.persistMu.Lock()
-	defer o.persistMu.Unlock()
-	o.persistClosed = true
-	if closeFn == nil {
-		return nil
+	g := &o.commit
+	g.mu.Lock()
+	// Announce first: with closed set, no new leader is ever elected (and
+	// blocked members drain), so only the one in-flight flush must be
+	// waited out — churning committers cannot starve the close.
+	g.closed = true
+	for g.flushing {
+		g.cond.Wait()
 	}
-	return closeFn()
+	g.flushing = true
+	g.mu.Unlock()
+
+	o.persistMu.Lock()
+	o.persistClosed = true
+	var err error
+	if closeFn != nil {
+		err = closeFn()
+	}
+	o.persistMu.Unlock()
+
+	g.mu.Lock()
+	g.flushing = false
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	return err
 }
 
 // checkpointState is the full-state checkpoint blob (snapshot payload):
@@ -494,25 +798,76 @@ func (o *Orchestrator) buildCheckpointLocked() ([]byte, error) {
 // everywhere (appendRecord), so acquiring it here preserves lock order, and
 // holding it through Snapshot pins anchor == last appended record at the
 // checkpoint's fsync.
+//
+// Group-commit interaction: the checkpoint first takes commit leadership —
+// waiting out any in-flight group flush — because Snapshot both syncs the
+// log and may compact it (swapping the writer's file handle), which must
+// never overlap a staged write still holding the old handle. For a
+// StagedSink the snapshot's own sync advances the durable frontier (anchor
+// == walSeq at the cut, at or past every queued commit target), so queued
+// operations are released durable without another fsync. For probing sinks
+// (§9.2 crashtest) the frontier is deliberately NOT advanced: those sinks
+// observe every operation boundary through Committed, and swallowing the
+// boundary that follows a checkpoint would shift their captured commit
+// stream relative to the pre-group-commit contract.
 func (o *Orchestrator) checkpoint() {
 	if o.persist == nil {
 		return
 	}
+	g := &o.commit
+	g.mu.Lock()
+	g.barrier++
+	for g.flushing && !g.closed {
+		g.cond.Wait()
+	}
+	g.barrier--
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.flushing = true
+	g.mu.Unlock()
+
 	o.lockAll()
 	blob, err := o.buildCheckpointLocked()
 	o.persistMu.Lock()
 	anchor := o.walSeq
 	o.unlockAll()
-	defer o.persistMu.Unlock()
-	if o.persistErr != nil || o.persistClosed {
-		return
+	ok := false
+	if o.persistErr == nil && !o.persistClosed {
+		if err == nil {
+			err = o.persist.Snapshot(anchor, blob)
+		}
+		if err != nil {
+			o.persistErr = err
+		} else {
+			ok = true
+		}
 	}
-	if err == nil {
-		err = o.persist.Snapshot(anchor, blob)
+	o.persistMu.Unlock()
+
+	_, staged := o.persist.(StagedSink)
+	g.mu.Lock()
+	g.flushing = false
+	if ok {
+		g.fsyncs++
+		if staged && anchor > g.durable {
+			g.durable = anchor
+		}
+		// The snapshot's sync may already cover every member of the
+		// gathering ticket; complete it here rather than waiting for its
+		// parked leader to win the lock back — under a hot checkpoint loop
+		// the leader may not be scheduled for a long time, and its members
+		// would be held hostage with their records long since durable.
+		if t := g.cur; t != nil && g.durable >= t.maxTarget {
+			g.cur = nil
+			close(t.done)
+		}
+	} else if err != nil {
+		g.err = err
 	}
-	if err != nil {
-		o.persistErr = err
-	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
 }
 
 // StateDigest returns a canonical JSON image of every externally observable

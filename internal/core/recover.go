@@ -170,6 +170,9 @@ func (o *Orchestrator) AttachSink(sink Sink, lastSeq uint64) {
 	o.persist = sink
 	o.walSeq = lastSeq
 	o.persistMu.Unlock()
+	o.commit.mu.Lock()
+	o.commit.durable = lastSeq
+	o.commit.mu.Unlock()
 }
 
 // restoreSnapshot rebuilds the orchestrator from a checkpoint blob: global

@@ -317,19 +317,16 @@ func (c *TransportController) setupPathsInto(id slice.ID, dc string, mbps, maxDe
 	share := mbps / float64(len(enbs))
 	setup.PathIDs = setup.PathIDs[:0]
 	setup.WorstDelayMs = 0
-	rollback := func() {
-		for _, pid := range setup.PathIDs {
-			c.net.Release(pid)
-		}
-		setup.PathIDs = setup.PathIDs[:0]
-	}
 	for _, enb := range enbs {
 		pid := string(id) + "/" + enb + "->" + dc
 		r, err := c.net.ReservePath(pid, transport.PathRequest{
 			From: enb, To: dc, MinMbps: share, MaxDelayMs: maxDelayMs,
 		})
 		if err != nil {
-			rollback()
+			for _, done := range setup.PathIDs { // roll back: all paths or none
+				c.net.Release(done)
+			}
+			setup.PathIDs = setup.PathIDs[:0]
 			return fmt.Errorf("ctrl: path %s->%s: %w", enb, dc, err)
 		}
 		setup.PathIDs = append(setup.PathIDs, pid)

@@ -142,6 +142,12 @@ type Network struct {
 	paths map[string]*Reservation // by path ID
 	flows map[string][]FlowEntry  // per-switch flow table
 
+	// linkScratch backs pathLinksScratchLocked: a working array for
+	// transient hop→link resolution on the reserve/release/resize paths,
+	// reused under the exclusive lock so steady-state churn allocates
+	// nothing here.
+	linkScratch []*Link
+
 	// topoVer counts node/link-set changes (AddNode, AddLink) and guards
 	// cached node-kind lists held by callers. feasVer counts every state
 	// change that can flip a feasibility answer — topology changes plus
@@ -337,20 +343,48 @@ func (n *Network) NodesOfKind(kind NodeKind) []string {
 	return out
 }
 
-// pathLinksLocked resolves a hop sequence into links, validating adjacency.
-func (n *Network) pathLinksLocked(hops []string) ([]*Link, error) {
+// appendPathLinks resolves a hop sequence into links appended to dst,
+// validating adjacency. Links are found through the dense adjacency index
+// rather than the "a->b"-keyed map: node out-degrees are small and the
+// scan avoids building a key string per segment on the reserve/release
+// hot path. Safe under either lock mode (read-only lookups).
+func (n *Network) appendPathLinks(dst []*Link, hops []string) ([]*Link, error) {
 	if len(hops) < 2 {
 		return nil, fmt.Errorf("transport: path needs >= 2 hops, got %d", len(hops))
 	}
-	links := make([]*Link, 0, len(hops)-1)
 	for i := 0; i+1 < len(hops); i++ {
-		l, ok := n.links[hops[i]+"->"+hops[i+1]]
-		if !ok {
+		var l *Link
+		if fromIdx, ok := n.idx[hops[i]]; ok {
+			for _, cand := range n.adjx[fromIdx] {
+				if cand.To == hops[i+1] {
+					l = cand
+					break
+				}
+			}
+		}
+		if l == nil {
 			return nil, fmt.Errorf("transport: no link %s->%s in path", hops[i], hops[i+1])
 		}
-		links = append(links, l)
+		dst = append(dst, l)
 	}
-	return links, nil
+	return dst, nil
+}
+
+// pathLinksLocked resolves a hop sequence into a fresh link slice; safe
+// under n.mu in either mode.
+func (n *Network) pathLinksLocked(hops []string) ([]*Link, error) {
+	return n.appendPathLinks(make([]*Link, 0, len(hops)-1), hops)
+}
+
+// pathLinksScratchLocked is pathLinksLocked backed by the network's scratch
+// array. Callers must hold n.mu EXCLUSIVELY and drop the result before
+// releasing the lock — the next call reuses the backing array.
+func (n *Network) pathLinksScratchLocked(hops []string) ([]*Link, error) {
+	links, err := n.appendPathLinks(n.linkScratch[:0], hops)
+	if links != nil {
+		n.linkScratch = links
+	}
+	return links, err
 }
 
 // Reserve atomically reserves mbps along hops under pathID, installing flow
@@ -365,7 +399,7 @@ func (n *Network) Reserve(pathID string, hops []string, mbps float64) (*Reservat
 	if _, ok := n.paths[pathID]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicatePath, pathID)
 	}
-	links, err := n.pathLinksLocked(hops)
+	links, err := n.pathLinksScratchLocked(hops)
 	if err != nil {
 		return nil, err
 	}
@@ -409,15 +443,22 @@ func (n *Network) installFlowsLocked(r *Reservation) {
 	}
 }
 
-func (n *Network) removeFlowsLocked(pathID string) {
-	for node, entries := range n.flows {
-		kept := entries[:0]
-		for _, e := range entries {
-			if e.PathID != pathID {
-				kept = append(kept, e)
+// removeFlowsLocked drops the path's OpenFlow entries. Flows were installed
+// only on the reservation's own hops, so only those switches' tables need
+// touching — and install writes exactly one entry per (hop, path), so the
+// scan stops at the first hit instead of filtering the whole table.
+func (n *Network) removeFlowsLocked(r *Reservation) {
+	for _, hop := range r.Hops {
+		entries, ok := n.flows[hop]
+		if !ok {
+			continue
+		}
+		for i := range entries {
+			if entries[i].PathID == r.ID {
+				n.flows[hop] = append(entries[:i], entries[i+1:]...)
+				break
 			}
 		}
-		n.flows[node] = kept
 	}
 }
 
@@ -430,7 +471,7 @@ func (n *Network) Release(pathID string) {
 	if !ok {
 		return
 	}
-	if links, err := n.pathLinksLocked(r.Hops); err == nil {
+	if links, err := n.pathLinksScratchLocked(r.Hops); err == nil {
 		for _, l := range links {
 			l.reservedMbps -= l.byPath[pathID]
 			if l.reservedMbps < 0 {
@@ -439,7 +480,7 @@ func (n *Network) Release(pathID string) {
 			delete(l.byPath, pathID)
 		}
 	}
-	n.removeFlowsLocked(pathID)
+	n.removeFlowsLocked(r)
 	delete(n.paths, pathID)
 	n.feasVer.Add(1)
 }
@@ -455,7 +496,7 @@ func (n *Network) Resize(pathID string, mbps float64) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownPath, pathID)
 	}
-	links, err := n.pathLinksLocked(r.Hops)
+	links, err := n.pathLinksScratchLocked(r.Hops)
 	if err != nil {
 		return err
 	}

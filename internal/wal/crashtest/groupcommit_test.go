@@ -1,0 +1,179 @@
+package crashtest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/slice"
+	"repro/internal/testbed"
+	"repro/internal/wal"
+)
+
+// TestGroupCommitRecoveryDurable is the crash-model acceptance test for the
+// group-commit pipeline (DESIGN.md §12) on a real file-backed WAL under
+// genuine concurrency — the regime the §9.2 single-driver harness cannot
+// reach. Many goroutines submit concurrently; an operation counts as
+// "acknowledged" only once Submit returns, i.e. once the fsync covering its
+// records completed. The crash cut is taken mid-churn by first snapshotting
+// the acknowledged set and then reading the live wal.log bytes — any file
+// state read after an acknowledgement must already contain that operation's
+// records, whatever group commit batched them with. Recovery from the cut
+// (torn tail and all) must surface every acknowledged admission in a live
+// state with the invariant auditor's full sweep clean.
+func TestGroupCommitRecoveryDurable(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Create(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		Overbook:            true,
+		Risk:                0.9,
+		AdmissionLoadFactor: 0.5,
+		PLMNLimit:           4096,
+		HistoryLimit:        1024,
+		Shards:              8,
+		Persist:             core.WALSink(w),
+	}
+	s := sim.NewSimulator(29)
+	tb, err := testbed.New(testbed.Config{
+		ENBs: 4, MaxPLMNs: 4096, CoreHosts: 32, EdgeHosts: 16,
+		MECHosts: 2, MECHostCPUs: 32,
+	}, s.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.New(cfg, tb, s, monitor.NewStore(1024))
+
+	workers, iters := 8, 40
+	if testing.Short() {
+		workers, iters = 4, 12
+	}
+	var (
+		mu        sync.Mutex
+		acked     []slice.ID // admitted and acknowledged durable, in ack order
+		processed atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				sl, err := o.Submit(slice.Request{
+					Tenant: fmt.Sprintf("gc-%d-%d", g, i),
+					SLA: slice.SLA{
+						ThroughputMbps: 1, MaxLatencyMs: 50,
+						Duration: time.Hour, PriceEUR: 10, PenaltyEUR: 1,
+					},
+				}, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if sl.State() != slice.StateRejected {
+					mu.Lock()
+					acked = append(acked, sl.ID())
+					mu.Unlock()
+				}
+				processed.Add(1)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	// cut snapshots the acknowledged set, then reads the live log — in that
+	// order, so the bytes must cover every snapshotted acknowledgement.
+	type cutImage struct {
+		acked []slice.ID
+		log   []byte
+	}
+	takeCut := func() cutImage {
+		mu.Lock()
+		ids := append([]slice.ID(nil), acked...)
+		mu.Unlock()
+		raw, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+		if err != nil && !os.IsNotExist(err) {
+			t.Fatalf("read live log: %v", err)
+		}
+		return cutImage{acked: ids, log: raw}
+	}
+
+	// Several mid-churn cuts as operations complete, plus a final one after
+	// full quiesce (which must cover everything).
+	var cuts []cutImage
+	for _, threshold := range []int{workers * iters / 8, workers * iters / 3} {
+	wait:
+		for processed.Load() < int64(threshold) {
+			select {
+			case <-done:
+				break wait
+			default:
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+		cuts = append(cuts, takeCut())
+	}
+	wg.Wait()
+	st := o.PersistStatus()
+	if st.Error != "" {
+		t.Fatalf("persistence latched an error: %s", st.Error)
+	}
+	cuts = append(cuts, takeCut())
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("churn: %d admissions acked, %d records, %d commit ops, %d fsyncs, max group %d",
+		len(cuts[len(cuts)-1].acked), st.LastSeq, st.CommitOps, st.Fsyncs, st.MaxGroup)
+
+	for ci, cut := range cuts {
+		if len(cut.acked) == 0 {
+			t.Fatalf("cut %d degenerate: no acknowledged admissions", ci)
+		}
+		cdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cdir, "wal.log"), cut.log, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rcfg := cfg
+		rcfg.Persist = nil
+		rcfg.Audit = true
+		rs := sim.NewSimulator(int64(31 + ci))
+		rtb, err := testbed.New(testbed.Config{
+			ENBs: 4, MaxPLMNs: 4096, CoreHosts: 32, EdgeHosts: 16,
+			MECHosts: 2, MECHostCPUs: 32,
+		}, rs.Rand())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro, rw, err := core.Recover(rcfg, rtb, rs, monitor.NewStore(1024), cdir)
+		if err != nil {
+			t.Fatalf("cut %d (%d acked, %d log bytes): recover: %v",
+				ci, len(cut.acked), len(cut.log), err)
+		}
+		for _, id := range cut.acked {
+			got, ok := ro.Get(id)
+			if !ok {
+				t.Fatalf("cut %d: acknowledged admission %s lost — its fsync group was not durable", ci, id)
+			}
+			if gst := got.State(); gst == slice.StateRejected || gst == slice.StateTerminated {
+				t.Fatalf("cut %d: acknowledged admission %s recovered in state %v", ci, id, gst)
+			}
+		}
+		ro.AuditSweep()
+		if vs := ro.Auditor().Violations(); len(vs) != 0 {
+			t.Fatalf("cut %d: recovered state fails audit (%d violations), first: %+v", ci, len(vs), vs[0])
+		}
+		if err := rw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

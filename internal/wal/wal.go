@@ -42,6 +42,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Typed decode errors. Callers distinguish a tolerable torn tail
@@ -82,7 +83,10 @@ type Record struct {
 	Payload []byte
 }
 
-// AppendRecord encodes rec and appends the framed bytes to dst.
+// AppendRecord encodes rec and appends the framed bytes to dst. The body is
+// encoded in place after the header and the CRC backfilled over it, so no
+// intermediate buffer is materialized — this sits on the durable hot path,
+// once per logged operation.
 func AppendRecord(dst []byte, rec Record) ([]byte, error) {
 	if len(rec.Type) == 0 || len(rec.Type) > 255 {
 		return dst, fmt.Errorf("wal: record type length %d out of range [1,255]", len(rec.Type))
@@ -91,15 +95,16 @@ func AppendRecord(dst []byte, rec Record) ([]byte, error) {
 	if bodyLen > maxBody {
 		return dst, fmt.Errorf("wal: record body %d exceeds limit %d", bodyLen, maxBody)
 	}
-	body := make([]byte, 0, bodyLen)
-	body = binary.LittleEndian.AppendUint64(body, rec.Seq)
-	body = append(body, byte(len(rec.Type)))
-	body = append(body, rec.Type...)
-	body = append(body, rec.Payload...)
-
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(bodyLen))
-	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(body))
-	return append(dst, body...), nil
+	dst = append(dst, 0, 0, 0, 0) // CRC, backfilled once the body is in place
+	crcAt := len(dst) - 4
+	bodyAt := len(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, rec.Seq)
+	dst = append(dst, byte(len(rec.Type)))
+	dst = append(dst, rec.Type...)
+	dst = append(dst, rec.Payload...)
+	binary.LittleEndian.PutUint32(dst[crcAt:], crc32.ChecksumIEEE(dst[bodyAt:]))
+	return dst, nil
 }
 
 // DecodeRecord decodes one framed record from the front of b, returning
@@ -208,6 +213,13 @@ type Writer struct {
 	f    *os.File
 	pend []byte
 	seq  uint64
+	// free is a single-slot recycling rack for pending buffers detached by
+	// StageSync: at most one staged step is in flight at a time (the caller
+	// serializes them), and its step returns the buffer here once the bytes
+	// are on disk, so steady-state group commit appends into a warm buffer
+	// instead of regrowing one from nil per group. Atomic because the step
+	// runs outside the append lock.
+	free atomic.Pointer[[]byte]
 }
 
 // Create opens (creating if needed) the write-ahead log in dir for
@@ -233,6 +245,11 @@ func (w *Writer) Append(rec Record) error {
 	if rec.Seq != w.seq+1 {
 		return fmt.Errorf("%w: append %d after %d", ErrBadSeq, rec.Seq, w.seq)
 	}
+	if w.pend == nil {
+		if p := w.free.Swap(nil); p != nil {
+			w.pend = *p
+		}
+	}
 	out, err := AppendRecord(w.pend, rec)
 	if err != nil {
 		return err
@@ -256,6 +273,36 @@ func (w *Writer) Sync() error {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	return nil
+}
+
+// StageSync detaches the buffered records and returns a step that writes
+// them to the log and fsyncs — the two halves of Sync split apart so a
+// group-commit leader can run the slow half outside the append lock while
+// followers keep buffering new records into a fresh pending buffer.
+//
+// The caller must serialize staged steps (only one in flight at a time, in
+// staging order) so file bytes land in sequence order, and must not call
+// Snapshot or Close while a staged step is outstanding: both may replace
+// the underlying file handle, which the step captured at staging time. The
+// step always fsyncs, even when nothing was pending, so it can double as a
+// pure durability barrier.
+func (w *Writer) StageSync() func() error {
+	pend := w.pend
+	w.pend = nil
+	f := w.f
+	return func() error {
+		if len(pend) > 0 {
+			if _, err := f.Write(pend); err != nil {
+				return fmt.Errorf("wal: write batch: %w", err)
+			}
+			buf := pend[:0]
+			w.free.Store(&buf)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		return nil
+	}
 }
 
 // Snapshot durably writes a checkpoint anchored at record sequence seq:
