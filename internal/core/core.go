@@ -258,6 +258,14 @@ type managedSlice struct {
 	haveDemand bool
 	// ledgerMbps is this slice's entry in the shared capacity ledger.
 	ledgerMbps float64
+	// provCapMbps, when > 0, caps the epoch loop's provisioning target for
+	// this slice — the intent plane's canary-rollout knob (SetProvisionCap):
+	// without it any rollout resize would be undone by the next control
+	// epoch's forecast-driven reconfiguration. Read and written under the
+	// shard lock. Volatile: not persisted (replay imposes logged epoch
+	// outcomes, so recovery digests are unaffected); the intent plane
+	// re-establishes caps after a restart.
+	provCapMbps float64
 	// activateAt is the scheduled vEPC-boot completion instant (recovery
 	// re-arms the activation timer from it).
 	activateAt time.Time

@@ -300,6 +300,11 @@ func (o *Orchestrator) analyzePhase(now time.Time, items []epochItem) {
 				monitor.BatchSample{Name: m.seriesServed, Value: it.served})
 			m.prov.Observe(it.demand)
 			it.target = m.prov.Provision(m.s.SLA().ThroughputMbps)
+			// The intent plane's rollout cap bounds the target (the canary
+			// knob); resizeLocked still clamps to [floor, contract].
+			if m.provCapMbps > 0 && it.target > m.provCapMbps {
+				it.target = m.provCapMbps
+			}
 		}
 		sh.mu.Unlock()
 		o.store.RecordBatchSized(now, batch, sliceSeriesCapacity)

@@ -1,0 +1,335 @@
+// Package intent is the declarative slice-intent plane (DESIGN.md §13,
+// ROADMAP item 4): tenants stop submitting one-shot slice requests and
+// instead declare a slice *class* — a versioned Template — that the
+// operator publishes, dry-runs against live capacity, instantiates as a
+// fleet across tenants × regions, and reconfigures with canary rollouts
+// that automatically roll back on SLA regression.
+//
+// The lifecycle follows the package-orchestration model of kpt (cited in
+// ROADMAP): a template version is born Draft (mutable, not instantiable),
+// and Publish promotes it to Published (immutable, instantiable) only after
+// every guardrail passes. Guardrails run in registration order and the
+// first failure aborts the publish — the evaluation order is part of the
+// API contract so operators can reason about which error surfaces first.
+//
+// Nothing in this package owns resources: templates and fleets are control
+// metadata, and every resource decision is delegated to the core
+// orchestrator (DryRun, SubmitBatch, SetProvisionCap), so the invariant
+// auditor's books never gain a second writer.
+package intent
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/slice"
+)
+
+// TemplateState is the template lifecycle: Draft → Published.
+type TemplateState string
+
+// The template lifecycle states.
+const (
+	// TemplateDraft: mutable, guardrails not yet enforced, cannot be
+	// instantiated or rolled out to.
+	TemplateDraft TemplateState = "draft"
+	// TemplatePublished: guardrails passed, immutable, instantiable.
+	TemplatePublished TemplateState = "published"
+)
+
+// Region names a placement region of the single-cluster testbed: the core
+// data center or the latency-critical edge. (The federated tier maps
+// regions onto member clusters instead; the intent plane only forwards the
+// name.)
+type Region string
+
+// The placement regions.
+const (
+	RegionCore Region = "core"
+	RegionEdge Region = "edge"
+)
+
+// ParseRegion validates a region name.
+func ParseRegion(s string) (Region, error) {
+	switch Region(strings.ToLower(s)) {
+	case RegionCore:
+		return RegionCore, nil
+	case RegionEdge:
+		return RegionEdge, nil
+	default:
+		return "", fmt.Errorf("intent: unknown region %q (want core or edge)", s)
+	}
+}
+
+// Template is one versioned slice class: the SLA contract every instance
+// carries plus the provisioning posture (ProvisionFraction) that rollouts
+// change between versions. Versions of a name are immutable once published;
+// a change is a new version.
+type Template struct {
+	Name    string        `json:"name"`
+	Version int           `json:"version"`
+	State   TemplateState `json:"state"`
+
+	// The SLA contract stamped on every instance.
+	ThroughputMbps float64            `json:"throughput_mbps"`
+	MaxLatencyMs   float64            `json:"max_latency_ms"`
+	Duration       time.Duration      `json:"duration"`
+	PriceEUR       float64            `json:"price_eur"`
+	PenaltyEUR     float64            `json:"penalty_eur"`
+	Class          slice.ServiceClass `json:"class"`
+
+	// ProvisionFraction caps each instance's epoch provisioning target at
+	// this fraction of the contracted throughput ((0,1]; default 1 = let
+	// the forecast decide alone). Lower fractions overbook harder — the
+	// knob canary rollouts turn, and the one that triggers SLA-regression
+	// rollback when turned too far.
+	ProvisionFraction float64 `json:"provision_fraction"`
+
+	CreatedAt   time.Time `json:"created_at"`
+	PublishedAt time.Time `json:"published_at,omitzero"`
+}
+
+// withDefaults fills the optional knobs.
+func (t Template) withDefaults() Template {
+	if t.ProvisionFraction <= 0 || t.ProvisionFraction > 1 {
+		t.ProvisionFraction = 1
+	}
+	return t
+}
+
+// Validate checks the structural shape a draft must already have (the
+// guardrails add the policy checks at publish time).
+func (t Template) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("intent: template name required")
+	}
+	if strings.ContainsAny(t.Name, "/ \t\n") {
+		return fmt.Errorf("intent: template name %q must not contain slashes or spaces", t.Name)
+	}
+	if t.ThroughputMbps <= 0 {
+		return fmt.Errorf("intent: template %s: throughput must be positive", t.Name)
+	}
+	if t.MaxLatencyMs <= 0 {
+		return fmt.Errorf("intent: template %s: max latency must be positive", t.Name)
+	}
+	if t.Duration <= 0 {
+		return fmt.Errorf("intent: template %s: duration must be positive", t.Name)
+	}
+	if t.PriceEUR < 0 || t.PenaltyEUR < 0 {
+		return fmt.Errorf("intent: template %s: price and penalty must be non-negative", t.Name)
+	}
+	return nil
+}
+
+// TargetMbps is the per-instance provisioning cap the template implies.
+func (t Template) TargetMbps() float64 {
+	return t.ThroughputMbps * t.withDefaults().ProvisionFraction
+}
+
+// Request materializes one slice request from the template for a tenant in
+// a region.
+func (t Template) Request(tenant string, region Region) slice.Request {
+	return slice.Request{
+		Tenant: tenant,
+		SLA: slice.SLA{
+			ThroughputMbps: t.ThroughputMbps,
+			MaxLatencyMs:   t.MaxLatencyMs,
+			Duration:       t.Duration,
+			PriceEUR:       t.PriceEUR,
+			PenaltyEUR:     t.PenaltyEUR,
+			Class:          t.Class,
+			EdgeCompute:    region == RegionEdge,
+		},
+	}
+}
+
+// Guardrail is one named publish-time policy check. Guardrails run in
+// registration order; the first failure aborts the publish.
+type Guardrail struct {
+	Name  string
+	Check func(t Template) error
+}
+
+// SLABounds bounds the contract a template may promise: throughput at most
+// maxMbps, latency at least minLatencyMs (the physics floor of the
+// testbed), duration at most maxDuration.
+func SLABounds(maxMbps, minLatencyMs float64, maxDuration time.Duration) Guardrail {
+	return Guardrail{Name: "sla-bounds", Check: func(t Template) error {
+		if t.ThroughputMbps > maxMbps {
+			return fmt.Errorf("throughput %.1f Mbps exceeds bound %.1f", t.ThroughputMbps, maxMbps)
+		}
+		if t.MaxLatencyMs < minLatencyMs {
+			return fmt.Errorf("latency bound %.1f ms below the %.1f ms floor", t.MaxLatencyMs, minLatencyMs)
+		}
+		if t.Duration > maxDuration {
+			return fmt.Errorf("duration %v exceeds bound %v", t.Duration, maxDuration)
+		}
+		return nil
+	}}
+}
+
+// PriceFloor requires the template to pay at least minDensity EUR per
+// Mbps·hour — the same revenue-density bar the admission policy can
+// enforce, surfaced at publish time instead of per-instance.
+func PriceFloor(minDensity float64) Guardrail {
+	return Guardrail{Name: "price-floor", Check: func(t Template) error {
+		density := t.PriceEUR / (t.ThroughputMbps * t.Duration.Hours())
+		if density < minDensity {
+			return fmt.Errorf("revenue density %.3f EUR/(Mbps·h) below floor %.3f", density, minDensity)
+		}
+		return nil
+	}}
+}
+
+// ProvisionBounds keeps the overbooking posture sane: the provision
+// fraction must stay at or above min — a template provisioning (say) 10%
+// of its contract is a penalty machine, caught before it ships.
+func ProvisionBounds(min float64) Guardrail {
+	return Guardrail{Name: "provision-bounds", Check: func(t Template) error {
+		if f := t.withDefaults().ProvisionFraction; f < min {
+			return fmt.Errorf("provision fraction %.2f below bound %.2f", f, min)
+		}
+		return nil
+	}}
+}
+
+// DefaultGuardrails is the stock policy chain, in evaluation order.
+func DefaultGuardrails() []Guardrail {
+	return []Guardrail{
+		SLABounds(1000, 1, 30*24*time.Hour),
+		PriceFloor(0),
+		ProvisionBounds(0.1),
+	}
+}
+
+// Store is the versioned template registry. Safe for concurrent use.
+type Store struct {
+	mu         sync.Mutex
+	byName     map[string][]Template // versions of a name; Version = index+1
+	names      []string              // insertion order for deterministic listing
+	guardrails []Guardrail
+}
+
+// NewStore builds a registry enforcing the given guardrails at publish time
+// (nil = DefaultGuardrails).
+func NewStore(guardrails []Guardrail) *Store {
+	if guardrails == nil {
+		guardrails = DefaultGuardrails()
+	}
+	return &Store{byName: make(map[string][]Template), guardrails: guardrails}
+}
+
+// Guardrails returns the publish-time policy chain in evaluation order.
+func (s *Store) Guardrails() []Guardrail {
+	return append([]Guardrail(nil), s.guardrails...)
+}
+
+// CreateDraft registers t as the next draft version of its name and returns
+// it with Version/State/CreatedAt assigned.
+func (s *Store) CreateDraft(t Template, now time.Time) (Template, error) {
+	t = t.withDefaults()
+	if err := t.Validate(); err != nil {
+		return Template{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byName[t.Name]; !ok {
+		s.names = append(s.names, t.Name)
+	}
+	t.Version = len(s.byName[t.Name]) + 1
+	t.State = TemplateDraft
+	t.CreatedAt = now
+	t.PublishedAt = time.Time{}
+	s.byName[t.Name] = append(s.byName[t.Name], t)
+	return t, nil
+}
+
+// UpdateDraft replaces a draft version in place. Published versions are
+// immutable.
+func (s *Store) UpdateDraft(t Template) (Template, error) {
+	t = t.withDefaults()
+	if err := t.Validate(); err != nil {
+		return Template{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vs := s.byName[t.Name]
+	if t.Version < 1 || t.Version > len(vs) {
+		return Template{}, fmt.Errorf("intent: template %s version %d not found", t.Name, t.Version)
+	}
+	cur := vs[t.Version-1]
+	if cur.State != TemplateDraft {
+		return Template{}, fmt.Errorf("intent: template %s v%d is %s and immutable", t.Name, t.Version, cur.State)
+	}
+	t.State = TemplateDraft
+	t.CreatedAt = cur.CreatedAt
+	t.PublishedAt = time.Time{}
+	vs[t.Version-1] = t
+	return t, nil
+}
+
+// Publish promotes a draft to Published after running every guardrail in
+// registration order; the first failure aborts with the guardrail's name in
+// the error. Publishing a published version is a no-op (idempotent).
+func (s *Store) Publish(name string, version int, now time.Time) (Template, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vs := s.byName[name]
+	if version < 1 || version > len(vs) {
+		return Template{}, fmt.Errorf("intent: template %s version %d not found", name, version)
+	}
+	t := vs[version-1]
+	if t.State == TemplatePublished {
+		return t, nil
+	}
+	for _, g := range s.guardrails {
+		if err := g.Check(t); err != nil {
+			return Template{}, fmt.Errorf("intent: guardrail %s: template %s v%d: %w", g.Name, name, version, err)
+		}
+	}
+	t.State = TemplatePublished
+	t.PublishedAt = now
+	vs[version-1] = t
+	return t, nil
+}
+
+// Get returns one template version.
+func (s *Store) Get(name string, version int) (Template, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vs := s.byName[name]
+	if version < 1 || version > len(vs) {
+		return Template{}, false
+	}
+	return vs[version-1], true
+}
+
+// LatestPublished returns the newest published version of the name.
+func (s *Store) LatestPublished(name string) (Template, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vs := s.byName[name]
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i].State == TemplatePublished {
+			return vs[i], true
+		}
+	}
+	return Template{}, false
+}
+
+// List returns every version of every template, names in lexical order,
+// versions ascending — a deterministic catalogue for the API.
+func (s *Store) List() []Template {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := append([]string(nil), s.names...)
+	sort.Strings(names)
+	var out []Template
+	for _, n := range names {
+		out = append(out, s.byName[n]...)
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"net/url"
 
 	"repro/internal/core"
+	"repro/internal/intent"
 	"repro/internal/slice"
 	"repro/internal/transport"
 )
@@ -256,4 +257,113 @@ func (c *Client) GetSliceV2(id slice.ID) (slice.Snapshot, error) {
 // DeleteSliceV2 tears a slice down through /api/v2/.
 func (c *Client) DeleteSliceV2(id slice.ID) error {
 	return c.do(http.MethodDelete, "/api/v2/slices/"+url.PathEscape(string(id)), nil, nil)
+}
+
+// --- intent plane (templates / fleets / rollouts) ---
+
+// templatePath builds the /api/v2/templates/{name}/{version} path.
+func templatePath(name string, version int, suffix string) string {
+	return fmt.Sprintf("/api/v2/templates/%s/%d%s", url.PathEscape(name), version, suffix)
+}
+
+// CreateTemplate registers a new draft template version.
+func (c *Client) CreateTemplate(body TemplateBody) (intent.Template, error) {
+	var t intent.Template
+	err := c.do(http.MethodPost, "/api/v2/templates", body, &t)
+	return t, err
+}
+
+// ListTemplates fetches every template version.
+func (c *Client) ListTemplates() ([]intent.Template, error) {
+	var ts []intent.Template
+	err := c.do(http.MethodGet, "/api/v2/templates", nil, &ts)
+	return ts, err
+}
+
+// GetTemplate fetches one template version.
+func (c *Client) GetTemplate(name string, version int) (intent.Template, error) {
+	var t intent.Template
+	err := c.do(http.MethodGet, templatePath(name, version, ""), nil, &t)
+	return t, err
+}
+
+// UpdateTemplate replaces a draft version in place.
+func (c *Client) UpdateTemplate(name string, version int, body TemplateBody) (intent.Template, error) {
+	var t intent.Template
+	err := c.do(http.MethodPut, templatePath(name, version, ""), body, &t)
+	return t, err
+}
+
+// PublishTemplate promotes a draft through the guardrail chain.
+func (c *Client) PublishTemplate(name string, version int) (intent.Template, error) {
+	var t intent.Template
+	err := c.do(http.MethodPost, templatePath(name, version, "/publish"), nil, &t)
+	return t, err
+}
+
+// DryRunTemplate runs the server-side feasibility chain for one (tenant,
+// region) cell of the template without reserving anything.
+func (c *Client) DryRunTemplate(name string, version int, tenant, region string) (core.DryRunReport, error) {
+	var rep core.DryRunReport
+	err := c.do(http.MethodPost, templatePath(name, version, "/dryrun"), DryRunBody{Tenant: tenant, Region: region}, &rep)
+	return rep, err
+}
+
+// DryRunSlice runs the feasibility chain for a raw slice request.
+func (c *Client) DryRunSlice(body SliceRequestBody) (core.DryRunReport, error) {
+	var rep core.DryRunReport
+	err := c.do(http.MethodPost, "/api/v2/dryrun", body, &rep)
+	return rep, err
+}
+
+// Instantiate bulk-creates a fleet from a published template. A non-empty
+// idempotencyKey deduplicates retries.
+func (c *Client) Instantiate(body InstantiateBody, idempotencyKey string) (intent.Fleet, error) {
+	var hdr http.Header
+	if idempotencyKey != "" {
+		hdr = http.Header{"Idempotency-Key": []string{idempotencyKey}}
+	}
+	var f intent.Fleet
+	err := c.doHeaders(http.MethodPost, "/api/v2/fleets", hdr, body, &f)
+	return f, err
+}
+
+// ListFleets fetches every fleet.
+func (c *Client) ListFleets() ([]intent.Fleet, error) {
+	var fs []intent.Fleet
+	err := c.do(http.MethodGet, "/api/v2/fleets", nil, &fs)
+	return fs, err
+}
+
+// GetFleet fetches one fleet.
+func (c *Client) GetFleet(id string) (intent.Fleet, error) {
+	var f intent.Fleet
+	err := c.do(http.MethodGet, "/api/v2/fleets/"+url.PathEscape(id), nil, &f)
+	return f, err
+}
+
+// StartRollout begins a canary rollout. A non-empty idempotencyKey
+// deduplicates retries.
+func (c *Client) StartRollout(body RolloutBody, idempotencyKey string) (intent.Rollout, error) {
+	var hdr http.Header
+	if idempotencyKey != "" {
+		hdr = http.Header{"Idempotency-Key": []string{idempotencyKey}}
+	}
+	var ro intent.Rollout
+	err := c.doHeaders(http.MethodPost, "/api/v2/rollouts", hdr, body, &ro)
+	return ro, err
+}
+
+// ListRollouts fetches every rollout.
+func (c *Client) ListRollouts() ([]intent.Rollout, error) {
+	var rs []intent.Rollout
+	err := c.do(http.MethodGet, "/api/v2/rollouts", nil, &rs)
+	return rs, err
+}
+
+// GetRollout fetches one rollout.
+func (c *Client) GetRollout(id string) (intent.Rollout, error) {
+	var ro intent.Rollout
+	err := c.do(http.MethodGet, "/api/v2/rollouts/"+url.PathEscape(id), nil, &ro)
+	return ro, err
 }

@@ -181,6 +181,7 @@ func (s *FederationServer) handleSubmitSpan(w http.ResponseWriter, r *http.Reque
 		e.id = st.ID
 		e.status = spanStatusCode(st)
 		e.snap = st
+		s.idem.complete(key)
 	})
 	if e.err != nil {
 		writeErr(w, http.StatusInternalServerError, e.err)

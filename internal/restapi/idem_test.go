@@ -1,0 +1,177 @@
+package restapi
+
+// Regression tests for idemStore capacity churn: eviction at the bound must
+// never drop an in-flight entry — evicting one would hand a concurrent
+// duplicate of the same Idempotency-Key a fresh entry with an unfired once,
+// i.e. a double-submit — and drop must keep the error-not-cached retry
+// contract. The churn tests run meaningfully under -race.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestIdemStoreEvictsOnlyCompleted: with the store at its bound, inserting a
+// new key evicts the oldest *completed* key and leaves in-flight keys alone,
+// even when the in-flight key is the oldest.
+func TestIdemStoreEvictsOnlyCompleted(t *testing.T) {
+	st := newIdemStore[int](3)
+
+	inflight := st.entry("inflight") // oldest, never completed
+	st.entry("a")
+	st.complete("a")
+	st.entry("b")
+	st.complete("b")
+
+	// At the bound (3). The next insert must evict "a" — the oldest
+	// completed key — not "inflight".
+	st.entry("c")
+	st.complete("c")
+
+	if got := st.entry("inflight"); got != inflight {
+		t.Fatal("in-flight entry was evicted at capacity: a concurrent duplicate would re-submit")
+	}
+	st.mu.Lock()
+	_, aAlive := st.entries["a"]
+	n := len(st.entries)
+	st.mu.Unlock()
+	if aAlive {
+		t.Error("oldest completed key survived eviction")
+	}
+	if n != 3 {
+		t.Errorf("store holds %d entries, want 3 (bound)", n)
+	}
+}
+
+// TestIdemStoreExceedsLimitWhileAllInFlight: when every retained submission
+// is still in flight there is nothing safe to evict — the store transiently
+// exceeds its bound rather than dropping an unfired once, and shrinks back
+// as completions land.
+func TestIdemStoreExceedsLimitWhileAllInFlight(t *testing.T) {
+	st := newIdemStore[int](2)
+	keys := []string{"k1", "k2", "k3", "k4"}
+	got := make([]*idemEntry[int], len(keys))
+	for i, k := range keys {
+		got[i] = st.entry(k)
+	}
+	// All four in flight: none may have been evicted.
+	for i, k := range keys {
+		if st.entry(k) != got[i] {
+			t.Fatalf("in-flight entry %q was evicted while over the bound", k)
+		}
+	}
+	// Completions make them evictable again; two more inserts squeeze the
+	// store back toward the bound.
+	for _, k := range keys {
+		st.complete(k)
+	}
+	st.entry("k5")
+	st.entry("k6")
+	st.mu.Lock()
+	n := len(st.entries)
+	st.mu.Unlock()
+	if n > 4 {
+		t.Errorf("store did not shrink back after completions: %d entries", n)
+	}
+}
+
+// TestIdemStoreInFlightSurvivesChurn is the concurrent double-submit proof:
+// one key's submission is held in flight while churn goroutines push
+// hundreds of completed keys through a tiny store, and duplicate goroutines
+// keep re-fetching the held key. The held submission must execute exactly
+// once and every duplicate must observe its outcome.
+func TestIdemStoreInFlightSurvivesChurn(t *testing.T) {
+	st := newIdemStore[int](8)
+	var submissions atomic.Int32
+	release := make(chan struct{})
+
+	const want = 42
+	victim := func() int {
+		e := st.entry("victim")
+		e.once.Do(func() {
+			<-release // hold the submission in flight across the churn
+			submissions.Add(1)
+			e.snap = want
+			st.complete("victim")
+		})
+		return e.snap
+	}
+
+	var wg sync.WaitGroup
+	// The first submitter, plus duplicates arriving during the churn.
+	results := make([]int, 16)
+	for i := range results {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = victim()
+		}()
+	}
+	// Churn: 4 goroutines × 200 completed keys each, far past the bound of
+	// 8, all while "victim" is in flight and must not be evicted.
+	churnDone := make(chan struct{})
+	var churn sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for i := 0; i < 200; i++ {
+				k := string(rune('a'+g)) + "-" + string(rune('0'+i%10)) + string(rune('0'+i/10%10)) + string(rune('0'+i/100))
+				st.entry(k)
+				st.complete(k)
+			}
+		}()
+	}
+	go func() { churn.Wait(); close(churnDone) }()
+	<-churnDone    // the whole churn happens while victim is in flight
+	close(release) // now let the submission finish
+	wg.Wait()
+
+	if n := submissions.Load(); n != 1 {
+		t.Fatalf("submission ran %d times, want exactly 1 (double-submit)", n)
+	}
+	for i, r := range results {
+		if r != want {
+			t.Errorf("duplicate %d observed outcome %d, want %d", i, r, want)
+		}
+	}
+	// Late duplicate after completion still replays, no resubmission.
+	if got := victim(); got != want {
+		t.Errorf("late duplicate observed %d, want %d", got, want)
+	}
+	if n := submissions.Load(); n != 1 {
+		t.Errorf("late duplicate re-ran the submission (%d times total)", n)
+	}
+}
+
+// TestIdemStoreDropRetryContract: a failed submission is dropped, so a
+// retry with the same key gets a fresh entry and re-attempts; a success on
+// the retry is then cached and replayed.
+func TestIdemStoreDropRetryContract(t *testing.T) {
+	st := newIdemStore[int](4)
+	attempts := 0
+	submit := func(fail bool) int {
+		e := st.entry("k")
+		e.once.Do(func() {
+			attempts++
+			if fail {
+				st.drop("k")
+				return
+			}
+			e.snap = 7
+			st.complete("k")
+		})
+		return e.snap
+	}
+	submit(true) // first attempt fails and is dropped
+	if got := submit(false); got != 7 {
+		t.Fatalf("retry outcome = %d, want 7", got)
+	}
+	if got := submit(false); got != 7 {
+		t.Fatalf("replay outcome = %d, want 7", got)
+	}
+	if attempts != 2 {
+		t.Fatalf("submission attempted %d times, want 2 (fail + retry; then replay)", attempts)
+	}
+}

@@ -1,0 +1,403 @@
+package restapi
+
+// The intent-plane surface (DESIGN.md §13): versioned slice templates with
+// server-side dry-run, fleet instantiation, and canary rollouts. Mounted by
+// AttachIntent because the intent Manager is optional equipment — a daemon
+// without one serves the v1/v2 slice surface unchanged.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/intent"
+)
+
+// TemplateBody is the JSON payload of POST /api/v2/templates — the template
+// contract with the wire's duration-in-seconds convention.
+type TemplateBody struct {
+	Name              string  `json:"name"`
+	ThroughputMbps    float64 `json:"throughput_mbps"`
+	MaxLatencyMs      float64 `json:"max_latency_ms"`
+	DurationSeconds   float64 `json:"duration_seconds"`
+	PriceEUR          float64 `json:"price_eur"`
+	PenaltyEUR        float64 `json:"penalty_eur"`
+	Class             string  `json:"class,omitempty"`
+	ProvisionFraction float64 `json:"provision_fraction,omitempty"`
+}
+
+// Template converts the body into the internal template type.
+func (b TemplateBody) Template() (intent.Template, error) {
+	class, err := classFromString(b.Class)
+	if err != nil {
+		return intent.Template{}, err
+	}
+	return intent.Template{
+		Name:              b.Name,
+		ThroughputMbps:    b.ThroughputMbps,
+		MaxLatencyMs:      b.MaxLatencyMs,
+		Duration:          time.Duration(b.DurationSeconds * float64(time.Second)),
+		PriceEUR:          b.PriceEUR,
+		PenaltyEUR:        b.PenaltyEUR,
+		Class:             class,
+		ProvisionFraction: b.ProvisionFraction,
+	}, nil
+}
+
+// DryRunBody is the JSON payload of POST /api/v2/templates/{name}/{version}/dryrun.
+type DryRunBody struct {
+	Tenant string `json:"tenant"`
+	Region string `json:"region"`
+}
+
+// InstantiateBody is the JSON payload of POST /api/v2/fleets.
+type InstantiateBody struct {
+	Template string   `json:"template"`
+	Version  int      `json:"version"`
+	Tenants  []string `json:"tenants"`
+	Regions  []string `json:"regions"`
+	// Policy is the batch admission policy: "fcfs" (default), "density" or
+	// "optimal".
+	Policy string `json:"policy,omitempty"`
+}
+
+// RolloutBody is the JSON payload of POST /api/v2/rollouts.
+type RolloutBody struct {
+	Fleet          string  `json:"fleet"`
+	ToVersion      int     `json:"to_version"`
+	CanaryFraction float64 `json:"canary_fraction,omitempty"`
+	WindowSeconds  float64 `json:"window_seconds,omitempty"`
+	MaxViolations  int     `json:"max_violations,omitempty"`
+}
+
+// batchPolicyFromString parses the batch policy name (default FCFS).
+func batchPolicyFromString(s string) (core.BatchPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "fcfs":
+		return core.BatchFCFS, nil
+	case "density":
+		return core.BatchDensity, nil
+	case "optimal", "knapsack", "knapsack-optimal":
+		return core.BatchOptimal, nil
+	default:
+		return 0, fmt.Errorf("restapi: unknown batch policy %q", s)
+	}
+}
+
+// AttachIntent mounts the intent-plane routes on the server. Fleet and
+// rollout creation honour Idempotency-Key with the same dedup contract as
+// slice submission: first request acts, duplicates replay, failures are not
+// cached.
+func (s *Server) AttachIntent(m *intent.Manager) {
+	is := &intentServer{srv: s, mgr: m,
+		fleetIdem:   newIdemStore[intent.Fleet](1024),
+		rolloutIdem: newIdemStore[intent.Rollout](1024),
+	}
+	s.mux.HandleFunc("GET /api/v2/templates", is.handleListTemplates)
+	s.mux.HandleFunc("POST /api/v2/templates", is.handleCreateTemplate)
+	s.mux.HandleFunc("/api/v2/templates", methodNotAllowed("restapi: use GET or POST"))
+	s.mux.HandleFunc("GET /api/v2/templates/{name}/{version}", is.handleGetTemplate)
+	s.mux.HandleFunc("PUT /api/v2/templates/{name}/{version}", is.handleUpdateTemplate)
+	s.mux.HandleFunc("/api/v2/templates/{name}/{version}", methodNotAllowed("restapi: use GET or PUT"))
+	s.mux.HandleFunc("POST /api/v2/templates/{name}/{version}/publish", is.handlePublishTemplate)
+	s.mux.HandleFunc("/api/v2/templates/{name}/{version}/publish", methodNotAllowed("restapi: use POST"))
+	s.mux.HandleFunc("POST /api/v2/templates/{name}/{version}/dryrun", is.handleTemplateDryRun)
+	s.mux.HandleFunc("/api/v2/templates/{name}/{version}/dryrun", methodNotAllowed("restapi: use POST"))
+	s.mux.HandleFunc("/api/v2/templates/", is.handleUnknown)
+
+	s.mux.HandleFunc("GET /api/v2/fleets", is.handleListFleets)
+	s.mux.HandleFunc("POST /api/v2/fleets", is.handleInstantiate)
+	s.mux.HandleFunc("/api/v2/fleets", methodNotAllowed("restapi: use GET or POST"))
+	s.mux.HandleFunc("GET /api/v2/fleets/{id}", is.handleGetFleet)
+	s.mux.HandleFunc("/api/v2/fleets/{id}", methodNotAllowed("restapi: use GET"))
+
+	s.mux.HandleFunc("GET /api/v2/rollouts", is.handleListRollouts)
+	s.mux.HandleFunc("POST /api/v2/rollouts", is.handleStartRollout)
+	s.mux.HandleFunc("/api/v2/rollouts", methodNotAllowed("restapi: use GET or POST"))
+	s.mux.HandleFunc("GET /api/v2/rollouts/{id}", is.handleGetRollout)
+	s.mux.HandleFunc("/api/v2/rollouts/{id}", methodNotAllowed("restapi: use GET"))
+}
+
+// intentServer groups the intent handlers and their idempotency stores.
+type intentServer struct {
+	srv         *Server
+	mgr         *intent.Manager
+	fleetIdem   *idemStore[intent.Fleet]
+	rolloutIdem *idemStore[intent.Rollout]
+}
+
+func (is *intentServer) handleUnknown(w http.ResponseWriter, r *http.Request) {
+	writeErr(w, http.StatusNotFound, errors.New("restapi: want /api/v2/templates/{name}/{version}[/publish|/dryrun]"))
+}
+
+// templateRef parses the {name}/{version} path values; false means the
+// response is written.
+func templateRef(w http.ResponseWriter, r *http.Request) (string, int, bool) {
+	name := r.PathValue("name")
+	version, err := strconv.Atoi(r.PathValue("version"))
+	if err != nil || version < 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad template version %q", r.PathValue("version")))
+		return "", 0, false
+	}
+	return name, version, true
+}
+
+func (is *intentServer) handleListTemplates(w http.ResponseWriter, r *http.Request) {
+	ts := is.mgr.Store().List()
+	if ts == nil {
+		ts = []intent.Template{}
+	}
+	writeJSON(w, http.StatusOK, ts)
+}
+
+func (is *intentServer) handleCreateTemplate(w http.ResponseWriter, r *http.Request) {
+	var body TemplateBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad JSON: %w", err))
+		return
+	}
+	t, err := body.Template()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	created, err := is.mgr.Store().CreateDraft(t, time.Now())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, created)
+}
+
+func (is *intentServer) handleGetTemplate(w http.ResponseWriter, r *http.Request) {
+	name, version, ok := templateRef(w, r)
+	if !ok {
+		return
+	}
+	t, ok := is.mgr.Store().Get(name, version)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("restapi: template %s v%d not found", name, version))
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}
+
+func (is *intentServer) handleUpdateTemplate(w http.ResponseWriter, r *http.Request) {
+	name, version, ok := templateRef(w, r)
+	if !ok {
+		return
+	}
+	var body TemplateBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad JSON: %w", err))
+		return
+	}
+	t, err := body.Template()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	t.Name, t.Version = name, version
+	updated, err := is.mgr.Store().UpdateDraft(t)
+	if err != nil {
+		writeErr(w, statusForIntentErr(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, updated)
+}
+
+func (is *intentServer) handlePublishTemplate(w http.ResponseWriter, r *http.Request) {
+	name, version, ok := templateRef(w, r)
+	if !ok {
+		return
+	}
+	t, err := is.mgr.Store().Publish(name, version, time.Now())
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "not found") {
+			status = http.StatusNotFound
+		}
+		// Guardrail failures are 422: the request was well-formed, the
+		// template violates policy.
+		if strings.Contains(err.Error(), "guardrail") {
+			status = http.StatusUnprocessableEntity
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}
+
+func (is *intentServer) handleTemplateDryRun(w http.ResponseWriter, r *http.Request) {
+	name, version, ok := templateRef(w, r)
+	if !ok {
+		return
+	}
+	var body DryRunBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad JSON: %w", err))
+		return
+	}
+	region := intent.RegionCore
+	if body.Region != "" {
+		var err error
+		if region, err = intent.ParseRegion(body.Region); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	rep, err := is.mgr.DryRun(name, version, body.Tenant, region)
+	if err != nil {
+		writeErr(w, statusForIntentErr(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (is *intentServer) handleListFleets(w http.ResponseWriter, r *http.Request) {
+	fs := is.mgr.Fleets()
+	if fs == nil {
+		fs = []intent.Fleet{}
+	}
+	writeJSON(w, http.StatusOK, fs)
+}
+
+func (is *intentServer) handleGetFleet(w http.ResponseWriter, r *http.Request) {
+	f, ok := is.mgr.GetFleet(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("restapi: fleet %s not found", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, f)
+}
+
+func (is *intentServer) handleInstantiate(w http.ResponseWriter, r *http.Request) {
+	var body InstantiateBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad JSON: %w", err))
+		return
+	}
+	policy, err := batchPolicyFromString(body.Policy)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	regions := make([]intent.Region, 0, len(body.Regions))
+	for _, rn := range body.Regions {
+		region, err := intent.ParseRegion(rn)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		regions = append(regions, region)
+	}
+	run := func() (intent.Fleet, error) {
+		return is.mgr.Instantiate(body.Template, body.Version, body.Tenants, regions, policy, nil)
+	}
+	idemCreate(w, r, is.fleetIdem, run)
+}
+
+func (is *intentServer) handleListRollouts(w http.ResponseWriter, r *http.Request) {
+	rs := is.mgr.Rollouts()
+	if rs == nil {
+		rs = []intent.Rollout{}
+	}
+	writeJSON(w, http.StatusOK, rs)
+}
+
+func (is *intentServer) handleGetRollout(w http.ResponseWriter, r *http.Request) {
+	ro, ok := is.mgr.GetRollout(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("restapi: rollout %s not found", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, ro)
+}
+
+func (is *intentServer) handleStartRollout(w http.ResponseWriter, r *http.Request) {
+	var body RolloutBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("restapi: bad JSON: %w", err))
+		return
+	}
+	run := func() (intent.Rollout, error) {
+		return is.mgr.StartRollout(intent.RolloutConfig{
+			Fleet:          body.Fleet,
+			ToVersion:      body.ToVersion,
+			CanaryFraction: body.CanaryFraction,
+			Window:         time.Duration(body.WindowSeconds * float64(time.Second)),
+			MaxViolations:  body.MaxViolations,
+		})
+	}
+	idemCreate(w, r, is.rolloutIdem, run)
+}
+
+// idemCreate runs a creating action under the Idempotency-Key contract: no
+// key = plain create; with a key the first request acts, duplicates replay
+// the cached outcome with Idempotency-Replay: true, and failures are
+// dropped so retries re-attempt.
+func idemCreate[T any](w http.ResponseWriter, r *http.Request, st *idemStore[T], run func() (T, error)) {
+	key := r.Header.Get("Idempotency-Key")
+	if key == "" {
+		out, err := run()
+		if err != nil {
+			writeErr(w, statusForIntentErr(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, out)
+		return
+	}
+	e := st.entry(key)
+	fresh := false
+	e.once.Do(func() {
+		fresh = true
+		out, err := run()
+		if err != nil {
+			e.err = err
+			st.drop(key)
+			return
+		}
+		e.snap = out
+		e.status = http.StatusCreated
+		st.complete(key)
+	})
+	if e.err != nil {
+		writeErr(w, statusForIntentErr(e.err), e.err)
+		return
+	}
+	if !fresh {
+		w.Header().Set("Idempotency-Replay", "true")
+	}
+	writeJSON(w, e.status, e.snap)
+}
+
+// statusForIntentErr maps intent-plane errors onto the envelope statuses:
+// unknown objects are 404, everything else the caller's fault is 400.
+func statusForIntentErr(err error) int {
+	if strings.Contains(err.Error(), "not found") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// handleDryRunRaw serves POST /api/v2/dryrun: the raw-request dry-run that
+// needs no template — the same body as slice submission, answered with the
+// feasibility report and nothing reserved. Registered unconditionally in
+// NewServer (it only needs the orchestrator).
+func (s *Server) handleDryRunRaw(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeSubmitBody(w, r)
+	if !ok {
+		return
+	}
+	rep, err := s.orch.DryRun(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

@@ -164,6 +164,8 @@ func NewServer(orch *core.Orchestrator) *Server {
 	s.mux.HandleFunc("/api/v2/epoch", methodNotAllowed("restapi: use GET"))
 	s.mux.HandleFunc("GET /api/v2/recovery", s.handleRecovery)
 	s.mux.HandleFunc("/api/v2/recovery", methodNotAllowed("restapi: use GET"))
+	s.mux.HandleFunc("POST /api/v2/dryrun", s.handleDryRunRaw)
+	s.mux.HandleFunc("/api/v2/dryrun", methodNotAllowed("restapi: use POST"))
 	s.mux.HandleFunc("/api/v2/slices/", s.slicesSubtreeFallback("/api/v2/slices/"))
 	return s
 }
@@ -435,7 +437,12 @@ type idemStore[T any] struct {
 // idemEntry is one key's outcome. once gates the actual submission:
 // concurrent duplicates block on it and then replay.
 type idemEntry[T any] struct {
-	once   sync.Once
+	once sync.Once
+	// done marks the submission inside once as finished (written under the
+	// store mutex via complete). Capacity eviction may only drop done
+	// entries: evicting an in-flight one would hand a concurrent duplicate
+	// of the same key a fresh entry with an unfired once — a double-submit.
+	done   bool
 	id     slice.ID
 	status int
 	snap   T
@@ -446,8 +453,11 @@ func newIdemStore[T any](limit int) *idemStore[T] {
 	return &idemStore[T]{limit: limit, entries: make(map[string]*idemEntry[T])}
 }
 
-// entry returns the entry for key, creating it when absent (evicting the
-// oldest key beyond the bound).
+// entry returns the entry for key, creating it when absent. Beyond the
+// bound the oldest *completed* key is evicted; in-flight entries are never
+// dropped (their once must stay the single gate for that key), so the store
+// may transiently exceed limit while every retained submission is still in
+// flight — it shrinks back as they complete and later inserts evict.
 func (st *idemStore[T]) entry(key string) *idemEntry[T] {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -458,10 +468,27 @@ func (st *idemStore[T]) entry(key string) *idemEntry[T] {
 	st.entries[key] = e
 	st.order = append(st.order, key)
 	if len(st.order) > st.limit {
-		delete(st.entries, st.order[0])
-		st.order = st.order[1:]
+		for i, k := range st.order {
+			if old, ok := st.entries[k]; ok && old.done {
+				delete(st.entries, k)
+				st.order = append(st.order[:i], st.order[i+1:]...)
+				break
+			}
+		}
 	}
 	return e
+}
+
+// complete marks the key's submission finished, making the entry eligible
+// for capacity eviction. Failed submissions go through drop instead (the
+// error-not-cached retry contract), so a completed entry always replays a
+// real outcome.
+func (st *idemStore[T]) complete(key string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.entries[key]; ok {
+		e.done = true
+	}
 }
 
 // drop removes a failed key so a retry re-attempts the submission.

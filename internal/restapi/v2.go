@@ -100,6 +100,7 @@ func (s *Server) handleSubmitV2(w http.ResponseWriter, r *http.Request) {
 			e.status = http.StatusOK
 		}
 		e.snap = sl.Snapshot()
+		s.idem.complete(key)
 	})
 	if e.err != nil {
 		writeErr(w, http.StatusInternalServerError, e.err)

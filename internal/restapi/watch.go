@@ -140,11 +140,34 @@ func (c *Client) StreamEvents(ctx context.Context, p WatchParams, fn func(core.E
 func (c *Client) WatchEvents(ctx context.Context, p WatchParams, fn func(core.Event) error) error {
 	since := p.Since
 	for {
+		// Resync markers are authoritative repositioning, tracked here
+		// separately from `last` because a marker's sequence may be lower
+		// than the stale resume token — including 0, when the server's
+		// stream is younger than the token (daemon restart). Folding it
+		// into `last` would be wrong the other way: last must never move
+		// backwards past events fn already observed on this connection.
+		resynced := false
+		var resyncTo int64
 		last, err := c.StreamEvents(ctx, WatchParams{
 			Since: since, Tenants: p.Tenants, States: p.States, Types: p.Types,
-		}, fn)
-		if last > 0 {
+		}, func(ev core.Event) error {
+			if ev.Type == core.EventResync {
+				resynced = true
+				resyncTo = ev.Seq
+			}
+			return fn(ev)
+		})
+		switch {
+		case last > 0:
 			since = last
+		case resynced:
+			// Only the marker arrived before the drop. Resume from its
+			// sequence — for Seq 0 that collapses to a live tail, which is
+			// exactly the contract: the pre-restart history is gone.
+			// Keeping the stale token instead would re-deliver a duplicate
+			// resync on every reconnect and silently skip every new event
+			// until the young stream outgrew the token.
+			since = resyncTo
 		}
 		// A Since<0 full-replay request with no events consumed stays <0:
 		// re-requesting the replay after a failed or empty connection can

@@ -1,0 +1,87 @@
+package scenario
+
+// C9: the canary-rollout drill. The benign rollout must promote, the
+// SLA-regressing rollout must roll back automatically, the invariant
+// auditor must stay clean throughout, and the whole run — workload, fleet,
+// both rollout decisions — must be bit-identical between 1 and 16 shards.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/intent"
+)
+
+func runC9(t *testing.T, shards int) RolloutChaosResult {
+	t.Helper()
+	res, err := RolloutChaosScenario(42, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkC9(t *testing.T, res RolloutChaosResult) {
+	t.Helper()
+	if len(res.Violations) != 0 {
+		t.Errorf("invariant violations: %v", res.Violations)
+	}
+	if res.AuditStats.Events == 0 {
+		t.Error("auditor saw no events — audit not attached?")
+	}
+
+	if res.Fleet.Admitted == 0 {
+		t.Fatalf("fleet admitted no members: %+v", res.Fleet)
+	}
+
+	// Rollout 1 (gold v1 -> v2, cap above offered demand) promotes.
+	if res.Promoted.Phase != intent.RolloutPromoted {
+		t.Errorf("benign rollout phase = %s (violations=%d, reason=%q), want promoted",
+			res.Promoted.Phase, res.Promoted.Violations, res.Promoted.Reason)
+	}
+	if res.Fleet.Version != 2 {
+		t.Errorf("fleet version = %d, want 2 (promoted target)", res.Fleet.Version)
+	}
+
+	// Rollout 2 (v2 -> v3, cap far below offered demand) regresses the
+	// canary SLA and must roll back automatically.
+	if res.RolledBack.Phase != intent.RolloutRolledBack {
+		t.Errorf("aggressive rollout phase = %s (violations=%d), want rolled-back",
+			res.RolledBack.Phase, res.RolledBack.Violations)
+	}
+	if res.RolledBack.Violations <= res.Promoted.Violations {
+		t.Errorf("aggressive rollout saw %d canary violations, benign saw %d — regression not detected",
+			res.RolledBack.Violations, res.Promoted.Violations)
+	}
+}
+
+func TestRolloutChaosScenario(t *testing.T) {
+	checkC9(t, runC9(t, 0))
+}
+
+// TestRolloutChaosShardEquivalence proves the C9 outcome — including both
+// rollout decisions and the canary violation counts that drove them — is
+// independent of the shard count, byte-for-byte on the canonical state
+// image.
+func TestRolloutChaosShardEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full C9 runs")
+	}
+	serial := runC9(t, 1)
+	pipelined := runC9(t, 16)
+	checkC9(t, serial)
+	checkC9(t, pipelined)
+
+	if !bytes.Equal(serial.Digest, pipelined.Digest) {
+		t.Errorf("state digest diverged between shards=1 and shards=16:\n%s\n---\n%s", serial.Digest, pipelined.Digest)
+	}
+	if serial.Promoted.Violations != pipelined.Promoted.Violations ||
+		serial.RolledBack.Violations != pipelined.RolledBack.Violations {
+		t.Errorf("canary violation counts diverged: shards=1 (%d, %d) vs shards=16 (%d, %d)",
+			serial.Promoted.Violations, serial.RolledBack.Violations,
+			pipelined.Promoted.Violations, pipelined.RolledBack.Violations)
+	}
+	if serial.Fleet.Version != pipelined.Fleet.Version {
+		t.Errorf("fleet version diverged: %d vs %d", serial.Fleet.Version, pipelined.Fleet.Version)
+	}
+}

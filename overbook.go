@@ -48,6 +48,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/intent"
 	"repro/internal/monitor"
 	"repro/internal/sim"
 	"repro/internal/slice"
@@ -93,7 +94,28 @@ type (
 	PersistStatus = core.PersistStatus
 	// RecoveryReport summarises a crash-recovery boot (DESIGN.md §9).
 	RecoveryReport = core.RecoveryReport
+	// DryRunReport is the server-side feasibility report of
+	// Orchestrator.DryRun — the full admission chain evaluated against live
+	// capacity with nothing reserved (DESIGN.md §13).
+	DryRunReport = core.DryRunReport
+	// Template is one versioned slice class of the intent plane.
+	Template = intent.Template
+	// Fleet is the bulk-instantiation record of one template version.
+	Fleet = intent.Fleet
+	// Rollout is one canary reconfiguration of a fleet.
+	Rollout = intent.Rollout
+	// IntentManager drives templates, fleets and canary rollouts
+	// (DESIGN.md §13).
+	IntentManager = intent.Manager
+	// IntentConfig parameterizes NewIntentManager.
+	IntentConfig = intent.Config
 )
+
+// NewIntentManager builds the declarative intent plane over a system's
+// orchestrator, scheduling rollout decisions on the system clock.
+func NewIntentManager(sys *System, cfg IntentConfig) *IntentManager {
+	return intent.NewManager(sys.Orchestrator, sys.Clock, cfg)
+}
 
 // The slice-lifecycle event taxonomy, re-exported from internal/core. A
 // Watch subscriber (or SSE consumer) that falls behind the bounded replay
